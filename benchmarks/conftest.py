@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper.  The
+full-scale IRIS snapshot simulation (the expensive part, a few seconds) is
+run once per session and shared by the benches that consume its output
+(Tables 2 and 3 and the summary comparison).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated tables next to the timing results.  Each bench
+also writes its rows to ``benchmarks/results/`` as CSV/JSON so the output
+can be diffed against the paper without re-running.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.snapshot.config import default_iris_snapshot_config
+from repro.snapshot.experiment import SnapshotExperiment
+
+#: Where the benches drop their regenerated tables.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full_snapshot():
+    """The full-scale (2,462-node) IRIS snapshot simulation."""
+    config = default_iris_snapshot_config()
+    return SnapshotExperiment(config).run()

@@ -1,0 +1,80 @@
+"""Extension bench: including data-centre infrastructure embodied carbon.
+
+The paper excludes the embodied carbon of the buildings, cooling and power
+plant hosting IRIS and lists it as required future input.  This bench adds
+that term using the parametric facility model and asks whether it changes
+the paper's conclusion that active carbon dominates the snapshot.
+
+Expected outcome: the facility term adds a noticeable but not dominant
+amount to the embodied side (facility plant is amortised over ~20 years),
+so the paper's qualitative conclusion survives — which is exactly why it is
+reported as an extension rather than a correction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embodied import EmbodiedCarbonCalculator
+from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
+from repro.embodied.facility import FacilityEmbodiedModel
+from repro.inventory.iris import IRIS_IMPLIED_SERVER_COUNT
+from repro.io.csvio import write_rows_csv
+from repro.reporting.tables import format_table
+from repro.units.quantities import Duration
+
+
+def test_bench_extension_facility_embodied(benchmark, full_snapshot, results_dir):
+    """Add facility embodied carbon to the snapshot and compare shares."""
+
+    period = Duration.from_hours(24)
+    facility_model = FacilityEmbodiedModel()
+
+    def evaluate():
+        node_assets = full_snapshot.embodied_assets()
+        facility_assets = []
+        for result in full_snapshot.site_results:
+            it_power_kw = (result.best_estimate_kwh / result.duration_hours)
+            rack_count = max(1, result.config.node_count // 40 + 1)
+            facility_assets.append(
+                facility_model.as_asset(
+                    f"{result.site}-facility", it_power_kw, rack_count
+                )
+            )
+        calculator = EmbodiedCarbonCalculator()
+        nodes_only = calculator.evaluate(node_assets, period)
+        with_facility = calculator.evaluate(node_assets + facility_assets, period)
+        return nodes_only, with_facility, facility_assets
+
+    nodes_only, with_facility, facility_assets = benchmark(evaluate)
+
+    facility_day_kg = with_facility.total_kg - nodes_only.total_kg
+    energy = full_snapshot.active_energy_input()
+    active_low, active_high = ActiveScenarioGrid().range_kg(energy)
+    embodied_low, embodied_high = EmbodiedScenarioGrid().range_kg(IRIS_IMPLIED_SERVER_COUNT)
+
+    rows = [
+        {"quantity": "embodied, nodes+network only (kg/day)", "value": nodes_only.total_kg},
+        {"quantity": "embodied incl. facility plant (kg/day)", "value": with_facility.total_kg},
+        {"quantity": "facility contribution (kg/day)", "value": facility_day_kg},
+        {"quantity": "facility installed embodied (tCO2e)",
+         "value": sum(a.embodied_kgco2 for a in facility_assets) / 1000.0},
+        {"quantity": "paper embodied range low (kg/day)", "value": embodied_low},
+        {"quantity": "paper embodied range high (kg/day)", "value": embodied_high},
+        {"quantity": "active range low (kg/day)", "value": active_low},
+        {"quantity": "active range high (kg/day)", "value": active_high},
+    ]
+    print()
+    print(format_table(rows, title="Extension - facility embodied carbon",
+                       float_format=",.1f"))
+    write_rows_csv(results_dir / "extension_facility_embodied.csv", rows)
+
+    # The facility term is positive but does not overturn the paper's
+    # conclusion: even with it included, the embodied side stays below the
+    # upper end of the active range.
+    assert facility_day_kg > 0.0
+    assert facility_day_kg < nodes_only.total_kg
+    assert with_facility.total_kg < active_high
+    # It is, however, material: more than 5% of the node-only embodied term.
+    assert facility_day_kg / nodes_only.total_kg > 0.05
+    assert "facility" in with_facility.carbon_by_component_kg

@@ -1,0 +1,69 @@
+"""Bench: Figure 1 — UK electricity generation carbon intensity, November 2022.
+
+Regenerates the half-hourly GB grid intensity for a synthetic November 2022
+and checks the statistical properties the paper reads off the figure:
+
+* significant variability (roughly an order of magnitude between quiet windy
+  nights and still evening peaks);
+* the Low / Medium / High reference values of roughly 50 / 175 / 300
+  gCO2e/kWh used in Table 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.synthetic import uk_november_2022_intensity
+from repro.io.csvio import write_rows_csv
+from repro.reporting.figures import ascii_line_chart
+from repro.reporting.tables import format_kv_table
+
+
+def test_bench_figure1_intensity(benchmark, results_dir):
+    """Regenerate Figure 1 (as a text chart plus summary statistics)."""
+
+    series = benchmark(uk_november_2022_intensity)
+
+    daily_means = series.rolling_daily_mean()
+    references = series.reference_values()
+    summary = {
+        "samples (half-hours)": len(series.series),
+        "minimum gCO2/kWh": series.min_intensity().g_per_kwh,
+        "5th percentile gCO2/kWh": series.percentile(5).g_per_kwh,
+        "mean gCO2/kWh": series.mean_intensity().g_per_kwh,
+        "95th percentile gCO2/kWh": series.percentile(95).g_per_kwh,
+        "maximum gCO2/kWh": series.max_intensity().g_per_kwh,
+        "paper Low reference": 50.0,
+        "paper Medium reference": 175.0,
+        "paper High reference": 300.0,
+    }
+
+    print()
+    print(ascii_line_chart(
+        series.series.values, width=72, height=14,
+        title="Figure 1 - GB grid carbon intensity, synthetic November 2022",
+        y_label="gCO2e/kWh",
+    ))
+    print()
+    print(format_kv_table(summary, title="Figure 1 summary statistics"))
+    write_rows_csv(
+        results_dir / "figure1_intensity.csv",
+        [
+            {"half_hour_index": i, "g_per_kwh": float(v)}
+            for i, v in enumerate(series.series.values)
+        ],
+    )
+    write_rows_csv(
+        results_dir / "figure1_daily_means.csv",
+        [{"day": i + 1, "mean_g_per_kwh": v} for i, v in enumerate(daily_means)],
+    )
+
+    # One month of half-hourly samples.
+    assert len(series.series) == 30 * 48
+    # The paper's reference values fall out of the distribution.
+    assert references["low"].g_per_kwh == pytest.approx(50.0, abs=30.0)
+    assert references["medium"].g_per_kwh == pytest.approx(175.0, abs=25.0)
+    assert references["high"].g_per_kwh == pytest.approx(300.0, abs=35.0)
+    # Figure 1 shows strong variability both within and across days.
+    assert series.max_intensity().g_per_kwh > 2.5 * series.min_intensity().g_per_kwh
+    assert max(daily_means) - min(daily_means) > 50.0

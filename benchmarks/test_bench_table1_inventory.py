@@ -1,0 +1,60 @@
+"""Bench: Table 1 — the IRIS hardware inventory summary.
+
+Regenerates the per-site hardware summary of Table 1 from the encoded
+inventory and from the assembled infrastructure object, and checks that the
+two agree with the paper's printed counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inventory.iris import (
+    IRIS_SITE_NODE_COUNTS,
+    build_iris_infrastructure,
+    iris_inventory_table,
+)
+from repro.io.csvio import write_rows_csv
+from repro.reporting.tables import format_table
+
+#: The counts printed in Table 1 of the paper.
+PAPER_TABLE1 = {
+    "QMUL": {"cpu_nodes": 118, "storage_nodes": 0},
+    "CAM": {"cpu_nodes": 60, "storage_nodes": 0},
+    "DUR": {"cpu_nodes": 808, "storage_nodes": 64},
+    "STFC SCARF": {"cpu_nodes": 699, "storage_nodes": 0},
+    "STFC CLOUD": {"cpu_nodes": 651, "storage_nodes": 105},
+    "IMP": {"cpu_nodes": 241, "storage_nodes": 0},
+}
+
+
+def test_bench_table1_inventory(benchmark, results_dir):
+    """Regenerate Table 1 and verify every cell against the paper."""
+
+    def build_table():
+        rows = iris_inventory_table()
+        infrastructure = build_iris_infrastructure(use_measured_counts=False)
+        return rows, infrastructure
+
+    rows, infrastructure = benchmark(build_table)
+
+    print()
+    print(format_table(
+        rows,
+        columns=["site", "description", "cpu_nodes", "storage_nodes"],
+        title="Table 1 - IRIS hardware included in the project",
+        float_format=",.0f",
+    ))
+    write_rows_csv(results_dir / "table1_inventory.csv", rows)
+
+    by_site = {row["site"]: row for row in rows}
+    for site, expected in PAPER_TABLE1.items():
+        assert by_site[site]["cpu_nodes"] == expected["cpu_nodes"]
+        assert by_site[site]["storage_nodes"] == expected["storage_nodes"]
+
+    # The assembled infrastructure object carries exactly the same counts.
+    expected_total = sum(
+        counts.get("cpu", 0) + counts.get("storage", 0)
+        for counts in IRIS_SITE_NODE_COUNTS.values()
+    )
+    assert infrastructure.node_count == expected_total

@@ -1,0 +1,74 @@
+"""Bench: Table 2 — active energy measured for the snapshot period.
+
+Runs the full-scale simulated measurement campaign (2,462 nodes across six
+sites, four instrument classes, 24 hours) and compares the per-site,
+per-method energies against the paper's Table 2.
+
+Expected shape (not exact numbers — the workload is synthetic):
+
+* per-site widest-scope energy within a few percent of the paper;
+* the total close to the paper's 18,760 kWh;
+* the scope ordering Turbostat < IPMI < PDU <= Facility wherever the paper
+  reports those methods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inventory.iris import PAPER_TABLE2_ENERGY_KWH, PAPER_TABLE2_TOTAL_KWH
+from repro.io.csvio import write_rows_csv
+from repro.power.reconciliation import METHOD_SCOPE_ORDER
+from repro.reporting.tables import format_table
+from repro.snapshot.config import default_iris_snapshot_config
+from repro.snapshot.experiment import SnapshotExperiment
+
+
+def test_bench_table2_energy(benchmark, full_snapshot, results_dir):
+    """Regenerate Table 2 with the full-scale simulated campaign."""
+
+    def run_snapshot():
+        # A reduced-scale re-run is what gets timed (the full-scale result is
+        # computed once in the session fixture and used for the assertions).
+        config = default_iris_snapshot_config(node_scale=0.1)
+        return SnapshotExperiment(config).run()
+
+    benchmark.pedantic(run_snapshot, rounds=1, iterations=1)
+
+    snapshot = full_snapshot
+    rows = snapshot.table2_rows()
+    for row in rows:
+        row["paper_best_kwh"] = max(
+            value for value in PAPER_TABLE2_ENERGY_KWH[row["site"]].values()
+            if value is not None
+        )
+
+    print()
+    print(format_table(
+        rows,
+        columns=["site", "facility", "pdu", "ipmi", "turbostat", "nodes", "paper_best_kwh"],
+        title="Table 2 - Active energy measured for the snapshot period (kWh)",
+    ))
+    print(f"\nSimulated total: {snapshot.total_best_estimate_kwh:,.0f} kWh "
+          f"(paper: {PAPER_TABLE2_TOTAL_KWH:,.0f} kWh)")
+    write_rows_csv(results_dir / "table2_energy.csv", rows)
+
+    # Per-site widest-scope energy within 10% of the paper.
+    for result in snapshot.site_results:
+        paper_best = max(v for v in PAPER_TABLE2_ENERGY_KWH[result.site].values() if v is not None)
+        assert result.best_estimate_kwh == pytest.approx(paper_best, rel=0.10)
+
+    # Total within 5% of 18,760 kWh.
+    assert snapshot.total_best_estimate_kwh == pytest.approx(PAPER_TABLE2_TOTAL_KWH, rel=0.05)
+
+    # Scope ordering holds at every site.
+    for result in snapshot.site_results:
+        energies = result.energy_report.energy_by_method()
+        present = [m for m in METHOD_SCOPE_ORDER if energies.get(m) is not None]
+        for narrow, wide in zip(present, present[1:]):
+            assert energies[narrow] <= energies[wide] * 1.02
+
+    # QMUL reproduces the paper's observation that in-band (Turbostat) and
+    # partially-scoped (IPMI) methods under-report relative to the PDU.
+    qmul = snapshot.site_result("QMUL").energy_report.energy_by_method()
+    assert qmul["turbostat"] < qmul["ipmi"] < qmul["pdu"]

@@ -1,0 +1,102 @@
+"""Bench: Table 3 — active carbon estimates.
+
+Evaluates the active-carbon scenario grid (carbon intensity 50/175/300
+gCO2e/kWh x PUE 1.1/1.3/1.5) over both
+
+* the paper's implied energy total (19,380 kWh — what its printed numbers
+  divide back to), reproducing Table 3's cells, and
+* the simulated measurement campaign's total, showing the same shape.
+
+Known inconsistencies in the paper are asserted explicitly and recorded in
+EXPERIMENTS.md: the Table 3 numbers imply ~19,380 kWh rather than Table 2's
+18,760 kWh total, and the "High" PUE column is 1.6x rather than the stated
+1.5x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.active import ActiveEnergyInput
+from repro.core.scenarios import (
+    PAPER_TABLE3_IMPLIED_HIGH_PUE,
+    ActiveScenarioGrid,
+    ScenarioLevel,
+)
+from repro.io.csvio import write_rows_csv
+from repro.reporting.tables import format_table
+from repro.units.quantities import Duration
+
+#: Energy implied by the paper's Table 3 arithmetic (969 kg at 50 g/kWh).
+PAPER_IMPLIED_ENERGY_KWH = 19380.0
+
+#: Table 3 as printed: first the IT-only row, then the PUE grid.
+PAPER_TABLE3_IT_ONLY = {"low": 969.0, "medium": 3391.0, "high": 5814.0}
+PAPER_TABLE3_WITH_FACILITIES = {
+    ("low", 1.1): 1066.0, ("low", 1.3): 1260.0, ("low", 1.6): 1550.0,
+    ("medium", 1.1): 3731.0, ("medium", 1.3): 4409.0, ("medium", 1.6): 5426.0,
+    ("high", 1.1): 6395.0, ("high", 1.3): 7558.0, ("high", 1.6): 9302.0,
+}
+
+
+def _energy_input(kwh: float) -> ActiveEnergyInput:
+    return ActiveEnergyInput(period=Duration.from_hours(24),
+                             node_energy_kwh={"IRIS": kwh})
+
+
+def test_bench_table3_active_carbon(benchmark, full_snapshot, results_dir):
+    """Regenerate Table 3 from the paper's energy and from the simulation."""
+
+    paper_energy = _energy_input(PAPER_IMPLIED_ENERGY_KWH)
+    simulated_energy = full_snapshot.active_energy_input()
+    grid = ActiveScenarioGrid()
+    # Include the 1.6 value implied by the printed table alongside the
+    # text's 1.1/1.3/1.5, so every printed cell is regenerated.
+    printed_grid = ActiveScenarioGrid(
+        pues={ScenarioLevel.LOW: 1.1, ScenarioLevel.MEDIUM: 1.3,
+              ScenarioLevel.HIGH: PAPER_TABLE3_IMPLIED_HIGH_PUE}
+    )
+
+    def evaluate_grids():
+        return (
+            printed_grid.table3_rows(paper_energy),
+            grid.table3_rows(simulated_energy),
+        )
+
+    paper_rows, simulated_rows = benchmark(evaluate_grids)
+
+    for row in paper_rows:
+        key = (row["intensity_level"], row["pue"])
+        row["paper_kg"] = (
+            PAPER_TABLE3_IT_ONLY[row["intensity_level"]] if row["pue"] is None
+            else PAPER_TABLE3_WITH_FACILITIES.get(key)
+        )
+
+    print()
+    print(format_table(
+        paper_rows,
+        columns=["intensity_level", "intensity_g_per_kwh", "pue", "carbon_kg", "paper_kg"],
+        title="Table 3 - Active carbon estimates (paper's implied 19,380 kWh)",
+    ))
+    print()
+    print(format_table(
+        simulated_rows,
+        columns=["intensity_level", "intensity_g_per_kwh", "pue", "carbon_kg"],
+        title="Table 3 - Active carbon estimates (simulated campaign energy)",
+    ))
+    write_rows_csv(results_dir / "table3_active_carbon_paper_energy.csv", paper_rows)
+    write_rows_csv(results_dir / "table3_active_carbon_simulated.csv", simulated_rows)
+
+    # Every printed cell is reproduced to within rounding.
+    for row in paper_rows:
+        if row["paper_kg"] is None:
+            continue
+        assert row["carbon_kg"] == pytest.approx(row["paper_kg"], rel=0.002), row
+
+    # The simulated campaign gives the same shape: the ratio between the
+    # most and least carbon-intensive corners matches the paper's ~8.7x.
+    low, high = grid.range_kg(simulated_energy)
+    assert high / low == pytest.approx(9302.0 / 1066.0, rel=0.12)
+    # And the absolute numbers are close because the measured energy is.
+    assert low == pytest.approx(1066.0, rel=0.12)
+    assert high == pytest.approx(9302.0 * (1.5 / 1.6), rel=0.12)

@@ -1,0 +1,95 @@
+"""Bench: Table 4 — embodied carbon for the snapshot period.
+
+Regenerates the embodied-carbon grid (per-server estimate {400, 1100} kgCO2e
+x lifespan {3..7} years) for the server count implied by the paper's own
+arithmetic, checks every printed cell, and additionally shows the same grid
+evaluated with
+
+* the sum of the Table 2 node counts (2,462 — slightly above the count the
+  paper's arithmetic implies), and
+* per-node embodied figures drawn from the PCF datasheet database and the
+  bottom-up component estimator, demonstrating where the 400/1100 bounds
+  come from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import EmbodiedScenarioGrid
+from repro.embodied.bottom_up import BottomUpEstimator
+from repro.embodied.datasheets import (
+    PAPER_SERVER_EMBODIED_HIGH_KGCO2,
+    PAPER_SERVER_EMBODIED_LOW_KGCO2,
+    default_pcf_database,
+)
+from repro.inventory.catalog import default_catalog
+from repro.inventory.iris import IRIS_IMPLIED_SERVER_COUNT, IRIS_SNAPSHOT_MEASURED_NODES
+from repro.io.csvio import write_rows_csv
+from repro.reporting.tables import format_table
+
+#: Table 4 as printed: lifespan -> (snapshot kg at 400, snapshot kg at 1100).
+PAPER_TABLE4 = {
+    3.0: (876.0, 2409.0),
+    4.0: (657.0, 1806.0),
+    5.0: (526.0, 1445.0),
+    6.0: (438.0, 1204.0),
+    7.0: (375.0, 1032.0),
+}
+
+
+def test_bench_table4_embodied(benchmark, results_dir):
+    """Regenerate Table 4 and verify every cell."""
+
+    grid = EmbodiedScenarioGrid()
+
+    def evaluate():
+        implied = grid.table4_rows(IRIS_IMPLIED_SERVER_COUNT)
+        measured = grid.table4_rows(sum(IRIS_SNAPSHOT_MEASURED_NODES.values()))
+        return implied, measured
+
+    implied_rows, measured_rows = benchmark(evaluate)
+
+    for row in implied_rows:
+        low, high = PAPER_TABLE4[row["lifespan_years"]]
+        row["paper_kg_400"] = low
+        row["paper_kg_1100"] = high
+
+    print()
+    print(format_table(
+        implied_rows,
+        columns=["lifespan_years", "per_server_per_day_kg_400", "per_server_per_day_kg_1100",
+                 "snapshot_kg_400", "paper_kg_400", "snapshot_kg_1100", "paper_kg_1100"],
+        title=f"Table 4 - Snapshot embodied carbon ({IRIS_IMPLIED_SERVER_COUNT} servers, kgCO2e)",
+        float_format=",.2f",
+    ))
+    print()
+    print(format_table(
+        measured_rows,
+        columns=["lifespan_years", "snapshot_kg_400", "snapshot_kg_1100"],
+        title="Table 4 - Same grid with the 2,462 nodes of Table 2",
+        float_format=",.2f",
+    ))
+    write_rows_csv(results_dir / "table4_embodied.csv", implied_rows)
+
+    # Every printed cell reproduced to within rounding.
+    for row in implied_rows:
+        assert row["snapshot_kg_400"] == pytest.approx(row["paper_kg_400"], abs=2.0)
+        assert row["snapshot_kg_1100"] == pytest.approx(row["paper_kg_1100"], abs=4.0)
+
+    # The paper's summary range.
+    low, high = grid.range_kg(IRIS_IMPLIED_SERVER_COUNT)
+    assert low == pytest.approx(375.0, abs=2.0)
+    assert high == pytest.approx(2409.0, abs=4.0)
+
+    # The 400/1100 bounds are consistent with the PCF database and the
+    # bottom-up estimator for the representative configurations.
+    database = default_pcf_database()
+    db_low, db_high = database.category_range_kgco2("rack-server")
+    assert db_low <= PAPER_SERVER_EMBODIED_LOW_KGCO2
+    assert db_high >= PAPER_SERVER_EMBODIED_HIGH_KGCO2
+    catalog = default_catalog()
+    estimator = BottomUpEstimator()
+    for model in ("cpu-compute-small", "cpu-compute-standard", "cpu-compute-highmem"):
+        estimate = estimator.estimate_node(catalog.node(model)).total_kgco2
+        assert PAPER_SERVER_EMBODIED_LOW_KGCO2 * 0.7 <= estimate <= PAPER_SERVER_EMBODIED_HIGH_KGCO2 * 1.3

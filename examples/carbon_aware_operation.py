@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Carbon-aware operation: what does load shifting buy on a real grid?
+
+The paper's active-carbon term depends on *when* electricity is drawn as
+well as how much: Figure 1 shows the GB grid swinging between roughly 30 and
+350 gCO2e/kWh within single days.  This example quantifies the benefit of
+operating a cluster in a grid-aware way:
+
+1. simulate a week of batch load on a mid-sized cluster;
+2. convert it to a half-hourly energy profile;
+3. price that profile against the synthetic November-2022 intensity series
+   three ways — period-average accounting, time-resolved accounting of the
+   as-run schedule, and time-resolved accounting of a deferred schedule in
+   which flexible (non-urgent) work is shifted into the lowest-carbon
+   windows of each day.
+
+Run with::
+
+    python examples/carbon_aware_operation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid import uk_november_2022_intensity
+from repro.inventory import default_catalog
+from repro.power.node_power import NodePowerModel
+from repro.power.traces import PowerBreakdownTrace
+from repro.reporting import format_table
+from repro.timeseries import TimeSeries, resample_mean
+from repro.units import Energy
+from repro.workload import BackfillScheduler, JobGenerator, SimulatedCluster, WorkloadProfile
+
+#: Fraction of the cluster's work that is flexible enough to defer by a few
+#: hours (data-processing campaigns, reprocessing, simulation sweeps).
+FLEXIBLE_FRACTION = 0.4
+
+DAYS = 7
+STEP_S = 1800.0  # half-hourly, matching the intensity series
+
+
+def simulate_week_energy_profile() -> TimeSeries:
+    """Half-hourly site energy (kWh per interval) for a week of batch load."""
+    catalog = default_catalog()
+    spec = catalog.node("cpu-compute-standard")
+    cluster = SimulatedCluster.homogeneous(64, spec.total_cores, id_prefix="caw")
+    profile = WorkloadProfile(target_utilization=0.6, diurnal_amplitude=0.3)
+    jobs = JobGenerator(profile, cluster.total_cores, seed=11,
+                        max_cores_per_job=spec.total_cores).generate(
+        DAYS * 86400.0, warmup_s=24 * 3600.0
+    )
+    trace, _ = BackfillScheduler(cluster).simulate(jobs, DAYS * 86400.0, step_s=600.0)
+    power = PowerBreakdownTrace.from_utilization(trace, [NodePowerModel(spec)] * 64)
+    site_power_w = resample_mean(power.total_series("wall"), STEP_S)
+    # kWh per half-hour interval.
+    return TimeSeries(site_power_w.start, site_power_w.step,
+                      site_power_w.values * (STEP_S / 3600.0) / 1000.0)
+
+
+def shift_flexible_load(profile: TimeSeries, intensity: TimeSeries,
+                        flexible_fraction: float) -> TimeSeries:
+    """Move the flexible share of each day's energy into its greenest half-hours.
+
+    The firm share stays where it is; the flexible share of each calendar
+    day is redistributed, within that day, into the intervals with the
+    lowest carbon intensity (filling each interval up to the day's observed
+    peak firm power so the cluster never exceeds its original peak draw).
+    """
+    per_day = int(round(86400.0 / profile.step))
+    values = profile.values.copy()
+    intensities = intensity.values
+    shifted = values * (1.0 - flexible_fraction)
+    for day_start in range(0, len(values), per_day):
+        day_slice = slice(day_start, min(day_start + per_day, len(values)))
+        flexible_energy = float(values[day_slice].sum() * flexible_fraction)
+        headroom_cap = float(values[day_slice].max())
+        order = np.argsort(intensities[day_slice])
+        remaining = flexible_energy
+        for index in order:
+            if remaining <= 0:
+                break
+            slot = day_start + int(index)
+            capacity = max(headroom_cap - shifted[slot], 0.0)
+            added = min(capacity, remaining)
+            shifted[slot] += added
+            remaining -= added
+        # Anything that could not be placed under the cap stays in its
+        # original slots (proportionally), so no energy is lost.
+        if remaining > 0:
+            shifted[day_slice] += remaining * (values[day_slice] / values[day_slice].sum())
+    return TimeSeries(profile.start, profile.step, shifted)
+
+
+def main() -> None:
+    intensity_series = uk_november_2022_intensity(days=DAYS)
+    energy_profile = simulate_week_energy_profile()
+
+    total_kwh = energy_profile.total()
+    average_carbon = intensity_series.carbon_for_energy(Energy.from_kwh(total_kwh))
+    as_run_carbon = intensity_series.carbon_for_energy_profile(energy_profile)
+    shifted_profile = shift_flexible_load(energy_profile, intensity_series.series,
+                                          FLEXIBLE_FRACTION)
+    shifted_carbon = intensity_series.carbon_for_energy_profile(shifted_profile)
+
+    assert abs(shifted_profile.total() - total_kwh) < 1e-6 * total_kwh
+
+    rows = [
+        {"accounting": "period-average intensity", "carbon_kg": average_carbon.kg,
+         "saving_vs_average": 0.0},
+        {"accounting": "time-resolved, as-run schedule", "carbon_kg": as_run_carbon.kg,
+         "saving_vs_average": 1.0 - as_run_carbon.kg / average_carbon.kg},
+        {"accounting": f"time-resolved, {FLEXIBLE_FRACTION:.0%} of load shifted",
+         "carbon_kg": shifted_carbon.kg,
+         "saving_vs_average": 1.0 - shifted_carbon.kg / average_carbon.kg},
+    ]
+    print(format_table(
+        rows,
+        title=(f"One week, {total_kwh:,.0f} kWh on the synthetic GB grid "
+               f"(mean {intensity_series.mean_intensity().g_per_kwh:.0f} gCO2e/kWh)"),
+        float_format=",.3f",
+    ))
+    print()
+    saving = average_carbon.kg - shifted_carbon.kg
+    print(f"Shifting {FLEXIBLE_FRACTION:.0%} of the work into each day's greenest "
+          f"half-hours saves about {saving:,.0f} kgCO2e over the week "
+          f"({saving / average_carbon.kg:.1%} of the active carbon) without "
+          "reducing the amount of work done.")
+
+
+if __name__ == "__main__":
+    main()

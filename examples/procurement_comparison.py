@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Procurement comparison: which cluster design has the lowest total footprint?
+
+The IRISCAST project's stated goal is to let "future decision making about
+computing resource procurement and operation incorporate potential climate
+impacts".  This example uses the carbon model to compare four ways of
+provisioning the same scientific capability (a fixed number of delivered
+core-hours per year):
+
+* **baseline** — standard dual-socket nodes, 4-year refresh, hosted on the
+  GB grid at PUE 1.3;
+* **longer life** — the same nodes kept for 7 years;
+* **fewer, denser nodes** — large-memory 96-core nodes (fewer chassis, more
+  embodied carbon each, better energy per core-hour);
+* **low-carbon siting** — the baseline hardware hosted in a hydro-dominated
+  region at PUE 1.1.
+
+For each option the script reports the annual active, embodied and total
+carbon, and the carbon per delivered core-hour.
+
+Run with::
+
+    python examples/procurement_comparison.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.active import ActiveEnergyInput
+from repro.core.embodied import EmbodiedAsset
+from repro.core.model import CarbonModel, SnapshotInputs
+from repro.embodied import BottomUpEstimator
+from repro.grid import default_regions
+from repro.inventory import default_catalog
+from repro.power.node_power import NodePowerModel
+from repro.reporting import format_table
+from repro.units import CarbonIntensity, Duration
+
+#: Scientific demand to satisfy: delivered core-hours per year.
+REQUIRED_CORE_HOURS_PER_YEAR = 25_000_000.0
+
+#: Sustained utilisation the operators expect to achieve.
+ASSUMED_UTILIZATION = 0.7
+
+
+@dataclass(frozen=True)
+class ProcurementOption:
+    """One way of provisioning the required capability."""
+
+    name: str
+    node_model: str
+    lifetime_years: float
+    pue: float
+    grid_region: str
+
+
+OPTIONS = [
+    ProcurementOption("baseline (4y, GB grid)", "cpu-compute-standard", 4.0, 1.3, "GB"),
+    ProcurementOption("longer life (7y, GB grid)", "cpu-compute-standard", 7.0, 1.3, "GB"),
+    ProcurementOption("denser nodes (4y, GB grid)", "cpu-compute-highmem", 4.0, 1.3, "GB"),
+    ProcurementOption("low-carbon siting (4y, NO grid)", "cpu-compute-standard", 4.0, 1.1, "NO"),
+]
+
+
+def evaluate_option(option: ProcurementOption) -> dict:
+    """Annual carbon budget of one procurement option."""
+    catalog = default_catalog()
+    regions = default_regions()
+    spec = catalog.node(option.node_model)
+    power_model = NodePowerModel(spec)
+    estimator = BottomUpEstimator()
+
+    # Size the fleet for the required core-hours at the assumed utilisation.
+    core_hours_per_node_year = spec.total_cores * 8760.0 * ASSUMED_UTILIZATION
+    node_count = int(round(REQUIRED_CORE_HOURS_PER_YEAR / core_hours_per_node_year + 0.5))
+
+    # Active energy: every node at the assumed utilisation, all year.
+    node_kwh_year = power_model.energy_kwh(ASSUMED_UTILIZATION, 8760.0)
+    it_kwh_year = node_kwh_year * node_count
+    intensity = regions.get(option.grid_region).average_intensity()
+
+    period = Duration.from_days(365.0)
+    energy = ActiveEnergyInput(period=period, node_energy_kwh={"fleet": it_kwh_year})
+    assets = [
+        EmbodiedAsset(
+            asset_id=f"{option.name}-{i}",
+            component="nodes",
+            embodied_kgco2=estimator.node_total_kgco2(spec, prefer_datasheet=False),
+            lifetime_years=option.lifetime_years,
+        )
+        for i in range(node_count)
+    ]
+    model = CarbonModel(carbon_intensity=intensity, pue=option.pue)
+    result = model.evaluate(SnapshotInputs(energy=energy, assets=assets))
+
+    delivered = node_count * core_hours_per_node_year
+    return {
+        "option": option.name,
+        "nodes": node_count,
+        "it_mwh_per_year": it_kwh_year / 1000.0,
+        "active_tCO2": result.active.total_kg / 1000.0,
+        "embodied_tCO2": result.embodied.total_kg / 1000.0,
+        "total_tCO2": result.total_kg / 1000.0,
+        "gCO2_per_core_hour": result.total_kg * 1000.0 / delivered,
+        "embodied_share": result.embodied_fraction,
+    }
+
+
+def main() -> None:
+    rows = [evaluate_option(option) for option in OPTIONS]
+    print(format_table(
+        rows,
+        title=(f"Provisioning {REQUIRED_CORE_HOURS_PER_YEAR / 1e6:.0f}M core-hours/year "
+               f"at {ASSUMED_UTILIZATION:.0%} utilisation"),
+        float_format=",.2f",
+    ))
+    print()
+
+    baseline, longer, denser, sited = rows
+    print("Observations")
+    print("------------")
+    print(f"* Keeping hardware 7 years instead of 4 cuts embodied carbon by "
+          f"{(1 - longer['embodied_tCO2'] / baseline['embodied_tCO2']):.0%} "
+          "with no change to active carbon.")
+    print(f"* Low-carbon siting cuts the total by "
+          f"{(1 - sited['total_tCO2'] / baseline['total_tCO2']):.0%}, after which the "
+          f"embodied share rises to {sited['embodied_share']:.0%} — the paper's point "
+          "that embodied carbon dominates once the grid decarbonises.")
+    print(f"* Denser nodes change the balance between chassis count and per-node "
+          f"power; here they deliver {denser['gCO2_per_core_hour']:.1f} gCO2e per "
+          f"core-hour vs {baseline['gCO2_per_core_hour']:.1f} for the baseline.")
+
+
+if __name__ == "__main__":
+    main()

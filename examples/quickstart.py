@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Quickstart: audit a small research-computing site end to end.
+
+This example walks through the whole pipeline on a deliberately small,
+fictional site so it runs in a couple of seconds:
+
+1. describe the hardware (a rack of compute nodes and a storage server);
+2. simulate a day of batch workload on it;
+3. measure its energy with the simulated instruments (IPMI + PDU);
+4. convert the energy to carbon with the paper's model (equation 1):
+   active carbon from the measured energy, grid intensity and PUE, plus
+   embodied carbon amortised over the hardware lifetime;
+5. print the audit report with everyday-equivalent comparisons.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Carbon,
+    CarbonIntensity,
+    CarbonModel,
+    SnapshotInputs,
+)
+from repro.core.active import ActiveEnergyInput
+from repro.core.embodied import EmbodiedAsset
+from repro.embodied import BottomUpEstimator
+from repro.inventory import default_catalog
+from repro.power.campaign import MeasurementCampaign
+from repro.power.instruments import IPMIMeter, PDUMeter
+from repro.power.node_power import NodePowerModel
+from repro.power.traces import PowerBreakdownTrace
+from repro.reporting import AuditReport
+from repro.units import Duration
+from repro.workload import BackfillScheduler, JobGenerator, SimulatedCluster, WorkloadProfile
+
+
+def main() -> None:
+    catalog = default_catalog()
+    compute_spec = catalog.node("cpu-compute-standard")
+    storage_spec = catalog.node("storage-server")
+
+    # --- 1. the site: 16 compute nodes and 2 storage servers ----------------
+    node_specs = [compute_spec] * 16 + [storage_spec] * 2
+    node_ids = [f"quick-{i:02d}" for i in range(len(node_specs))]
+
+    # --- 2. a day of batch workload ------------------------------------------
+    cluster = SimulatedCluster.homogeneous(len(node_specs), compute_spec.total_cores,
+                                           id_prefix="quick")
+    profile = WorkloadProfile(target_utilization=0.65)
+    jobs = JobGenerator(profile, cluster.total_cores, seed=1,
+                        max_cores_per_job=compute_spec.total_cores).generate(
+        duration_s=24 * 3600.0, warmup_s=12 * 3600.0
+    )
+    scheduler = BackfillScheduler(cluster)
+    utilization, stats = scheduler.simulate(jobs, duration_s=24 * 3600.0, step_s=300.0)
+    print(f"Scheduled {stats.jobs_started} jobs; "
+          f"mean cluster utilisation {utilization.mean_utilization():.0%}")
+
+    # --- 3. measure the energy ------------------------------------------------
+    models = [NodePowerModel(spec) for spec in node_specs]
+    # Use the real node ids on the power trace for the report.
+    power = PowerBreakdownTrace.from_utilization(utilization, models[: utilization.node_count])
+    campaign = MeasurementCampaign({"ipmi": IPMIMeter(), "pdu": PDUMeter()}, seed=7)
+    report = campaign.measure_site("quickstart-site", power, network_power_w=300.0)
+    measured_kwh = report.best_estimate_kwh
+    print(f"Measured energy over 24 h: {measured_kwh:,.0f} kWh "
+          f"(IPMI {report.readings['ipmi'].energy_kwh:,.0f} kWh, "
+          f"PDU {report.readings['pdu'].energy_kwh:,.0f} kWh)")
+
+    # --- 4. the carbon model ---------------------------------------------------
+    period = Duration.from_hours(24)
+    energy_input = ActiveEnergyInput(period=period,
+                                     node_energy_kwh={"quickstart-site": measured_kwh})
+    estimator = BottomUpEstimator()
+    assets = [
+        EmbodiedAsset(
+            asset_id=node_ids[i],
+            component="nodes",
+            embodied_kgco2=estimator.node_total_kgco2(spec),
+            lifetime_years=5.0,
+        )
+        for i, spec in enumerate(node_specs)
+    ]
+    model = CarbonModel(carbon_intensity=CarbonIntensity.reference_medium(), pue=1.3)
+    result = model.evaluate(SnapshotInputs(energy=energy_input, assets=assets))
+
+    # --- 5. report --------------------------------------------------------------
+    audit = AuditReport(title="Quickstart site - 24 hour carbon audit")
+    audit.add_key_values("Measured energy", {
+        "ipmi_kwh": report.readings["ipmi"].energy_kwh,
+        "pdu_kwh": report.readings["pdu"].energy_kwh,
+        "best_estimate_kwh": measured_kwh,
+    })
+    audit.add_total_result("Carbon model (medium intensity, PUE 1.3)", result)
+    audit.add_equivalences("In everyday terms", Carbon.from_kg(result.total_kg))
+    print()
+    print(audit.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on older toolchains (setuptools without
+PEP 660 support / environments without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""repro — total environmental impact accounting for computing infrastructures.
+
+A reproduction of *"Evaluating Total Environmental Impact for a Computing
+Infrastructure"* (SC 2023 / IRISCAST): a carbon model that combines measured
+active (operational) energy with amortised embodied carbon to give the total
+climate impact of a digital research infrastructure over an evaluation
+period, plus every substrate the evaluation needs — a hardware inventory, a
+workload and measurement simulator, a grid carbon-intensity model, embodied
+carbon estimators and baselines.
+
+Quick start
+-----------
+
+>>> from repro import default_iris_snapshot_config, SnapshotExperiment
+>>> config = default_iris_snapshot_config(node_scale=0.05)   # small & fast
+>>> snapshot = SnapshotExperiment(config).run()
+>>> result = snapshot.evaluate_model(carbon_intensity_g_per_kwh=175.0, pue=1.3)
+>>> result.total_kg > 0
+True
+
+The subpackages are importable directly (``repro.core``, ``repro.power``,
+``repro.grid``, ...); the names re-exported here are the ones most users
+need.
+"""
+
+from repro.units import Carbon, CarbonIntensity, Duration, Energy, Power
+from repro.core import (
+    ActiveCarbonCalculator,
+    ActiveEnergyInput,
+    ActiveScenarioGrid,
+    CarbonModel,
+    EmbodiedAsset,
+    EmbodiedCarbonCalculator,
+    EmbodiedScenarioGrid,
+    LinearAmortization,
+    MonteCarloCarbonModel,
+    ScenarioLevel,
+    SnapshotInputs,
+    TotalCarbonResult,
+)
+from repro.inventory import (
+    DigitalResearchInfrastructure,
+    HardwareCatalog,
+    NodeClass,
+    NodeSpec,
+    build_iris_infrastructure,
+    default_catalog,
+    iris_inventory_table,
+)
+from repro.grid import (
+    CarbonIntensitySeries,
+    GenerationMix,
+    SyntheticGridModel,
+    default_regions,
+    uk_november_2022_intensity,
+)
+from repro.power import (
+    FacilityOverheadModel,
+    MeasurementCampaign,
+    NodePowerModel,
+    PowerBreakdownTrace,
+)
+from repro.embodied import BottomUpEstimator, default_pcf_database
+from repro.snapshot import (
+    SnapshotConfig,
+    SnapshotExperiment,
+    SnapshotResult,
+    default_iris_snapshot_config,
+)
+from repro.reporting import AuditReport, EquivalenceReport, format_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # units
+    "Carbon",
+    "CarbonIntensity",
+    "Duration",
+    "Energy",
+    "Power",
+    # core model
+    "ActiveCarbonCalculator",
+    "ActiveEnergyInput",
+    "ActiveScenarioGrid",
+    "CarbonModel",
+    "EmbodiedAsset",
+    "EmbodiedCarbonCalculator",
+    "EmbodiedScenarioGrid",
+    "LinearAmortization",
+    "MonteCarloCarbonModel",
+    "ScenarioLevel",
+    "SnapshotInputs",
+    "TotalCarbonResult",
+    # inventory
+    "DigitalResearchInfrastructure",
+    "HardwareCatalog",
+    "NodeClass",
+    "NodeSpec",
+    "build_iris_infrastructure",
+    "default_catalog",
+    "iris_inventory_table",
+    # grid
+    "CarbonIntensitySeries",
+    "GenerationMix",
+    "SyntheticGridModel",
+    "default_regions",
+    "uk_november_2022_intensity",
+    # power
+    "FacilityOverheadModel",
+    "MeasurementCampaign",
+    "NodePowerModel",
+    "PowerBreakdownTrace",
+    # embodied
+    "BottomUpEstimator",
+    "default_pcf_database",
+    # snapshot
+    "SnapshotConfig",
+    "SnapshotExperiment",
+    "SnapshotResult",
+    "default_iris_snapshot_config",
+    # reporting
+    "AuditReport",
+    "EquivalenceReport",
+    "format_table",
+]

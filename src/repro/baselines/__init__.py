@@ -1,0 +1,22 @@
+"""Baseline estimators the measured approach is compared against.
+
+The paper's approach — measure the energy, then convert — is compared in
+the ablation benches against the estimate-based approaches used by nearby
+tools when no measurement is available:
+
+* :mod:`~repro.baselines.tdp_proxy` — assume every node draws a fixed
+  fraction of its TDP (the common back-of-envelope method).
+* :mod:`~repro.baselines.ccf_style` — the Cloud Carbon Footprint method:
+  interpolate between published min/max wattages using an assumed average
+  utilisation, add a PUE multiplier and a flat amortised embodied figure.
+* :mod:`~repro.baselines.boavizta_style` — a Boavizta-style attributional
+  split of a reference server's embodied impact by the share of its
+  lifetime the usage period represents, plus a usage term from a load
+  profile.
+"""
+
+from repro.baselines.tdp_proxy import TDPProxyEstimator
+from repro.baselines.ccf_style import CCFStyleEstimator
+from repro.baselines.boavizta_style import BoaviztaStyleEstimator
+
+__all__ = ["TDPProxyEstimator", "CCFStyleEstimator", "BoaviztaStyleEstimator"]

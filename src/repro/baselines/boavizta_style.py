@@ -1,0 +1,126 @@
+"""A Boavizta-style attributional estimator.
+
+Boavizta's server methodology splits impact into a **manufacture** share —
+the reference server's embodied impact scaled by the fraction of its
+lifetime the usage period represents — and a **use** share computed from a
+load profile against the server's published power curve.  The estimator
+below reproduces that structure over our node specs so it can be compared
+against the paper's measured-energy approach and against the bottom-up
+component estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.embodied.bottom_up import BottomUpEstimator
+from repro.inventory.node import NodeSpec
+from repro.power.node_power import NodePowerModel
+from repro.units.quantities import CarbonIntensity
+
+
+#: Boavizta's default time-at-load profile for servers (fraction of time
+#: spent at each load level).
+DEFAULT_LOAD_PROFILE: Dict[float, float] = {0.0: 0.15, 0.1: 0.20, 0.5: 0.50, 1.0: 0.15}
+
+
+@dataclass(frozen=True)
+class BoaviztaStyleEstimator:
+    """Manufacture-share plus use-share estimation in the Boavizta style.
+
+    Parameters
+    ----------
+    reference_lifetime_years:
+        Lifetime over which the manufacture impact is attributed.
+    load_profile:
+        Mapping of load level (0-1) to fraction of time spent there; the
+        fractions must sum to 1.
+    """
+
+    reference_lifetime_years: float = 4.0
+    load_profile: Mapping[float, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.reference_lifetime_years <= 0:
+            raise ValueError("reference_lifetime_years must be positive")
+        profile = dict(self.load_profile) if self.load_profile is not None else dict(DEFAULT_LOAD_PROFILE)
+        if not profile:
+            raise ValueError("load_profile must be non-empty")
+        for load, fraction in profile.items():
+            if not 0.0 <= load <= 1.0:
+                raise ValueError("load levels must be in [0, 1]")
+            if fraction < 0:
+                raise ValueError("time fractions must be non-negative")
+        total = sum(profile.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"load-profile fractions must sum to 1, got {total:.6f}")
+        object.__setattr__(self, "load_profile", profile)
+
+    # -- manufacture share -------------------------------------------------------------
+
+    def manufacture_share_kg(self, spec: NodeSpec, hours: float) -> float:
+        """Embodied impact attributed to ``hours`` of use of one server."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        estimator = BottomUpEstimator()
+        total_embodied = estimator.node_total_kgco2(spec)
+        lifetime_hours = self.reference_lifetime_years * 365.0 * 24.0
+        return total_embodied * min(hours / lifetime_hours, 1.0)
+
+    # -- use share ----------------------------------------------------------------------
+
+    def average_power_w(self, spec: NodeSpec) -> float:
+        """Load-profile-weighted average power of one server."""
+        model = NodePowerModel(spec)
+        return float(
+            sum(
+                fraction * float(model.wall_power_w(load))
+                for load, fraction in self.load_profile.items()
+            )
+        )
+
+    def use_share_kg(
+        self, spec: NodeSpec, hours: float, intensity: CarbonIntensity
+    ) -> float:
+        """Operational impact of ``hours`` of use of one server."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        kwh = self.average_power_w(spec) * hours / 1000.0
+        return kwh * intensity.g_per_kwh / 1000.0
+
+    # -- combined -------------------------------------------------------------------------
+
+    def server_total_kg(
+        self, spec: NodeSpec, hours: float, intensity: CarbonIntensity
+    ) -> Dict[str, float]:
+        """Manufacture, use and total impact for one server over ``hours``."""
+        manufacture = self.manufacture_share_kg(spec, hours)
+        use = self.use_share_kg(spec, hours, intensity)
+        return {
+            "manufacture_kg": manufacture,
+            "use_kg": use,
+            "total_kg": manufacture + use,
+        }
+
+    def fleet_total_kg(
+        self,
+        specs: Sequence[NodeSpec],
+        hours: float,
+        intensity: CarbonIntensity,
+    ) -> Dict[str, float]:
+        """Summed impact over a fleet of (possibly heterogeneous) servers."""
+        manufacture = 0.0
+        use = 0.0
+        for spec in specs:
+            result = self.server_total_kg(spec, hours, intensity)
+            manufacture += result["manufacture_kg"]
+            use += result["use_kg"]
+        return {
+            "manufacture_kg": manufacture,
+            "use_kg": use,
+            "total_kg": manufacture + use,
+        }
+
+
+__all__ = ["BoaviztaStyleEstimator", "DEFAULT_LOAD_PROFILE"]

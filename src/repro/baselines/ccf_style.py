@@ -1,0 +1,111 @@
+"""A Cloud Carbon Footprint (CCF) style estimator.
+
+CCF estimates cloud energy as::
+
+    energy = hours x (min_watts + utilisation x (max_watts - min_watts)) / 1000
+
+per instance, multiplies by PUE, converts with a regional grid factor, and
+adds embodied emissions amortised linearly over four years.  The estimator
+below reproduces that method over our inventory so the ablation bench can
+compare it with the measured campaign and with the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.inventory.node import NodeInstance
+from repro.power.node_power import NodePowerModel
+from repro.units.quantities import Carbon, CarbonIntensity
+
+
+@dataclass(frozen=True)
+class CCFStyleEstimator:
+    """Usage + embodied estimation in the Cloud Carbon Footprint style.
+
+    Parameters
+    ----------
+    assumed_utilization:
+        The flat utilisation assumed for every node (CCF's default is 50%).
+    pue:
+        Facility overhead multiplier (CCF uses cloud-provider averages).
+    embodied_amortization_years:
+        Straight-line amortisation period for embodied emissions.
+    """
+
+    assumed_utilization: float = 0.5
+    pue: float = 1.135
+    embodied_amortization_years: float = 4.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.assumed_utilization <= 1.0:
+            raise ValueError("assumed_utilization must be in [0, 1]")
+        if self.pue < 1.0:
+            raise ValueError("pue must be at least 1.0")
+        if self.embodied_amortization_years <= 0:
+            raise ValueError("embodied_amortization_years must be positive")
+
+    # -- usage term ------------------------------------------------------------------
+
+    def node_average_watts(self, node: NodeInstance) -> float:
+        """CCF's min + util x (max - min) interpolation for one node."""
+        model = NodePowerModel(node.spec)
+        min_watts = model.idle_wall_power_w
+        max_watts = model.max_wall_power_w
+        return min_watts + self.assumed_utilization * (max_watts - min_watts)
+
+    def usage_energy_kwh(self, nodes: Sequence[NodeInstance], hours: float) -> float:
+        """Estimated energy (kWh) including the PUE multiplier."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        watts = sum(self.node_average_watts(node) for node in nodes)
+        return watts * hours / 1000.0 * self.pue
+
+    def usage_carbon(
+        self, nodes: Sequence[NodeInstance], hours: float, intensity: CarbonIntensity
+    ) -> Carbon:
+        """Usage (operational) carbon for the fleet."""
+        kwh = self.usage_energy_kwh(nodes, hours)
+        return Carbon.from_g(kwh * intensity.g_per_kwh)
+
+    # -- embodied term ----------------------------------------------------------------
+
+    def embodied_carbon_kg(
+        self, nodes: Sequence[NodeInstance], hours: float,
+        default_embodied_kg: float = 1000.0,
+    ) -> float:
+        """Embodied carbon attributed to ``hours`` of use.
+
+        CCF amortises a per-server manufacturing figure linearly over
+        ``embodied_amortization_years``; nodes without a datasheet value
+        fall back to ``default_embodied_kg`` (CCF's own default is about a
+        tonne per server).
+        """
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        if default_embodied_kg <= 0:
+            raise ValueError("default_embodied_kg must be positive")
+        lifetime_hours = self.embodied_amortization_years * 365.0 * 24.0
+        total = 0.0
+        for node in nodes:
+            embodied = node.spec.embodied_kgco2_datasheet or default_embodied_kg
+            total += embodied * (hours / lifetime_hours)
+        return total
+
+    # -- combined ---------------------------------------------------------------------
+
+    def total_carbon_kg(
+        self,
+        nodes: Sequence[NodeInstance],
+        hours: float,
+        intensity: CarbonIntensity,
+        default_embodied_kg: float = 1000.0,
+    ) -> Dict[str, float]:
+        """Usage, embodied and total carbon in kg for the fleet and period."""
+        usage = self.usage_carbon(nodes, hours, intensity).kg
+        embodied = self.embodied_carbon_kg(nodes, hours, default_embodied_kg)
+        return {"usage_kg": usage, "embodied_kg": embodied, "total_kg": usage + embodied}
+
+
+__all__ = ["CCFStyleEstimator"]

@@ -1,0 +1,66 @@
+"""TDP-proxy energy estimation.
+
+The simplest estimate of a cluster's energy when nothing is measured:
+assume every node draws ``tdp_fraction`` of its CPU TDP (plus nothing
+else), for every hour of the period.  It is used as the crudest baseline in
+the measurement-method ablation; its error against the measured campaign
+illustrates why the paper insists on actual measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.inventory.node import NodeInstance
+from repro.units.quantities import Carbon, CarbonIntensity, Energy
+
+
+@dataclass(frozen=True)
+class TDPProxyEstimator:
+    """Estimate energy as a flat fraction of CPU TDP.
+
+    Parameters
+    ----------
+    tdp_fraction:
+        Fraction of the summed CPU TDP assumed to be drawn continuously.
+        Values near 0.6-0.7 are commonly quoted; 1.0 gives the worst-case
+        nameplate estimate.
+    """
+
+    tdp_fraction: float = 0.65
+
+    def __post_init__(self):
+        if not 0.0 < self.tdp_fraction <= 1.5:
+            raise ValueError("tdp_fraction must be in (0, 1.5]")
+
+    def node_power_w(self, node: NodeInstance) -> float:
+        """Assumed constant draw of one node."""
+        return node.spec.cpu_tdp_w * self.tdp_fraction
+
+    def estimate_energy_kwh(self, nodes: Sequence[NodeInstance], hours: float) -> float:
+        """Estimated energy of a fleet over ``hours`` hours."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        watts = sum(self.node_power_w(node) for node in nodes)
+        return watts * hours / 1000.0
+
+    def estimate_energy(self, nodes: Sequence[NodeInstance], hours: float) -> Energy:
+        """Quantity version of :meth:`estimate_energy_kwh`."""
+        return Energy.from_kwh(self.estimate_energy_kwh(nodes, hours))
+
+    def estimate_carbon(
+        self,
+        nodes: Sequence[NodeInstance],
+        hours: float,
+        intensity: CarbonIntensity,
+        pue: float = 1.0,
+    ) -> Carbon:
+        """Estimated active carbon for the fleet, optionally PUE-scaled."""
+        if pue < 1.0:
+            raise ValueError("pue must be at least 1.0")
+        energy_kwh = self.estimate_energy_kwh(nodes, hours) * pue
+        return intensity.carbon_for(Energy.from_kwh(energy_kwh))
+
+
+__all__ = ["TDPProxyEstimator"]

@@ -1,0 +1,209 @@
+"""Command-line interface for the audit pipeline.
+
+Installed as ``python -m repro``.  The subcommands mirror the paper's
+evaluation artefacts so the whole reproduction can be driven without writing
+any Python:
+
+``inventory``
+    Print the Table 1 hardware inventory.
+``intensity``
+    Print the Figure 1 synthetic GB grid-intensity summary (and optionally
+    the text chart).
+``snapshot``
+    Run the simulated IRIS measurement campaign (Table 2) and the carbon
+    model, optionally writing the regenerated tables to CSV.
+``scenarios``
+    Print the Table 3 (active) and Table 4 (embodied) scenario grids for a
+    given energy total and fleet size.
+``uncertainty``
+    Run the Monte-Carlo analysis over the paper's input ranges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.active import ActiveEnergyInput
+from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
+from repro.core.uncertainty import MonteCarloCarbonModel
+from repro.grid.synthetic import uk_november_2022_intensity
+from repro.inventory.iris import (
+    IRIS_IMPLIED_SERVER_COUNT,
+    PAPER_TABLE2_TOTAL_KWH,
+    iris_inventory_table,
+)
+from repro.io.csvio import write_rows_csv
+from repro.reporting.figures import ascii_line_chart
+from repro.reporting.tables import format_kv_table, format_table
+from repro.snapshot.config import default_iris_snapshot_config
+from repro.snapshot.experiment import SnapshotExperiment
+from repro.units.quantities import Duration
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Total environmental impact accounting for computing infrastructures",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("inventory", help="print the Table 1 hardware inventory")
+
+    intensity = subparsers.add_parser(
+        "intensity", help="summarise the synthetic Figure 1 grid-intensity month")
+    intensity.add_argument("--days", type=float, default=30.0,
+                           help="length of the generated window in days")
+    intensity.add_argument("--chart", action="store_true",
+                           help="also print the ASCII chart")
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="run the simulated IRIS snapshot (Table 2 + carbon model)")
+    snapshot.add_argument("--scale", type=float, default=1.0,
+                          help="node-count scale factor in (0, 1]")
+    snapshot.add_argument("--intensity", type=float, default=175.0,
+                          help="grid carbon intensity (gCO2e/kWh) for the model")
+    snapshot.add_argument("--pue", type=float, default=1.3,
+                          help="PUE for the facility overhead")
+    snapshot.add_argument("--output-dir", type=Path, default=None,
+                          help="directory to write the regenerated tables as CSV")
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="print the Table 3 and Table 4 scenario grids")
+    scenarios.add_argument("--energy-kwh", type=float, default=PAPER_TABLE2_TOTAL_KWH,
+                           help="measured IT energy for the period (kWh)")
+    scenarios.add_argument("--servers", type=int, default=IRIS_IMPLIED_SERVER_COUNT,
+                           help="number of servers carrying embodied carbon")
+    scenarios.add_argument("--period-hours", type=float, default=24.0,
+                           help="evaluation period length in hours")
+
+    uncertainty = subparsers.add_parser(
+        "uncertainty", help="Monte-Carlo analysis over the paper's input ranges")
+    uncertainty.add_argument("--energy-kwh", type=float, default=PAPER_TABLE2_TOTAL_KWH)
+    uncertainty.add_argument("--servers", type=int, default=IRIS_IMPLIED_SERVER_COUNT)
+    uncertainty.add_argument("--samples", type=int, default=20000)
+    uncertainty.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# --------------------------------------------------------------------------
+# subcommand implementations
+# --------------------------------------------------------------------------
+
+def _cmd_inventory(_args: argparse.Namespace) -> int:
+    print(format_table(iris_inventory_table(),
+                       title="Table 1 - IRIS hardware included in the project",
+                       float_format=",.0f"))
+    return 0
+
+
+def _cmd_intensity(args: argparse.Namespace) -> int:
+    if args.days <= 0:
+        print("error: --days must be positive", file=sys.stderr)
+        return 2
+    series = uk_november_2022_intensity(days=args.days)
+    if args.chart:
+        print(ascii_line_chart(series.series.values, width=72, height=14,
+                               title="GB grid carbon intensity (synthetic)",
+                               y_label="gCO2e/kWh"))
+        print()
+    references = series.reference_values()
+    print(format_kv_table({
+        "window days": args.days,
+        "samples": len(series.series),
+        "minimum gCO2/kWh": series.min_intensity().g_per_kwh,
+        "low reference (5th pct)": references["low"].g_per_kwh,
+        "medium reference (mean)": references["medium"].g_per_kwh,
+        "high reference (95th pct)": references["high"].g_per_kwh,
+        "maximum gCO2/kWh": series.max_intensity().g_per_kwh,
+    }, title="Figure 1 summary"))
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if not 0.0 < args.scale <= 1.0:
+        print("error: --scale must be in (0, 1]", file=sys.stderr)
+        return 2
+    config = default_iris_snapshot_config(node_scale=args.scale)
+    snapshot = SnapshotExperiment(config).run()
+    rows = snapshot.table2_rows()
+    print(format_table(
+        rows,
+        columns=["site", "facility", "pdu", "ipmi", "turbostat", "nodes"],
+        title="Table 2 - Active energy measured for the snapshot period (kWh)",
+    ))
+    print(f"\nTotal best-estimate energy: {snapshot.total_best_estimate_kwh:,.0f} kWh "
+          f"(paper: {PAPER_TABLE2_TOTAL_KWH:,.0f} kWh at full scale)")
+    result = snapshot.evaluate_model(carbon_intensity_g_per_kwh=args.intensity,
+                                     pue=args.pue)
+    print()
+    print(format_kv_table({
+        "carbon intensity gCO2/kWh": args.intensity,
+        "pue": args.pue,
+        "active kgCO2e": result.active.total_kg,
+        "embodied kgCO2e": result.embodied.total_kg,
+        "total kgCO2e": result.total_kg,
+        "embodied fraction": result.embodied_fraction,
+    }, title="Carbon model (equation 1)", float_format=",.2f"))
+    if args.output_dir is not None:
+        write_rows_csv(args.output_dir / "table2_energy.csv", rows)
+        write_rows_csv(args.output_dir / "table3_active_carbon.csv",
+                       snapshot.table3_rows())
+        write_rows_csv(args.output_dir / "table4_embodied.csv", snapshot.table4_rows())
+        print(f"\nWrote tables to {args.output_dir}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.energy_kwh < 0 or args.servers <= 0 or args.period_hours <= 0:
+        print("error: energy must be >= 0, servers and period positive", file=sys.stderr)
+        return 2
+    energy = ActiveEnergyInput(period=Duration.from_hours(args.period_hours),
+                               node_energy_kwh={"total": args.energy_kwh})
+    print(format_table(
+        ActiveScenarioGrid().table3_rows(energy),
+        columns=["intensity_level", "intensity_g_per_kwh", "pue", "carbon_kg"],
+        title=f"Table 3 - Active carbon for {args.energy_kwh:,.0f} kWh (kgCO2e)",
+    ))
+    print()
+    print(format_table(
+        EmbodiedScenarioGrid().table4_rows(args.servers, args.period_hours / 24.0),
+        title=f"Table 4 - Embodied carbon for {args.servers} servers (kgCO2e)",
+        float_format=",.2f",
+    ))
+    return 0
+
+
+def _cmd_uncertainty(args: argparse.Namespace) -> int:
+    if args.samples <= 0:
+        print("error: --samples must be positive", file=sys.stderr)
+        return 2
+    model = MonteCarloCarbonModel(it_energy_kwh=args.energy_kwh,
+                                  server_count=args.servers)
+    result = model.run(n_samples=args.samples, seed=args.seed)
+    print(format_kv_table(result.as_dict(),
+                          title="Monte-Carlo uncertainty over the paper's input ranges",
+                          float_format=",.3f"))
+    return 0
+
+
+_COMMANDS = {
+    "inventory": _cmd_inventory,
+    "intensity": _cmd_intensity,
+    "snapshot": _cmd_snapshot,
+    "scenarios": _cmd_scenarios,
+    "uncertainty": _cmd_uncertainty,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+__all__ = ["main"]

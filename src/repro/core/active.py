@@ -1,0 +1,169 @@
+"""The active-carbon term of the model (equations 2 and 3).
+
+``C_a`` is the sum, over every active component of the DRI, of the energy
+that component used during the evaluation period multiplied by the carbon
+intensity of the electricity supplying it.  The paper measures node energy
+directly, folds network energy into whichever meter captured it, and — in
+the absence of measured cooling/distribution data — represents the facility
+terms with a PUE multiplier.
+
+:class:`ActiveEnergyInput` is the measured-energy bundle for one evaluation
+(the output of the measurement campaign); :class:`ActiveCarbonCalculator`
+turns it into an :class:`~repro.core.results.ActiveCarbonResult` for a
+chosen carbon intensity and PUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.results import ActiveCarbonResult
+from repro.power.facility import FacilityOverheadModel
+from repro.units.quantities import Carbon, CarbonIntensity, Duration, Energy
+
+
+@dataclass(frozen=True)
+class ActiveEnergyInput:
+    """Measured active energy for one evaluation period.
+
+    Attributes
+    ----------
+    period:
+        The evaluation period (24 hours for the paper's snapshot).
+    node_energy_kwh:
+        Energy of the compute/storage/login/service nodes, keyed by any
+        grouping convenient to the caller (the snapshot uses site names).
+    network_energy_kwh:
+        Separately measured network energy (0 when the network was behind
+        the same meters as the nodes, as at the IRIS sites).
+    measured_facility_overhead_kwh:
+        Actually measured cooling/distribution/building energy, when a
+        facility can provide it; ``None`` means "estimate via PUE", which is
+        what the paper does for every site.
+    """
+
+    period: Duration
+    node_energy_kwh: Mapping[str, float]
+    network_energy_kwh: float = 0.0
+    measured_facility_overhead_kwh: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.node_energy_kwh:
+            raise ValueError("node_energy_kwh must contain at least one entry")
+        for key, value in self.node_energy_kwh.items():
+            if value < 0:
+                raise ValueError(f"node energy for {key!r} must be non-negative")
+        if self.network_energy_kwh < 0:
+            raise ValueError("network_energy_kwh must be non-negative")
+        if (self.measured_facility_overhead_kwh is not None
+                and self.measured_facility_overhead_kwh < 0):
+            raise ValueError("measured_facility_overhead_kwh must be non-negative")
+        object.__setattr__(self, "node_energy_kwh", dict(self.node_energy_kwh))
+
+    @property
+    def total_node_kwh(self) -> float:
+        """Total node energy across all groups."""
+        return float(sum(self.node_energy_kwh.values()))
+
+    @property
+    def it_energy_kwh(self) -> float:
+        """Total IT energy: nodes plus separately measured network."""
+        return self.total_node_kwh + self.network_energy_kwh
+
+    @property
+    def it_energy(self) -> Energy:
+        return Energy.from_kwh(self.it_energy_kwh)
+
+
+class ActiveCarbonCalculator:
+    """Convert measured active energy into carbon for one scenario.
+
+    Parameters
+    ----------
+    carbon_intensity:
+        The carbon intensity of the supplying grid for the period (the
+        paper's Low/Medium/High values, or the mean of a measured series).
+    overhead_model:
+        The PUE model used when facility overheads were not measured.
+    """
+
+    def __init__(
+        self,
+        carbon_intensity: CarbonIntensity,
+        overhead_model: Optional[FacilityOverheadModel] = None,
+    ):
+        self._intensity = carbon_intensity
+        self._overhead_model = overhead_model or FacilityOverheadModel()
+
+    @property
+    def carbon_intensity(self) -> CarbonIntensity:
+        return self._intensity
+
+    @property
+    def overhead_model(self) -> FacilityOverheadModel:
+        return self._overhead_model
+
+    # -- equation 3 -------------------------------------------------------------
+
+    def carbon_for_energy(self, energy_kwh: float) -> Carbon:
+        """``Ca_x = E_x × CM`` for a single item's energy."""
+        if energy_kwh < 0:
+            raise ValueError("energy_kwh must be non-negative")
+        return self._intensity.carbon_for(Energy.from_kwh(energy_kwh))
+
+    # -- equation 2 -------------------------------------------------------------
+
+    def evaluate(self, energy: ActiveEnergyInput) -> ActiveCarbonResult:
+        """Active carbon of the DRI for the period described by ``energy``.
+
+        The facility terms use the measured overhead when one is supplied,
+        otherwise the PUE estimate; either way the result's component map
+        separates nodes, network, cooling, power distribution and building
+        loads so reports can show where the carbon sits.
+        """
+        it_kwh = energy.it_energy_kwh
+        if energy.measured_facility_overhead_kwh is not None:
+            overhead_kwh = energy.measured_facility_overhead_kwh
+            # Split the measured overhead with the model's fractions so the
+            # component breakdown stays comparable across facilities.
+            breakdown = self._overhead_model.breakdown(
+                overhead_kwh / max(self._overhead_model.pue - 1.0, 1e-12)
+                if self._overhead_model.pue > 1.0
+                else 0.0
+            )
+            cooling_kwh = overhead_kwh * self._overhead_model.cooling_fraction
+            distribution_kwh = overhead_kwh * self._overhead_model.distribution_fraction
+            building_kwh = overhead_kwh * self._overhead_model.building_fraction
+            effective_pue = (it_kwh + overhead_kwh) / it_kwh if it_kwh > 0 else 1.0
+        else:
+            overhead = self._overhead_model.breakdown(it_kwh)
+            cooling_kwh = overhead.cooling_kwh
+            distribution_kwh = overhead.power_distribution_kwh
+            building_kwh = overhead.building_kwh
+            overhead_kwh = overhead.total_kwh
+            effective_pue = self._overhead_model.pue
+        facility_kwh = it_kwh + overhead_kwh
+
+        components_kg: Dict[str, float] = {
+            "nodes": self.carbon_for_energy(energy.total_node_kwh).kg,
+            "network": self.carbon_for_energy(energy.network_energy_kwh).kg,
+            "cooling": self.carbon_for_energy(cooling_kwh).kg,
+            "power_distribution": self.carbon_for_energy(distribution_kwh).kg,
+            "building": self.carbon_for_energy(building_kwh).kg,
+        }
+        return ActiveCarbonResult(
+            period=energy.period,
+            it_energy_kwh=it_kwh,
+            facility_energy_kwh=facility_kwh,
+            carbon_intensity_g_per_kwh=self._intensity.g_per_kwh,
+            pue=effective_pue,
+            carbon_by_component_kg=components_kg,
+        )
+
+    def evaluate_it_only(self, energy: ActiveEnergyInput) -> Carbon:
+        """Active carbon of the IT equipment alone (the paper's first row of Table 3)."""
+        return self.carbon_for_energy(energy.it_energy_kwh)
+
+
+__all__ = ["ActiveCarbonCalculator", "ActiveEnergyInput"]

@@ -1,0 +1,101 @@
+"""Apportioning shared resources to the DRI.
+
+The paper notes (section 4.1) that a key difficulty in defining the active
+term is "apportioning the percentage of resources shared by the DRI and
+other infrastructure".  IRIS assumed nodes were fully assigned, but shared
+machine rooms, campus networks and multi-tenant cloud hardware need a
+defensible split.  :class:`ShareApportionment` captures the three splits in
+common use and applies them consistently to energy or embodied carbon:
+
+* **by capacity** — the DRI's share of installed capacity (cores, rack
+  units, storage TB);
+* **by usage** — the DRI's share of delivered usage (core-hours, TB-days);
+* **fixed** — a contractual or policy-set percentage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class ApportionmentBasis(Enum):
+    """What the sharing fraction is derived from."""
+
+    CAPACITY = "capacity"
+    USAGE = "usage"
+    FIXED = "fixed"
+
+
+@dataclass(frozen=True)
+class ShareApportionment:
+    """A sharing rule assigning part of a resource to the DRI.
+
+    Attributes
+    ----------
+    basis:
+        How the share was derived (reporting only; the arithmetic is the
+        same once the fraction is fixed).
+    dri_amount / total_amount:
+        The DRI's amount and the total amount of the basis metric, for the
+        capacity and usage bases.
+    fixed_fraction:
+        The share for the fixed basis.
+    """
+
+    basis: ApportionmentBasis
+    dri_amount: Optional[float] = None
+    total_amount: Optional[float] = None
+    fixed_fraction: Optional[float] = None
+
+    def __post_init__(self):
+        if self.basis is ApportionmentBasis.FIXED:
+            if self.fixed_fraction is None:
+                raise ValueError("fixed basis requires fixed_fraction")
+            if not 0.0 <= self.fixed_fraction <= 1.0:
+                raise ValueError("fixed_fraction must be in [0, 1]")
+        else:
+            if self.dri_amount is None or self.total_amount is None:
+                raise ValueError(f"{self.basis.value} basis requires dri_amount and total_amount")
+            if self.dri_amount < 0:
+                raise ValueError("dri_amount must be non-negative")
+            if self.total_amount <= 0:
+                raise ValueError("total_amount must be positive")
+            if self.dri_amount > self.total_amount:
+                raise ValueError("dri_amount cannot exceed total_amount")
+
+    @property
+    def fraction(self) -> float:
+        """The DRI's share as a fraction in [0, 1]."""
+        if self.basis is ApportionmentBasis.FIXED:
+            return float(self.fixed_fraction)
+        return float(self.dri_amount / self.total_amount)
+
+    # -- application -----------------------------------------------------------------
+
+    def apportion(self, amount: float) -> float:
+        """The DRI's share of ``amount`` (energy in kWh, carbon in kg, ...)."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        return amount * self.fraction
+
+    @classmethod
+    def fully_assigned(cls) -> "ShareApportionment":
+        """The paper's IRIS assumption: the resource belongs entirely to the DRI."""
+        return cls(basis=ApportionmentBasis.FIXED, fixed_fraction=1.0)
+
+    @classmethod
+    def by_capacity(cls, dri_amount: float, total_amount: float) -> "ShareApportionment":
+        """Share proportional to installed capacity."""
+        return cls(basis=ApportionmentBasis.CAPACITY,
+                   dri_amount=dri_amount, total_amount=total_amount)
+
+    @classmethod
+    def by_usage(cls, dri_amount: float, total_amount: float) -> "ShareApportionment":
+        """Share proportional to delivered usage."""
+        return cls(basis=ApportionmentBasis.USAGE,
+                   dri_amount=dri_amount, total_amount=total_amount)
+
+
+__all__ = ["ApportionmentBasis", "ShareApportionment"]

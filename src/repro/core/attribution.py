@@ -1,0 +1,194 @@
+"""Attributing the DRI's carbon to the jobs that ran on it.
+
+The paper's assessment deliberately "does not consider what the DRI was
+actually being used for, how efficiently jobs were running, or any other
+usage questions" — but those questions are exactly what operators and users
+ask next.  This module closes that loop: given the total carbon of an
+evaluation period (active plus the period's embodied share) and the schedule
+of jobs that ran during it, it attributes the carbon to jobs in proportion to
+the resources they consumed.
+
+Two allocation rules are provided:
+
+* **delivered core-hours** (the default) — a job is charged in proportion to
+  the core-hours it actually used inside the period; the energy of idle
+  capacity is socialised across all jobs (this is how most per-job carbon
+  calculators work, and it rewards keeping the machine full);
+* **reserved-node-hours** — jobs are charged for the whole nodes they
+  occupied; only meaningful when nodes are allocated exclusively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Sequence
+
+from repro.units.quantities import Carbon
+from repro.workload.scheduler import Placement
+
+
+class AllocationRule(Enum):
+    """How the period's carbon is split between jobs."""
+
+    CORE_HOURS = "core-hours"
+    NODE_HOURS = "node-hours"
+
+
+@dataclass(frozen=True)
+class JobFootprint:
+    """The carbon attributed to one job for the evaluation period."""
+
+    job_id: int
+    cores: int
+    runtime_hours_in_period: float
+    core_hours: float
+    share: float
+    carbon_kg: float
+
+    def __post_init__(self):
+        if self.share < 0 or self.carbon_kg < 0:
+            raise ValueError("share and carbon_kg must be non-negative")
+
+    @property
+    def g_co2_per_core_hour(self) -> float:
+        """Carbon intensity of this job's compute, in gCO2e per core-hour."""
+        if self.core_hours == 0:
+            return 0.0
+        return self.carbon_kg * 1000.0 / self.core_hours
+
+
+@dataclass(frozen=True)
+class AttributionResult:
+    """Per-job footprints plus the summary metrics operators report."""
+
+    footprints: Sequence[JobFootprint]
+    total_carbon_kg: float
+    total_core_hours: float
+    period_hours: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "footprints", tuple(self.footprints))
+        if self.total_carbon_kg < 0 or self.total_core_hours < 0 or self.period_hours <= 0:
+            raise ValueError("totals must be non-negative and the period positive")
+
+    @property
+    def attributed_carbon_kg(self) -> float:
+        """Carbon actually attributed (equals the total when any work ran)."""
+        return float(sum(f.carbon_kg for f in self.footprints))
+
+    @property
+    def mean_g_per_core_hour(self) -> float:
+        """Fleet-average carbon intensity of delivered compute."""
+        if self.total_core_hours == 0:
+            return 0.0
+        return self.attributed_carbon_kg * 1000.0 / self.total_core_hours
+
+    def top_emitters(self, n: int = 10) -> List[JobFootprint]:
+        """The ``n`` jobs with the largest attributed carbon."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return sorted(self.footprints, key=lambda f: f.carbon_kg, reverse=True)[:n]
+
+    def carbon_for_job(self, job_id: int) -> Carbon:
+        """The carbon attributed to one job."""
+        for footprint in self.footprints:
+            if footprint.job_id == job_id:
+                return Carbon.from_kg(footprint.carbon_kg)
+        raise KeyError(f"no job {job_id} in attribution result")
+
+
+class JobCarbonAttributor:
+    """Attribute a period's total carbon to the jobs that ran in it.
+
+    Parameters
+    ----------
+    total_carbon_kg:
+        The period's total carbon (active plus the period's embodied share) —
+        typically ``TotalCarbonResult.total_kg``.
+    period_hours:
+        Length of the evaluation period.
+    rule:
+        Allocation rule (core-hours by default).
+    """
+
+    def __init__(
+        self,
+        total_carbon_kg: float,
+        period_hours: float,
+        rule: AllocationRule = AllocationRule.CORE_HOURS,
+    ):
+        if total_carbon_kg < 0:
+            raise ValueError("total_carbon_kg must be non-negative")
+        if period_hours <= 0:
+            raise ValueError("period_hours must be positive")
+        self._total_carbon_kg = float(total_carbon_kg)
+        self._period_hours = float(period_hours)
+        self._rule = rule
+
+    @property
+    def rule(self) -> AllocationRule:
+        return self._rule
+
+    # -- the attribution ----------------------------------------------------------
+
+    def _weight(self, placement: Placement, cores_per_node: float,
+                overlap_hours: float) -> float:
+        if self._rule is AllocationRule.CORE_HOURS:
+            return placement.job.cores * overlap_hours
+        return cores_per_node * overlap_hours
+
+    def attribute(
+        self,
+        placements: Sequence[Placement],
+        cores_per_node: int,
+        period_start_s: float = 0.0,
+    ) -> AttributionResult:
+        """Attribute the carbon across ``placements``.
+
+        Only the part of each job that overlaps the evaluation window
+        ``[period_start_s, period_start_s + period_hours)`` counts.  Jobs
+        with no overlap receive nothing; if nothing overlapped at all, the
+        result carries zero attributed carbon (the footprint list is empty)
+        rather than dividing by zero.
+        """
+        if cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        period_end_s = period_start_s + self._period_hours * 3600.0
+        overlaps: List[tuple[Placement, float]] = []
+        for placement in placements:
+            start = max(placement.start_time_s, period_start_s)
+            end = min(placement.end_time_s, period_end_s)
+            if end <= start:
+                continue
+            overlaps.append((placement, (end - start) / 3600.0))
+        weights = [self._weight(p, cores_per_node, hours) for p, hours in overlaps]
+        total_weight = sum(weights)
+        total_core_hours = sum(p.job.cores * hours for p, hours in overlaps)
+        footprints: List[JobFootprint] = []
+        for (placement, hours), weight in zip(overlaps, weights):
+            share = weight / total_weight if total_weight > 0 else 0.0
+            footprints.append(
+                JobFootprint(
+                    job_id=placement.job.job_id,
+                    cores=placement.job.cores,
+                    runtime_hours_in_period=hours,
+                    core_hours=placement.job.cores * hours,
+                    share=share,
+                    carbon_kg=share * self._total_carbon_kg,
+                )
+            )
+        return AttributionResult(
+            footprints=footprints,
+            total_carbon_kg=self._total_carbon_kg,
+            total_core_hours=total_core_hours,
+            period_hours=self._period_hours,
+        )
+
+
+__all__ = [
+    "AllocationRule",
+    "JobFootprint",
+    "AttributionResult",
+    "JobCarbonAttributor",
+]

@@ -1,0 +1,216 @@
+"""The embodied-carbon term of the model (equation 4) and amortisation.
+
+Embodied carbon is a fixed, already-emitted quantity per asset; what the
+model needs is the *share of it attributable to the evaluation period*.
+The paper amortises linearly over the asset lifetime ("5 kg over 5 years is
+1 kg per year; a 6-month evaluation gets 500 g"), and notes that other
+schemes are possible.  Three policies are provided:
+
+* :class:`LinearAmortization` — the paper's scheme: share proportional to
+  wall-clock time.
+* :class:`UtilizationWeightedAmortization` — share proportional to time
+  scaled by how busy the asset was (idle hardware defers its embodied
+  debt); requires the period's and the lifetime-average utilisation.
+* :class:`CoreHoursAmortization` — share proportional to delivered
+  core-hours against the lifetime core-hour budget (a "per unit of service"
+  allocation popular in per-job accounting).
+
+:class:`EmbodiedCarbonCalculator` applies a policy across the asset list
+and produces an :class:`~repro.core.results.EmbodiedCarbonResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.core.results import EmbodiedCarbonResult
+from repro.units.constants import HOURS_PER_YEAR, SECONDS_PER_YEAR
+from repro.units.quantities import Duration
+
+
+@dataclass(frozen=True)
+class EmbodiedAsset:
+    """One asset carrying embodied carbon.
+
+    Attributes
+    ----------
+    asset_id:
+        Identifier (node id, switch id, facility name).
+    component:
+        Component label used to group results (``"nodes"``, ``"network"``,
+        ``"facility"``).
+    embodied_kgco2:
+        Total embodied carbon of the asset (manufacture, delivery,
+        installation and decommissioning).
+    lifetime_years:
+        Service lifetime over which the embodied carbon is spread.
+    period_utilization / lifetime_utilization:
+        Mean utilisation during the evaluation period and expected over the
+        lifetime; only used by the utilisation-aware policies.
+    period_core_hours / lifetime_core_hours:
+        Delivered core-hours in the period and expected over the lifetime;
+        only used by :class:`CoreHoursAmortization`.
+    """
+
+    asset_id: str
+    component: str
+    embodied_kgco2: float
+    lifetime_years: float
+    period_utilization: Optional[float] = None
+    lifetime_utilization: Optional[float] = None
+    period_core_hours: Optional[float] = None
+    lifetime_core_hours: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.asset_id:
+            raise ValueError("asset_id must be non-empty")
+        if not self.component:
+            raise ValueError("component must be non-empty")
+        if self.embodied_kgco2 < 0:
+            raise ValueError("embodied_kgco2 must be non-negative")
+        if self.lifetime_years <= 0:
+            raise ValueError("lifetime_years must be positive")
+        for name in ("period_utilization", "lifetime_utilization"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        for name in ("period_core_hours", "lifetime_core_hours"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class AmortizationPolicy(abc.ABC):
+    """How an asset's embodied carbon is apportioned to an evaluation period."""
+
+    #: Short name used in results and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def period_share(self, asset: EmbodiedAsset, period: Duration) -> float:
+        """Fraction of the asset's embodied carbon charged to ``period``."""
+
+    def period_kgco2(self, asset: EmbodiedAsset, period: Duration) -> float:
+        """kgCO2e charged to the period for one asset."""
+        share = self.period_share(asset, period)
+        if share < 0:
+            raise ValueError(f"{type(self).__name__} produced a negative share")
+        # An evaluation period longer than the remaining lifetime can never
+        # charge more than the asset's total embodied carbon.
+        return asset.embodied_kgco2 * min(share, 1.0)
+
+
+class LinearAmortization(AmortizationPolicy):
+    """The paper's scheme: carbon spread uniformly over wall-clock lifetime."""
+
+    name = "linear"
+
+    def period_share(self, asset: EmbodiedAsset, period: Duration) -> float:
+        lifetime = Duration.from_years(asset.lifetime_years)
+        return period.fraction_of(lifetime)
+
+
+class UtilizationWeightedAmortization(AmortizationPolicy):
+    """Charge embodied carbon in proportion to how busy the asset was.
+
+    The linear share is scaled by ``period_utilization /
+    lifetime_utilization``; an asset idling through the evaluation period
+    carries less of its embodied debt in that period (and more later).
+    Assets without utilisation data fall back to the linear share.
+    """
+
+    name = "utilization-weighted"
+
+    def period_share(self, asset: EmbodiedAsset, period: Duration) -> float:
+        linear = LinearAmortization().period_share(asset, period)
+        if asset.period_utilization is None or asset.lifetime_utilization in (None, 0.0):
+            return linear
+        return linear * (asset.period_utilization / asset.lifetime_utilization)
+
+
+class CoreHoursAmortization(AmortizationPolicy):
+    """Charge embodied carbon per delivered core-hour.
+
+    The share is ``period_core_hours / lifetime_core_hours``.  Assets
+    without core-hour data fall back to the linear share.
+    """
+
+    name = "core-hours"
+
+    def period_share(self, asset: EmbodiedAsset, period: Duration) -> float:
+        if not asset.period_core_hours or not asset.lifetime_core_hours:
+            return LinearAmortization().period_share(asset, period)
+        return asset.period_core_hours / asset.lifetime_core_hours
+
+
+class EmbodiedCarbonCalculator:
+    """Apply an amortisation policy across an asset list (equation 4)."""
+
+    def __init__(self, policy: Optional[AmortizationPolicy] = None):
+        self._policy = policy or LinearAmortization()
+
+    @property
+    def policy(self) -> AmortizationPolicy:
+        return self._policy
+
+    def evaluate(
+        self, assets: Sequence[EmbodiedAsset], period: Duration
+    ) -> EmbodiedCarbonResult:
+        """Embodied carbon apportioned to ``period`` across all assets."""
+        if not assets:
+            raise ValueError("evaluate requires at least one asset")
+        by_component: Dict[str, float] = {}
+        installed = 0.0
+        for asset in assets:
+            installed += asset.embodied_kgco2
+            charged = self._policy.period_kgco2(asset, period)
+            by_component[asset.component] = by_component.get(asset.component, 0.0) + charged
+        return EmbodiedCarbonResult(
+            period=period,
+            carbon_by_component_kg=by_component,
+            total_installed_kg=installed,
+            amortization_policy=self._policy.name,
+        )
+
+    # -- convenience used by the Table 4 bench -----------------------------------
+
+    @staticmethod
+    def per_server_per_day_kg(embodied_kgco2: float, lifetime_years: float) -> float:
+        """Embodied carbon per server per 24 hours under linear amortisation.
+
+        This is the middle column of the paper's Table 4: e.g. 400 kgCO2e
+        over 3 years is 0.36 kg per day.  The paper uses 365-day years.
+        """
+        if embodied_kgco2 < 0:
+            raise ValueError("embodied_kgco2 must be non-negative")
+        if lifetime_years <= 0:
+            raise ValueError("lifetime_years must be positive")
+        return embodied_kgco2 / (lifetime_years * 365.0)
+
+    @classmethod
+    def fleet_snapshot_kg(
+        cls,
+        embodied_kgco2: float,
+        lifetime_years: float,
+        server_count: int,
+        period_days: float = 1.0,
+    ) -> float:
+        """Snapshot embodied carbon for a homogeneous fleet (Table 4's last column)."""
+        if server_count < 0:
+            raise ValueError("server_count must be non-negative")
+        if period_days < 0:
+            raise ValueError("period_days must be non-negative")
+        per_day = cls.per_server_per_day_kg(embodied_kgco2, lifetime_years)
+        return per_day * server_count * period_days
+
+
+__all__ = [
+    "EmbodiedAsset",
+    "AmortizationPolicy",
+    "LinearAmortization",
+    "UtilizationWeightedAmortization",
+    "CoreHoursAmortization",
+    "EmbodiedCarbonCalculator",
+]

@@ -1,0 +1,179 @@
+"""Result value objects produced by the carbon model.
+
+Results are kept separate from the calculators so that the reporting layer,
+the scenario grids and the Monte-Carlo wrapper can all share one
+representation of "an answer" — component-resolved carbon in kgCO2e for a
+stated evaluation period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.units.quantities import Carbon, Duration
+
+
+def _validate_non_negative_map(values: Mapping[str, float], what: str) -> Dict[str, float]:
+    out = {}
+    for key, value in values.items():
+        if value < 0:
+            raise ValueError(f"{what}[{key!r}] must be non-negative, got {value!r}")
+        out[key] = float(value)
+    return out
+
+
+@dataclass(frozen=True)
+class ActiveCarbonResult:
+    """The active (operational) carbon of a DRI for one evaluation period.
+
+    Attributes
+    ----------
+    period:
+        The evaluation period the result covers.
+    it_energy_kwh:
+        Measured IT energy (nodes plus separately measured network).
+    facility_energy_kwh:
+        Total energy including facility overheads (IT × PUE).
+    carbon_intensity_g_per_kwh:
+        The intensity used for the conversion.
+    pue:
+        The PUE used to scale the IT energy.
+    carbon_by_component_kg:
+        kgCO2e per component label (``"nodes"``, ``"network"``,
+        ``"cooling"``, ``"power_distribution"``, ``"building"``).
+    """
+
+    period: Duration
+    it_energy_kwh: float
+    facility_energy_kwh: float
+    carbon_intensity_g_per_kwh: float
+    pue: float
+    carbon_by_component_kg: Mapping[str, float]
+
+    def __post_init__(self):
+        if self.it_energy_kwh < 0:
+            raise ValueError("it_energy_kwh must be non-negative")
+        if self.facility_energy_kwh + 1e-9 < self.it_energy_kwh:
+            raise ValueError("facility energy cannot be below IT energy")
+        if self.carbon_intensity_g_per_kwh < 0:
+            raise ValueError("carbon intensity must be non-negative")
+        if self.pue < 1.0:
+            raise ValueError("PUE must be at least 1.0")
+        object.__setattr__(
+            self,
+            "carbon_by_component_kg",
+            _validate_non_negative_map(self.carbon_by_component_kg, "carbon_by_component_kg"),
+        )
+
+    @property
+    def total_kg(self) -> float:
+        """Total active carbon including facility overheads, in kgCO2e."""
+        return float(sum(self.carbon_by_component_kg.values()))
+
+    @property
+    def total(self) -> Carbon:
+        return Carbon.from_kg(self.total_kg)
+
+    @property
+    def it_only_kg(self) -> float:
+        """Active carbon of the IT equipment alone (no PUE overheads)."""
+        overhead_keys = {"cooling", "power_distribution", "building"}
+        return float(
+            sum(v for k, v in self.carbon_by_component_kg.items() if k not in overhead_keys)
+        )
+
+    def component(self, name: str) -> float:
+        """Carbon of one component in kg (0.0 when the component is absent)."""
+        return float(self.carbon_by_component_kg.get(name, 0.0))
+
+
+@dataclass(frozen=True)
+class EmbodiedCarbonResult:
+    """The embodied carbon apportioned to one evaluation period."""
+
+    period: Duration
+    carbon_by_component_kg: Mapping[str, float]
+    total_installed_kg: float
+    amortization_policy: str
+
+    def __post_init__(self):
+        if self.total_installed_kg < 0:
+            raise ValueError("total_installed_kg must be non-negative")
+        object.__setattr__(
+            self,
+            "carbon_by_component_kg",
+            _validate_non_negative_map(self.carbon_by_component_kg, "carbon_by_component_kg"),
+        )
+
+    @property
+    def total_kg(self) -> float:
+        """Embodied carbon apportioned to the period, in kgCO2e."""
+        return float(sum(self.carbon_by_component_kg.values()))
+
+    @property
+    def total(self) -> Carbon:
+        return Carbon.from_kg(self.total_kg)
+
+    @property
+    def apportioned_fraction(self) -> float:
+        """Fraction of the installed embodied carbon assigned to this period."""
+        if self.total_installed_kg == 0:
+            return 0.0
+        return self.total_kg / self.total_installed_kg
+
+    def component(self, name: str) -> float:
+        """Carbon of one component in kg (0.0 when the component is absent)."""
+        return float(self.carbon_by_component_kg.get(name, 0.0))
+
+
+@dataclass(frozen=True)
+class TotalCarbonResult:
+    """Equation 1: the total carbon of the DRI for the evaluation period."""
+
+    active: ActiveCarbonResult
+    embodied: EmbodiedCarbonResult
+
+    def __post_init__(self):
+        if abs(self.active.period.seconds - self.embodied.period.seconds) > 1e-6:
+            raise ValueError(
+                "active and embodied results must cover the same period"
+            )
+
+    @property
+    def period(self) -> Duration:
+        return self.active.period
+
+    @property
+    def total_kg(self) -> float:
+        """Total carbon (active + embodied) in kgCO2e."""
+        return self.active.total_kg + self.embodied.total_kg
+
+    @property
+    def total(self) -> Carbon:
+        return Carbon.from_kg(self.total_kg)
+
+    @property
+    def embodied_fraction(self) -> float:
+        """Share of the total attributable to embodied carbon."""
+        total = self.total_kg
+        if total == 0:
+            return 0.0
+        return self.embodied.total_kg / total
+
+    @property
+    def active_fraction(self) -> float:
+        """Share of the total attributable to active carbon."""
+        return 1.0 - self.embodied_fraction if self.total_kg else 0.0
+
+    def breakdown_kg(self) -> Dict[str, float]:
+        """Component-resolved carbon with ``active.``/``embodied.`` prefixes."""
+        out: Dict[str, float] = {}
+        for name, value in self.active.carbon_by_component_kg.items():
+            out[f"active.{name}"] = value
+        for name, value in self.embodied.carbon_by_component_kg.items():
+            out[f"embodied.{name}"] = value
+        return out
+
+
+__all__ = ["ActiveCarbonResult", "EmbodiedCarbonResult", "TotalCarbonResult"]

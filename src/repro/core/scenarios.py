@@ -1,0 +1,234 @@
+"""Scenario grids: the Low/Medium/High sweeps behind Tables 3 and 4.
+
+The paper handles input uncertainty by sweeping a small set of reference
+scenarios rather than quoting a single number:
+
+* grid carbon intensity ∈ {50, 175, 300} gCO2e/kWh (from Figure 1);
+* PUE ∈ {1.1, 1.3, 1.5};
+* per-server embodied carbon ∈ {400, 1100} kgCO2e;
+* server lifetime ∈ {3, 4, 5, 6, 7} years.
+
+:class:`ActiveScenarioGrid` evaluates the active term over the intensity ×
+PUE grid (Table 3); :class:`EmbodiedScenarioGrid` evaluates the embodied
+term over the estimate × lifetime grid (Table 4).  Both return plain row
+dictionaries so the reporting layer and the benches can render them
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.active import ActiveCarbonCalculator, ActiveEnergyInput
+from repro.core.embodied import EmbodiedCarbonCalculator
+from repro.power.facility import FacilityOverheadModel
+from repro.units.quantities import CarbonIntensity
+
+
+class ScenarioLevel(Enum):
+    """The three reference levels the paper sweeps."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+#: The paper's reference grid carbon intensities (gCO2e/kWh).
+INTENSITY_SCENARIOS: Dict[ScenarioLevel, float] = {
+    ScenarioLevel.LOW: 50.0,
+    ScenarioLevel.MEDIUM: 175.0,
+    ScenarioLevel.HIGH: 300.0,
+}
+
+#: The paper's reference PUE values as stated in the text.
+PUE_SCENARIOS: Dict[ScenarioLevel, float] = {
+    ScenarioLevel.LOW: 1.1,
+    ScenarioLevel.MEDIUM: 1.3,
+    ScenarioLevel.HIGH: 1.5,
+}
+
+#: The High-PUE value implied by the numbers actually printed in Table 3
+#: (1550/969 = 5426/3391 = 9302/5814 = 1.6); the text says 1.5.  Recorded so
+#: the bench can reproduce the printed numbers and flag the inconsistency.
+PAPER_TABLE3_IMPLIED_HIGH_PUE: float = 1.6
+
+#: The paper's two bounding per-server embodied estimates (kgCO2e).
+EMBODIED_ESTIMATE_SCENARIOS_KG: Tuple[float, float] = (400.0, 1100.0)
+
+#: The server lifetimes swept in Table 4 (years).
+LIFESPAN_SCENARIOS_YEARS: Tuple[float, ...] = (3.0, 4.0, 5.0, 6.0, 7.0)
+
+
+class ActiveScenarioGrid:
+    """Evaluate active carbon over the intensity × PUE scenario grid.
+
+    Parameters
+    ----------
+    intensities / pues:
+        Scenario values; default to the paper's.
+    """
+
+    def __init__(
+        self,
+        intensities: Mapping[ScenarioLevel, float] = INTENSITY_SCENARIOS,
+        pues: Mapping[ScenarioLevel, float] = PUE_SCENARIOS,
+    ):
+        if not intensities or not pues:
+            raise ValueError("scenario grids need at least one level on each axis")
+        for level, value in intensities.items():
+            if value < 0:
+                raise ValueError(f"intensity for {level} must be non-negative")
+        for level, value in pues.items():
+            if value < 1.0:
+                raise ValueError(f"PUE for {level} must be at least 1.0")
+        self._intensities = dict(intensities)
+        self._pues = dict(pues)
+
+    @property
+    def intensity_levels(self) -> List[ScenarioLevel]:
+        return list(self._intensities)
+
+    @property
+    def pue_levels(self) -> List[ScenarioLevel]:
+        return list(self._pues)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def it_only_carbon_kg(self, energy: ActiveEnergyInput) -> Dict[ScenarioLevel, float]:
+        """Row 1 of Table 3: active carbon of the IT energy per intensity level."""
+        out: Dict[ScenarioLevel, float] = {}
+        for level, intensity in self._intensities.items():
+            calculator = ActiveCarbonCalculator(CarbonIntensity(intensity))
+            out[level] = calculator.evaluate_it_only(energy).kg
+        return out
+
+    def with_facilities_carbon_kg(
+        self, energy: ActiveEnergyInput
+    ) -> Dict[Tuple[ScenarioLevel, ScenarioLevel], float]:
+        """Rows 2+ of Table 3: active carbon including facilities.
+
+        Keys are ``(intensity_level, pue_level)`` pairs.
+        """
+        out: Dict[Tuple[ScenarioLevel, ScenarioLevel], float] = {}
+        for intensity_level, intensity in self._intensities.items():
+            for pue_level, pue in self._pues.items():
+                calculator = ActiveCarbonCalculator(
+                    CarbonIntensity(intensity),
+                    overhead_model=FacilityOverheadModel(pue=pue),
+                )
+                out[(intensity_level, pue_level)] = calculator.evaluate(energy).total_kg
+        return out
+
+    def table3_rows(self, energy: ActiveEnergyInput) -> List[Dict[str, object]]:
+        """The full Table 3 as a list of row dictionaries.
+
+        One row per (intensity, PUE) combination plus the three IT-only
+        entries (``pue`` of ``None``), all in kgCO2e.
+        """
+        rows: List[Dict[str, object]] = []
+        it_only = self.it_only_carbon_kg(energy)
+        for intensity_level, carbon_kg in it_only.items():
+            rows.append(
+                {
+                    "intensity_level": intensity_level.value,
+                    "intensity_g_per_kwh": self._intensities[intensity_level],
+                    "pue_level": None,
+                    "pue": None,
+                    "carbon_kg": carbon_kg,
+                }
+            )
+        grid = self.with_facilities_carbon_kg(energy)
+        for (intensity_level, pue_level), carbon_kg in grid.items():
+            rows.append(
+                {
+                    "intensity_level": intensity_level.value,
+                    "intensity_g_per_kwh": self._intensities[intensity_level],
+                    "pue_level": pue_level.value,
+                    "pue": self._pues[pue_level],
+                    "carbon_kg": carbon_kg,
+                }
+            )
+        return rows
+
+    def range_kg(self, energy: ActiveEnergyInput) -> Tuple[float, float]:
+        """The (min, max) active carbon across the with-facilities grid.
+
+        The paper's summary quotes this range as 1066-9302 kgCO2e.
+        """
+        grid = self.with_facilities_carbon_kg(energy)
+        values = list(grid.values())
+        return min(values), max(values)
+
+
+class EmbodiedScenarioGrid:
+    """Evaluate embodied carbon over the estimate × lifetime grid (Table 4)."""
+
+    def __init__(
+        self,
+        embodied_estimates_kg: Sequence[float] = EMBODIED_ESTIMATE_SCENARIOS_KG,
+        lifespans_years: Sequence[float] = LIFESPAN_SCENARIOS_YEARS,
+    ):
+        if not embodied_estimates_kg or not lifespans_years:
+            raise ValueError("scenario grids need at least one value on each axis")
+        if any(value <= 0 for value in embodied_estimates_kg):
+            raise ValueError("embodied estimates must be positive")
+        if any(value <= 0 for value in lifespans_years):
+            raise ValueError("lifespans must be positive")
+        self._estimates = tuple(float(v) for v in embodied_estimates_kg)
+        self._lifespans = tuple(float(v) for v in lifespans_years)
+
+    @property
+    def estimates_kg(self) -> Tuple[float, ...]:
+        return self._estimates
+
+    @property
+    def lifespans_years(self) -> Tuple[float, ...]:
+        return self._lifespans
+
+    def table4_rows(self, server_count: int, period_days: float = 1.0) -> List[Dict[str, float]]:
+        """The full Table 4 as row dictionaries.
+
+        One row per lifespan, with per-server-per-day and fleet snapshot
+        columns for each embodied estimate.
+        """
+        if server_count <= 0:
+            raise ValueError("server_count must be positive")
+        rows: List[Dict[str, float]] = []
+        for lifespan in self._lifespans:
+            row: Dict[str, float] = {"lifespan_years": lifespan}
+            for estimate in self._estimates:
+                per_day = EmbodiedCarbonCalculator.per_server_per_day_kg(estimate, lifespan)
+                snapshot = EmbodiedCarbonCalculator.fleet_snapshot_kg(
+                    estimate, lifespan, server_count, period_days
+                )
+                row[f"per_server_per_day_kg_{int(estimate)}"] = per_day
+                row[f"snapshot_kg_{int(estimate)}"] = snapshot
+            rows.append(row)
+        return rows
+
+    def range_kg(self, server_count: int, period_days: float = 1.0) -> Tuple[float, float]:
+        """The (min, max) snapshot embodied carbon across the grid.
+
+        The paper's summary quotes this range as 375-2409 kgCO2e.
+        """
+        rows = self.table4_rows(server_count, period_days)
+        values: List[float] = []
+        for row in rows:
+            values.extend(
+                value for key, value in row.items() if key.startswith("snapshot_kg_")
+            )
+        return min(values), max(values)
+
+
+__all__ = [
+    "ScenarioLevel",
+    "INTENSITY_SCENARIOS",
+    "PUE_SCENARIOS",
+    "PAPER_TABLE3_IMPLIED_HIGH_PUE",
+    "EMBODIED_ESTIMATE_SCENARIOS_KG",
+    "LIFESPAN_SCENARIOS_YEARS",
+    "ActiveScenarioGrid",
+    "EmbodiedScenarioGrid",
+]

@@ -1,0 +1,172 @@
+"""Monte-Carlo propagation of input uncertainty into the total carbon.
+
+The paper handles uncertainty by reporting a handful of scenario corners
+(Tables 3 and 4).  A natural extension — listed in its future work as
+needing "more accurate carbon estimates" — is to treat the uncertain inputs
+as distributions and propagate them through equation 1, which is what
+:class:`MonteCarloCarbonModel` does:
+
+* grid carbon intensity — triangular between the Low/Medium/High values;
+* PUE — triangular between the Low/Medium/High values;
+* per-server embodied carbon — uniform between the 400/1100 bounds;
+* server lifetime — discrete uniform over the 3-7-year sweep.
+
+The output quantifies, for example, the probability that embodied carbon
+exceeds active carbon in a given scenario — the crossover the paper's
+summary discusses qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UncertainInput:
+    """Distributional description of the model inputs.
+
+    All fields have defaults matching the paper's scenario values, so
+    ``UncertainInput()`` reproduces the paper's uncertainty envelope.
+    """
+
+    intensity_low: float = 50.0
+    intensity_mode: float = 175.0
+    intensity_high: float = 300.0
+    pue_low: float = 1.1
+    pue_mode: float = 1.3
+    pue_high: float = 1.5
+    embodied_low_kg: float = 400.0
+    embodied_high_kg: float = 1100.0
+    lifetimes_years: Sequence[float] = (3.0, 4.0, 5.0, 6.0, 7.0)
+
+    def __post_init__(self):
+        if not self.intensity_low <= self.intensity_mode <= self.intensity_high:
+            raise ValueError("intensity values must satisfy low <= mode <= high")
+        if self.intensity_low < 0:
+            raise ValueError("intensity_low must be non-negative")
+        if not 1.0 <= self.pue_low <= self.pue_mode <= self.pue_high:
+            raise ValueError("PUE values must satisfy 1 <= low <= mode <= high")
+        if not 0 < self.embodied_low_kg <= self.embodied_high_kg:
+            raise ValueError("embodied bounds must satisfy 0 < low <= high")
+        if not self.lifetimes_years or any(v <= 0 for v in self.lifetimes_years):
+            raise ValueError("lifetimes_years must be non-empty and positive")
+        object.__setattr__(self, "lifetimes_years", tuple(self.lifetimes_years))
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Summary of the Monte-Carlo distribution over the snapshot total."""
+
+    samples: int
+    total_kg_mean: float
+    total_kg_p5: float
+    total_kg_p50: float
+    total_kg_p95: float
+    active_kg_mean: float
+    embodied_kg_mean: float
+    embodied_fraction_mean: float
+    probability_embodied_exceeds_active: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "samples": self.samples,
+            "total_kg_mean": self.total_kg_mean,
+            "total_kg_p5": self.total_kg_p5,
+            "total_kg_p50": self.total_kg_p50,
+            "total_kg_p95": self.total_kg_p95,
+            "active_kg_mean": self.active_kg_mean,
+            "embodied_kg_mean": self.embodied_kg_mean,
+            "embodied_fraction_mean": self.embodied_fraction_mean,
+            "probability_embodied_exceeds_active": self.probability_embodied_exceeds_active,
+        }
+
+
+class MonteCarloCarbonModel:
+    """Monte-Carlo wrapper around the closed-form snapshot arithmetic.
+
+    Parameters
+    ----------
+    it_energy_kwh:
+        Measured IT energy for the period (the Table 2 total).
+    server_count:
+        Number of servers carrying embodied carbon.
+    period_days:
+        Length of the evaluation period in days.
+    inputs:
+        The input distributions (paper defaults when omitted).
+    """
+
+    def __init__(
+        self,
+        it_energy_kwh: float,
+        server_count: int,
+        period_days: float = 1.0,
+        inputs: Optional[UncertainInput] = None,
+    ):
+        if it_energy_kwh < 0:
+            raise ValueError("it_energy_kwh must be non-negative")
+        if server_count <= 0:
+            raise ValueError("server_count must be positive")
+        if period_days <= 0:
+            raise ValueError("period_days must be positive")
+        self._it_energy_kwh = float(it_energy_kwh)
+        self._server_count = int(server_count)
+        self._period_days = float(period_days)
+        self._inputs = inputs or UncertainInput()
+
+    @property
+    def inputs(self) -> UncertainInput:
+        return self._inputs
+
+    # -- sampling --------------------------------------------------------------------
+
+    def sample(self, n_samples: int = 10_000, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Draw ``n_samples`` joint samples of (active, embodied, total) in kg."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        rng = np.random.default_rng(seed)
+        p = self._inputs
+        intensity = rng.triangular(p.intensity_low, p.intensity_mode, p.intensity_high,
+                                   size=n_samples)
+        pue = rng.triangular(p.pue_low, p.pue_mode, p.pue_high, size=n_samples)
+        embodied_per_server = rng.uniform(p.embodied_low_kg, p.embodied_high_kg,
+                                          size=n_samples)
+        lifetimes = rng.choice(np.asarray(p.lifetimes_years, dtype=np.float64),
+                               size=n_samples)
+        active_kg = self._it_energy_kwh * pue * intensity / 1000.0
+        embodied_kg = (
+            embodied_per_server / (lifetimes * 365.0)
+            * self._server_count
+            * self._period_days
+        )
+        return {
+            "active_kg": active_kg,
+            "embodied_kg": embodied_kg,
+            "total_kg": active_kg + embodied_kg,
+            "intensity": intensity,
+            "pue": pue,
+        }
+
+    def run(self, n_samples: int = 10_000, seed: int = 0) -> UncertaintyResult:
+        """Run the Monte-Carlo analysis and summarise the distribution."""
+        draws = self.sample(n_samples=n_samples, seed=seed)
+        total = draws["total_kg"]
+        active = draws["active_kg"]
+        embodied = draws["embodied_kg"]
+        return UncertaintyResult(
+            samples=n_samples,
+            total_kg_mean=float(total.mean()),
+            total_kg_p5=float(np.percentile(total, 5)),
+            total_kg_p50=float(np.percentile(total, 50)),
+            total_kg_p95=float(np.percentile(total, 95)),
+            active_kg_mean=float(active.mean()),
+            embodied_kg_mean=float(embodied.mean()),
+            embodied_fraction_mean=float((embodied / total).mean()),
+            probability_embodied_exceeds_active=float((embodied > active).mean()),
+        )
+
+
+__all__ = ["UncertainInput", "UncertaintyResult", "MonteCarloCarbonModel"]

@@ -1,0 +1,42 @@
+"""Embodied-carbon estimation substrate.
+
+The paper's embodied term needs a kgCO2e figure for every piece of hardware
+in the inventory.  Two routes are provided, mirroring what is available in
+practice:
+
+* :mod:`~repro.embodied.datasheets` — a database of manufacturer product
+  carbon footprint (PCF) declarations in the style of the Dell and Fujitsu
+  documents the paper cites, with central estimates and uncertainty bounds.
+* :mod:`~repro.embodied.bottom_up` — a bottom-up component model (in the
+  spirit of ACT and Boavizta) built from the per-component factors in
+  :mod:`~repro.embodied.factors`, for hardware with no published PCF.
+
+Both routes produce estimates inside the paper's [400, 1100] kgCO2e band
+for the representative compute nodes, which is how the paper's bounds are
+justified in this reproduction.
+"""
+
+from repro.embodied.factors import EmbodiedFactors, DEFAULT_FACTORS
+from repro.embodied.bottom_up import BottomUpEstimator, EmbodiedBreakdown
+from repro.embodied.datasheets import (
+    DatasheetRecord,
+    PCFDatabase,
+    PAPER_SERVER_EMBODIED_HIGH_KGCO2,
+    PAPER_SERVER_EMBODIED_LOW_KGCO2,
+    default_pcf_database,
+)
+from repro.embodied.facility import FacilityEmbodiedBreakdown, FacilityEmbodiedModel
+
+__all__ = [
+    "EmbodiedFactors",
+    "DEFAULT_FACTORS",
+    "BottomUpEstimator",
+    "EmbodiedBreakdown",
+    "DatasheetRecord",
+    "PCFDatabase",
+    "default_pcf_database",
+    "PAPER_SERVER_EMBODIED_LOW_KGCO2",
+    "PAPER_SERVER_EMBODIED_HIGH_KGCO2",
+    "FacilityEmbodiedModel",
+    "FacilityEmbodiedBreakdown",
+]

@@ -1,0 +1,132 @@
+"""Bottom-up embodied-carbon estimation from a node's bill of materials.
+
+In the style of ACT / Boavizta: each component class contributes a term
+driven by its manufacturing-relevant attribute (die area for logic, GB for
+DRAM, TB for storage, mass for the chassis), plus fixed assembly, transport
+and end-of-life terms per server.  The result is an
+:class:`EmbodiedBreakdown` so reports can show where the carbon sits —
+which is exactly the kind of information the paper says manufacturers are
+only beginning to publish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.embodied.factors import DEFAULT_FACTORS, EmbodiedFactors
+from repro.inventory.components import StorageMedium
+from repro.inventory.network import SwitchSpec
+from repro.inventory.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class EmbodiedBreakdown:
+    """Embodied carbon of one unit, split by component class (kgCO2e)."""
+
+    cpu_kgco2: float
+    dram_kgco2: float
+    storage_kgco2: float
+    gpu_kgco2: float
+    mainboard_kgco2: float
+    psu_kgco2: float
+    chassis_kgco2: float
+    nic_kgco2: float
+    assembly_kgco2: float
+    transport_kgco2: float
+    end_of_life_kgco2: float
+
+    def __post_init__(self):
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_kgco2(self) -> float:
+        """Total embodied carbon of the unit."""
+        return float(sum(getattr(self, name) for name in self.__dataclass_fields__))
+
+    @property
+    def manufacturing_kgco2(self) -> float:
+        """Everything except transport and end-of-life."""
+        return self.total_kgco2 - self.transport_kgco2 - self.end_of_life_kgco2
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        out["total_kgco2"] = self.total_kgco2
+        return out
+
+    def dominant_component(self) -> str:
+        """Name of the largest contributing component class."""
+        names = list(self.__dataclass_fields__)
+        return max(names, key=lambda name: getattr(self, name))
+
+
+class BottomUpEstimator:
+    """Estimate embodied carbon for nodes and switches from their specs."""
+
+    def __init__(self, factors: EmbodiedFactors = DEFAULT_FACTORS):
+        self._factors = factors
+
+    @property
+    def factors(self) -> EmbodiedFactors:
+        return self._factors
+
+    # -- nodes -------------------------------------------------------------------
+
+    def estimate_node(self, spec: NodeSpec) -> EmbodiedBreakdown:
+        """Embodied-carbon breakdown for one node of the given configuration."""
+        f = self._factors
+        cpu = sum(cpu.die_area_mm2 for cpu in spec.cpus) / 100.0 * f.silicon_kgco2_per_cm2
+        dram = spec.memory_gb * f.dram_kgco2_per_gb
+        storage = 0.0
+        for drive in spec.storage:
+            if drive.medium is StorageMedium.HDD:
+                storage += drive.capacity_tb * f.hdd_kgco2_per_tb
+            else:
+                storage += drive.capacity_tb * f.ssd_kgco2_per_tb
+        gpu = 0.0
+        for accelerator in spec.gpus:
+            gpu += (
+                accelerator.die_area_mm2 / 100.0 * f.silicon_kgco2_per_cm2
+                + accelerator.memory_gb * f.dram_kgco2_per_gb
+                + f.gpu_board_kgco2_per_unit
+            )
+        mainboard = f.mainboard_kgco2_per_unit if spec.mainboard is not None else 0.0
+        psu = f.psu_kgco2_per_unit * (spec.psu.count if spec.psu is not None else 0)
+        chassis = (spec.chassis.mass_kg * f.chassis_kgco2_per_kg
+                   if spec.chassis is not None else 0.0)
+        nic = f.nic_kgco2_per_unit * len(spec.nics)
+        return EmbodiedBreakdown(
+            cpu_kgco2=cpu,
+            dram_kgco2=dram,
+            storage_kgco2=storage,
+            gpu_kgco2=gpu,
+            mainboard_kgco2=mainboard,
+            psu_kgco2=psu,
+            chassis_kgco2=chassis,
+            nic_kgco2=nic,
+            assembly_kgco2=f.assembly_kgco2_per_server,
+            transport_kgco2=f.transport_kgco2_per_server,
+            end_of_life_kgco2=f.end_of_life_kgco2_per_server,
+        )
+
+    def node_total_kgco2(self, spec: NodeSpec, prefer_datasheet: bool = True) -> float:
+        """Total embodied carbon for a node.
+
+        When the spec carries a manufacturer datasheet figure and
+        ``prefer_datasheet`` is true, the datasheet value wins (it reflects
+        the actual configuration); otherwise the bottom-up estimate is used.
+        """
+        if prefer_datasheet and spec.embodied_kgco2_datasheet is not None:
+            return float(spec.embodied_kgco2_datasheet)
+        return self.estimate_node(spec).total_kgco2
+
+    # -- switches ------------------------------------------------------------------
+
+    def switch_total_kgco2(self, spec: SwitchSpec) -> float:
+        """Embodied carbon of a switch (datasheet figure carried on the spec)."""
+        return float(spec.embodied_kgco2)
+
+
+__all__ = ["BottomUpEstimator", "EmbodiedBreakdown"]

@@ -1,0 +1,143 @@
+"""Embodied carbon of the data-centre infrastructure hosting a DRI.
+
+The paper leaves the embodied carbon of "the data centre infrastructure
+(building, cooling hardware, etc...)" out of its numbers for space reasons
+and lists it as required input for a more accurate estimate.  This module
+supplies that missing piece as a parametric model so the extension benches
+can quantify how much it changes the picture.
+
+The model follows the structure used in data-centre LCA studies: the
+building shell scales with floor area (driven by rack count), while the
+mechanical and electrical plant (chillers, CRAC units, pipework, UPS,
+switchgear, standby generation) scales with the IT power the facility is
+provisioned for.  Facility infrastructure is amortised over much longer
+lifetimes than servers (15-25 years), which is why — despite large absolute
+numbers — its per-day contribution is modest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.embodied import EmbodiedAsset
+
+
+@dataclass(frozen=True)
+class FacilityEmbodiedBreakdown:
+    """Embodied carbon of one facility, split by subsystem (kgCO2e)."""
+
+    building_shell_kgco2: float
+    cooling_plant_kgco2: float
+    power_plant_kgco2: float
+    fit_out_kgco2: float
+
+    def __post_init__(self):
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_kgco2(self) -> float:
+        return (self.building_shell_kgco2 + self.cooling_plant_kgco2
+                + self.power_plant_kgco2 + self.fit_out_kgco2)
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        out["total_kgco2"] = self.total_kgco2
+        return out
+
+
+@dataclass(frozen=True)
+class FacilityEmbodiedModel:
+    """Parametric embodied-carbon model for data-centre infrastructure.
+
+    Parameters
+    ----------
+    building_kgco2_per_m2:
+        Embodied carbon of the building shell per square metre of technical
+        floor space (structural concrete/steel dominate).
+    floor_m2_per_rack:
+        Technical floor area per rack, including circulation and plant space.
+    cooling_kgco2_per_kw_it:
+        Chillers, CRAC/CRAH units, pumps and pipework per kW of provisioned
+        IT load.
+    power_kgco2_per_kw_it:
+        UPS, batteries, switchgear, transformers and standby generation per
+        kW of provisioned IT load.
+    fit_out_kgco2_per_rack:
+        Racks, containment, cabling and raised floor per rack.
+    lifetime_years:
+        Amortisation lifetime of the facility infrastructure.
+    provisioning_headroom:
+        Ratio of provisioned IT capacity to the load actually observed
+        (facilities are built with headroom; their plant is sized for the
+        provisioned figure).
+    """
+
+    building_kgco2_per_m2: float = 635.0
+    floor_m2_per_rack: float = 5.0
+    cooling_kgco2_per_kw_it: float = 150.0
+    power_kgco2_per_kw_it: float = 120.0
+    fit_out_kgco2_per_rack: float = 400.0
+    lifetime_years: float = 20.0
+    provisioning_headroom: float = 1.3
+
+    def __post_init__(self):
+        for name in ("building_kgco2_per_m2", "floor_m2_per_rack",
+                     "cooling_kgco2_per_kw_it", "power_kgco2_per_kw_it",
+                     "fit_out_kgco2_per_rack"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.lifetime_years <= 0:
+            raise ValueError("lifetime_years must be positive")
+        if self.provisioning_headroom < 1.0:
+            raise ValueError("provisioning_headroom must be at least 1.0")
+
+    # -- estimation -----------------------------------------------------------------
+
+    def estimate(self, it_power_kw: float, rack_count: int) -> FacilityEmbodiedBreakdown:
+        """Embodied carbon of a facility hosting ``rack_count`` racks at
+        ``it_power_kw`` of observed IT load."""
+        if it_power_kw < 0:
+            raise ValueError("it_power_kw must be non-negative")
+        if rack_count < 0:
+            raise ValueError("rack_count must be non-negative")
+        provisioned_kw = it_power_kw * self.provisioning_headroom
+        floor_m2 = rack_count * self.floor_m2_per_rack
+        return FacilityEmbodiedBreakdown(
+            building_shell_kgco2=floor_m2 * self.building_kgco2_per_m2,
+            cooling_plant_kgco2=provisioned_kw * self.cooling_kgco2_per_kw_it,
+            power_plant_kgco2=provisioned_kw * self.power_kgco2_per_kw_it,
+            fit_out_kgco2=rack_count * self.fit_out_kgco2_per_rack,
+        )
+
+    def as_asset(
+        self,
+        facility_id: str,
+        it_power_kw: float,
+        rack_count: int,
+        dri_share: float = 1.0,
+    ) -> EmbodiedAsset:
+        """The facility as an :class:`~repro.core.embodied.EmbodiedAsset`.
+
+        ``dri_share`` apportions a shared machine room to the DRI (the
+        paper's sites host other services in the same rooms).
+        """
+        if not 0.0 < dri_share <= 1.0:
+            raise ValueError("dri_share must be in (0, 1]")
+        breakdown = self.estimate(it_power_kw, rack_count)
+        return EmbodiedAsset(
+            asset_id=facility_id,
+            component="facility",
+            embodied_kgco2=breakdown.total_kgco2 * dri_share,
+            lifetime_years=self.lifetime_years,
+        )
+
+    def per_day_kgco2(self, it_power_kw: float, rack_count: int) -> float:
+        """Embodied carbon charged to a single day of facility operation."""
+        total = self.estimate(it_power_kw, rack_count).total_kgco2
+        return total / (self.lifetime_years * 365.0)
+
+
+__all__ = ["FacilityEmbodiedModel", "FacilityEmbodiedBreakdown"]

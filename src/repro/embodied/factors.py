@@ -1,0 +1,72 @@
+"""Per-component embodied-carbon factors.
+
+The factors below are representative of the public LCA literature that
+tools such as ACT, Boavizta and the manufacturer white-papers the paper
+cites draw on.  They are intentionally kept as a single, swappable value
+object (:class:`EmbodiedFactors`) so sensitivity studies can re-run the
+whole pipeline with optimistic or pessimistic factor sets.
+
+Units:
+
+* silicon — kgCO2e per cm² of die manufactured (wafer production,
+  lithography, yield losses);
+* DRAM — kgCO2e per GB;
+* SSD/NVMe flash — kgCO2e per TB;
+* HDD — kgCO2e per TB;
+* chassis and mechanical parts — kgCO2e per kg of steel/aluminium;
+* mainboard / PSU — kgCO2e per unit;
+* assembly, transport — kgCO2e per server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EmbodiedFactors:
+    """A consistent set of embodied-carbon factors."""
+
+    silicon_kgco2_per_cm2: float = 1.5
+    dram_kgco2_per_gb: float = 0.35
+    ssd_kgco2_per_tb: float = 60.0
+    hdd_kgco2_per_tb: float = 6.0
+    chassis_kgco2_per_kg: float = 5.5
+    mainboard_kgco2_per_unit: float = 75.0
+    psu_kgco2_per_unit: float = 25.0
+    nic_kgco2_per_unit: float = 15.0
+    gpu_board_kgco2_per_unit: float = 60.0
+    assembly_kgco2_per_server: float = 35.0
+    transport_kgco2_per_server: float = 30.0
+    end_of_life_kgco2_per_server: float = 10.0
+
+    def __post_init__(self):
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def scaled(self, factor: float) -> "EmbodiedFactors":
+        """A uniformly scaled factor set (for optimistic/pessimistic sweeps)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return EmbodiedFactors(
+            **{name: getattr(self, name) * factor for name in self.__dataclass_fields__}
+        )
+
+    def with_overrides(self, **overrides: float) -> "EmbodiedFactors":
+        """A copy with individual factors replaced."""
+        return replace(self, **overrides)
+
+
+#: The default factor set used throughout the reproduction.
+DEFAULT_FACTORS = EmbodiedFactors()
+
+#: An optimistic set (decarbonised fabs and logistics), used by the
+#: "embodied carbon will come to dominate" future-scenario benches.
+OPTIMISTIC_FACTORS = DEFAULT_FACTORS.scaled(0.6)
+
+#: A pessimistic set reflecting the high end of published estimates.
+PESSIMISTIC_FACTORS = DEFAULT_FACTORS.scaled(1.6)
+
+
+__all__ = ["EmbodiedFactors", "DEFAULT_FACTORS", "OPTIMISTIC_FACTORS", "PESSIMISTIC_FACTORS"]

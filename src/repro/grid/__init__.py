@@ -1,0 +1,38 @@
+"""Grid carbon-intensity substrate.
+
+The paper converts measured energy to carbon using the carbon intensity of
+the GB electricity grid around the snapshot period (November 2022, Figure 1)
+and then collapses the observed variability into three reference values
+(Low 50 / Medium 175 / High 300 gCO2/kWh).  This package provides:
+
+* :mod:`~repro.grid.fuels` — published per-fuel generation intensity
+  factors (gCO2e per kWh generated).
+* :mod:`~repro.grid.mix` — a generation mix (share of demand met by each
+  fuel) and the intensity it implies.
+* :mod:`~repro.grid.intensity` — a carbon-intensity time series with the
+  averaging and classification helpers the carbon model needs.
+* :mod:`~repro.grid.synthetic` — a deterministic synthetic model of the GB
+  grid in November 2022 that stands in for the Carbon Intensity API
+  (carbonintensity.org.uk), which cannot be queried offline.
+* :mod:`~repro.grid.regions` — a registry of grid regions with typical
+  mixes, so examples can compare siting decisions.
+"""
+
+from repro.grid.fuels import FUEL_INTENSITY_G_PER_KWH, Fuel
+from repro.grid.mix import GenerationMix
+from repro.grid.intensity import CarbonIntensitySeries, IntensityBand
+from repro.grid.synthetic import SyntheticGridModel, uk_november_2022_intensity
+from repro.grid.regions import GridRegion, GridRegionRegistry, default_regions
+
+__all__ = [
+    "Fuel",
+    "FUEL_INTENSITY_G_PER_KWH",
+    "GenerationMix",
+    "CarbonIntensitySeries",
+    "IntensityBand",
+    "SyntheticGridModel",
+    "uk_november_2022_intensity",
+    "GridRegion",
+    "GridRegionRegistry",
+    "default_regions",
+]

@@ -1,0 +1,62 @@
+"""Per-fuel generation carbon-intensity factors.
+
+The factors are lifecycle-ish generation intensities in gCO2e per kWh of
+electricity generated, in line with the values used by the GB Carbon
+Intensity API methodology and typical IPCC median figures.  They are the
+empirical constants of the grid model; everything else in
+:mod:`repro.grid` is arithmetic on top of them.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+
+class Fuel(Enum):
+    """Generation technologies tracked by the grid model."""
+
+    GAS = "gas"
+    COAL = "coal"
+    NUCLEAR = "nuclear"
+    WIND = "wind"
+    SOLAR = "solar"
+    HYDRO = "hydro"
+    BIOMASS = "biomass"
+    IMPORTS = "imports"
+    OTHER = "other"
+
+
+#: Generation carbon intensity by fuel, in gCO2e/kWh generated.
+#: Gas/coal are direct combustion intensities; renewables and nuclear carry
+#: only their (small) lifecycle contributions; imports use a typical
+#: continental-interconnector average.
+FUEL_INTENSITY_G_PER_KWH: Dict[Fuel, float] = {
+    Fuel.GAS: 394.0,
+    Fuel.COAL: 937.0,
+    Fuel.NUCLEAR: 0.0,
+    Fuel.WIND: 0.0,
+    Fuel.SOLAR: 0.0,
+    Fuel.HYDRO: 0.0,
+    Fuel.BIOMASS: 120.0,
+    Fuel.IMPORTS: 250.0,
+    Fuel.OTHER: 300.0,
+}
+
+#: Lifecycle ("embodied") intensities for the nominally zero-carbon fuels,
+#: used by the extension benches that include generation-asset embodied
+#: carbon, as discussed in the paper's summary (section 6).
+FUEL_LIFECYCLE_INTENSITY_G_PER_KWH: Dict[Fuel, float] = {
+    Fuel.GAS: 490.0,
+    Fuel.COAL: 980.0,
+    Fuel.NUCLEAR: 12.0,
+    Fuel.WIND: 11.0,
+    Fuel.SOLAR: 41.0,
+    Fuel.HYDRO: 24.0,
+    Fuel.BIOMASS: 230.0,
+    Fuel.IMPORTS: 280.0,
+    Fuel.OTHER: 300.0,
+}
+
+
+__all__ = ["Fuel", "FUEL_INTENSITY_G_PER_KWH", "FUEL_LIFECYCLE_INTENSITY_G_PER_KWH"]

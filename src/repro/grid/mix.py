@@ -1,0 +1,153 @@
+"""Generation mixes and the carbon intensity they imply.
+
+A :class:`GenerationMix` records the share of electricity demand met by each
+fuel over some interval.  The implied grid intensity is the share-weighted
+sum of the per-fuel intensity factors — exactly the calculation behind the
+Carbon Intensity API figures the paper plots in Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.grid.fuels import (
+    FUEL_INTENSITY_G_PER_KWH,
+    FUEL_LIFECYCLE_INTENSITY_G_PER_KWH,
+    Fuel,
+)
+
+_SHARE_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class GenerationMix:
+    """Shares of demand met by each fuel; shares must sum to 1.
+
+    Construct either directly from a mapping of :class:`Fuel` to share, or
+    with :meth:`from_percentages` when working with API-style percentage
+    figures.
+    """
+
+    shares: Mapping[Fuel, float]
+
+    def __post_init__(self):
+        shares = dict(self.shares)
+        if not shares:
+            raise ValueError("a generation mix needs at least one fuel share")
+        for fuel, share in shares.items():
+            if not isinstance(fuel, Fuel):
+                raise ValueError(f"mix keys must be Fuel members, got {fuel!r}")
+            if share < 0:
+                raise ValueError(f"share for {fuel.value} must be non-negative")
+        total = sum(shares.values())
+        if abs(total - 1.0) > 1e-3:
+            raise ValueError(f"fuel shares must sum to 1.0, got {total:.6f}")
+        # Renormalise away rounding error so downstream arithmetic is exact.
+        if abs(total - 1.0) > _SHARE_TOLERANCE:
+            shares = {fuel: share / total for fuel, share in shares.items()}
+        object.__setattr__(self, "shares", dict(shares))
+
+    @classmethod
+    def from_percentages(cls, percentages: Mapping[Fuel, float]) -> "GenerationMix":
+        """Build a mix from percentage figures (summing to ~100)."""
+        return cls({fuel: pct / 100.0 for fuel, pct in percentages.items()})
+
+    def share(self, fuel: Fuel) -> float:
+        """The share of demand met by ``fuel`` (0 when absent from the mix)."""
+        return float(self.shares.get(fuel, 0.0))
+
+    @property
+    def fossil_share(self) -> float:
+        """Combined share of gas and coal generation."""
+        return self.share(Fuel.GAS) + self.share(Fuel.COAL)
+
+    @property
+    def renewable_share(self) -> float:
+        """Combined share of wind, solar and hydro generation."""
+        return self.share(Fuel.WIND) + self.share(Fuel.SOLAR) + self.share(Fuel.HYDRO)
+
+    @property
+    def zero_carbon_share(self) -> float:
+        """Renewables plus nuclear."""
+        return self.renewable_share + self.share(Fuel.NUCLEAR)
+
+    def intensity_g_per_kwh(
+        self, factors: Mapping[Fuel, float] | None = None
+    ) -> float:
+        """The grid carbon intensity implied by this mix (gCO2e/kWh).
+
+        ``factors`` defaults to the direct generation factors; pass
+        :data:`~repro.grid.fuels.FUEL_LIFECYCLE_INTENSITY_G_PER_KWH` to
+        include generation-asset lifecycle emissions (paper section 6).
+        """
+        factors = factors if factors is not None else FUEL_INTENSITY_G_PER_KWH
+        return float(
+            sum(share * factors.get(fuel, 0.0) for fuel, share in self.shares.items())
+        )
+
+    def lifecycle_intensity_g_per_kwh(self) -> float:
+        """Intensity including the lifecycle emissions of generation assets."""
+        return self.intensity_g_per_kwh(FUEL_LIFECYCLE_INTENSITY_G_PER_KWH)
+
+    def blended_with(self, other: "GenerationMix", weight_other: float) -> "GenerationMix":
+        """Linearly blend two mixes (used to interpolate between conditions)."""
+        if not 0.0 <= weight_other <= 1.0:
+            raise ValueError("weight_other must be in [0, 1]")
+        fuels = set(self.shares) | set(other.shares)
+        blended: Dict[Fuel, float] = {}
+        for fuel in fuels:
+            blended[fuel] = (
+                (1.0 - weight_other) * self.share(fuel) + weight_other * other.share(fuel)
+            )
+        return GenerationMix(blended)
+
+
+#: A windy-night GB mix (low demand, high wind): intensity well under 100.
+GB_MIX_LOW_CARBON = GenerationMix(
+    {
+        Fuel.WIND: 0.55,
+        Fuel.NUCLEAR: 0.17,
+        Fuel.GAS: 0.12,
+        Fuel.IMPORTS: 0.07,
+        Fuel.BIOMASS: 0.05,
+        Fuel.HYDRO: 0.02,
+        Fuel.SOLAR: 0.02,
+    }
+)
+
+#: A typical GB shoulder mix.
+GB_MIX_TYPICAL = GenerationMix(
+    {
+        Fuel.GAS: 0.38,
+        Fuel.WIND: 0.25,
+        Fuel.NUCLEAR: 0.15,
+        Fuel.IMPORTS: 0.08,
+        Fuel.BIOMASS: 0.07,
+        Fuel.SOLAR: 0.03,
+        Fuel.HYDRO: 0.02,
+        Fuel.COAL: 0.02,
+    }
+)
+
+#: A still, cold evening-peak GB mix (high gas plus some coal).
+GB_MIX_HIGH_CARBON = GenerationMix(
+    {
+        Fuel.GAS: 0.58,
+        Fuel.WIND: 0.08,
+        Fuel.NUCLEAR: 0.14,
+        Fuel.IMPORTS: 0.06,
+        Fuel.BIOMASS: 0.08,
+        Fuel.COAL: 0.04,
+        Fuel.SOLAR: 0.0,
+        Fuel.HYDRO: 0.02,
+    }
+)
+
+
+__all__ = [
+    "GenerationMix",
+    "GB_MIX_LOW_CARBON",
+    "GB_MIX_TYPICAL",
+    "GB_MIX_HIGH_CARBON",
+]

@@ -1,0 +1,163 @@
+"""Grid regions and a registry of representative regional grids.
+
+All IRIS sites draw from the GB grid, but the examples and ablation benches
+compare siting decisions across regions with very different generation
+mixes (a key lever the paper identifies for reducing active carbon).  A
+:class:`GridRegion` carries the synthetic-model parameters characterising
+each region and can generate an intensity series for any window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.grid.intensity import CarbonIntensitySeries
+from repro.grid.synthetic import NOVEMBER_2022_SEED, SyntheticGridModel
+from repro.units.quantities import CarbonIntensity
+
+
+@dataclass(frozen=True)
+class GridRegion:
+    """A named electricity grid region.
+
+    Attributes
+    ----------
+    code:
+        Short code (``"GB"``, ``"FR"``...), referenced by
+        :class:`~repro.inventory.site.Facility.grid_region`.
+    name:
+        Human-readable name.
+    model:
+        Synthetic-mix model parameters characterising the region.
+    annual_average_g_per_kwh:
+        Published annual average intensity, used when no time series is
+        needed (spend-style baselines).
+    """
+
+    code: str
+    name: str
+    model: SyntheticGridModel
+    annual_average_g_per_kwh: float
+
+    def __post_init__(self):
+        if not self.code:
+            raise ValueError("region code must be non-empty")
+        if self.annual_average_g_per_kwh < 0:
+            raise ValueError("annual average intensity must be non-negative")
+
+    def average_intensity(self) -> CarbonIntensity:
+        """The published annual-average intensity as a quantity."""
+        return CarbonIntensity(self.annual_average_g_per_kwh)
+
+    def intensity_series(
+        self, days: float, step_s: float = 1800.0, seed: int = NOVEMBER_2022_SEED
+    ) -> CarbonIntensitySeries:
+        """Generate a synthetic intensity series for this region."""
+        return self.model.generate_intensity(
+            days=days, step_s=step_s, seed=seed, region=self.code
+        )
+
+
+class GridRegionRegistry:
+    """A code-keyed registry of :class:`GridRegion`."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[str, GridRegion] = {}
+
+    def register(self, region: GridRegion) -> None:
+        """Register a region; raises ``ValueError`` on duplicate codes."""
+        if region.code in self._regions:
+            raise ValueError(f"region {region.code!r} already registered")
+        self._regions[region.code] = region
+
+    def get(self, code: str) -> GridRegion:
+        """Look up a region by code."""
+        try:
+            return self._regions[code]
+        except KeyError:
+            raise KeyError(f"no grid region {code!r} registered") from None
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._regions
+
+    def __iter__(self) -> Iterator[GridRegion]:
+        return iter(self._regions.values())
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def codes(self) -> list[str]:
+        return sorted(self._regions)
+
+
+def default_regions() -> GridRegionRegistry:
+    """The default registry: GB plus three contrasting regions.
+
+    The non-GB regions are coarse caricatures (constant parameters, not
+    calendar-accurate) used only for what-if comparisons in the examples.
+    """
+    registry = GridRegionRegistry()
+    registry.register(
+        GridRegion(
+            code="GB",
+            name="Great Britain",
+            model=SyntheticGridModel(),
+            annual_average_g_per_kwh=200.0,
+        )
+    )
+    registry.register(
+        GridRegion(
+            code="FR",
+            name="France (nuclear-dominated)",
+            model=SyntheticGridModel(
+                wind_mean_share=0.12,
+                wind_share_std=0.08,
+                nuclear_share_of_mean_demand=0.65,
+                imports_share=0.03,
+                biomass_share=0.02,
+                hydro_share=0.10,
+                solar_noon_share=0.04,
+            ),
+            annual_average_g_per_kwh=55.0,
+        )
+    )
+    registry.register(
+        GridRegion(
+            code="PL",
+            name="Poland (coal-heavy)",
+            model=SyntheticGridModel(
+                wind_mean_share=0.12,
+                wind_share_std=0.08,
+                nuclear_share_of_mean_demand=0.0,
+                imports_share=0.02,
+                biomass_share=0.04,
+                hydro_share=0.01,
+                solar_noon_share=0.03,
+                coal_trigger_gas_share=0.0,
+                coal_share_when_triggered=0.55,
+            ),
+            annual_average_g_per_kwh=650.0,
+        )
+    )
+    registry.register(
+        GridRegion(
+            code="NO",
+            name="Norway (hydro-dominated)",
+            model=SyntheticGridModel(
+                wind_mean_share=0.10,
+                wind_share_std=0.05,
+                nuclear_share_of_mean_demand=0.0,
+                imports_share=0.02,
+                biomass_share=0.0,
+                hydro_share=0.85,
+                solar_noon_share=0.0,
+            ),
+            annual_average_g_per_kwh=25.0,
+        )
+    )
+    return registry
+
+
+__all__ = ["GridRegion", "GridRegionRegistry", "default_regions"]

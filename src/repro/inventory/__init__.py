@@ -1,0 +1,74 @@
+"""Hardware inventory substrate.
+
+The IRISCAST audit starts from an inventory of everything the DRI is made of
+(Table 1 of the paper): compute nodes, storage nodes, the network that joins
+them, and the facilities that host them.  This package models that inventory:
+
+* :mod:`~repro.inventory.components` — specifications of the parts a node is
+  built from (CPU, DRAM, SSD/HDD, GPU, PSU, mainboard, chassis, NIC).  These
+  feed both the power model (idle/max draw) and the bottom-up embodied-carbon
+  estimator.
+* :mod:`~repro.inventory.node` — node specifications and node classes
+  (compute, storage, login, service).
+* :mod:`~repro.inventory.network` — switches and the site network fabric.
+* :mod:`~repro.inventory.site` — racks, machine rooms and sites, plus the
+  facility attributes (PUE, grid region) needed by the carbon model.
+* :mod:`~repro.inventory.infrastructure` — the DRI itself: a named collection
+  of sites with convenient aggregation queries.
+* :mod:`~repro.inventory.catalog` — a registry of reference node and switch
+  configurations used by the simulator and the examples.
+* :mod:`~repro.inventory.iris` — the IRIS inventory exactly as reported in
+  Table 1 of the paper.
+"""
+
+from repro.inventory.components import (
+    ChassisSpec,
+    ComponentSpec,
+    CPUSpec,
+    GPUSpec,
+    MainboardSpec,
+    MemorySpec,
+    NICSpec,
+    PSUSpec,
+    StorageDeviceSpec,
+    StorageMedium,
+)
+from repro.inventory.node import NodeClass, NodeSpec, NodeInstance
+from repro.inventory.network import NetworkFabric, SwitchSpec
+from repro.inventory.site import Facility, Rack, Site
+from repro.inventory.infrastructure import DigitalResearchInfrastructure
+from repro.inventory.catalog import HardwareCatalog, default_catalog
+from repro.inventory.iris import (
+    IRIS_SITE_NODE_COUNTS,
+    IRIS_SNAPSHOT_MEASURED_NODES,
+    build_iris_infrastructure,
+    iris_inventory_table,
+)
+
+__all__ = [
+    "ChassisSpec",
+    "ComponentSpec",
+    "CPUSpec",
+    "GPUSpec",
+    "MainboardSpec",
+    "MemorySpec",
+    "NICSpec",
+    "PSUSpec",
+    "StorageDeviceSpec",
+    "StorageMedium",
+    "NodeClass",
+    "NodeSpec",
+    "NodeInstance",
+    "NetworkFabric",
+    "SwitchSpec",
+    "Facility",
+    "Rack",
+    "Site",
+    "DigitalResearchInfrastructure",
+    "HardwareCatalog",
+    "default_catalog",
+    "IRIS_SITE_NODE_COUNTS",
+    "IRIS_SNAPSHOT_MEASURED_NODES",
+    "build_iris_infrastructure",
+    "iris_inventory_table",
+]

@@ -1,0 +1,252 @@
+"""A registry of reference hardware configurations.
+
+The IRIS inventories describe nodes only by role and count, so the
+reproduction needs representative node configurations to drive the power
+model and the bottom-up embodied estimator.  :func:`default_catalog` builds
+a catalog of such configurations chosen so that
+
+* compute-node wall power sits in the 300-450 W band typical of dual-socket
+  HPC nodes of the IRIS generation, and
+* per-node embodied carbon falls inside the paper's [400, 1100] kgCO2 band.
+
+Users reproducing their own infrastructure register their own specs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.inventory.components import (
+    ChassisSpec,
+    CPUSpec,
+    GPUSpec,
+    MainboardSpec,
+    MemorySpec,
+    NICSpec,
+    PSUSpec,
+    StorageDeviceSpec,
+    StorageMedium,
+)
+from repro.inventory.network import SwitchSpec
+from repro.inventory.node import NodeClass, NodeSpec
+
+
+class HardwareCatalog:
+    """A name-keyed registry of :class:`NodeSpec` and :class:`SwitchSpec`.
+
+    The catalog enforces unique names and offers simple queries by node
+    class, which the site builders use to pick a representative spec for
+    each role.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, NodeSpec] = {}
+        self._switches: Dict[str, SwitchSpec] = {}
+
+    # -- node specs ----------------------------------------------------------
+
+    def register_node(self, spec: NodeSpec) -> None:
+        """Register a node spec; raises ``ValueError`` on duplicate names."""
+        if spec.model in self._nodes:
+            raise ValueError(f"node spec {spec.model!r} already registered")
+        self._nodes[spec.model] = spec
+
+    def node(self, model: str) -> NodeSpec:
+        """Look up a node spec by model name."""
+        try:
+            return self._nodes[model]
+        except KeyError:
+            raise KeyError(f"no node spec {model!r} in catalog") from None
+
+    def nodes_of_class(self, node_class: NodeClass) -> List[NodeSpec]:
+        """All registered specs with the given role."""
+        return [spec for spec in self._nodes.values() if spec.node_class is node_class]
+
+    @property
+    def node_models(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __contains__(self, model: str) -> bool:
+        return model in self._nodes or model in self._switches
+
+    def __len__(self) -> int:
+        return len(self._nodes) + len(self._switches)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(list(self._nodes) + list(self._switches)))
+
+    # -- switch specs -----------------------------------------------------------
+
+    def register_switch(self, spec: SwitchSpec) -> None:
+        """Register a switch spec; raises ``ValueError`` on duplicate names."""
+        if spec.model in self._switches:
+            raise ValueError(f"switch spec {spec.model!r} already registered")
+        self._switches[spec.model] = spec
+
+    def switch(self, model: str) -> SwitchSpec:
+        """Look up a switch spec by model name."""
+        try:
+            return self._switches[model]
+        except KeyError:
+            raise KeyError(f"no switch spec {model!r} in catalog") from None
+
+    @property
+    def switch_models(self) -> List[str]:
+        return sorted(self._switches)
+
+
+def _standard_compute_node() -> NodeSpec:
+    """Dual-socket CPU compute node representative of the IRIS fleet."""
+    return NodeSpec(
+        model="cpu-compute-standard",
+        node_class=NodeClass.COMPUTE,
+        cpus=(
+            CPUSpec(model="xeon-32c", cores=32, tdp_w=185.0, die_area_mm2=620.0),
+            CPUSpec(model="xeon-32c", cores=32, tdp_w=185.0, die_area_mm2=620.0),
+        ),
+        memory=MemorySpec(model="ddr4-256g", capacity_gb=256.0, dimm_count=16,
+                          power_per_dimm_w=4.0),
+        storage=(
+            StorageDeviceSpec(model="boot-ssd", capacity_tb=0.48,
+                              medium=StorageMedium.SSD,
+                              active_power_w=6.0, idle_power_w=2.5),
+        ),
+        psu=PSUSpec(model="800w-platinum", rated_w=800.0, efficiency=0.94, count=2),
+        mainboard=MainboardSpec(model="dual-socket-board", base_power_w=40.0),
+        chassis=ChassisSpec(model="1u-rack", mass_kg=18.0, rack_units=1),
+        nics=(NICSpec(model="cx-25g", speed_gbps=25.0, power_w=14.0, ports=2),),
+        embodied_kgco2_datasheet=750.0,
+    )
+
+
+def _small_compute_node() -> NodeSpec:
+    """Single-socket compute node (smaller university clusters)."""
+    return NodeSpec(
+        model="cpu-compute-small",
+        node_class=NodeClass.COMPUTE,
+        cpus=(CPUSpec(model="xeon-32c", cores=32, tdp_w=185.0, die_area_mm2=620.0),),
+        memory=MemorySpec(model="ddr4-128g", capacity_gb=128.0, dimm_count=8,
+                          power_per_dimm_w=4.0),
+        storage=(
+            StorageDeviceSpec(model="boot-ssd", capacity_tb=0.48,
+                              medium=StorageMedium.SSD,
+                              active_power_w=6.0, idle_power_w=2.5),
+        ),
+        psu=PSUSpec(model="550w-platinum", rated_w=550.0, efficiency=0.94, count=2),
+        mainboard=MainboardSpec(model="single-socket-board", base_power_w=30.0),
+        chassis=ChassisSpec(model="1u-rack", mass_kg=16.0, rack_units=1),
+        nics=(NICSpec(model="cx-25g", speed_gbps=25.0, power_w=14.0, ports=2),),
+        embodied_kgco2_datasheet=520.0,
+    )
+
+
+def _highmem_compute_node() -> NodeSpec:
+    """Large-memory compute node (cloud hosting / analysis workloads)."""
+    return NodeSpec(
+        model="cpu-compute-highmem",
+        node_class=NodeClass.COMPUTE,
+        cpus=(
+            CPUSpec(model="epyc-48c", cores=48, tdp_w=225.0, die_area_mm2=700.0),
+            CPUSpec(model="epyc-48c", cores=48, tdp_w=225.0, die_area_mm2=700.0),
+        ),
+        memory=MemorySpec(model="ddr4-1t", capacity_gb=1024.0, dimm_count=32,
+                          power_per_dimm_w=4.5),
+        storage=(
+            StorageDeviceSpec(model="nvme-2t", capacity_tb=1.92,
+                              medium=StorageMedium.NVME,
+                              active_power_w=9.0, idle_power_w=4.0),
+        ),
+        psu=PSUSpec(model="1200w-platinum", rated_w=1200.0, efficiency=0.94, count=2),
+        mainboard=MainboardSpec(model="dual-socket-board", base_power_w=45.0),
+        chassis=ChassisSpec(model="2u-rack", mass_kg=26.0, rack_units=2),
+        nics=(NICSpec(model="cx-100g", speed_gbps=100.0, power_w=20.0, ports=2),),
+        embodied_kgco2_datasheet=1050.0,
+    )
+
+
+def _storage_node() -> NodeSpec:
+    """Disk-heavy storage server (Ceph / Lustre OSS style)."""
+    drives = tuple(
+        StorageDeviceSpec(model=f"hdd-16t-{i}", capacity_tb=16.0,
+                          medium=StorageMedium.HDD,
+                          active_power_w=8.5, idle_power_w=5.5)
+        for i in range(24)
+    ) + (
+        StorageDeviceSpec(model="journal-nvme", capacity_tb=1.92,
+                          medium=StorageMedium.NVME,
+                          active_power_w=9.0, idle_power_w=4.0),
+    )
+    return NodeSpec(
+        model="storage-server",
+        node_class=NodeClass.STORAGE,
+        cpus=(CPUSpec(model="xeon-16c", cores=16, tdp_w=125.0, die_area_mm2=400.0),),
+        memory=MemorySpec(model="ddr4-192g", capacity_gb=192.0, dimm_count=12,
+                          power_per_dimm_w=4.0),
+        storage=drives,
+        psu=PSUSpec(model="1100w-platinum", rated_w=1100.0, efficiency=0.93, count=2),
+        mainboard=MainboardSpec(model="storage-board", base_power_w=45.0),
+        chassis=ChassisSpec(model="4u-storage", mass_kg=40.0, rack_units=4),
+        nics=(NICSpec(model="cx-25g", speed_gbps=25.0, power_w=14.0, ports=2),),
+        embodied_kgco2_datasheet=1100.0,
+    )
+
+
+def _login_node() -> NodeSpec:
+    """Login / interactive node."""
+    return NodeSpec(
+        model="login-node",
+        node_class=NodeClass.LOGIN,
+        cpus=(CPUSpec(model="xeon-16c", cores=16, tdp_w=125.0, die_area_mm2=400.0),),
+        memory=MemorySpec(model="ddr4-128g", capacity_gb=128.0, dimm_count=8,
+                          power_per_dimm_w=4.0),
+        storage=(
+            StorageDeviceSpec(model="boot-ssd", capacity_tb=0.96,
+                              medium=StorageMedium.SSD,
+                              active_power_w=6.0, idle_power_w=2.5),
+        ),
+        psu=PSUSpec(model="550w-gold", rated_w=550.0, efficiency=0.92, count=2),
+        mainboard=MainboardSpec(model="single-socket-board", base_power_w=30.0),
+        chassis=ChassisSpec(model="1u-rack", mass_kg=16.0, rack_units=1),
+        nics=(NICSpec(model="cx-25g", speed_gbps=25.0, power_w=14.0, ports=2),),
+        embodied_kgco2_datasheet=500.0,
+    )
+
+
+def _service_node() -> NodeSpec:
+    """Service/management node (scheduler, monitoring, provisioning)."""
+    return NodeSpec(
+        model="service-node",
+        node_class=NodeClass.SERVICE,
+        cpus=(CPUSpec(model="xeon-8c", cores=8, tdp_w=85.0, die_area_mm2=250.0),),
+        memory=MemorySpec(model="ddr4-64g", capacity_gb=64.0, dimm_count=4,
+                          power_per_dimm_w=4.0),
+        storage=(
+            StorageDeviceSpec(model="boot-ssd", capacity_tb=0.48,
+                              medium=StorageMedium.SSD,
+                              active_power_w=6.0, idle_power_w=2.5),
+        ),
+        psu=PSUSpec(model="450w-gold", rated_w=450.0, efficiency=0.91, count=1),
+        mainboard=MainboardSpec(model="single-socket-board", base_power_w=25.0),
+        chassis=ChassisSpec(model="1u-rack", mass_kg=14.0, rack_units=1),
+        nics=(NICSpec(model="1g-onboard", speed_gbps=1.0, power_w=3.0, ports=2),),
+        embodied_kgco2_datasheet=400.0,
+    )
+
+
+def default_catalog() -> HardwareCatalog:
+    """Build the default reference catalog used by the IRIS reproduction."""
+    catalog = HardwareCatalog()
+    catalog.register_node(_standard_compute_node())
+    catalog.register_node(_small_compute_node())
+    catalog.register_node(_highmem_compute_node())
+    catalog.register_node(_storage_node())
+    catalog.register_node(_login_node())
+    catalog.register_node(_service_node())
+    catalog.register_switch(SwitchSpec(model="tor-48p-25g", ports=48, power_w=150.0,
+                                       embodied_kgco2=300.0, lifetime_years=7.0))
+    catalog.register_switch(SwitchSpec(model="spine-32p-100g", ports=32, power_w=250.0,
+                                       embodied_kgco2=450.0, lifetime_years=7.0))
+    return catalog
+
+
+__all__ = ["HardwareCatalog", "default_catalog"]

@@ -1,0 +1,234 @@
+"""Component-level hardware specifications.
+
+A node is described as a bill of materials of the components below.  Each
+spec carries the attributes needed by the two downstream consumers:
+
+* the **power model** (:mod:`repro.power.node_power`) uses idle/max power
+  figures (TDP for CPUs/GPUs, per-DIMM and per-drive draw for memory and
+  storage);
+* the **embodied-carbon estimator** (:mod:`repro.embodied.bottom_up`) uses
+  manufacturing-relevant attributes (die area, DRAM capacity, storage
+  capacity and medium, chassis mass).
+
+Values are validated on construction so that an inventory assembled from CSV
+files fails early rather than producing nonsense carbon numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class StorageMedium(Enum):
+    """Storage technology; embodied and active factors differ widely."""
+
+    SSD = "ssd"
+    HDD = "hdd"
+    NVME = "nvme"
+
+
+def _require_positive(value: float, name: str) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def _require_non_negative(value: float, name: str) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Base class for hardware component specifications.
+
+    Attributes
+    ----------
+    model:
+        Free-form model name, used for reporting and catalog lookups.
+    """
+
+    model: str
+
+    def __post_init__(self):
+        if not self.model:
+            raise ValueError("component model name must be non-empty")
+
+
+@dataclass(frozen=True)
+class CPUSpec(ComponentSpec):
+    """A CPU package.
+
+    Attributes
+    ----------
+    cores:
+        Number of physical cores.
+    tdp_w:
+        Thermal design power in watts; used as the package's maximum
+        sustained draw by the power model.
+    die_area_mm2:
+        Total die area in square millimetres; drives the wafer-production
+        term of the bottom-up embodied estimate.
+    base_clock_ghz:
+        Nominal clock, used only for reporting.
+    """
+
+    cores: int = 32
+    tdp_w: float = 180.0
+    die_area_mm2: float = 600.0
+    base_clock_ghz: float = 2.4
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.cores, "cores")
+        _require_positive(self.tdp_w, "tdp_w")
+        _require_positive(self.die_area_mm2, "die_area_mm2")
+        _require_positive(self.base_clock_ghz, "base_clock_ghz")
+
+
+@dataclass(frozen=True)
+class MemorySpec(ComponentSpec):
+    """Installed DRAM.
+
+    Attributes
+    ----------
+    capacity_gb:
+        Total installed capacity in gigabytes.
+    dimm_count:
+        Number of DIMMs; per-DIMM idle power is roughly constant so the
+        count matters more than capacity for the idle draw.
+    power_per_dimm_w:
+        Active power per DIMM in watts.
+    """
+
+    capacity_gb: float = 256.0
+    dimm_count: int = 8
+    power_per_dimm_w: float = 4.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.capacity_gb, "capacity_gb")
+        _require_positive(self.dimm_count, "dimm_count")
+        _require_non_negative(self.power_per_dimm_w, "power_per_dimm_w")
+
+
+@dataclass(frozen=True)
+class StorageDeviceSpec(ComponentSpec):
+    """A storage drive (SSD, NVMe or HDD).
+
+    Attributes
+    ----------
+    capacity_tb:
+        Capacity in terabytes.
+    medium:
+        Storage technology; SSD/NVMe embodied carbon per TB is roughly an
+        order of magnitude above HDD.
+    active_power_w / idle_power_w:
+        Electrical draw when busy / idle.
+    """
+
+    capacity_tb: float = 1.0
+    medium: StorageMedium = StorageMedium.SSD
+    active_power_w: float = 8.0
+    idle_power_w: float = 4.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.capacity_tb, "capacity_tb")
+        if not isinstance(self.medium, StorageMedium):
+            raise ValueError(f"medium must be a StorageMedium, got {self.medium!r}")
+        _require_non_negative(self.active_power_w, "active_power_w")
+        _require_non_negative(self.idle_power_w, "idle_power_w")
+        if self.idle_power_w > self.active_power_w:
+            raise ValueError("idle_power_w must not exceed active_power_w")
+
+
+@dataclass(frozen=True)
+class GPUSpec(ComponentSpec):
+    """An accelerator card."""
+
+    tdp_w: float = 300.0
+    die_area_mm2: float = 800.0
+    memory_gb: float = 40.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.tdp_w, "tdp_w")
+        _require_positive(self.die_area_mm2, "die_area_mm2")
+        _require_positive(self.memory_gb, "memory_gb")
+
+
+@dataclass(frozen=True)
+class PSUSpec(ComponentSpec):
+    """A power supply unit.
+
+    ``efficiency`` is the AC-to-DC conversion efficiency at typical load
+    (e.g. 0.94 for an 80 PLUS Platinum unit); losses show up as extra wall
+    power in the node power model.
+    """
+
+    rated_w: float = 800.0
+    efficiency: float = 0.92
+    count: int = 2
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.rated_w, "rated_w")
+        if not 0.5 < self.efficiency <= 1.0:
+            raise ValueError(
+                f"PSU efficiency must be in (0.5, 1.0], got {self.efficiency!r}"
+            )
+        _require_positive(self.count, "count")
+
+
+@dataclass(frozen=True)
+class MainboardSpec(ComponentSpec):
+    """The mainboard plus fixed peripherals (BMC, fans, VRMs)."""
+
+    base_power_w: float = 35.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_non_negative(self.base_power_w, "base_power_w")
+
+
+@dataclass(frozen=True)
+class ChassisSpec(ComponentSpec):
+    """The enclosure; mass drives the sheet-metal embodied term."""
+
+    mass_kg: float = 20.0
+    rack_units: int = 1
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.mass_kg, "mass_kg")
+        _require_positive(self.rack_units, "rack_units")
+
+
+@dataclass(frozen=True)
+class NICSpec(ComponentSpec):
+    """A network interface card."""
+
+    speed_gbps: float = 25.0
+    power_w: float = 15.0
+    ports: int = 2
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.speed_gbps, "speed_gbps")
+        _require_non_negative(self.power_w, "power_w")
+        _require_positive(self.ports, "ports")
+
+
+__all__ = [
+    "StorageMedium",
+    "ComponentSpec",
+    "CPUSpec",
+    "MemorySpec",
+    "StorageDeviceSpec",
+    "GPUSpec",
+    "PSUSpec",
+    "MainboardSpec",
+    "ChassisSpec",
+    "NICSpec",
+]

@@ -1,0 +1,99 @@
+"""The digital research infrastructure (DRI) aggregate.
+
+A :class:`DigitalResearchInfrastructure` is a named collection of sites —
+the object the carbon model is evaluated over.  It provides the aggregate
+queries the model and the reporting layer need (node counts by site and
+class, all nodes, per-site lookup) without owning any carbon or energy
+semantics itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.inventory.node import NodeClass, NodeInstance
+from repro.inventory.site import Site
+
+
+class DigitalResearchInfrastructure:
+    """A federation of provider sites operated as one research infrastructure.
+
+    Parameters
+    ----------
+    name:
+        Infrastructure name (``"IRIS"`` in the paper).
+    sites:
+        The participating sites; site names must be unique.
+    """
+
+    def __init__(self, name: str, sites: Iterable[Site]):
+        if not name:
+            raise ValueError("infrastructure name must be non-empty")
+        self._name = name
+        self._sites: Tuple[Site, ...] = tuple(sites)
+        if not self._sites:
+            raise ValueError("an infrastructure needs at least one site")
+        names = [site.name for site in self._sites]
+        if len(names) != len(set(names)):
+            raise ValueError("site names must be unique")
+        self._by_name: Dict[str, Site] = {site.name: site for site in self._sites}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def sites(self) -> Tuple[Site, ...]:
+        return self._sites
+
+    @property
+    def site_names(self) -> List[str]:
+        return [site.name for site in self._sites]
+
+    def site(self, name: str) -> Site:
+        """Look up a site by name; raises ``KeyError`` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no site {name!r} in infrastructure {self._name!r}") from None
+
+    # -- aggregate queries --------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[NodeInstance]:
+        """Every installed node across all sites."""
+        return [node for site in self._sites for node in site.nodes]
+
+    @property
+    def node_count(self) -> int:
+        return sum(site.node_count for site in self._sites)
+
+    def node_count_by_site(self) -> Dict[str, int]:
+        """Node counts keyed by site name."""
+        return {site.name: site.node_count for site in self._sites}
+
+    def node_count_by_class(self) -> Dict[NodeClass, int]:
+        """Node counts keyed by functional class across the whole DRI."""
+        counts: Dict[NodeClass, int] = {}
+        for site in self._sites:
+            for node_class, count in site.count_by_class().items():
+                counts[node_class] = counts.get(node_class, 0) + count
+        return counts
+
+    def nodes_of_class(self, node_class: NodeClass) -> List[NodeInstance]:
+        """Every node of the given class across all sites."""
+        return [node for site in self._sites for node in site.nodes_of_class(node_class)]
+
+    @property
+    def switch_count(self) -> int:
+        """Total switches across all site fabrics."""
+        return sum(site.network.switch_count for site in self._sites)
+
+    def __repr__(self) -> str:
+        return (
+            f"DigitalResearchInfrastructure(name={self._name!r}, "
+            f"sites={len(self._sites)}, nodes={self.node_count})"
+        )
+
+
+__all__ = ["DigitalResearchInfrastructure"]

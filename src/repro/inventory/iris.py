@@ -1,0 +1,250 @@
+"""The IRIS inventory and the paper's reference data.
+
+This module encodes, as data, everything the paper reports about the IRIS
+digital research infrastructure:
+
+* Table 1 — the hardware contributed by each site
+  (:data:`IRIS_SITE_NODE_COUNTS`);
+* the "Nodes" column of Table 2 — how many nodes were actually captured by
+  the snapshot measurement at each site
+  (:data:`IRIS_SNAPSHOT_MEASURED_NODES`);
+* the measured per-site energy of Table 2
+  (:data:`PAPER_TABLE2_ENERGY_KWH`, :data:`PAPER_TABLE2_TOTAL_KWH`);
+* the server count implied by the arithmetic of Table 4
+  (:data:`IRIS_IMPLIED_SERVER_COUNT`).
+
+It also provides :func:`build_iris_infrastructure`, which assembles a
+:class:`~repro.inventory.infrastructure.DigitalResearchInfrastructure`
+mirroring the IRIS snapshot using representative node configurations from
+the default catalog, and :func:`iris_inventory_table`, which renders the
+Table 1 summary rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.inventory.catalog import HardwareCatalog, default_catalog
+from repro.inventory.infrastructure import DigitalResearchInfrastructure
+from repro.inventory.node import NodeClass, NodeInstance, NodeSpec
+from repro.inventory.site import Facility, Rack, Site
+
+# --------------------------------------------------------------------------
+# Table 1: hardware included in the project, by site.
+# Keys are (site, node_class); values are node counts.
+# --------------------------------------------------------------------------
+
+IRIS_SITE_NODE_COUNTS: Dict[str, Dict[str, int]] = {
+    "QMUL": {"cpu": 118},
+    "CAM": {"cpu": 60},
+    "DUR": {"cpu": 808, "storage": 64},
+    "STFC SCARF": {"cpu": 699},
+    "STFC CLOUD": {"cpu": 651, "storage": 105},
+    "IMP": {"cpu": 241},
+}
+
+#: Human-readable site descriptions, as used in Table 1.
+IRIS_SITE_DESCRIPTIONS: Dict[str, str] = {
+    "QMUL": "Queen Mary University of London",
+    "CAM": "Cambridge University",
+    "DUR": "Durham University",
+    "STFC SCARF": "Rutherford Appleton Laboratory (SCARF HPC system)",
+    "STFC CLOUD": "Rutherford Appleton Laboratory (STFC Cloud)",
+    "IMP": "Imperial College London",
+}
+
+# --------------------------------------------------------------------------
+# Table 2: the snapshot measurement.  Node counts actually captured, and the
+# energy reported by each measurement method (kWh over the 24 h snapshot).
+# A value of None means that method was not available at that site.
+# --------------------------------------------------------------------------
+
+IRIS_SNAPSHOT_MEASURED_NODES: Dict[str, int] = {
+    "QMUL": 118,
+    "CAM": 59,
+    "DUR": 876,
+    "STFC CLOUD": 721,
+    "STFC SCARF": 571,
+    "IMP": 117,
+}
+
+PAPER_TABLE2_ENERGY_KWH: Dict[str, Dict[str, Optional[float]]] = {
+    "QMUL": {"facility": 1299.0, "pdu": 1299.0, "ipmi": 1279.0, "turbostat": 1214.0},
+    "CAM": {"facility": 261.0, "pdu": None, "ipmi": 261.0, "turbostat": None},
+    "DUR": {"facility": 8154.0, "pdu": 8154.0, "ipmi": 6267.0, "turbostat": None},
+    "STFC CLOUD": {"facility": 3831.0, "pdu": None, "ipmi": 3831.0, "turbostat": None},
+    "STFC SCARF": {"facility": 4271.0, "pdu": 4271.0, "ipmi": 3292.0, "turbostat": None},
+    "IMP": {"facility": 944.0, "pdu": None, "ipmi": 944.0, "turbostat": None},
+}
+
+#: The paper's reported total for the snapshot (kWh): the widest-scope
+#: measurement available at each site, summed across sites.
+PAPER_TABLE2_TOTAL_KWH: float = 18760.0
+
+#: Server count implied by the arithmetic of Table 4 (snapshot embodied
+#: carbon divided by per-server-per-day embodied carbon).  This differs
+#: slightly from the sum of the Table 2 "Nodes" column (2462); the
+#: discrepancy is recorded in EXPERIMENTS.md.
+IRIS_IMPLIED_SERVER_COUNT: int = 2398
+
+#: Duration of the snapshot evaluation, in hours.
+IRIS_SNAPSHOT_HOURS: float = 24.0
+
+#: Average per-node wall power (watts) implied by Table 2 (widest-scope
+#: energy divided by node count and snapshot duration).  Used to calibrate
+#: the workload simulator so that the simulated campaign lands on the
+#: paper's per-site energy.
+IRIS_SITE_MEAN_NODE_POWER_W: Dict[str, float] = {
+    site: 1000.0 * max(v for v in methods.values() if v is not None)
+    / (IRIS_SNAPSHOT_MEASURED_NODES[site] * IRIS_SNAPSHOT_HOURS)
+    for site, methods in PAPER_TABLE2_ENERGY_KWH.items()
+}
+
+#: Fraction of each site's measured nodes modelled as storage servers.  The
+#: inventories (Table 1) report storage nodes only at Durham and the STFC
+#: Cloud; the snapshot node counts do not break the split out, so the
+#: Table 1 proportions are applied to the measured counts.
+IRIS_SITE_STORAGE_FRACTION: Dict[str, float] = {
+    "QMUL": 0.0,
+    "CAM": 0.0,
+    "DUR": 64.0 / (808.0 + 64.0),
+    "STFC SCARF": 0.0,
+    "STFC CLOUD": 105.0 / (651.0 + 105.0),
+    "IMP": 0.0,
+}
+
+#: Which measurement methods each site could provide during the snapshot
+#: (the non-empty cells of Table 2).
+IRIS_SITE_MEASUREMENT_METHODS: Dict[str, Tuple[str, ...]] = {
+    site: tuple(method for method, value in methods.items() if value is not None)
+    for site, methods in PAPER_TABLE2_ENERGY_KWH.items()
+}
+
+
+def _site_racks(
+    site_name: str,
+    compute_count: int,
+    storage_count: int,
+    catalog: HardwareCatalog,
+    lifetime_years: float,
+    nodes_per_rack: int = 40,
+) -> List[Rack]:
+    """Pack the requested node counts into racks of ``nodes_per_rack``."""
+    compute_spec = catalog.node("cpu-compute-standard")
+    storage_spec = catalog.node("storage-server")
+    instances: List[NodeInstance] = []
+    for index in range(compute_count):
+        instances.append(
+            NodeInstance(
+                node_id=f"{site_name}-cpu-{index:04d}",
+                spec=compute_spec,
+                lifetime_years=lifetime_years,
+            )
+        )
+    for index in range(storage_count):
+        instances.append(
+            NodeInstance(
+                node_id=f"{site_name}-sto-{index:04d}",
+                spec=storage_spec,
+                lifetime_years=lifetime_years,
+            )
+        )
+    racks: List[Rack] = []
+    for rack_index in range(0, len(instances), nodes_per_rack):
+        chunk = instances[rack_index: rack_index + nodes_per_rack]
+        racks.append(Rack(rack_id=f"{site_name}-rack-{rack_index // nodes_per_rack:02d}",
+                          nodes=tuple(chunk)))
+    if not racks:
+        racks.append(Rack(rack_id=f"{site_name}-rack-00", nodes=()))
+    return racks
+
+
+def build_iris_infrastructure(
+    catalog: Optional[HardwareCatalog] = None,
+    use_measured_counts: bool = True,
+    lifetime_years: float = 5.0,
+    pue: float = 1.3,
+) -> DigitalResearchInfrastructure:
+    """Assemble the IRIS infrastructure from the paper's inventory tables.
+
+    Parameters
+    ----------
+    catalog:
+        Hardware catalog supplying the representative node configurations;
+        the default catalog is used when omitted.
+    use_measured_counts:
+        If True (default) build the infrastructure with the node counts the
+        snapshot actually measured (Table 2, the counts all carbon numbers
+        are based on); if False use the full inventory counts of Table 1.
+    lifetime_years:
+        Amortisation lifetime assigned to every node.
+    pue:
+        Power usage effectiveness assigned to every facility (the paper
+        sweeps this downstream, so the inventory value is only a default).
+    """
+    catalog = catalog or default_catalog()
+    sites: List[Site] = []
+    for site_name in IRIS_SITE_NODE_COUNTS:
+        if use_measured_counts:
+            total = IRIS_SNAPSHOT_MEASURED_NODES[site_name]
+            storage_fraction = IRIS_SITE_STORAGE_FRACTION[site_name]
+            storage_count = int(round(total * storage_fraction))
+            compute_count = total - storage_count
+        else:
+            counts = IRIS_SITE_NODE_COUNTS[site_name]
+            compute_count = counts.get("cpu", 0)
+            storage_count = counts.get("storage", 0)
+        methods = IRIS_SITE_MEASUREMENT_METHODS[site_name]
+        facility = Facility(
+            name=f"{site_name} machine room",
+            pue=pue,
+            grid_region="GB",
+            has_facility_meter="facility" in methods,
+            has_pdu_metering="pdu" in methods,
+        )
+        racks = _site_racks(site_name, compute_count, storage_count, catalog,
+                            lifetime_years)
+        sites.append(
+            Site(
+                name=site_name,
+                racks=racks,
+                facility=facility,
+                description=IRIS_SITE_DESCRIPTIONS[site_name],
+            )
+        )
+    return DigitalResearchInfrastructure(name="IRIS", sites=sites)
+
+
+def iris_inventory_table() -> List[Dict[str, object]]:
+    """Rows reproducing Table 1 of the paper (hardware included per site).
+
+    Each row has ``site``, ``description``, ``cpu_nodes`` and
+    ``storage_nodes`` keys; sites appear in the paper's order.
+    """
+    rows: List[Dict[str, object]] = []
+    for site_name, counts in IRIS_SITE_NODE_COUNTS.items():
+        rows.append(
+            {
+                "site": site_name,
+                "description": IRIS_SITE_DESCRIPTIONS[site_name],
+                "cpu_nodes": counts.get("cpu", 0),
+                "storage_nodes": counts.get("storage", 0),
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "IRIS_SITE_NODE_COUNTS",
+    "IRIS_SITE_DESCRIPTIONS",
+    "IRIS_SNAPSHOT_MEASURED_NODES",
+    "PAPER_TABLE2_ENERGY_KWH",
+    "PAPER_TABLE2_TOTAL_KWH",
+    "IRIS_IMPLIED_SERVER_COUNT",
+    "IRIS_SNAPSHOT_HOURS",
+    "IRIS_SITE_MEAN_NODE_POWER_W",
+    "IRIS_SITE_STORAGE_FRACTION",
+    "IRIS_SITE_MEASUREMENT_METHODS",
+    "build_iris_infrastructure",
+    "iris_inventory_table",
+]

@@ -1,0 +1,136 @@
+"""Network equipment: switches and the per-site fabric.
+
+The paper's model (equation 2) includes a network term in both the active
+and embodied sums.  The IRIS snapshot could not separate network energy from
+node energy at most sites, so the network fabric here is sized from the node
+count (a top-of-rack switch per ~32 nodes plus a small spine) and its energy
+is reported either separately or folded into the facility overhead,
+depending on the measurement scope of the instrument used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """An Ethernet/InfiniBand switch.
+
+    Attributes
+    ----------
+    model:
+        Model name for reporting.
+    ports:
+        Number of ports.
+    power_w:
+        Typical operating draw in watts (switch power is nearly load
+        independent, so a single figure suffices).
+    embodied_kgco2:
+        Manufacturer or estimated embodied carbon for the unit.
+    lifetime_years:
+        Service lifetime used for amortisation (network kit typically
+        outlives servers).
+    """
+
+    model: str
+    ports: int = 48
+    power_w: float = 150.0
+    embodied_kgco2: float = 300.0
+    lifetime_years: float = 7.0
+
+    def __post_init__(self):
+        if not self.model:
+            raise ValueError("switch model must be non-empty")
+        if self.ports <= 0:
+            raise ValueError("ports must be positive")
+        if self.power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        if self.embodied_kgco2 < 0:
+            raise ValueError("embodied_kgco2 must be non-negative")
+        if self.lifetime_years <= 0:
+            raise ValueError("lifetime_years must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkFabric:
+    """The network serving one site.
+
+    Attributes
+    ----------
+    leaf_switches / spine_switches:
+        Counts of each switch role.
+    leaf_spec / spine_spec:
+        Specifications of the switch models in each role.
+    """
+
+    leaf_switches: int
+    spine_switches: int
+    leaf_spec: SwitchSpec
+    spine_spec: SwitchSpec
+
+    def __post_init__(self):
+        if self.leaf_switches < 0 or self.spine_switches < 0:
+            raise ValueError("switch counts must be non-negative")
+
+    @classmethod
+    def sized_for_nodes(
+        cls,
+        node_count: int,
+        leaf_spec: SwitchSpec | None = None,
+        spine_spec: SwitchSpec | None = None,
+        nodes_per_leaf: int = 32,
+        leaves_per_spine: int = 8,
+    ) -> "NetworkFabric":
+        """Size a two-tier fabric for ``node_count`` nodes.
+
+        One leaf (top-of-rack) switch is provisioned per ``nodes_per_leaf``
+        nodes, and one spine switch per ``leaves_per_spine`` leaves, with at
+        least one spine whenever there is more than one leaf.
+        """
+        if node_count < 0:
+            raise ValueError("node_count must be non-negative")
+        leaf_spec = leaf_spec or SwitchSpec(model="generic-48p-leaf")
+        spine_spec = spine_spec or SwitchSpec(
+            model="generic-32p-spine", ports=32, power_w=250.0, embodied_kgco2=450.0
+        )
+        leaves = math.ceil(node_count / nodes_per_leaf) if node_count else 0
+        spines = math.ceil(leaves / leaves_per_spine) if leaves > 1 else 0
+        return cls(
+            leaf_switches=leaves,
+            spine_switches=spines,
+            leaf_spec=leaf_spec,
+            spine_spec=spine_spec,
+        )
+
+    @property
+    def switch_count(self) -> int:
+        """Total number of switches in the fabric."""
+        return self.leaf_switches + self.spine_switches
+
+    @property
+    def total_power_w(self) -> float:
+        """Aggregate steady-state power of the fabric in watts."""
+        return (
+            self.leaf_switches * self.leaf_spec.power_w
+            + self.spine_switches * self.spine_spec.power_w
+        )
+
+    @property
+    def total_embodied_kgco2(self) -> float:
+        """Aggregate embodied carbon of the fabric in kgCO2e."""
+        return (
+            self.leaf_switches * self.leaf_spec.embodied_kgco2
+            + self.spine_switches * self.spine_spec.embodied_kgco2
+        )
+
+    def energy_kwh(self, hours: float) -> float:
+        """Energy used by the fabric over ``hours`` hours, in kWh."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        return self.total_power_w * hours / 1000.0
+
+
+__all__ = ["SwitchSpec", "NetworkFabric"]

@@ -1,0 +1,187 @@
+"""Node specifications and node classes.
+
+The paper's inventory distinguishes CPU compute nodes and storage nodes
+(Table 1) and its carbon model additionally names login and service nodes as
+active-energy components (section 4.1).  :class:`NodeClass` captures that
+taxonomy, :class:`NodeSpec` the per-model bill of materials, and
+:class:`NodeInstance` a physically installed node (spec + identity + the
+attributes that vary per unit: install date, assigned lifetime, share of the
+node assigned to the DRI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+from repro.inventory.components import (
+    ChassisSpec,
+    CPUSpec,
+    GPUSpec,
+    MainboardSpec,
+    MemorySpec,
+    NICSpec,
+    PSUSpec,
+    StorageDeviceSpec,
+)
+
+
+class NodeClass(Enum):
+    """Functional role of a node within the DRI."""
+
+    COMPUTE = "compute"
+    STORAGE = "storage"
+    LOGIN = "login"
+    SERVICE = "service"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """The hardware configuration of a node model.
+
+    Attributes
+    ----------
+    model:
+        Model name used for catalog lookup and reporting.
+    node_class:
+        Functional role (compute, storage, login, service).
+    cpus:
+        CPU packages installed (usually one or two identical sockets).
+    memory:
+        Installed DRAM.
+    storage:
+        Storage drives installed.
+    gpus:
+        Accelerator cards (empty for the IRIS CPU nodes).
+    psu / mainboard / chassis / nics:
+        Remaining bill of materials.
+    embodied_kgco2_datasheet:
+        Manufacturer-declared product carbon footprint for the whole node,
+        in kgCO2e, when a datasheet value is available.  ``None`` means the
+        bottom-up estimator must be used instead.
+    """
+
+    model: str
+    node_class: NodeClass = NodeClass.COMPUTE
+    cpus: Tuple[CPUSpec, ...] = ()
+    memory: Optional[MemorySpec] = None
+    storage: Tuple[StorageDeviceSpec, ...] = ()
+    gpus: Tuple[GPUSpec, ...] = ()
+    psu: Optional[PSUSpec] = None
+    mainboard: Optional[MainboardSpec] = None
+    chassis: Optional[ChassisSpec] = None
+    nics: Tuple[NICSpec, ...] = ()
+    embodied_kgco2_datasheet: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.model:
+            raise ValueError("node model name must be non-empty")
+        if not isinstance(self.node_class, NodeClass):
+            raise ValueError(f"node_class must be a NodeClass, got {self.node_class!r}")
+        object.__setattr__(self, "cpus", tuple(self.cpus))
+        object.__setattr__(self, "storage", tuple(self.storage))
+        object.__setattr__(self, "gpus", tuple(self.gpus))
+        object.__setattr__(self, "nics", tuple(self.nics))
+        if self.embodied_kgco2_datasheet is not None and self.embodied_kgco2_datasheet <= 0:
+            raise ValueError("embodied_kgco2_datasheet must be positive when given")
+
+    # -- derived quantities used by the power model ---------------------------
+
+    @property
+    def total_cores(self) -> int:
+        """Total physical cores across all sockets."""
+        return sum(cpu.cores for cpu in self.cpus)
+
+    @property
+    def cpu_tdp_w(self) -> float:
+        """Sum of CPU TDPs in watts."""
+        return sum(cpu.tdp_w for cpu in self.cpus)
+
+    @property
+    def gpu_tdp_w(self) -> float:
+        """Sum of GPU TDPs in watts."""
+        return sum(gpu.tdp_w for gpu in self.gpus)
+
+    @property
+    def memory_power_w(self) -> float:
+        """Active DRAM power in watts."""
+        if self.memory is None:
+            return 0.0
+        return self.memory.dimm_count * self.memory.power_per_dimm_w
+
+    @property
+    def storage_active_power_w(self) -> float:
+        """Active storage power in watts."""
+        return sum(drive.active_power_w for drive in self.storage)
+
+    @property
+    def storage_idle_power_w(self) -> float:
+        """Idle storage power in watts."""
+        return sum(drive.idle_power_w for drive in self.storage)
+
+    @property
+    def nic_power_w(self) -> float:
+        """NIC power in watts."""
+        return sum(nic.power_w for nic in self.nics)
+
+    @property
+    def base_power_w(self) -> float:
+        """Mainboard and fixed-peripheral power in watts."""
+        return self.mainboard.base_power_w if self.mainboard is not None else 0.0
+
+    @property
+    def psu_efficiency(self) -> float:
+        """AC-DC conversion efficiency; 1.0 when no PSU spec is given."""
+        return self.psu.efficiency if self.psu is not None else 1.0
+
+    @property
+    def total_storage_tb(self) -> float:
+        """Total installed storage capacity in TB."""
+        return sum(drive.capacity_tb for drive in self.storage)
+
+    @property
+    def memory_gb(self) -> float:
+        """Installed DRAM in GB."""
+        return self.memory.capacity_gb if self.memory is not None else 0.0
+
+
+@dataclass(frozen=True)
+class NodeInstance:
+    """A physically installed node.
+
+    Attributes
+    ----------
+    node_id:
+        Unique identifier within the DRI (``"<site>-<rack>-<index>"`` by
+        convention).
+    spec:
+        The hardware configuration.
+    lifetime_years:
+        Expected service lifetime used to amortise embodied carbon; the
+        paper sweeps 3-7 years.
+    dri_share:
+        Fraction of the node assigned to the DRI (the paper assumes nodes
+        are fully assigned, i.e. 1.0, but shared cloud resources need less).
+    """
+
+    node_id: str
+    spec: NodeSpec
+    lifetime_years: float = 5.0
+    dri_share: float = 1.0
+
+    def __post_init__(self):
+        if not self.node_id:
+            raise ValueError("node_id must be non-empty")
+        if self.lifetime_years <= 0:
+            raise ValueError(f"lifetime_years must be positive, got {self.lifetime_years!r}")
+        if not 0.0 < self.dri_share <= 1.0:
+            raise ValueError(f"dri_share must be in (0, 1], got {self.dri_share!r}")
+
+    @property
+    def node_class(self) -> NodeClass:
+        """Functional role, taken from the spec."""
+        return self.spec.node_class
+
+
+__all__ = ["NodeClass", "NodeSpec", "NodeInstance"]

@@ -1,0 +1,181 @@
+"""Racks, facilities and sites.
+
+A :class:`Site` is the unit at which the paper reports energy (Table 2): it
+owns a set of racks of nodes, a network fabric, and a hosting
+:class:`Facility` whose attributes (PUE, grid region, measurement
+capabilities) determine how that site's energy is measured and converted to
+carbon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.inventory.network import NetworkFabric
+from repro.inventory.node import NodeClass, NodeInstance
+
+
+@dataclass(frozen=True)
+class Facility:
+    """The data centre (machine room) hosting a site's hardware.
+
+    Attributes
+    ----------
+    name:
+        Facility name for reporting.
+    pue:
+        Power Usage Effectiveness — total facility power divided by IT
+        power.  The paper could not measure PUE and sweeps {1.1, 1.3, 1.5};
+        a facility built from measured data can carry its actual value here.
+    grid_region:
+        Key into the grid-intensity registry (:mod:`repro.grid.regions`);
+        all IRIS sites draw from the GB grid.
+    embodied_kgco2:
+        Embodied carbon of the building, cooling and power-distribution
+        plant attributable to this site's hardware.  The paper explicitly
+        leaves this out of its numbers; it is carried here so the extension
+        benches can include it.
+    lifetime_years:
+        Amortisation lifetime of the facility infrastructure.
+    has_facility_meter / has_pdu_metering:
+        Which out-of-band measurement scopes the facility supports; drives
+        which columns of Table 2 can be populated for the site.
+    """
+
+    name: str
+    pue: float = 1.3
+    grid_region: str = "GB"
+    embodied_kgco2: float = 0.0
+    lifetime_years: float = 20.0
+    has_facility_meter: bool = True
+    has_pdu_metering: bool = True
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("facility name must be non-empty")
+        if self.pue < 1.0:
+            raise ValueError(f"PUE cannot be below 1.0, got {self.pue!r}")
+        if self.embodied_kgco2 < 0:
+            raise ValueError("embodied_kgco2 must be non-negative")
+        if self.lifetime_years <= 0:
+            raise ValueError("lifetime_years must be positive")
+
+
+@dataclass(frozen=True)
+class Rack:
+    """A rack of nodes within a site."""
+
+    rack_id: str
+    nodes: Tuple[NodeInstance, ...] = ()
+
+    def __post_init__(self):
+        if not self.rack_id:
+            raise ValueError("rack_id must be non-empty")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        seen = set()
+        for node in self.nodes:
+            if node.node_id in seen:
+                raise ValueError(f"duplicate node_id {node.node_id!r} in rack {self.rack_id!r}")
+            seen.add(node.node_id)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+
+class Site:
+    """A provider site contributing hardware to the DRI.
+
+    Parameters
+    ----------
+    name:
+        Short site code as used in the paper's tables (``"QMUL"``, ``"DUR"``...).
+    racks:
+        Racks of installed nodes.
+    facility:
+        The hosting facility.
+    network:
+        The site network fabric; sized from the node count when omitted.
+    description:
+        Longer human-readable name for reports.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        racks: Iterable[Rack],
+        facility: Facility,
+        network: Optional[NetworkFabric] = None,
+        description: str = "",
+    ):
+        if not name:
+            raise ValueError("site name must be non-empty")
+        self._name = name
+        self._racks: Tuple[Rack, ...] = tuple(racks)
+        rack_ids = [r.rack_id for r in self._racks]
+        if len(rack_ids) != len(set(rack_ids)):
+            raise ValueError(f"duplicate rack ids at site {name!r}")
+        node_ids = [n.node_id for n in self.nodes]
+        if len(node_ids) != len(set(node_ids)):
+            raise ValueError(f"duplicate node ids at site {name!r}")
+        self._facility = facility
+        self._network = network or NetworkFabric.sized_for_nodes(len(node_ids))
+        self._description = description or name
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def description(self) -> str:
+        return self._description
+
+    @property
+    def facility(self) -> Facility:
+        return self._facility
+
+    @property
+    def network(self) -> NetworkFabric:
+        return self._network
+
+    @property
+    def racks(self) -> Tuple[Rack, ...]:
+        return self._racks
+
+    # -- node queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[NodeInstance]:
+        """All installed nodes across all racks."""
+        return [node for rack in self._racks for node in rack.nodes]
+
+    @property
+    def node_count(self) -> int:
+        return sum(rack.node_count for rack in self._racks)
+
+    def nodes_of_class(self, node_class: NodeClass) -> List[NodeInstance]:
+        """Nodes with the given functional role."""
+        return [node for node in self.nodes if node.node_class is node_class]
+
+    def count_by_class(self) -> Dict[NodeClass, int]:
+        """Node counts keyed by :class:`NodeClass` (zero-count classes omitted)."""
+        counts: Dict[NodeClass, int] = {}
+        for node in self.nodes:
+            counts[node.node_class] = counts.get(node.node_class, 0) + 1
+        return counts
+
+    def get_node(self, node_id: str) -> NodeInstance:
+        """Look up a node by id; raises ``KeyError`` if absent."""
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no node {node_id!r} at site {self._name!r}")
+
+    def __repr__(self) -> str:
+        return f"Site(name={self._name!r}, nodes={self.node_count}, pue={self._facility.pue})"
+
+
+__all__ = ["Facility", "Rack", "Site"]

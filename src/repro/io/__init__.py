@@ -1,0 +1,16 @@
+"""File input/output for inventories, measurement results and reports.
+
+Audits are collaborative: facilities submit inventories and meter exports,
+analysts combine them.  This package provides the plain-file interchange
+the pipeline needs without any dependency beyond the standard library:
+
+* :mod:`~repro.io.csvio` — reading/writing row-oriented CSV (tables,
+  per-site energies, inventories);
+* :mod:`~repro.io.jsonio` — reading/writing nested results (scenario
+  grids, audit summaries) as JSON.
+"""
+
+from repro.io.csvio import read_rows_csv, write_rows_csv
+from repro.io.jsonio import read_json, write_json
+
+__all__ = ["read_rows_csv", "write_rows_csv", "read_json", "write_json"]

@@ -1,0 +1,69 @@
+"""Row-oriented CSV reading and writing.
+
+Values are written as plain strings; on reading, cells are converted back
+to int/float when they parse as such and empty cells become ``None`` — the
+conventions the rest of the library's row dictionaries use (the paper's
+tables contain empty cells for unavailable measurements).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def _parse_cell(cell: str) -> object:
+    """Convert a CSV cell back to None/int/float/str."""
+    if cell == "":
+        return None
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        pass
+    return cell
+
+
+def write_rows_csv(
+    path: PathLike,
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write row dictionaries to ``path`` as CSV.
+
+    ``columns`` fixes the column order; it defaults to the keys of the
+    first row.  ``None`` values are written as empty cells.
+    """
+    if not rows:
+        raise ValueError("write_rows_csv requires at least one row")
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({
+                column: ("" if row.get(column) is None else row.get(column))
+                for column in columns
+            })
+
+
+def read_rows_csv(path: PathLike) -> List[Dict[str, object]]:
+    """Read a CSV written by :func:`write_rows_csv` back into row dictionaries."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        return [
+            {key: _parse_cell(value if value is not None else "") for key, value in row.items()}
+            for row in reader
+        ]
+
+
+__all__ = ["write_rows_csv", "read_rows_csv"]

@@ -1,0 +1,53 @@
+"""JSON reading and writing for nested result structures.
+
+A thin wrapper over :mod:`json` that understands the handful of library
+types that appear inside results (quantities, enums, numpy scalars) so that
+scenario grids and audit summaries can be dumped without manual conversion.
+"""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from repro.units.quantities import Carbon, CarbonIntensity, Duration, Energy, Power
+
+PathLike = Union[str, Path]
+
+
+def _default(value: Any) -> Any:
+    """JSON fallback encoder for library and numpy types."""
+    if isinstance(value, (Carbon, Energy, Power, Duration, CarbonIntensity)):
+        return value.value
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value).__name__} to JSON")
+
+
+def write_json(path: PathLike, data: Any, indent: int = 2) -> None:
+    """Write ``data`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=indent, default=_default, sort_keys=True)
+        handle.write("\n")
+
+
+def read_json(path: PathLike) -> Any:
+    """Read JSON from ``path``."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+__all__ = ["write_json", "read_json"]

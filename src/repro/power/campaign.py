@@ -1,0 +1,139 @@
+"""Running a measurement campaign over simulated sites.
+
+A :class:`MeasurementCampaign` owns a set of configured instruments and a
+campaign seed; :meth:`MeasurementCampaign.measure_site` runs the requested
+subset of instruments over one site's power trace and returns a
+:class:`SiteEnergyReport` — the simulated equivalent of one row of the
+paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.power.instruments import InstrumentReading, MeasurementInstrument
+from repro.power.reconciliation import METHOD_SCOPE_ORDER, best_estimate_kwh
+from repro.power.traces import PowerBreakdownTrace
+
+
+@dataclass(frozen=True)
+class SiteEnergyReport:
+    """Per-site measurement results for one campaign window."""
+
+    site: str
+    node_count: int
+    readings: Mapping[str, InstrumentReading]
+    true_it_energy_kwh: float
+    network_energy_kwh: float
+
+    def __post_init__(self):
+        if self.node_count < 0:
+            raise ValueError("node_count must be non-negative")
+        if self.true_it_energy_kwh < 0:
+            raise ValueError("true_it_energy_kwh must be non-negative")
+        if self.network_energy_kwh < 0:
+            raise ValueError("network_energy_kwh must be non-negative")
+        object.__setattr__(self, "readings", dict(self.readings))
+
+    def energy_by_method(self) -> Dict[str, Optional[float]]:
+        """Energy (kWh) keyed by method, ``None`` for methods not used here."""
+        out: Dict[str, Optional[float]] = {}
+        for method in METHOD_SCOPE_ORDER:
+            reading = self.readings.get(method)
+            out[method] = reading.energy_kwh if reading is not None else None
+        return out
+
+    @property
+    def best_estimate_kwh(self) -> float:
+        """The widest-scope reading available (the paper's per-site figure)."""
+        return best_estimate_kwh(self.energy_by_method())
+
+    def as_table_row(self) -> Dict[str, object]:
+        """A Table 2 style row: site, per-method kWh, node count."""
+        row: Dict[str, object] = {"site": self.site}
+        row.update(self.energy_by_method())
+        row["nodes"] = self.node_count
+        return row
+
+
+class MeasurementCampaign:
+    """A configured set of instruments applied consistently across sites.
+
+    Parameters
+    ----------
+    instruments:
+        Mapping of method name (``"turbostat"``, ``"ipmi"``, ``"pdu"``,
+        ``"facility"``) to a configured instrument.  The method name must
+        match the instrument's own ``method`` attribute.
+    seed:
+        Campaign seed; each (site, method) pair derives its own stream so
+        adding a method does not perturb the others.
+    """
+
+    def __init__(self, instruments: Mapping[str, MeasurementInstrument], seed: int = 0):
+        if not instruments:
+            raise ValueError("a campaign needs at least one instrument")
+        for name, instrument in instruments.items():
+            if name != instrument.method:
+                raise ValueError(
+                    f"instrument registered as {name!r} reports method "
+                    f"{instrument.method!r}"
+                )
+            if name not in METHOD_SCOPE_ORDER:
+                raise ValueError(f"unknown measurement method {name!r}")
+        self._instruments = dict(instruments)
+        self._seed = int(seed)
+
+    @property
+    def methods(self) -> list[str]:
+        """The methods this campaign can apply, narrowest scope first."""
+        return [m for m in METHOD_SCOPE_ORDER if m in self._instruments]
+
+    def _method_seed(self, site: str, method: str) -> int:
+        """A stable per-(site, method) seed derived from the campaign seed."""
+        return (hash((site, method)) ^ self._seed) & 0x7FFFFFFF
+
+    def measure_site(
+        self,
+        site_name: str,
+        trace: PowerBreakdownTrace,
+        network_power_w: float = 0.0,
+        methods: Optional[Sequence[str]] = None,
+    ) -> SiteEnergyReport:
+        """Measure one site with the requested methods.
+
+        ``methods`` defaults to every instrument in the campaign; the IRIS
+        snapshot restricts it per site to the methods each facility could
+        actually provide (Table 2 has empty cells).
+        """
+        if network_power_w < 0:
+            raise ValueError("network_power_w must be non-negative")
+        selected = list(methods) if methods is not None else self.methods
+        unknown = [m for m in selected if m not in self._instruments]
+        if unknown:
+            raise ValueError(f"campaign has no instrument for methods {unknown}")
+        readings: Dict[str, InstrumentReading] = {}
+        for method in selected:
+            instrument = self._instruments[method]
+            readings[method] = instrument.measure(
+                trace,
+                seed=self._method_seed(site_name, method),
+                network_power_w=network_power_w,
+            )
+        hours = trace.duration_s / 3600.0
+        return SiteEnergyReport(
+            site=site_name,
+            node_count=trace.node_count,
+            readings=readings,
+            true_it_energy_kwh=trace.total_energy_kwh("wall"),
+            network_energy_kwh=network_power_w * hours / 1000.0,
+        )
+
+    @staticmethod
+    def total_best_estimate_kwh(reports: Sequence[SiteEnergyReport]) -> float:
+        """Sum of each site's widest-scope reading (the paper's total)."""
+        return float(sum(report.best_estimate_kwh for report in reports))
+
+
+__all__ = ["MeasurementCampaign", "SiteEnergyReport"]

@@ -1,0 +1,120 @@
+"""Facility overhead model (PUE decomposition).
+
+None of the IRIS facilities could provide cooling or infrastructure
+electricity figures, so the paper scales the measured IT energy by a range
+of PUE values (1.1 / 1.3 / 1.5).  This module implements that scaling and —
+for the extension benches — decomposes the overhead into the three facility
+terms the model names (equation split of ``E_facilities``):
+
+* cooling (chillers, CRAC units, pumps);
+* power distribution (transformer and UPS losses);
+* the wider building load (lighting, security, office space).
+
+The default split follows typical data-centre energy audits: roughly 70% of
+the overhead is cooling, 20% distribution losses and 10% building load, but
+every fraction is configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.units.quantities import Energy
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Facility overhead energy split into its components (kWh)."""
+
+    cooling_kwh: float
+    power_distribution_kwh: float
+    building_kwh: float
+
+    def __post_init__(self):
+        for name in ("cooling_kwh", "power_distribution_kwh", "building_kwh"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_kwh(self) -> float:
+        return self.cooling_kwh + self.power_distribution_kwh + self.building_kwh
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cooling_kwh": self.cooling_kwh,
+            "power_distribution_kwh": self.power_distribution_kwh,
+            "building_kwh": self.building_kwh,
+            "total_kwh": self.total_kwh,
+        }
+
+
+@dataclass(frozen=True)
+class FacilityOverheadModel:
+    """PUE-based facility overhead model.
+
+    Parameters
+    ----------
+    pue:
+        Power Usage Effectiveness; total facility energy is
+        ``pue * it_energy``.
+    cooling_fraction / distribution_fraction / building_fraction:
+        How the overhead (``(pue - 1) * it_energy``) is split; the three
+        fractions must sum to 1.
+    """
+
+    pue: float = 1.3
+    cooling_fraction: float = 0.7
+    distribution_fraction: float = 0.2
+    building_fraction: float = 0.1
+
+    def __post_init__(self):
+        if self.pue < 1.0:
+            raise ValueError(f"PUE must be at least 1.0, got {self.pue!r}")
+        fractions = (
+            self.cooling_fraction,
+            self.distribution_fraction,
+            self.building_fraction,
+        )
+        if any(fraction < 0 for fraction in fractions):
+            raise ValueError("overhead fractions must be non-negative")
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError(
+                f"overhead fractions must sum to 1.0, got {sum(fractions):.6f}"
+            )
+
+    # -- scalar (kWh) interface -------------------------------------------------
+
+    def total_facility_kwh(self, it_kwh: float) -> float:
+        """Total facility energy (IT plus overhead) for the given IT energy."""
+        if it_kwh < 0:
+            raise ValueError("it_kwh must be non-negative")
+        return it_kwh * self.pue
+
+    def overhead_kwh(self, it_kwh: float) -> float:
+        """Overhead energy only (cooling + distribution + building)."""
+        if it_kwh < 0:
+            raise ValueError("it_kwh must be non-negative")
+        return it_kwh * (self.pue - 1.0)
+
+    def breakdown(self, it_kwh: float) -> OverheadBreakdown:
+        """Split the overhead for ``it_kwh`` of IT energy into components."""
+        overhead = self.overhead_kwh(it_kwh)
+        return OverheadBreakdown(
+            cooling_kwh=overhead * self.cooling_fraction,
+            power_distribution_kwh=overhead * self.distribution_fraction,
+            building_kwh=overhead * self.building_fraction,
+        )
+
+    # -- quantity interface -------------------------------------------------------
+
+    def total_facility_energy(self, it_energy: Energy) -> Energy:
+        """Quantity version of :meth:`total_facility_kwh`."""
+        return Energy.from_kwh(self.total_facility_kwh(it_energy.kwh))
+
+    def overhead_energy(self, it_energy: Energy) -> Energy:
+        """Quantity version of :meth:`overhead_kwh`."""
+        return Energy.from_kwh(self.overhead_kwh(it_energy.kwh))
+
+
+__all__ = ["FacilityOverheadModel", "OverheadBreakdown"]

@@ -1,0 +1,285 @@
+"""Simulated power-measurement instruments.
+
+The paper collects energy with four methods of decreasing scope and
+increasing resolution, and its Table 2 shows the systematic differences
+between them.  Each class below models one method as:
+
+``scope`` — which physical power the method can see (RAPL domains, node
+wall input, rack feed, room feed);
+``sample_period_s`` — how often it reports;
+``noise_fraction`` — per-sample relative measurement error;
+``dropout_fraction`` — fraction of samples that are lost (polls time out,
+exports have holes);
+``node_coverage`` — fraction of the site's nodes the method is deployed on
+(IPMI/Turbostat are frequently missing from part of a fleet).
+
+``measure`` runs the instrument over a
+:class:`~repro.power.traces.PowerBreakdownTrace` and returns an
+:class:`InstrumentReading` with the energy the instrument would have
+reported, alongside bookkeeping needed by the reconciliation step.  All
+randomness is drawn from a caller-supplied seed so campaigns are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.power.traces import PowerBreakdownTrace
+from repro.timeseries.gapfill import fill_forward
+from repro.timeseries.integrate import energy_kwh_from_power_w
+from repro.timeseries.resample import resample_mean
+from repro.timeseries.series import TimeSeries
+from repro.units.constants import JOULES_PER_KWH
+
+
+@dataclass(frozen=True)
+class InstrumentReading:
+    """The outcome of one instrument measuring one site for one window."""
+
+    method: str
+    energy_kwh: float
+    nodes_covered: int
+    nodes_total: int
+    scope: str
+    samples_per_node: int
+    samples_dropped: int
+    includes_network: bool
+
+    def __post_init__(self):
+        if self.energy_kwh < 0:
+            raise ValueError("energy_kwh must be non-negative")
+        if self.nodes_covered > self.nodes_total:
+            raise ValueError("nodes_covered cannot exceed nodes_total")
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of the site's nodes this reading covers."""
+        if self.nodes_total == 0:
+            return 0.0
+        return self.nodes_covered / self.nodes_total
+
+
+@dataclass(frozen=True)
+class MeasurementInstrument:
+    """Base class for the simulated instruments.
+
+    Subclasses fix ``method`` and ``scope`` and may add scope-specific
+    post-processing via :meth:`_site_power_series`.
+    """
+
+    sample_period_s: float = 60.0
+    noise_fraction: float = 0.01
+    dropout_fraction: float = 0.0
+    node_coverage: float = 1.0
+
+    #: Overridden by subclasses.
+    method: str = field(default="abstract", init=False)
+    scope: str = field(default="wall", init=False)
+    includes_network: bool = field(default=False, init=False)
+
+    def __post_init__(self):
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+        if self.noise_fraction < 0:
+            raise ValueError("noise_fraction must be non-negative")
+        if not 0.0 <= self.dropout_fraction < 1.0:
+            raise ValueError("dropout_fraction must be in [0, 1)")
+        if not 0.0 < self.node_coverage <= 1.0:
+            raise ValueError("node_coverage must be in (0, 1]")
+
+    # -- hooks for subclasses ----------------------------------------------------
+
+    def _site_power_series(
+        self, trace: PowerBreakdownTrace, covered_rows: np.ndarray,
+        network_power_w: float,
+    ) -> TimeSeries:
+        """The site-level power series this instrument observes (watts)."""
+        matrix = trace.scope_matrix(self.scope)
+        total = matrix[covered_rows].sum(axis=0)
+        if self.includes_network:
+            total = total + network_power_w
+        return TimeSeries(trace.start, trace.step, total)
+
+    # -- the measurement itself -----------------------------------------------------
+
+    def _covered_rows(self, trace: PowerBreakdownTrace, rng: np.random.Generator) -> np.ndarray:
+        """Indices of the nodes this instrument is deployed on."""
+        n = trace.node_count
+        covered = max(1, int(round(self.node_coverage * n)))
+        if covered >= n:
+            return np.arange(n)
+        return np.sort(rng.choice(n, size=covered, replace=False))
+
+    def measure(
+        self,
+        trace: PowerBreakdownTrace,
+        seed: int = 0,
+        network_power_w: float = 0.0,
+    ) -> InstrumentReading:
+        """Measure the site described by ``trace`` over its full window."""
+        rng = np.random.default_rng(seed)
+        covered_rows = self._covered_rows(trace, rng)
+        site_series = self._site_power_series(trace, covered_rows, network_power_w)
+        # Sample at the instrument's cadence, rounded to a whole number of
+        # simulation steps (an instrument cannot observe finer structure
+        # than the simulation resolves).
+        if self.sample_period_s >= trace.step:
+            factor = max(1, int(round(self.sample_period_s / trace.step)))
+            sampled = resample_mean(site_series, factor * trace.step)
+        else:
+            # The instrument samples faster than the simulation resolution;
+            # the extra samples carry no extra information, so keep the grid.
+            sampled = site_series
+        values = sampled.values.copy()
+        # Per-sample measurement noise.
+        if self.noise_fraction > 0:
+            values = values * (1.0 + self.noise_fraction * rng.standard_normal(len(values)))
+            values = np.maximum(values, 0.0)
+        # Dropped samples become gaps, then are repaired the way an analyst
+        # would (carry the last reading forward).
+        dropped = 0
+        if self.dropout_fraction > 0 and len(values) > 1:
+            drop_mask = rng.random(len(values)) < self.dropout_fraction
+            # Never drop every sample.
+            if drop_mask.all():
+                drop_mask[0] = False
+            dropped = int(drop_mask.sum())
+            values[drop_mask] = np.nan
+        observed = TimeSeries(sampled.start, sampled.step, values)
+        if dropped:
+            observed = fill_forward(observed)
+        energy_kwh = energy_kwh_from_power_w(observed)
+        return InstrumentReading(
+            method=self.method,
+            energy_kwh=float(energy_kwh),
+            nodes_covered=int(len(covered_rows)),
+            nodes_total=trace.node_count,
+            scope=self.scope,
+            samples_per_node=len(values),
+            samples_dropped=dropped,
+            includes_network=self.includes_network,
+        )
+
+
+@dataclass(frozen=True)
+class TurbostatMeter(MeasurementInstrument):
+    """In-band RAPL-based measurement (Turbostat).
+
+    Sees only the CPU package and DRAM domains, so it structurally
+    under-reports node power; it is however the highest-resolution and
+    lowest-noise method available.
+    """
+
+    sample_period_s: float = 10.0
+    noise_fraction: float = 0.003
+    dropout_fraction: float = 0.001
+    method: str = field(default="turbostat", init=False)
+    scope: str = field(default="rapl", init=False)
+    includes_network: bool = field(default=False, init=False)
+
+
+@dataclass(frozen=True)
+class IPMIMeter(MeasurementInstrument):
+    """Out-of-band BMC power readings (IPMI DCMI).
+
+    Reports the node's input power.  BMC power sensors are coarse (typically
+    a few percent accuracy, quantised) and a fraction of any real fleet has
+    BMCs that do not expose the reading at all — captured by
+    ``node_coverage``.
+    """
+
+    sample_period_s: float = 30.0
+    noise_fraction: float = 0.02
+    dropout_fraction: float = 0.005
+    method: str = field(default="ipmi", init=False)
+    scope: str = field(default="wall", init=False)
+    includes_network: bool = field(default=False, init=False)
+
+
+@dataclass(frozen=True)
+class PDUMeter(MeasurementInstrument):
+    """Rack PDU metering.
+
+    Sees node wall power plus everything else plugged into the rack
+    (top-of-rack switches) plus the PDU's own distribution loss.
+    """
+
+    sample_period_s: float = 60.0
+    noise_fraction: float = 0.01
+    dropout_fraction: float = 0.0
+    distribution_loss_fraction: float = 0.015
+    method: str = field(default="pdu", init=False)
+    scope: str = field(default="wall", init=False)
+    includes_network: bool = field(default=True, init=False)
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.distribution_loss_fraction < 0:
+            raise ValueError("distribution_loss_fraction must be non-negative")
+
+    def _site_power_series(self, trace, covered_rows, network_power_w):
+        series = super()._site_power_series(trace, covered_rows, network_power_w)
+        return series * (1.0 + self.distribution_loss_fraction)
+
+
+@dataclass(frozen=True)
+class FacilityMeter(MeasurementInstrument):
+    """Machine-room level metering.
+
+    A bulk meter on the room feed: node wall power, the network fabric,
+    distribution losses, plus any additional always-on room equipment
+    (``room_constant_power_w``).  Readings are cumulative meter readings, so
+    per-sample noise is negligible but the result is quantised to whole kWh
+    — matching how the paper's facility figures were collected.
+    """
+
+    sample_period_s: float = 900.0
+    noise_fraction: float = 0.0
+    dropout_fraction: float = 0.0
+    distribution_loss_fraction: float = 0.015
+    room_constant_power_w: float = 0.0
+    method: str = field(default="facility", init=False)
+    scope: str = field(default="wall", init=False)
+    includes_network: bool = field(default=True, init=False)
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.distribution_loss_fraction < 0:
+            raise ValueError("distribution_loss_fraction must be non-negative")
+        if self.room_constant_power_w < 0:
+            raise ValueError("room_constant_power_w must be non-negative")
+
+    def _site_power_series(self, trace, covered_rows, network_power_w):
+        # A room meter sees every node regardless of per-node tooling.
+        matrix = trace.scope_matrix(self.scope)
+        total = matrix.sum(axis=0) + network_power_w + self.room_constant_power_w
+        series = TimeSeries(trace.start, trace.step, total)
+        return series * (1.0 + self.distribution_loss_fraction)
+
+    def measure(self, trace, seed=0, network_power_w=0.0):
+        reading = super().measure(trace, seed=seed, network_power_w=network_power_w)
+        quantised = float(np.round(reading.energy_kwh))
+        return InstrumentReading(
+            method=reading.method,
+            energy_kwh=quantised,
+            nodes_covered=trace.node_count,
+            nodes_total=trace.node_count,
+            scope=reading.scope,
+            samples_per_node=reading.samples_per_node,
+            samples_dropped=reading.samples_dropped,
+            includes_network=True,
+        )
+
+
+__all__ = [
+    "InstrumentReading",
+    "MeasurementInstrument",
+    "TurbostatMeter",
+    "IPMIMeter",
+    "PDUMeter",
+    "FacilityMeter",
+]

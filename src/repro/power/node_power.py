@@ -1,0 +1,151 @@
+"""Component-resolved node power model.
+
+The model maps effective utilisation ``u`` (from the workload simulator) to
+the electrical draw of each part of a node:
+
+* **CPU** — ``tdp * (idle_fraction + (1 - idle_fraction) * u)``; modern
+  server CPUs idle at roughly a quarter of TDP and scale close to linearly
+  with sustained load.
+* **DRAM** — per-DIMM power with a smaller dynamic range.
+* **Storage** — drives move between their idle and active figures with
+  utilisation.
+* **Platform** — mainboard, BMC, fans and NICs, treated as constant.
+* **PSU loss** — the DC sum divided by the PSU efficiency gives wall (AC)
+  power; the difference is conversion loss.
+
+The split matters because the measurement instruments observe different
+subsets: Turbostat/RAPL sees CPU+DRAM, IPMI sees the node's input power,
+PDUs see wall power plus distribution losses.  All methods are vectorised
+over numpy arrays so a whole site's utilisation matrix can be converted to
+power in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.inventory.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Power model for one node configuration.
+
+    Parameters
+    ----------
+    spec:
+        The node's hardware configuration.
+    cpu_idle_fraction:
+        Fraction of CPU TDP drawn at zero utilisation.
+    dram_idle_fraction:
+        Fraction of full DRAM power drawn at zero utilisation.
+    """
+
+    spec: NodeSpec
+    cpu_idle_fraction: float = 0.25
+    dram_idle_fraction: float = 0.6
+
+    def __post_init__(self):
+        if not 0.0 <= self.cpu_idle_fraction < 1.0:
+            raise ValueError("cpu_idle_fraction must be in [0, 1)")
+        if not 0.0 <= self.dram_idle_fraction <= 1.0:
+            raise ValueError("dram_idle_fraction must be in [0, 1]")
+
+    # -- component draws (vectorised) ---------------------------------------------
+
+    def cpu_power_w(self, utilization):
+        """CPU package power at the given utilisation (scalar or array)."""
+        u = np.asarray(utilization, dtype=np.float64)
+        tdp = self.spec.cpu_tdp_w
+        return tdp * (self.cpu_idle_fraction + (1.0 - self.cpu_idle_fraction) * u)
+
+    def dram_power_w(self, utilization):
+        """DRAM power at the given utilisation (scalar or array)."""
+        u = np.asarray(utilization, dtype=np.float64)
+        full = self.spec.memory_power_w
+        return full * (self.dram_idle_fraction + (1.0 - self.dram_idle_fraction) * u)
+
+    def storage_power_w(self, utilization):
+        """Storage power at the given utilisation (scalar or array)."""
+        u = np.asarray(utilization, dtype=np.float64)
+        idle = self.spec.storage_idle_power_w
+        active = self.spec.storage_active_power_w
+        return idle + (active - idle) * u
+
+    def platform_power_w(self, utilization):
+        """Mainboard, fans and NIC power (constant with utilisation)."""
+        u = np.asarray(utilization, dtype=np.float64)
+        constant = self.spec.base_power_w + self.spec.nic_power_w
+        return np.full_like(u, constant, dtype=np.float64)
+
+    def gpu_power_w(self, utilization):
+        """Accelerator power at the given utilisation (zero for CPU-only nodes)."""
+        u = np.asarray(utilization, dtype=np.float64)
+        tdp = self.spec.gpu_tdp_w
+        if tdp == 0.0:
+            return np.zeros_like(u, dtype=np.float64)
+        return tdp * (0.1 + 0.9 * u)
+
+    # -- aggregates ----------------------------------------------------------------
+
+    def dc_power_w(self, utilization):
+        """Total DC-side power of the node's components."""
+        return (
+            self.cpu_power_w(utilization)
+            + self.dram_power_w(utilization)
+            + self.storage_power_w(utilization)
+            + self.platform_power_w(utilization)
+            + self.gpu_power_w(utilization)
+        )
+
+    def wall_power_w(self, utilization):
+        """AC (wall) power: DC power divided by PSU efficiency."""
+        return self.dc_power_w(utilization) / self.spec.psu_efficiency
+
+    def psu_loss_w(self, utilization):
+        """Power dissipated in the PSU at the given utilisation."""
+        return self.wall_power_w(utilization) - self.dc_power_w(utilization)
+
+    def rapl_visible_power_w(self, utilization):
+        """The part of the node's power an in-band RAPL tool (Turbostat) reports.
+
+        RAPL exposes the CPU package and DRAM domains; everything else on
+        the board is invisible to it.
+        """
+        return self.cpu_power_w(utilization) + self.dram_power_w(utilization)
+
+    # -- characteristic points ----------------------------------------------------
+
+    @property
+    def idle_wall_power_w(self) -> float:
+        """Wall power at zero utilisation."""
+        return float(self.wall_power_w(0.0))
+
+    @property
+    def max_wall_power_w(self) -> float:
+        """Wall power at full utilisation."""
+        return float(self.wall_power_w(1.0))
+
+    def breakdown_at(self, utilization: float) -> Dict[str, float]:
+        """Per-component wall-referenced breakdown at one operating point."""
+        return {
+            "cpu_w": float(self.cpu_power_w(utilization)),
+            "dram_w": float(self.dram_power_w(utilization)),
+            "storage_w": float(self.storage_power_w(utilization)),
+            "platform_w": float(self.platform_power_w(utilization)),
+            "gpu_w": float(self.gpu_power_w(utilization)),
+            "psu_loss_w": float(self.psu_loss_w(utilization)),
+            "wall_w": float(self.wall_power_w(utilization)),
+        }
+
+    def energy_kwh(self, mean_utilization: float, hours: float) -> float:
+        """Wall energy for a constant utilisation held for ``hours`` hours."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        return float(self.wall_power_w(mean_utilization)) * hours / 1000.0
+
+
+__all__ = ["NodePowerModel"]

@@ -1,0 +1,161 @@
+"""Comparing and reconciling readings from different measurement methods.
+
+Table 2 of the paper shows the same site reporting different energies
+depending on the method used — Turbostat below IPMI below PDU below (or
+equal to) the facility meter — and the paper notes that "care is needed in
+collecting this data and potentially adjusting measurements".  This module
+implements that adjustment step:
+
+* :func:`compare_methods` computes the pairwise ratios between methods for
+  one site (e.g. "Turbostat reads 5% below IPMI").
+* :func:`reconcile_to_reference` scales narrower-scope readings up to a
+  chosen reference scope using those ratios, which is what an operator does
+  when only the narrow method is available at some sites.
+* :func:`best_estimate_kwh` picks the widest-scope reading available for a
+  site, which is how the paper arrives at its 18,760 kWh total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+#: Measurement methods ordered from narrowest to widest scope.
+METHOD_SCOPE_ORDER = ("turbostat", "ipmi", "pdu", "facility")
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """The relationship between two measurement methods at one site."""
+
+    narrow_method: str
+    wide_method: str
+    narrow_kwh: float
+    wide_kwh: float
+
+    def __post_init__(self):
+        if self.narrow_kwh < 0 or self.wide_kwh < 0:
+            raise ValueError("energies must be non-negative")
+
+    @property
+    def ratio(self) -> float:
+        """narrow / wide — below 1.0 when the narrow method under-reports."""
+        if self.wide_kwh == 0:
+            raise ZeroDivisionError("wide-method energy is zero")
+        return self.narrow_kwh / self.wide_kwh
+
+    @property
+    def shortfall_fraction(self) -> float:
+        """How much of the wide reading the narrow method misses (0..1)."""
+        return 1.0 - self.ratio
+
+
+def _ordered_methods(readings: Mapping[str, Optional[float]]) -> list[str]:
+    """The methods present in ``readings``, narrowest first."""
+    present = [m for m in METHOD_SCOPE_ORDER if readings.get(m) is not None]
+    unknown = [m for m in readings if m not in METHOD_SCOPE_ORDER and readings[m] is not None]
+    if unknown:
+        raise ValueError(f"unknown measurement methods: {sorted(unknown)}")
+    return present
+
+
+def compare_methods(readings: Mapping[str, Optional[float]]) -> list[MethodComparison]:
+    """Pairwise comparisons between adjacent available scopes at one site.
+
+    ``readings`` maps method name to kWh (or ``None`` when unavailable).
+    The result lists one comparison per adjacent pair of available methods,
+    narrowest to widest — mirroring the QMUL discussion in the paper.
+    """
+    present = _ordered_methods(readings)
+    comparisons = []
+    for narrow, wide in zip(present, present[1:]):
+        comparisons.append(
+            MethodComparison(
+                narrow_method=narrow,
+                wide_method=wide,
+                narrow_kwh=float(readings[narrow]),
+                wide_kwh=float(readings[wide]),
+            )
+        )
+    return comparisons
+
+
+def best_estimate_kwh(readings: Mapping[str, Optional[float]]) -> float:
+    """The widest-scope reading available for a site.
+
+    This is the value the paper carries into its total: the facility figure
+    when present, otherwise PDU, otherwise IPMI, otherwise Turbostat.
+    """
+    present = _ordered_methods(readings)
+    if not present:
+        raise ValueError("no readings available for this site")
+    return float(readings[present[-1]])
+
+
+def reconcile_to_reference(
+    readings: Mapping[str, Optional[float]],
+    reference_ratios: Mapping[str, float],
+    reference_method: str = "facility",
+) -> Dict[str, float]:
+    """Scale each narrow reading up to the reference scope.
+
+    ``reference_ratios`` maps method name to the ratio
+    ``method_reading / reference_reading`` observed at sites where both were
+    available (the output of :func:`ratio_table`).  Readings made with the
+    reference method pass through unchanged; others are divided by their
+    ratio.  Methods with no observed ratio raise ``KeyError`` so silent
+    extrapolation cannot happen.
+    """
+    if reference_method not in METHOD_SCOPE_ORDER:
+        raise ValueError(f"unknown reference method {reference_method!r}")
+    adjusted: Dict[str, float] = {}
+    for method in _ordered_methods(readings):
+        value = float(readings[method])
+        if method == reference_method:
+            adjusted[method] = value
+            continue
+        if method not in reference_ratios:
+            raise KeyError(
+                f"no reference ratio for method {method!r}; cannot reconcile"
+            )
+        ratio = float(reference_ratios[method])
+        if ratio <= 0:
+            raise ValueError(f"reference ratio for {method!r} must be positive")
+        adjusted[method] = value / ratio
+    return adjusted
+
+
+def ratio_table(
+    per_site_readings: Mapping[str, Mapping[str, Optional[float]]],
+    reference_method: str = "facility",
+) -> Dict[str, float]:
+    """Average ratio of each method to the reference across sites.
+
+    Only sites where both the method and the reference are available
+    contribute.  The result feeds :func:`reconcile_to_reference`.
+    """
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for readings in per_site_readings.values():
+        reference = readings.get(reference_method)
+        if reference is None or reference == 0:
+            continue
+        for method in _ordered_methods(readings):
+            if method == reference_method:
+                continue
+            value = readings[method]
+            if value is None:
+                continue
+            sums[method] = sums.get(method, 0.0) + float(value) / float(reference)
+            counts[method] = counts.get(method, 0) + 1
+    return {method: sums[method] / counts[method] for method in sums}
+
+
+__all__ = [
+    "METHOD_SCOPE_ORDER",
+    "MethodComparison",
+    "compare_methods",
+    "best_estimate_kwh",
+    "reconcile_to_reference",
+    "ratio_table",
+]

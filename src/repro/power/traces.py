@@ -1,0 +1,159 @@
+"""Per-node power traces with a component breakdown.
+
+A :class:`PowerBreakdownTrace` holds, on a single regular sampling grid, one
+matrix per measurement scope:
+
+* ``rapl_w`` — CPU package + DRAM (what Turbostat sees);
+* ``dc_w`` — all node components on the DC side;
+* ``wall_w`` — node input (AC) power, i.e. DC plus PSU losses (what IPMI
+  and, with distribution losses added, PDUs see).
+
+It is produced from a :class:`~repro.workload.utilization.UtilizationTrace`
+and a per-node :class:`~repro.power.node_power.NodePowerModel`, and consumed
+by the measurement instruments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.power.node_power import NodePowerModel
+from repro.timeseries.series import TimeSeries
+from repro.units.constants import JOULES_PER_KWH
+from repro.workload.utilization import UtilizationTrace
+
+
+class PowerBreakdownTrace:
+    """Scope-resolved power traces for a set of nodes on one sampling grid."""
+
+    __slots__ = ("_start", "_step", "_node_ids", "_rapl", "_dc", "_wall")
+
+    def __init__(
+        self,
+        start: float,
+        step: float,
+        node_ids: Sequence[str],
+        rapl_w: np.ndarray,
+        dc_w: np.ndarray,
+        wall_w: np.ndarray,
+    ):
+        rapl_w = np.asarray(rapl_w, dtype=np.float64)
+        dc_w = np.asarray(dc_w, dtype=np.float64)
+        wall_w = np.asarray(wall_w, dtype=np.float64)
+        expected = (len(node_ids), rapl_w.shape[1] if rapl_w.ndim == 2 else -1)
+        for name, matrix in (("rapl_w", rapl_w), ("dc_w", dc_w), ("wall_w", wall_w)):
+            if matrix.ndim != 2 or matrix.shape != expected:
+                raise ValueError(f"{name} must have shape {expected}, got {matrix.shape}")
+            if (matrix < 0).any():
+                raise ValueError(f"{name} must be non-negative")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if not (rapl_w <= dc_w + 1e-9).all():
+            raise ValueError("RAPL-visible power cannot exceed DC power")
+        if not (dc_w <= wall_w + 1e-9).all():
+            raise ValueError("DC power cannot exceed wall power")
+        self._start = float(start)
+        self._step = float(step)
+        self._node_ids = list(node_ids)
+        self._rapl = rapl_w
+        self._dc = dc_w
+        self._wall = wall_w
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def from_utilization(
+        cls,
+        trace: UtilizationTrace,
+        models: Sequence[NodePowerModel],
+    ) -> "PowerBreakdownTrace":
+        """Convert a utilisation trace to power using one model per node.
+
+        ``models`` must be ordered like ``trace.node_ids``; pass a list with
+        a single repeated model (``[model] * n``) for homogeneous sites.
+        """
+        if len(models) != trace.node_count:
+            raise ValueError(
+                f"need one power model per node: {trace.node_count} nodes, "
+                f"{len(models)} models"
+            )
+        util = trace.matrix
+        rapl = np.empty_like(util)
+        dc = np.empty_like(util)
+        wall = np.empty_like(util)
+        for row, model in enumerate(models):
+            rapl[row] = model.rapl_visible_power_w(util[row])
+            dc[row] = model.dc_power_w(util[row])
+            wall[row] = model.wall_power_w(util[row])
+        return cls(trace.start, trace.step, trace.node_ids, rapl, dc, wall)
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def start(self) -> float:
+        return self._start
+
+    @property
+    def step(self) -> float:
+        return self._step
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._node_ids)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._node_ids)
+
+    @property
+    def sample_count(self) -> int:
+        return int(self._wall.shape[1])
+
+    @property
+    def duration_s(self) -> float:
+        return self._step * self.sample_count
+
+    def scope_matrix(self, scope: str) -> np.ndarray:
+        """The power matrix for a named scope (``rapl``, ``dc`` or ``wall``)."""
+        try:
+            matrix = {"rapl": self._rapl, "dc": self._dc, "wall": self._wall}[scope]
+        except KeyError:
+            raise ValueError(f"unknown scope {scope!r}; expected rapl, dc or wall") from None
+        view = matrix.view()
+        view.flags.writeable = False
+        return view
+
+    # -- aggregates ------------------------------------------------------------------
+
+    def total_series(self, scope: str = "wall") -> TimeSeries:
+        """Site-total power over time for the given scope."""
+        matrix = self.scope_matrix(scope)
+        return TimeSeries(self._start, self._step, matrix.sum(axis=0))
+
+    def node_series(self, node_id: str, scope: str = "wall") -> TimeSeries:
+        """One node's power over time for the given scope."""
+        try:
+            row = self._node_ids.index(node_id)
+        except ValueError:
+            raise KeyError(f"no node {node_id!r} in power trace") from None
+        return TimeSeries(self._start, self._step, self.scope_matrix(scope)[row])
+
+    def total_energy_kwh(self, scope: str = "wall") -> float:
+        """True total energy in kWh for the given scope (no instrument effects)."""
+        matrix = self.scope_matrix(scope)
+        return float(matrix.sum() * self._step / JOULES_PER_KWH)
+
+    def per_node_energy_kwh(self, scope: str = "wall") -> Dict[str, float]:
+        """True per-node energy in kWh for the given scope."""
+        matrix = self.scope_matrix(scope)
+        energies = matrix.sum(axis=1) * self._step / JOULES_PER_KWH
+        return dict(zip(self._node_ids, energies.tolist()))
+
+    def mean_node_power_w(self, scope: str = "wall") -> float:
+        """Average per-node power across the whole trace."""
+        return float(self.scope_matrix(scope).mean())
+
+
+__all__ = ["PowerBreakdownTrace"]

@@ -1,0 +1,33 @@
+"""Reporting: tables, text figures, equivalence comparisons and the audit report.
+
+The paper communicates its results as small tables, one time-series figure
+and a set of "this is roughly N long-haul flights" comparisons.  This
+package renders the library's result objects in the same forms, entirely as
+text so reports can be printed from tests, benches and examples without a
+plotting dependency.
+"""
+
+from repro.reporting.tables import format_table, format_kv_table
+from repro.reporting.figures import ascii_line_chart, ascii_histogram
+from repro.reporting.equivalents import (
+    FLIGHT_KGCO2_PER_PASSENGER_HOUR,
+    EquivalenceReport,
+    flight_hours_equivalent,
+    passenger_flight_days_equivalent,
+)
+from repro.reporting.report import AuditReport
+from repro.reporting.ghg import GHGScopeStatement, to_ghg_scopes
+
+__all__ = [
+    "GHGScopeStatement",
+    "to_ghg_scopes",
+    "format_table",
+    "format_kv_table",
+    "ascii_line_chart",
+    "ascii_histogram",
+    "FLIGHT_KGCO2_PER_PASSENGER_HOUR",
+    "EquivalenceReport",
+    "flight_hours_equivalent",
+    "passenger_flight_days_equivalent",
+    "AuditReport",
+]

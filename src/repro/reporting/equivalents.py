@@ -1,0 +1,99 @@
+"""Everyday-equivalent comparisons for carbon quantities.
+
+The paper closes by putting the snapshot's carbon into perspective: at
+92 kgCO2e per passenger per flying hour, 24 hours of flying is 2208 kgCO2e,
+and the IRIS snapshot sits at "between 1 and 4 of these passenger journeys".
+These helpers reproduce that comparison plus a couple of other commonly used
+equivalences (car travel, average household electricity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.units.quantities import Carbon
+
+#: Emissions per passenger per hour of flight on a representative jet
+#: aircraft (the paper's figure, from carbonindependent.org).
+FLIGHT_KGCO2_PER_PASSENGER_HOUR: float = 92.0
+
+#: Emissions per kilometre for an average passenger car.
+CAR_KGCO2_PER_KM: float = 0.17
+
+#: Annual electricity-related emissions of an average UK household
+#: (~2,700 kWh at ~200 gCO2e/kWh).
+HOUSEHOLD_ELECTRICITY_KGCO2_PER_YEAR: float = 540.0
+
+
+def flight_hours_equivalent(carbon: Carbon) -> float:
+    """How many passenger flight-hours emit the same carbon."""
+    return carbon.kg / FLIGHT_KGCO2_PER_PASSENGER_HOUR
+
+
+def passenger_flight_days_equivalent(carbon: Carbon) -> float:
+    """How many 24-hour passenger flight-days emit the same carbon.
+
+    This is the unit the paper uses for its closing comparison (one
+    passenger flying for the full 24-hour snapshot period = 2208 kgCO2e).
+    """
+    return flight_hours_equivalent(carbon) / 24.0
+
+
+def return_long_haul_flights_equivalent(carbon: Carbon, flight_hours: float = 12.0) -> float:
+    """How many return long-haul trips (2 x ``flight_hours``) emit the same carbon."""
+    if flight_hours <= 0:
+        raise ValueError("flight_hours must be positive")
+    per_trip = 2.0 * flight_hours * FLIGHT_KGCO2_PER_PASSENGER_HOUR
+    return carbon.kg / per_trip
+
+
+def car_km_equivalent(carbon: Carbon) -> float:
+    """How many kilometres of average car travel emit the same carbon."""
+    return carbon.kg / CAR_KGCO2_PER_KM
+
+
+def household_years_equivalent(carbon: Carbon) -> float:
+    """How many household-years of electricity emissions this equals."""
+    return carbon.kg / HOUSEHOLD_ELECTRICITY_KGCO2_PER_YEAR
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """All the equivalences for one carbon quantity, ready for reporting."""
+
+    carbon: Carbon
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "carbon_kg": self.carbon.kg,
+            "passenger_flight_hours": flight_hours_equivalent(self.carbon),
+            "passenger_flight_days": passenger_flight_days_equivalent(self.carbon),
+            "return_12h_flights": return_long_haul_flights_equivalent(self.carbon),
+            "car_km": car_km_equivalent(self.carbon),
+            "household_electricity_years": household_years_equivalent(self.carbon),
+        }
+
+    def summary(self) -> str:
+        """A one-paragraph text summary in the paper's style."""
+        values = self.as_dict()
+        return (
+            f"{values['carbon_kg']:,.0f} kgCO2e is roughly "
+            f"{values['passenger_flight_days']:.1f} passenger-days of flying "
+            f"({values['return_12h_flights']:.1f} return 12-hour flights), "
+            f"{values['car_km']:,.0f} km of average car travel, or "
+            f"{values['household_electricity_years']:.1f} household-years of electricity."
+        )
+
+
+__all__ = [
+    "FLIGHT_KGCO2_PER_PASSENGER_HOUR",
+    "CAR_KGCO2_PER_KM",
+    "HOUSEHOLD_ELECTRICITY_KGCO2_PER_YEAR",
+    "flight_hours_equivalent",
+    "passenger_flight_days_equivalent",
+    "return_long_haul_flights_equivalent",
+    "car_km_equivalent",
+    "household_years_equivalent",
+    "EquivalenceReport",
+]

@@ -1,0 +1,89 @@
+"""Text renderings of the paper's figure.
+
+Figure 1 of the paper is a line chart of GB grid carbon intensity over
+November 2022.  :func:`ascii_line_chart` renders the synthetic equivalent
+as a down-sampled ASCII chart, and :func:`ascii_histogram` renders value
+distributions (used by the uncertainty benches).  Both are intentionally
+coarse — they exist to make benches and examples self-contained, not to be
+publication graphics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ascii_line_chart(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a series as an ASCII line chart.
+
+    The series is averaged down to ``width`` columns; each column plots a
+    ``*`` at the row corresponding to its value between the series minimum
+    and maximum.  A y-axis scale is printed on the left.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("ascii_line_chart requires at least one value")
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+    # Down-sample to the display width by averaging blocks.
+    if data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        columns = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    else:
+        columns = data
+    lower, upper = float(columns.min()), float(columns.max())
+    span = upper - lower if upper > lower else 1.0
+    rows = np.round((columns - lower) / span * (height - 1)).astype(int)
+    grid = [[" "] * len(columns) for _ in range(height)]
+    for x, y in enumerate(rows):
+        grid[height - 1 - int(y)][x] = "*"
+    label_width = max(len(f"{upper:,.0f}"), len(f"{lower:,.0f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{upper:,.0f}".rjust(label_width)
+        elif i == height - 1:
+            label = f"{lower:,.0f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * len(columns))
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a value distribution as a horizontal-bar ASCII histogram."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("ascii_histogram requires at least one value")
+    if bins < 1:
+        raise ValueError("bins must be at least 1")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{edges[i]:>10,.1f}, {edges[i+1]:>10,.1f})  {bar} {count}")
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_line_chart", "ascii_histogram"]

@@ -1,0 +1,95 @@
+"""Mapping audit results onto Greenhouse Gas Protocol scopes.
+
+Organisations report climate impact in the GHG Protocol's vocabulary, so an
+audit is more actionable when its components are labelled with the scope
+they fall under for the infrastructure operator:
+
+* **Scope 2** — purchased electricity: the active carbon of the IT equipment
+  and of the facility overheads (cooling, distribution losses, building
+  load).
+* **Scope 3, category 1 (purchased goods)** — the embodied carbon of the
+  servers, network equipment and facility plant, amortised to the period.
+* **Scope 1** — direct on-site combustion (diesel generator testing and the
+  like); not modelled by the paper, carried here as an optional input so a
+  complete statement can still be produced.
+
+This is a reporting transformation only: it re-labels the component map of a
+:class:`~repro.core.results.TotalCarbonResult`, it does not change any
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.results import TotalCarbonResult
+
+#: Active components that constitute purchased electricity (scope 2).
+_SCOPE2_COMPONENTS = ("nodes", "network", "cooling", "power_distribution", "building")
+
+
+@dataclass(frozen=True)
+class GHGScopeStatement:
+    """A GHG Protocol style statement for one evaluation period (kgCO2e)."""
+
+    scope1_kg: float
+    scope2_kg: float
+    scope3_embodied_kg: float
+    period_hours: float
+
+    def __post_init__(self):
+        for name in ("scope1_kg", "scope2_kg", "scope3_embodied_kg"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.period_hours <= 0:
+            raise ValueError("period_hours must be positive")
+
+    @property
+    def total_kg(self) -> float:
+        return self.scope1_kg + self.scope2_kg + self.scope3_embodied_kg
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scope1_kg": self.scope1_kg,
+            "scope2_kg": self.scope2_kg,
+            "scope3_embodied_kg": self.scope3_embodied_kg,
+            "total_kg": self.total_kg,
+            "period_hours": self.period_hours,
+        }
+
+    def annualised(self) -> "GHGScopeStatement":
+        """Scale the statement to a full year (naive extrapolation)."""
+        factor = 8760.0 / self.period_hours
+        return GHGScopeStatement(
+            scope1_kg=self.scope1_kg * factor,
+            scope2_kg=self.scope2_kg * factor,
+            scope3_embodied_kg=self.scope3_embodied_kg * factor,
+            period_hours=8760.0,
+        )
+
+
+def to_ghg_scopes(result: TotalCarbonResult, scope1_kg: float = 0.0) -> GHGScopeStatement:
+    """Re-label a total-carbon result as a GHG Protocol scope statement.
+
+    Market-based instruments (PPAs, REGOs) are out of scope here: the scope-2
+    figure is location-based, using whatever grid intensity the model was
+    evaluated with.
+    """
+    if scope1_kg < 0:
+        raise ValueError("scope1_kg must be non-negative")
+    scope2 = sum(result.active.component(name) for name in _SCOPE2_COMPONENTS)
+    # Any custom active components not in the standard list still belong to
+    # purchased electricity.
+    extra = result.active.total_kg - scope2
+    scope2 += max(extra, 0.0)
+    scope3 = result.embodied.total_kg
+    return GHGScopeStatement(
+        scope1_kg=float(scope1_kg),
+        scope2_kg=float(scope2),
+        scope3_embodied_kg=float(scope3),
+        period_hours=result.period.hours,
+    )
+
+
+__all__ = ["GHGScopeStatement", "to_ghg_scopes"]

@@ -1,0 +1,88 @@
+"""The full audit report.
+
+:class:`AuditReport` assembles the pieces an operator would want from an
+IRISCAST-style audit into one text document: the inventory summary, the
+per-site energy table, the active and embodied scenario grids, the total,
+and the everyday equivalences.  It works from the library's result objects
+so any infrastructure evaluated with the model — not just IRIS — can be
+reported the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.results import TotalCarbonResult
+from repro.reporting.equivalents import EquivalenceReport
+from repro.reporting.tables import format_kv_table, format_table
+from repro.units.quantities import Carbon
+
+
+@dataclass
+class AuditReport:
+    """A text audit report built up section by section.
+
+    Sections are added in the order they should appear; :meth:`render`
+    joins them with headers.  Convenience ``add_*`` methods cover the
+    sections every audit has.
+    """
+
+    title: str = "Infrastructure carbon audit"
+    _sections: List[str] = field(default_factory=list)
+
+    # -- generic sections ---------------------------------------------------------
+
+    def add_section(self, heading: str, body: str) -> None:
+        """Append a section with a heading and pre-rendered body text."""
+        if not heading:
+            raise ValueError("heading must be non-empty")
+        self._sections.append(f"## {heading}\n\n{body}")
+
+    def add_table(self, heading: str, rows: Sequence[Mapping[str, object]],
+                  columns: Optional[Sequence[str]] = None,
+                  headers: Optional[Mapping[str, str]] = None,
+                  float_format: str = ",.1f") -> None:
+        """Append a section containing a rendered table."""
+        self.add_section(heading, format_table(rows, columns=columns, headers=headers,
+                                               float_format=float_format))
+
+    def add_key_values(self, heading: str, values: Mapping[str, object],
+                       float_format: str = ",.1f") -> None:
+        """Append a section containing a key/value table."""
+        self.add_section(heading, format_kv_table(values, float_format=float_format))
+
+    # -- result-specific sections ------------------------------------------------------
+
+    def add_total_result(self, heading: str, result: TotalCarbonResult) -> None:
+        """Append the component breakdown of a total-carbon result."""
+        values: Dict[str, object] = {
+            "period_hours": result.period.hours,
+            "active_kg": result.active.total_kg,
+            "embodied_kg": result.embodied.total_kg,
+            "total_kg": result.total_kg,
+            "embodied_fraction": result.embodied_fraction,
+        }
+        values.update(result.breakdown_kg())
+        self.add_key_values(heading, values, float_format=",.2f")
+
+    def add_equivalences(self, heading: str, carbon: Carbon) -> None:
+        """Append the everyday-equivalence comparison for a carbon quantity."""
+        report = EquivalenceReport(carbon)
+        body = format_kv_table(report.as_dict(), float_format=",.2f") + "\n\n" + report.summary()
+        self.add_section(heading, body)
+
+    # -- rendering -----------------------------------------------------------------------
+
+    @property
+    def section_count(self) -> int:
+        return len(self._sections)
+
+    def render(self) -> str:
+        """The complete report as Markdown-flavoured text."""
+        if not self._sections:
+            raise ValueError("the report has no sections")
+        return f"# {self.title}\n\n" + "\n\n".join(self._sections) + "\n"
+
+
+__all__ = ["AuditReport"]

@@ -1,0 +1,91 @@
+"""Plain-text table rendering.
+
+The benches print each reproduced table (Tables 1-4) with these helpers so
+the output can be compared side-by-side with the paper.  Rendering is
+deliberately simple: fixed-width columns, right-aligned numerics, a header
+separator, and ``-`` for missing values (the paper's empty cells).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    """Render one cell; None becomes '-', floats use ``float_format``."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    headers: Optional[Mapping[str, str]] = None,
+    float_format: str = ",.1f",
+    title: str = "",
+) -> str:
+    """Render a list of row dictionaries as a fixed-width text table.
+
+    Parameters
+    ----------
+    rows:
+        The data; every row is a mapping from column key to value.
+    columns:
+        Column keys in display order; defaults to the keys of the first row.
+    headers:
+        Optional display names per column key.
+    float_format:
+        ``format`` spec applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        raise ValueError("format_table requires at least one row")
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    headers = dict(headers or {})
+    header_cells = [headers.get(column, column) for column in columns]
+    body = [
+        [_format_cell(row.get(column), float_format) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(header_cells[i]), *(len(line[i]) for line in body))
+        for i in range(len(columns))
+    ]
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(header_cells))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_line(line) for line in body)
+    return "\n".join(lines)
+
+
+def format_kv_table(
+    values: Mapping[str, object],
+    float_format: str = ",.1f",
+    title: str = "",
+) -> str:
+    """Render a mapping as a two-column key/value table."""
+    if not values:
+        raise ValueError("format_kv_table requires at least one entry")
+    rows = [{"key": key, "value": value} for key, value in values.items()]
+    return format_table(
+        rows,
+        columns=["key", "value"],
+        headers={"key": "quantity", "value": "value"},
+        float_format=float_format,
+        title=title,
+    )
+
+
+__all__ = ["format_table", "format_kv_table"]

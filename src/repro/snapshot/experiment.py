@@ -1,0 +1,354 @@
+"""Running the snapshot audit end to end.
+
+For every configured site, :class:`SnapshotExperiment`:
+
+1. builds the site's node fleet from the hardware catalog;
+2. calibrates the workload so that the site's average per-node wall power
+   matches the configured target (derived from the paper's Table 2);
+3. generates a synthetic job stream and schedules it with the
+   FCFS+backfill scheduler, producing a utilisation trace;
+4. converts utilisation to component-resolved power and runs the site's
+   measurement instruments over it, producing the site's row of Table 2;
+5. collects the per-node utilisation needed by the utilisation-aware
+   amortisation policies.
+
+The combined :class:`SnapshotResult` then exposes the Table 2 rows, the
+active-energy input for the carbon model, the embodied asset list, and
+convenience evaluations of the scenario grids (Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.active import ActiveEnergyInput
+from repro.core.embodied import EmbodiedAsset
+from repro.core.model import CarbonModel, SnapshotInputs
+from repro.core.results import TotalCarbonResult
+from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
+from repro.inventory.catalog import HardwareCatalog, default_catalog
+from repro.inventory.network import NetworkFabric
+from repro.inventory.node import NodeSpec
+from repro.power.calibration import utilization_for_target_power
+from repro.power.campaign import MeasurementCampaign, SiteEnergyReport
+from repro.power.instruments import FacilityMeter, IPMIMeter, PDUMeter, TurbostatMeter
+from repro.power.node_power import NodePowerModel
+from repro.power.traces import PowerBreakdownTrace
+from repro.snapshot.config import SiteSnapshotConfig, SnapshotConfig, default_iris_snapshot_config
+from repro.units.quantities import CarbonIntensity, Duration
+from repro.workload.cluster import SimulatedCluster, SimulatedNode
+from repro.workload.jobs import JobGenerator, WorkloadProfile
+from repro.workload.scheduler import BackfillScheduler, SchedulerStatistics
+from repro.workload.utilization import UtilizationTrace
+
+
+@dataclass(frozen=True)
+class SiteSnapshotResult:
+    """Everything the snapshot produced for one site."""
+
+    site: str
+    config: SiteSnapshotConfig
+    energy_report: SiteEnergyReport
+    scheduler_stats: SchedulerStatistics
+    mean_utilization: float
+    target_utilization: float
+    network_power_w: float
+    per_node_utilization: Mapping[str, float]
+    node_specs: Mapping[str, str]
+
+    def __post_init__(self):
+        object.__setattr__(self, "per_node_utilization", dict(self.per_node_utilization))
+        object.__setattr__(self, "node_specs", dict(self.node_specs))
+
+    #: Duration of the measurement window in hours; set by the experiment
+    #: when it builds the result (defaults to the paper's 24-hour snapshot).
+    _duration_hours: float = 24.0
+
+    @property
+    def best_estimate_kwh(self) -> float:
+        """The site's widest-scope measured energy."""
+        return self.energy_report.best_estimate_kwh
+
+    @property
+    def duration_hours(self) -> float:
+        """Length of the measurement window in hours."""
+        return self._duration_hours
+
+    @property
+    def mean_node_power_w(self) -> float:
+        """Average per-node power implied by the best estimate."""
+        return self.best_estimate_kwh * 1000.0 / (self.config.node_count * self._duration_hours)
+
+
+@dataclass(frozen=True)
+class SnapshotResult:
+    """The combined outcome of a snapshot audit."""
+
+    config: SnapshotConfig
+    site_results: Tuple[SiteSnapshotResult, ...]
+
+    def __post_init__(self):
+        if not self.site_results:
+            raise ValueError("a snapshot result needs at least one site")
+        object.__setattr__(self, "site_results", tuple(self.site_results))
+
+    # -- Table 2 ----------------------------------------------------------------------
+
+    def table2_rows(self) -> List[Dict[str, object]]:
+        """Rows mirroring Table 2: per-site energy by method plus node count."""
+        return [result.energy_report.as_table_row() for result in self.site_results]
+
+    @property
+    def total_best_estimate_kwh(self) -> float:
+        """The snapshot total (sum of widest-scope readings; paper: 18,760 kWh)."""
+        return float(sum(result.best_estimate_kwh for result in self.site_results))
+
+    @property
+    def total_nodes(self) -> int:
+        return int(sum(result.config.node_count for result in self.site_results))
+
+    def site_result(self, site: str) -> SiteSnapshotResult:
+        """Look up one site's result."""
+        for result in self.site_results:
+            if result.site == site:
+                return result
+        raise KeyError(f"no site {site!r} in snapshot result")
+
+    # -- carbon-model inputs -----------------------------------------------------------
+
+    def period(self) -> Duration:
+        return Duration.from_hours(self.config.duration_hours)
+
+    def active_energy_input(self) -> ActiveEnergyInput:
+        """The measured-energy bundle the active-carbon term consumes."""
+        node_energy = {
+            result.site: result.best_estimate_kwh for result in self.site_results
+        }
+        return ActiveEnergyInput(period=self.period(), node_energy_kwh=node_energy)
+
+    def embodied_assets(
+        self,
+        per_server_kgco2: Optional[float] = None,
+        lifetime_years: Optional[float] = None,
+    ) -> List[EmbodiedAsset]:
+        """One embodied asset per measured node (plus per-site network fabrics).
+
+        ``per_server_kgco2`` overrides the per-node embodied carbon (used by
+        the Table 4 scenario sweeps); by default each node class keeps its
+        catalog datasheet figure.
+        """
+        lifetime = lifetime_years or self.config.lifetime_years
+        assets: List[EmbodiedAsset] = []
+        for result in self.site_results:
+            for node_id, model_name in result.node_specs.items():
+                embodied = per_server_kgco2
+                if embodied is None:
+                    embodied = self._catalog_embodied_kg(model_name)
+                assets.append(
+                    EmbodiedAsset(
+                        asset_id=node_id,
+                        component="nodes",
+                        embodied_kgco2=embodied,
+                        lifetime_years=lifetime,
+                        period_utilization=result.per_node_utilization.get(node_id),
+                        lifetime_utilization=0.6,
+                    )
+                )
+            fabric = NetworkFabric.sized_for_nodes(result.config.node_count)
+            if fabric.switch_count:
+                assets.append(
+                    EmbodiedAsset(
+                        asset_id=f"{result.site}-network",
+                        component="network",
+                        embodied_kgco2=fabric.total_embodied_kgco2,
+                        lifetime_years=fabric.leaf_spec.lifetime_years,
+                    )
+                )
+        return assets
+
+    def _catalog_embodied_kg(self, model_name: str) -> float:
+        catalog = default_catalog()
+        spec = catalog.node(model_name)
+        if spec.embodied_kgco2_datasheet is not None:
+            return float(spec.embodied_kgco2_datasheet)
+        from repro.embodied.bottom_up import BottomUpEstimator
+
+        return BottomUpEstimator().estimate_node(spec).total_kgco2
+
+    # -- model evaluations ----------------------------------------------------------------
+
+    def evaluate_model(
+        self,
+        carbon_intensity_g_per_kwh: float = 175.0,
+        pue: float = 1.3,
+        per_server_kgco2: Optional[float] = None,
+        lifetime_years: Optional[float] = None,
+    ) -> TotalCarbonResult:
+        """Evaluate the full carbon model for one scenario."""
+        model = CarbonModel(
+            carbon_intensity=CarbonIntensity(carbon_intensity_g_per_kwh), pue=pue
+        )
+        inputs = SnapshotInputs(
+            energy=self.active_energy_input(),
+            assets=self.embodied_assets(per_server_kgco2, lifetime_years),
+        )
+        return model.evaluate(inputs)
+
+    def table3_rows(self) -> List[Dict[str, object]]:
+        """The active-carbon scenario grid evaluated on this snapshot's energy."""
+        return ActiveScenarioGrid().table3_rows(self.active_energy_input())
+
+    def table4_rows(self, period_days: float = 1.0) -> List[Dict[str, float]]:
+        """The embodied scenario grid for this snapshot's fleet size."""
+        return EmbodiedScenarioGrid().table4_rows(self.total_nodes, period_days)
+
+
+class SnapshotExperiment:
+    """Run the IRISCAST-style snapshot over a simulated infrastructure."""
+
+    def __init__(
+        self,
+        config: Optional[SnapshotConfig] = None,
+        catalog: Optional[HardwareCatalog] = None,
+    ):
+        self._config = config or default_iris_snapshot_config()
+        self._catalog = catalog or default_catalog()
+
+    @property
+    def config(self) -> SnapshotConfig:
+        return self._config
+
+    @property
+    def catalog(self) -> HardwareCatalog:
+        return self._catalog
+
+    # -- per-site pieces -----------------------------------------------------------------
+
+    def _site_specs(self, site: SiteSnapshotConfig) -> Tuple[List[str], List[NodeSpec]]:
+        """Node ids and specs for one site (compute nodes first, then storage)."""
+        compute_spec = self._catalog.node(site.compute_model)
+        storage_spec = self._catalog.node(site.storage_model)
+        node_ids: List[str] = []
+        specs: List[NodeSpec] = []
+        for index in range(site.compute_node_count):
+            node_ids.append(f"{site.site}-cpu-{index:04d}")
+            specs.append(compute_spec)
+        for index in range(site.storage_node_count):
+            node_ids.append(f"{site.site}-sto-{index:04d}")
+            specs.append(storage_spec)
+        return node_ids, specs
+
+    def _site_target_utilization(
+        self, site: SiteSnapshotConfig, specs: Sequence[NodeSpec]
+    ) -> float:
+        """Invert the site's mixed-fleet power curve for the calibration target."""
+        if site.target_node_power_w is None:
+            return site.default_utilization
+        target = site.target_node_power_w * site.calibration_margin
+        models = [NodePowerModel(spec) for spec in specs]
+
+        def mean_power(utilization: float) -> float:
+            return float(np.mean([m.wall_power_w(utilization) for m in models]))
+
+        low_power = mean_power(0.0)
+        high_power = mean_power(1.0)
+        if target <= low_power:
+            return 0.0
+        if target >= high_power:
+            return 1.0
+        low, high = 0.0, 1.0
+        for _ in range(60):
+            mid = 0.5 * (low + high)
+            if mean_power(mid) < target:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def _build_cluster(self, node_ids: Sequence[str], specs: Sequence[NodeSpec]) -> SimulatedCluster:
+        nodes = [
+            SimulatedNode(index=i, node_id=node_ids[i],
+                          cores=max(specs[i].total_cores, 1),
+                          free_cores=max(specs[i].total_cores, 1))
+            for i in range(len(node_ids))
+        ]
+        return SimulatedCluster(nodes)
+
+    def _instruments(self, site: SiteSnapshotConfig) -> Dict[str, object]:
+        """The instrument set configured for one site."""
+        return {
+            "turbostat": TurbostatMeter(),
+            "ipmi": IPMIMeter(node_coverage=site.ipmi_node_coverage),
+            "pdu": PDUMeter(),
+            "facility": FacilityMeter(),
+        }
+
+    def run_site(self, site: SiteSnapshotConfig) -> SiteSnapshotResult:
+        """Simulate and measure one site for the snapshot window."""
+        config = self._config
+        node_ids, specs = self._site_specs(site)
+        target_utilization = self._site_target_utilization(site, specs)
+        cluster = self._build_cluster(node_ids, specs)
+        duration_s = config.duration_s
+        warmup_s = config.warmup_hours * 3600.0
+
+        if target_utilization > 0.0:
+            profile = WorkloadProfile(
+                target_utilization=min(max(target_utilization, 0.01), 1.0),
+                cpu_intensity_low=1.0,
+                cpu_intensity_high=1.0,
+            )
+            generator = JobGenerator(
+                profile,
+                cluster.total_cores,
+                seed=site.workload_seed,
+                max_cores_per_job=min(node.cores for node in cluster.nodes),
+            )
+            jobs = generator.generate(duration_s, warmup_s=warmup_s)
+            scheduler = BackfillScheduler(cluster)
+            trace, stats = scheduler.simulate(jobs, duration_s, step_s=config.trace_step_s)
+        else:
+            # A fully idle site: no jobs, flat zero utilisation.
+            n_samples = int(round(duration_s / config.trace_step_s))
+            trace = UtilizationTrace.constant(0.0, config.trace_step_s, node_ids,
+                                              n_samples, 0.0)
+            stats = SchedulerStatistics(jobs_submitted=0)
+
+        models = [NodePowerModel(spec) for spec in specs]
+        power = PowerBreakdownTrace.from_utilization(trace, models)
+        fabric = NetworkFabric.sized_for_nodes(site.node_count)
+        campaign = MeasurementCampaign(self._instruments(site), seed=config.campaign_seed)
+        report = campaign.measure_site(
+            site.site,
+            power,
+            network_power_w=fabric.total_power_w,
+            methods=site.measurement_methods,
+        )
+        per_node_util = dict(zip(trace.node_ids, trace.mean_per_node().tolist()))
+        node_spec_names = {node_ids[i]: specs[i].model for i in range(len(node_ids))}
+        result = SiteSnapshotResult(
+            site=site.site,
+            config=site,
+            energy_report=report,
+            scheduler_stats=stats,
+            mean_utilization=trace.mean_utilization(),
+            target_utilization=target_utilization,
+            network_power_w=fabric.total_power_w,
+            per_node_utilization=per_node_util,
+            node_specs=node_spec_names,
+        )
+        object.__setattr__(result, "_duration_hours", config.duration_hours)
+        return result
+
+    # -- whole snapshot -----------------------------------------------------------------------
+
+    def run(self) -> SnapshotResult:
+        """Run every configured site and assemble the combined result."""
+        results = [self.run_site(site) for site in self._config.sites]
+        return SnapshotResult(config=self._config, site_results=tuple(results))
+
+
+__all__ = ["SnapshotExperiment", "SnapshotResult", "SiteSnapshotResult"]

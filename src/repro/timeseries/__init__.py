@@ -1,0 +1,53 @@
+"""Time-series substrate used by the power and grid subsystems.
+
+The measurement campaign of the paper produces sampled data at very different
+cadences — half-hourly grid carbon intensity, minute-level PDU readings,
+second-level IPMI/Turbostat samples, and single cumulative readings from
+facility meters.  All of it ultimately has to be reduced to "energy used over
+the snapshot period" and "carbon intensity applicable to that energy", so
+this package provides a small, numpy-backed regular time-series type plus
+the operations the pipeline needs:
+
+* :class:`~repro.timeseries.series.TimeSeries` — a regularly sampled series
+  (start time, fixed step, float values).
+* :mod:`~repro.timeseries.resample` — down/up-sampling between cadences.
+* :mod:`~repro.timeseries.align` — trimming and aligning series that cover
+  different windows so that they can be combined.
+* :mod:`~repro.timeseries.gapfill` — filling missing samples (NaNs), which
+  happens when instruments drop readings during the campaign.
+* :mod:`~repro.timeseries.integrate` — integrating power series into energy
+  and computing time-weighted averages.
+"""
+
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+from repro.timeseries.resample import resample_mean, resample_sum, upsample_repeat
+from repro.timeseries.align import align_pair, align_many, common_window
+from repro.timeseries.gapfill import (
+    count_gaps,
+    fill_forward,
+    fill_interpolate,
+    fill_value,
+)
+from repro.timeseries.integrate import (
+    energy_kwh_from_power_w,
+    integrate_trapezoid,
+    time_weighted_mean,
+)
+
+__all__ = [
+    "TimeSeries",
+    "TimeSeriesError",
+    "resample_mean",
+    "resample_sum",
+    "upsample_repeat",
+    "align_pair",
+    "align_many",
+    "common_window",
+    "count_gaps",
+    "fill_forward",
+    "fill_interpolate",
+    "fill_value",
+    "energy_kwh_from_power_w",
+    "integrate_trapezoid",
+    "time_weighted_mean",
+]

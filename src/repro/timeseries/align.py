@@ -1,0 +1,68 @@
+"""Aligning series that cover different time windows.
+
+Instruments start and stop at slightly different times during a measurement
+campaign; before series can be combined element-wise they have to share the
+same start, step and length.  These helpers trim a group of same-step series
+to their common overlapping window.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+
+
+def common_window(series: Sequence[TimeSeries]) -> Tuple[float, float]:
+    """The ``(start, end)`` window covered by *all* of the given series."""
+    if not series:
+        raise TimeSeriesError("common_window requires at least one series")
+    start = max(s.start for s in series)
+    end = min(s.end for s in series)
+    if end <= start:
+        raise TimeSeriesError("the given series have no common overlap")
+    return start, end
+
+
+def align_pair(a: TimeSeries, b: TimeSeries) -> Tuple[TimeSeries, TimeSeries]:
+    """Trim two same-step series to their common window.
+
+    The series must have equal steps and their sample grids must coincide on
+    the overlap (i.e. starts differ by an integer number of steps).
+    """
+    aligned = align_many([a, b])
+    return aligned[0], aligned[1]
+
+
+def align_many(series: Sequence[TimeSeries]) -> list[TimeSeries]:
+    """Trim several same-step series to their common overlapping window."""
+    if not series:
+        raise TimeSeriesError("align_many requires at least one series")
+    step = series[0].step
+    for s in series[1:]:
+        if not np.isclose(s.step, step):
+            raise TimeSeriesError(
+                f"align_many requires equal steps, got {step} and {s.step}"
+            )
+        offset = (s.start - series[0].start) / step
+        if not np.isclose(offset, round(offset)):
+            raise TimeSeriesError(
+                "align_many requires sample grids that coincide on the overlap"
+            )
+    start, end = common_window(series)
+    out = []
+    for s in series:
+        # Number of whole steps to drop from the front of this series.
+        skip = int(round((start - s.start) / step))
+        # Number of samples that fit in the common window.
+        count = int(round((end - start) / step))
+        values = s.values[skip: skip + count]
+        if values.size == 0:
+            raise TimeSeriesError("alignment produced an empty series")
+        out.append(TimeSeries(start, step, values))
+    return out
+
+
+__all__ = ["common_window", "align_pair", "align_many"]

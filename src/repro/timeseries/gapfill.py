@@ -1,0 +1,66 @@
+"""Filling missing samples (NaN gaps) in measured series.
+
+Real measurement campaigns drop readings — IPMI polls time out, PDU exports
+have holes, facility meters are read manually.  The paper notes that "data
+is either incomplete or of variable quality"; the simulated instruments in
+:mod:`repro.power.instruments` reproduce this by dropping a configurable
+fraction of samples, and these helpers implement the standard repair
+strategies so their effect on the energy totals can be studied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+
+
+def count_gaps(series: TimeSeries) -> int:
+    """Number of missing (NaN) samples in the series."""
+    return int(np.isnan(series.values).sum())
+
+
+def fill_value(series: TimeSeries, value: float) -> TimeSeries:
+    """Replace every missing sample with a constant ``value``."""
+    values = series.values.copy()
+    values[np.isnan(values)] = float(value)
+    return TimeSeries(series.start, series.step, values)
+
+
+def fill_forward(series: TimeSeries) -> TimeSeries:
+    """Replace each missing sample with the most recent valid sample.
+
+    Leading gaps (before the first valid sample) are filled backwards from
+    the first valid sample.  Raises if the series contains no valid samples
+    at all.
+    """
+    values = series.values.copy()
+    valid = ~np.isnan(values)
+    if not valid.any():
+        raise TimeSeriesError("cannot forward-fill a series with no valid samples")
+    # Index of the previous valid sample for every position.
+    idx = np.where(valid, np.arange(len(values)), -1)
+    idx = np.maximum.accumulate(idx)
+    first_valid = int(np.argmax(valid))
+    idx[idx < 0] = first_valid
+    return TimeSeries(series.start, series.step, values[idx])
+
+
+def fill_interpolate(series: TimeSeries) -> TimeSeries:
+    """Linearly interpolate missing samples between the neighbouring valid ones.
+
+    Gaps at the edges are extended flat from the nearest valid sample.
+    Raises if the series contains no valid samples at all.
+    """
+    values = series.values.copy()
+    valid = ~np.isnan(values)
+    if not valid.any():
+        raise TimeSeriesError("cannot interpolate a series with no valid samples")
+    if valid.all():
+        return series.copy()
+    x = np.arange(len(values), dtype=np.float64)
+    filled = np.interp(x, x[valid], values[valid])
+    return TimeSeries(series.start, series.step, filled)
+
+
+__all__ = ["count_gaps", "fill_value", "fill_forward", "fill_interpolate"]

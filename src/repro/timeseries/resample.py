@@ -1,0 +1,107 @@
+"""Resampling between sampling cadences.
+
+The measurement instruments in :mod:`repro.power` sample at different rates
+(Turbostat every few seconds, IPMI every tens of seconds, PDUs every minute,
+facility meters every fifteen minutes); the grid intensity series is
+half-hourly.  To combine them, series are resampled onto a common cadence.
+
+Down-sampling is exact only when the target step is an integer multiple of
+the source step — which is how the simulator chooses its cadences — so the
+functions here enforce that and fail loudly rather than silently
+interpolating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+
+
+def _factor(series: TimeSeries, new_step: float) -> int:
+    """Validate that ``new_step`` is an integer multiple of the series step."""
+    new_step = float(new_step)
+    if new_step <= 0:
+        raise TimeSeriesError("new_step must be positive")
+    ratio = new_step / series.step
+    factor = int(round(ratio))
+    if factor < 1 or not np.isclose(ratio, factor):
+        raise TimeSeriesError(
+            f"new step {new_step} is not an integer multiple of the "
+            f"current step {series.step}"
+        )
+    return factor
+
+
+def resample_mean(series: TimeSeries, new_step: float) -> TimeSeries:
+    """Down-sample by averaging blocks of samples.
+
+    Appropriate for *rate*-like series (power in watts, intensity in
+    gCO2/kWh): the average of the finer samples over each coarse interval is
+    the value a coarser instrument would have reported.
+
+    A trailing partial block (fewer than ``factor`` samples) is averaged over
+    the samples it does contain.
+    """
+    factor = _factor(series, new_step)
+    if factor == 1:
+        return series.copy()
+    values = series.values
+    n_full = len(values) // factor
+    blocks = []
+    if n_full:
+        trimmed = values[: n_full * factor].reshape(n_full, factor)
+        blocks.append(np.nanmean(trimmed, axis=1))
+    remainder = values[n_full * factor:]
+    if remainder.size:
+        blocks.append(np.array([np.nanmean(remainder)]))
+    out = np.concatenate(blocks) if blocks else np.array([np.nan])
+    return TimeSeries(series.start, new_step, out)
+
+
+def resample_sum(series: TimeSeries, new_step: float) -> TimeSeries:
+    """Down-sample by summing blocks of samples.
+
+    Appropriate for *amount*-like series (energy per interval in kWh,
+    carbon per interval in grams): amounts add across the finer intervals.
+    """
+    factor = _factor(series, new_step)
+    if factor == 1:
+        return series.copy()
+    values = series.values
+    n_full = len(values) // factor
+    blocks = []
+    if n_full:
+        trimmed = values[: n_full * factor].reshape(n_full, factor)
+        blocks.append(np.nansum(trimmed, axis=1))
+    remainder = values[n_full * factor:]
+    if remainder.size:
+        blocks.append(np.array([np.nansum(remainder)]))
+    out = np.concatenate(blocks) if blocks else np.array([0.0])
+    return TimeSeries(series.start, new_step, out)
+
+
+def upsample_repeat(series: TimeSeries, new_step: float) -> TimeSeries:
+    """Up-sample by repeating each sample (piecewise-constant interpretation).
+
+    Used to bring the half-hourly grid intensity onto the cadence of a finer
+    power trace before computing time-resolved carbon.  ``new_step`` must
+    divide the current step evenly.
+    """
+    new_step = float(new_step)
+    if new_step <= 0:
+        raise TimeSeriesError("new_step must be positive")
+    ratio = series.step / new_step
+    factor = int(round(ratio))
+    if factor < 1 or not np.isclose(ratio, factor):
+        raise TimeSeriesError(
+            f"current step {series.step} is not an integer multiple of the "
+            f"new step {new_step}"
+        )
+    if factor == 1:
+        return series.copy()
+    values = np.repeat(series.values, factor)
+    return TimeSeries(series.start, new_step, values)
+
+
+__all__ = ["resample_mean", "resample_sum", "upsample_repeat"]

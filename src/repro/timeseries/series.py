@@ -1,0 +1,275 @@
+"""A regularly sampled time series backed by a numpy array.
+
+The library deliberately uses *regular* series (fixed sampling step) because
+every producer in the reproduction — the workload simulator, the power
+instruments and the grid-intensity model — samples on a fixed cadence, and
+regular series make resampling, alignment and integration both simpler and
+much faster (pure vectorised numpy, no per-sample Python loops).
+
+Timestamps are plain floats: seconds since an arbitrary campaign epoch
+(the start of the snapshot by convention).  Keeping time as float seconds
+rather than datetimes keeps the hot paths free of object arrays; the
+snapshot orchestration layer owns the mapping to calendar dates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+class TimeSeriesError(ValueError):
+    """Raised for invalid time-series construction or incompatible operands."""
+
+
+class TimeSeries:
+    """A regularly sampled series of float values.
+
+    Parameters
+    ----------
+    start:
+        Timestamp of the first sample, in seconds since the campaign epoch.
+    step:
+        Sampling period in seconds; must be positive.
+    values:
+        Sample values. Stored as a float64 numpy array; a copy is taken so
+        the series owns its data.
+
+    Notes
+    -----
+    Values may contain NaN to represent missing samples (dropped readings);
+    use :mod:`repro.timeseries.gapfill` before integrating.
+    """
+
+    __slots__ = ("_start", "_step", "_values")
+
+    def __init__(self, start: float, step: float, values: Iterable[float]):
+        step = float(step)
+        if step <= 0:
+            raise TimeSeriesError(f"step must be positive, got {step}")
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                         dtype=np.float64)
+        if arr.ndim != 1:
+            raise TimeSeriesError(f"values must be one-dimensional, got shape {arr.shape}")
+        if arr.size == 0:
+            raise TimeSeriesError("a TimeSeries must contain at least one sample")
+        self._start = float(start)
+        self._step = step
+        self._values = arr.copy()
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def start(self) -> float:
+        """Timestamp of the first sample (seconds since epoch)."""
+        return self._start
+
+    @property
+    def step(self) -> float:
+        """Sampling period in seconds."""
+        return self._step
+
+    @property
+    def values(self) -> np.ndarray:
+        """A read-only view of the sample values."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def end(self) -> float:
+        """Timestamp just after the last sample (exclusive end of coverage)."""
+        return self._start + self._step * len(self._values)
+
+    @property
+    def duration(self) -> float:
+        """Total covered duration in seconds."""
+        return self._step * len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps of each sample (seconds since epoch)."""
+        return self._start + self._step * np.arange(len(self._values), dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeries(start={self._start}, step={self._step}, "
+            f"n={len(self._values)}, mean={np.nanmean(self._values):.4g})"
+        )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def constant(cls, start: float, step: float, value: float, n: int) -> "TimeSeries":
+        """A series of ``n`` identical samples."""
+        if n <= 0:
+            raise TimeSeriesError("n must be positive")
+        return cls(start, step, np.full(n, float(value)))
+
+    @classmethod
+    def zeros(cls, start: float, step: float, n: int) -> "TimeSeries":
+        """A series of ``n`` zero samples."""
+        return cls.constant(start, step, 0.0, n)
+
+    @classmethod
+    def from_function(
+        cls, start: float, step: float, n: int, fn: Callable[[np.ndarray], np.ndarray]
+    ) -> "TimeSeries":
+        """Sample ``fn`` (vectorised over timestamps) on a regular grid."""
+        if n <= 0:
+            raise TimeSeriesError("n must be positive")
+        times = start + step * np.arange(n, dtype=np.float64)
+        values = np.asarray(fn(times), dtype=np.float64)
+        if values.shape != times.shape:
+            raise TimeSeriesError(
+                "from_function: fn must return an array of the same shape as its input"
+            )
+        return cls(start, step, values)
+
+    # -- statistics ------------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples, ignoring NaN gaps."""
+        return float(np.nanmean(self._values))
+
+    def total(self) -> float:
+        """Sum of the samples, ignoring NaN gaps."""
+        return float(np.nansum(self._values))
+
+    def minimum(self) -> float:
+        """Minimum sample, ignoring NaN gaps."""
+        return float(np.nanmin(self._values))
+
+    def maximum(self) -> float:
+        """Maximum sample, ignoring NaN gaps."""
+        return float(np.nanmax(self._values))
+
+    def std(self) -> float:
+        """Standard deviation of the samples, ignoring NaN gaps."""
+        return float(np.nanstd(self._values))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the samples, ignoring NaN gaps."""
+        return float(np.nanpercentile(self._values, q))
+
+    def has_gaps(self) -> bool:
+        """True if any sample is NaN."""
+        return bool(np.isnan(self._values).any())
+
+    # -- elementwise arithmetic ---------------------------------------------
+
+    def _check_compatible(self, other: "TimeSeries", op: str) -> None:
+        if not isinstance(other, TimeSeries):
+            raise TimeSeriesError(f"cannot {op} TimeSeries and {type(other).__name__}")
+        if len(other) != len(self):
+            raise TimeSeriesError(
+                f"cannot {op} series of different lengths ({len(self)} vs {len(other)})"
+            )
+        if not np.isclose(other._step, self._step):
+            raise TimeSeriesError(
+                f"cannot {op} series with different steps ({self._step} vs {other._step})"
+            )
+        if not np.isclose(other._start, self._start):
+            raise TimeSeriesError(
+                f"cannot {op} series with different starts "
+                f"({self._start} vs {other._start}); align them first"
+            )
+
+    def __add__(self, other):
+        if isinstance(other, (int, float)):
+            return TimeSeries(self._start, self._step, self._values + other)
+        self._check_compatible(other, "add")
+        return TimeSeries(self._start, self._step, self._values + other._values)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, (int, float)):
+            return TimeSeries(self._start, self._step, self._values - other)
+        self._check_compatible(other, "subtract")
+        return TimeSeries(self._start, self._step, self._values - other._values)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            return TimeSeries(self._start, self._step, self._values * other)
+        self._check_compatible(other, "multiply")
+        return TimeSeries(self._start, self._step, self._values * other._values)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, (int, float)):
+            return TimeSeries(self._start, self._step, self._values / other)
+        self._check_compatible(other, "divide")
+        return TimeSeries(self._start, self._step, self._values / other._values)
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "TimeSeries":
+        """Apply a vectorised function to the values, preserving the grid."""
+        values = np.asarray(fn(self._values), dtype=np.float64)
+        if values.shape != self._values.shape:
+            raise TimeSeriesError("map: fn must preserve the number of samples")
+        return TimeSeries(self._start, self._step, values)
+
+    def clip(self, lower: float | None = None, upper: float | None = None) -> "TimeSeries":
+        """Clamp values into ``[lower, upper]``."""
+        return TimeSeries(self._start, self._step, np.clip(self._values, lower, upper))
+
+    # -- slicing in time ------------------------------------------------------
+
+    def slice_time(self, t0: float, t1: float) -> "TimeSeries":
+        """Return the sub-series whose sample timestamps fall in ``[t0, t1)``."""
+        if t1 <= t0:
+            raise TimeSeriesError("slice_time requires t1 > t0")
+        times = self.times
+        mask = (times >= t0) & (times < t1)
+        if not mask.any():
+            raise TimeSeriesError(
+                f"slice [{t0}, {t1}) does not overlap series covering "
+                f"[{self._start}, {self.end})"
+            )
+        idx = np.nonzero(mask)[0]
+        return TimeSeries(times[idx[0]], self._step, self._values[idx[0]: idx[-1] + 1])
+
+    def value_at(self, t: float) -> float:
+        """The sample covering time ``t`` (piecewise-constant interpretation)."""
+        if t < self._start or t >= self.end:
+            raise TimeSeriesError(
+                f"time {t} outside series coverage [{self._start}, {self.end})"
+            )
+        index = int((t - self._start) // self._step)
+        index = min(index, len(self._values) - 1)
+        return float(self._values[index])
+
+    # -- combination helpers ----------------------------------------------------
+
+    @staticmethod
+    def sum_many(series: Sequence["TimeSeries"]) -> "TimeSeries":
+        """Element-wise sum of several compatible series.
+
+        Used for aggregating node power traces into rack/site traces.
+        """
+        if not series:
+            raise TimeSeriesError("sum_many requires at least one series")
+        head = series[0]
+        acc = np.array(head._values, dtype=np.float64)
+        for other in series[1:]:
+            head._check_compatible(other, "sum")
+            acc += other._values
+        return TimeSeries(head._start, head._step, acc)
+
+    def copy(self) -> "TimeSeries":
+        """A deep copy of the series."""
+        return TimeSeries(self._start, self._step, self._values)
+
+
+__all__ = ["TimeSeries", "TimeSeriesError"]

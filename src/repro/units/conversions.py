@@ -1,0 +1,95 @@
+"""Scalar/array unit-conversion helpers.
+
+These functions accept either plain Python floats or numpy arrays and return
+the same kind of object; they exist so that vectorised code (power traces,
+intensity series) can convert units without round-tripping through the
+quantity classes in :mod:`repro.units.quantities`.
+"""
+
+from __future__ import annotations
+
+from repro.units.constants import (
+    GRAMS_PER_KILOGRAM,
+    GRAMS_PER_TONNE,
+    JOULES_PER_KWH,
+    KILOGRAMS_PER_TONNE,
+    KWH_PER_MWH,
+    WATTS_PER_KILOWATT,
+    WH_PER_KWH,
+)
+
+
+def w_to_kw(watts):
+    """Convert watts to kilowatts."""
+    return watts / WATTS_PER_KILOWATT
+
+
+def kw_to_w(kilowatts):
+    """Convert kilowatts to watts."""
+    return kilowatts * WATTS_PER_KILOWATT
+
+
+def j_to_kwh(joules):
+    """Convert joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def kwh_to_j(kwh):
+    """Convert kilowatt-hours to joules."""
+    return kwh * JOULES_PER_KWH
+
+
+def wh_to_kwh(wh):
+    """Convert watt-hours to kilowatt-hours."""
+    return wh / WH_PER_KWH
+
+
+def kwh_to_mwh(kwh):
+    """Convert kilowatt-hours to megawatt-hours."""
+    return kwh / KWH_PER_MWH
+
+
+def mwh_to_kwh(mwh):
+    """Convert megawatt-hours to kilowatt-hours."""
+    return mwh * KWH_PER_MWH
+
+
+def g_to_kg(grams):
+    """Convert grams to kilograms."""
+    return grams / GRAMS_PER_KILOGRAM
+
+
+def kg_to_g(kilograms):
+    """Convert kilograms to grams."""
+    return kilograms * GRAMS_PER_KILOGRAM
+
+
+def kg_to_tonnes(kilograms):
+    """Convert kilograms to metric tonnes."""
+    return kilograms / KILOGRAMS_PER_TONNE
+
+
+def tonnes_to_kg(tonnes):
+    """Convert metric tonnes to kilograms."""
+    return tonnes * KILOGRAMS_PER_TONNE
+
+
+def g_to_tonnes(grams):
+    """Convert grams to metric tonnes."""
+    return grams / GRAMS_PER_TONNE
+
+
+__all__ = [
+    "w_to_kw",
+    "kw_to_w",
+    "j_to_kwh",
+    "kwh_to_j",
+    "wh_to_kwh",
+    "kwh_to_mwh",
+    "mwh_to_kwh",
+    "g_to_kg",
+    "kg_to_g",
+    "kg_to_tonnes",
+    "tonnes_to_kg",
+    "g_to_tonnes",
+]

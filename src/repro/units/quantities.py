@@ -1,0 +1,428 @@
+"""Typed physical quantities for energy, power, carbon and time.
+
+Each quantity wraps a single canonical float:
+
+==================  ==============  =========================================
+Class               Canonical unit  Typical constructors
+==================  ==============  =========================================
+:class:`Duration`   seconds         ``Duration.from_hours(24)``
+:class:`Power`      watts           ``Power.from_kilowatts(0.35)``
+:class:`Energy`     joules          ``Energy.from_kwh(1299)``
+:class:`Carbon`     grams CO2e      ``Carbon.from_kg(1100)``
+:class:`CarbonIntensity`  gCO2e/kWh ``CarbonIntensity(175.0)``
+==================  ==============  =========================================
+
+The cross-type arithmetic mirrors the paper's equations:
+
+* :meth:`Power.__mul__` with a :class:`Duration` yields :class:`Energy`
+  (``E = P x t``).
+* :meth:`Energy.__mul__` with a :class:`CarbonIntensity` yields
+  :class:`Carbon` (equation 3 of the paper, ``Ca = E x CM``).
+* :meth:`Energy.__truediv__` with a :class:`Duration` yields :class:`Power`.
+
+Same-type addition/subtraction, scalar multiplication/division and total
+ordering are supported; mixing incompatible types raises :class:`UnitError`
+rather than silently producing a meaningless float.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.units.constants import (
+    GRAMS_PER_KILOGRAM,
+    GRAMS_PER_TONNE,
+    HOURS_PER_DAY,
+    HOURS_PER_YEAR,
+    JOULES_PER_KWH,
+    JOULES_PER_WH,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    SECONDS_PER_YEAR,
+    WATTS_PER_KILOWATT,
+    WATTS_PER_MEGAWATT,
+)
+
+
+class UnitError(TypeError):
+    """Raised when quantities of incompatible dimensions are combined."""
+
+
+def _as_float(value: Any, what: str) -> float:
+    """Validate that ``value`` is a finite real number and return it as float."""
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise UnitError(f"{what} must be a real number, got {value!r}") from exc
+    if math.isnan(out):
+        raise UnitError(f"{what} must not be NaN")
+    return out
+
+
+class _ScalarQuantity:
+    """Shared implementation for the scalar quantity types.
+
+    Subclasses define ``_unit_name`` (used in error messages and ``repr``)
+    and may restrict negativity via ``_allow_negative``.
+    """
+
+    __slots__ = ("_value",)
+
+    _unit_name: str = "unit"
+    _allow_negative: bool = True
+
+    def __init__(self, value: float):
+        value = _as_float(value, self._unit_name)
+        if not self._allow_negative and value < 0:
+            raise UnitError(
+                f"{type(self).__name__} must be non-negative, got {value!r}"
+            )
+        self._value = value
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """The canonical-unit magnitude."""
+        return self._value
+
+    # -- arithmetic with same type and scalars -------------------------------
+
+    def _check_same(self, other: Any, op: str) -> "_ScalarQuantity":
+        if not isinstance(other, type(self)):
+            raise UnitError(
+                f"cannot {op} {type(self).__name__} and {type(other).__name__}"
+            )
+        return other
+
+    def __add__(self, other):
+        other = self._check_same(other, "add")
+        return type(self)(self._value + other._value)
+
+    def __sub__(self, other):
+        other = self._check_same(other, "subtract")
+        return type(self)(self._value - other._value)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            return type(self)(self._value * other)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, (int, float)):
+            if other == 0:
+                raise ZeroDivisionError(f"division of {type(self).__name__} by zero")
+            return type(self)(self._value / other)
+        if isinstance(other, type(self)):
+            if other._value == 0:
+                raise ZeroDivisionError(f"division of {type(self).__name__} by zero")
+            return self._value / other._value
+        return NotImplemented
+
+    def __neg__(self):
+        return type(self)(-self._value)
+
+    def __abs__(self):
+        return type(self)(abs(self._value))
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other):
+        if isinstance(other, type(self)):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other):
+        other = self._check_same(other, "compare")
+        return self._value < other._value
+
+    def __le__(self, other):
+        other = self._check_same(other, "compare")
+        return self._value <= other._value
+
+    def __gt__(self, other):
+        other = self._check_same(other, "compare")
+        return self._value > other._value
+
+    def __ge__(self, other):
+        other = self._check_same(other, "compare")
+        return self._value >= other._value
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._value))
+
+    def __bool__(self):
+        return self._value != 0.0
+
+    def __float__(self):
+        return self._value
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self._value!r} {self._unit_name})"
+
+    def isclose(self, other, rel_tol: float = 1e-9, abs_tol: float = 0.0) -> bool:
+        """Return True if ``other`` is the same type and numerically close."""
+        other = self._check_same(other, "compare")
+        return math.isclose(
+            self._value, other._value, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+
+
+class Duration(_ScalarQuantity):
+    """A length of time, canonically stored in seconds."""
+
+    __slots__ = ()
+    _unit_name = "s"
+    _allow_negative = False
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_seconds(cls, seconds: float) -> "Duration":
+        return cls(seconds)
+
+    @classmethod
+    def from_minutes(cls, minutes: float) -> "Duration":
+        return cls(minutes * SECONDS_PER_MINUTE)
+
+    @classmethod
+    def from_hours(cls, hours: float) -> "Duration":
+        return cls(hours * SECONDS_PER_HOUR)
+
+    @classmethod
+    def from_days(cls, days: float) -> "Duration":
+        return cls(days * SECONDS_PER_DAY)
+
+    @classmethod
+    def from_years(cls, years: float) -> "Duration":
+        return cls(years * SECONDS_PER_YEAR)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        return self._value
+
+    @property
+    def minutes(self) -> float:
+        return self._value / SECONDS_PER_MINUTE
+
+    @property
+    def hours(self) -> float:
+        return self._value / SECONDS_PER_HOUR
+
+    @property
+    def days(self) -> float:
+        return self._value / SECONDS_PER_DAY
+
+    @property
+    def years(self) -> float:
+        return self._value / SECONDS_PER_YEAR
+
+    def fraction_of(self, other: "Duration") -> float:
+        """Return the ratio ``self / other`` (used for amortisation)."""
+        if not isinstance(other, Duration):
+            raise UnitError("fraction_of expects a Duration")
+        if other._value == 0:
+            raise ZeroDivisionError("fraction of a zero duration")
+        return self._value / other._value
+
+
+class Power(_ScalarQuantity):
+    """Instantaneous electrical power, canonically stored in watts."""
+
+    __slots__ = ()
+    _unit_name = "W"
+
+    @classmethod
+    def from_watts(cls, watts: float) -> "Power":
+        return cls(watts)
+
+    @classmethod
+    def from_kilowatts(cls, kilowatts: float) -> "Power":
+        return cls(kilowatts * WATTS_PER_KILOWATT)
+
+    @classmethod
+    def from_megawatts(cls, megawatts: float) -> "Power":
+        return cls(megawatts * WATTS_PER_MEGAWATT)
+
+    @property
+    def watts(self) -> float:
+        return self._value
+
+    @property
+    def kilowatts(self) -> float:
+        return self._value / WATTS_PER_KILOWATT
+
+    @property
+    def megawatts(self) -> float:
+        return self._value / WATTS_PER_MEGAWATT
+
+    def __mul__(self, other):
+        if isinstance(other, Duration):
+            return Energy(self._value * other.seconds)
+        return super().__mul__(other)
+
+    __rmul__ = __mul__
+
+
+class Energy(_ScalarQuantity):
+    """Electrical energy, canonically stored in joules."""
+
+    __slots__ = ()
+    _unit_name = "J"
+
+    @classmethod
+    def from_joules(cls, joules: float) -> "Energy":
+        return cls(joules)
+
+    @classmethod
+    def from_wh(cls, wh: float) -> "Energy":
+        return cls(wh * JOULES_PER_WH)
+
+    @classmethod
+    def from_kwh(cls, kwh: float) -> "Energy":
+        return cls(kwh * JOULES_PER_KWH)
+
+    @classmethod
+    def from_mwh(cls, mwh: float) -> "Energy":
+        return cls(mwh * JOULES_PER_KWH * 1000.0)
+
+    @property
+    def joules(self) -> float:
+        return self._value
+
+    @property
+    def wh(self) -> float:
+        return self._value / JOULES_PER_WH
+
+    @property
+    def kwh(self) -> float:
+        return self._value / JOULES_PER_KWH
+
+    @property
+    def mwh(self) -> float:
+        return self._value / (JOULES_PER_KWH * 1000.0)
+
+    def __mul__(self, other):
+        if isinstance(other, CarbonIntensity):
+            return Carbon.from_g(self.kwh * other.g_per_kwh)
+        return super().__mul__(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, Duration):
+            if other.seconds == 0:
+                raise ZeroDivisionError("energy over zero duration")
+            return Power(self._value / other.seconds)
+        return super().__truediv__(other)
+
+    def average_power(self, period: Duration) -> Power:
+        """Average power over ``period`` (``P = E / t``)."""
+        return self / period
+
+
+class Carbon(_ScalarQuantity):
+    """A mass of CO2-equivalent emissions, canonically stored in grams."""
+
+    __slots__ = ()
+    _unit_name = "gCO2e"
+
+    @classmethod
+    def from_g(cls, grams: float) -> "Carbon":
+        return cls(grams)
+
+    @classmethod
+    def from_kg(cls, kilograms: float) -> "Carbon":
+        return cls(kilograms * GRAMS_PER_KILOGRAM)
+
+    @classmethod
+    def from_tonnes(cls, tonnes: float) -> "Carbon":
+        return cls(tonnes * GRAMS_PER_TONNE)
+
+    @classmethod
+    def zero(cls) -> "Carbon":
+        return cls(0.0)
+
+    @property
+    def g(self) -> float:
+        return self._value
+
+    @property
+    def kg(self) -> float:
+        return self._value / GRAMS_PER_KILOGRAM
+
+    @property
+    def tonnes(self) -> float:
+        return self._value / GRAMS_PER_TONNE
+
+
+class CarbonIntensity(_ScalarQuantity):
+    """Grid carbon intensity: grams of CO2e emitted per kWh of electricity.
+
+    The paper uses three reference intensities for the UK grid — Low 50,
+    Medium 175 and High 300 gCO2/kWh — available here as
+    :meth:`reference_low`, :meth:`reference_medium` and
+    :meth:`reference_high`.
+    """
+
+    __slots__ = ()
+    _unit_name = "gCO2e/kWh"
+    _allow_negative = False
+
+    @classmethod
+    def from_g_per_kwh(cls, value: float) -> "CarbonIntensity":
+        return cls(value)
+
+    @classmethod
+    def from_kg_per_kwh(cls, value: float) -> "CarbonIntensity":
+        return cls(value * GRAMS_PER_KILOGRAM)
+
+    @classmethod
+    def reference_low(cls) -> "CarbonIntensity":
+        """The paper's Low reference intensity (50 gCO2/kWh)."""
+        return cls(50.0)
+
+    @classmethod
+    def reference_medium(cls) -> "CarbonIntensity":
+        """The paper's Medium reference intensity (175 gCO2/kWh)."""
+        return cls(175.0)
+
+    @classmethod
+    def reference_high(cls) -> "CarbonIntensity":
+        """The paper's High reference intensity (300 gCO2/kWh)."""
+        return cls(300.0)
+
+    @property
+    def g_per_kwh(self) -> float:
+        return self._value
+
+    @property
+    def kg_per_kwh(self) -> float:
+        return self._value / GRAMS_PER_KILOGRAM
+
+    def __mul__(self, other):
+        if isinstance(other, Energy):
+            return Carbon.from_g(other.kwh * self._value)
+        return super().__mul__(other)
+
+    __rmul__ = __mul__
+
+    def carbon_for(self, energy: Energy) -> Carbon:
+        """Equation 3 of the paper: ``Ca = E x CM``."""
+        return self * energy
+
+
+__all__ = [
+    "Carbon",
+    "CarbonIntensity",
+    "Duration",
+    "Energy",
+    "Power",
+    "UnitError",
+]

@@ -1,0 +1,292 @@
+"""Event-driven FCFS + EASY-backfill scheduler.
+
+The scheduler places a stream of :class:`~repro.workload.jobs.Job` onto a
+:class:`~repro.workload.cluster.SimulatedCluster` and records, for every
+placement, which node ran it, when it started and finished, and how hard it
+drove its cores.  The output is a :class:`~repro.workload.utilization.UtilizationTrace`
+covering the requested window, plus summary statistics.
+
+Scheduling policy
+-----------------
+* **FCFS**: jobs start in submission order whenever the head of the queue
+  fits on some node.
+* **EASY backfill**: when the head job does not fit, a *reservation* is
+  computed for it (the earliest time enough cores will be free on one node,
+  assuming no further arrivals), and later jobs may start out of order as
+  long as they terminate before that reservation or do not use the reserved
+  node's cores.  This is the policy most production HPC schedulers default
+  to and it keeps simulated utilisation realistically high.
+
+Jobs in this model never span nodes (matching the high-throughput IRIS
+workload); wide requests are capped at the node core count by the job
+generator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.cluster import SimulatedCluster
+from repro.workload.jobs import Job
+from repro.workload.utilization import UtilizationTrace
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A job's execution record."""
+
+    job: Job
+    node_index: int
+    start_time_s: float
+    end_time_s: float
+
+    @property
+    def wait_time_s(self) -> float:
+        return self.start_time_s - self.job.submit_time_s
+
+
+@dataclass
+class SchedulerStatistics:
+    """Summary statistics of a scheduling run."""
+
+    jobs_submitted: int = 0
+    jobs_started: int = 0
+    jobs_completed_in_window: int = 0
+    jobs_unschedulable: int = 0
+    mean_wait_s: float = 0.0
+    max_wait_s: float = 0.0
+    backfilled_jobs: int = 0
+    core_seconds_delivered: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """The statistics as a plain dict (for reports and JSON output)."""
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_started": self.jobs_started,
+            "jobs_completed_in_window": self.jobs_completed_in_window,
+            "jobs_unschedulable": self.jobs_unschedulable,
+            "mean_wait_s": self.mean_wait_s,
+            "max_wait_s": self.max_wait_s,
+            "backfilled_jobs": self.backfilled_jobs,
+            "core_seconds_delivered": self.core_seconds_delivered,
+        }
+
+
+class BackfillScheduler:
+    """FCFS + EASY-backfill scheduler over a simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to schedule onto.  Its allocation state is reset at the
+        start of every :meth:`run`.
+    backfill_depth:
+        How many queued jobs behind the head are examined as backfill
+        candidates each time the head is blocked.
+    """
+
+    def __init__(self, cluster: SimulatedCluster, backfill_depth: int = 50):
+        if backfill_depth < 0:
+            raise ValueError("backfill_depth must be non-negative")
+        self._cluster = cluster
+        self._backfill_depth = backfill_depth
+
+    # -- core scheduling loop ----------------------------------------------------
+
+    def run(self, jobs: Sequence[Job], duration_s: float) -> Tuple[List[Placement], SchedulerStatistics]:
+        """Schedule ``jobs`` and return placements plus statistics.
+
+        The simulation processes submissions in time order and runs until
+        every submitted job has started (so the utilisation trace covering
+        ``[0, duration_s)`` reflects the sustained load), but statistics and
+        traces only consider the requested window.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        cluster = self._cluster
+        cluster.reset()
+        largest_node_cores = max(node.cores for node in cluster.nodes)
+        pending = sorted(jobs, key=lambda job: (job.submit_time_s, job.job_id))
+        # Jobs wider than the widest node can never start in a single-node
+        # placement model; drop them up front and account for them.
+        unschedulable = [job for job in pending if job.cores > largest_node_cores]
+        pending = [job for job in pending if job.cores <= largest_node_cores]
+        placements: List[Placement] = []
+        stats = SchedulerStatistics(
+            jobs_submitted=len(pending) + len(unschedulable),
+            jobs_unschedulable=len(unschedulable),
+        )
+        # (end_time, node_index, cores) min-heap of running jobs.
+        running: List[Tuple[float, int, int]] = []
+        queue: List[Job] = []
+        now = 0.0
+        submit_index = 0
+        backfilled = 0
+        waits: List[float] = []
+
+        def release_finished(until: float) -> None:
+            nonlocal now
+            while running and running[0][0] <= until:
+                end_time, node_index, cores = heapq.heappop(running)
+                cluster.release(node_index, cores)
+                now = max(now, end_time)
+
+        def try_start(job: Job, at_time: float) -> Optional[Placement]:
+            node_index = cluster.find_node_with_free_cores(job.cores)
+            if node_index is None:
+                return None
+            cluster.allocate(node_index, job.cores)
+            end_time = at_time + job.runtime_s
+            heapq.heappush(running, (end_time, node_index, job.cores))
+            placement = Placement(job=job, node_index=node_index,
+                                  start_time_s=at_time, end_time_s=end_time)
+            placements.append(placement)
+            waits.append(placement.wait_time_s)
+            return placement
+
+        while submit_index < len(pending) or queue:
+            # Admit all jobs submitted up to the current time.
+            while submit_index < len(pending) and pending[submit_index].submit_time_s <= now:
+                queue.append(pending[submit_index])
+                submit_index += 1
+            progressed = False
+            # FCFS: start queue-head jobs while they fit.
+            while queue:
+                release_finished(now)
+                placement = try_start(queue[0], now)
+                if placement is None:
+                    break
+                queue.pop(0)
+                progressed = True
+            # EASY backfill when the head is blocked.
+            if queue:
+                reservation = self._head_reservation(queue[0], running, cluster)
+                candidates = queue[1: 1 + self._backfill_depth]
+                for candidate in list(candidates):
+                    if now + candidate.runtime_s <= reservation:
+                        placement = try_start(candidate, now)
+                        if placement is not None:
+                            queue.remove(candidate)
+                            backfilled += 1
+                            progressed = True
+            if queue or submit_index < len(pending):
+                # Advance time to the next event: a completion or a submission.
+                next_completion = running[0][0] if running else float("inf")
+                next_submission = (
+                    pending[submit_index].submit_time_s
+                    if submit_index < len(pending)
+                    else float("inf")
+                )
+                next_event = min(next_completion, next_submission)
+                if next_event == float("inf"):
+                    break  # pragma: no cover - defensive; cannot happen with valid input
+                if not progressed and next_event <= now:
+                    # Avoid an infinite loop if no event advances time.
+                    next_event = now + 1.0
+                release_finished(next_event)
+                now = max(now, next_event)
+
+        stats.jobs_started = len(placements)
+        stats.backfilled_jobs = backfilled
+        stats.jobs_completed_in_window = sum(
+            1 for p in placements if p.end_time_s <= duration_s
+        )
+        stats.mean_wait_s = float(np.mean(waits)) if waits else 0.0
+        stats.max_wait_s = float(np.max(waits)) if waits else 0.0
+        stats.core_seconds_delivered = float(
+            sum(
+                max(0.0, min(p.end_time_s, duration_s) - min(p.start_time_s, duration_s))
+                * p.job.cores
+                for p in placements
+            )
+        )
+        return placements, stats
+
+    @staticmethod
+    def _head_reservation(
+        head: Job,
+        running: List[Tuple[float, int, int]],
+        cluster: SimulatedCluster,
+    ) -> float:
+        """Earliest time the blocked head job is guaranteed to fit somewhere.
+
+        Starting from each node's currently free cores, walk the running
+        jobs in completion order, accumulating freed cores per node; the
+        reservation is the completion time at which some node first has
+        enough free cores for the head job.  Conservative (ignores future
+        submissions), exactly as EASY does.
+        """
+        freed: Dict[int, int] = {
+            node.index: node.free_cores for node in cluster.nodes
+        }
+        for end_time, node_index, cores in sorted(running):
+            freed[node_index] = freed.get(node_index, 0) + cores
+            if freed[node_index] >= head.cores:
+                return end_time
+        return float("inf")
+
+    # -- trace construction --------------------------------------------------------
+
+    def build_trace(
+        self,
+        placements: Sequence[Placement],
+        duration_s: float,
+        step_s: float = 60.0,
+        start_s: float = 0.0,
+    ) -> UtilizationTrace:
+        """Convert placements into a per-node utilisation trace.
+
+        Each placement contributes ``cores * cpu_intensity / node_cores`` to
+        its node's utilisation for every sample interval it overlaps.
+        Partial overlap of the first/last interval is accounted for
+        proportionally.
+        """
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        n_samples = int(round(duration_s / step_s))
+        if n_samples <= 0:
+            raise ValueError("duration_s must cover at least one sample")
+        node_ids = [node.node_id for node in self._cluster.nodes]
+        node_cores = np.array([node.cores for node in self._cluster.nodes], dtype=np.float64)
+        matrix = np.zeros((len(node_ids), n_samples), dtype=np.float64)
+        edges = start_s + step_s * np.arange(n_samples + 1)
+        for placement in placements:
+            t0 = max(placement.start_time_s, start_s)
+            t1 = min(placement.end_time_s, start_s + duration_s)
+            if t1 <= t0:
+                continue
+            first = int((t0 - start_s) // step_s)
+            last = min(int((t1 - start_s) // step_s), n_samples - 1)
+            weight = placement.job.cores * placement.job.cpu_intensity
+            if first == last:
+                fraction = (t1 - t0) / step_s
+                matrix[placement.node_index, first] += weight * fraction
+                continue
+            # First partial interval.
+            matrix[placement.node_index, first] += weight * (edges[first + 1] - t0) / step_s
+            # Full intervals.
+            if last - first > 1:
+                matrix[placement.node_index, first + 1: last] += weight
+            # Last partial interval.
+            matrix[placement.node_index, last] += weight * (t1 - edges[last]) / step_s
+        matrix /= node_cores[:, None]
+        np.clip(matrix, 0.0, 1.0, out=matrix)
+        return UtilizationTrace(start_s, step_s, node_ids, matrix)
+
+    def simulate(
+        self,
+        jobs: Sequence[Job],
+        duration_s: float,
+        step_s: float = 60.0,
+    ) -> Tuple[UtilizationTrace, SchedulerStatistics]:
+        """Run the scheduler and return the utilisation trace and statistics."""
+        placements, stats = self.run(jobs, duration_s)
+        trace = self.build_trace(placements, duration_s, step_s=step_s)
+        return trace, stats
+
+
+__all__ = ["BackfillScheduler", "Placement", "SchedulerStatistics"]

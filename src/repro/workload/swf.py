@@ -1,0 +1,149 @@
+"""Reading and writing job logs in the Standard Workload Format (SWF).
+
+Real facilities keep scheduler accounting logs, and the de-facto interchange
+format for them is the Parallel Workloads Archive's SWF: one line per job,
+eighteen whitespace-separated fields, ``;`` comment lines for metadata.
+Supporting it means an operator can re-run this library's audit against the
+jobs that *actually* ran on their system instead of the synthetic workload —
+exactly the "what was the DRI being used for" dimension the paper defers.
+
+Only the fields the energy pipeline needs are interpreted:
+
+====  =======================  ================================
+ #    SWF field                Use here
+====  =======================  ================================
+ 1    job number               ``Job.job_id``
+ 2    submit time (s)          ``Job.submit_time_s``
+ 4    run time (s)             ``Job.runtime_s``
+ 5    allocated processors     ``Job.cores``
+ 11   requested time (s)       fallback when run time is missing
+====  =======================  ================================
+
+Unknown / missing values are encoded as ``-1`` in SWF; jobs without a usable
+runtime or processor count are skipped (and counted) rather than guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.workload.jobs import Job
+
+PathLike = Union[str, Path]
+
+#: Number of fields in a standard SWF record.
+SWF_FIELD_COUNT = 18
+
+
+@dataclass(frozen=True)
+class SWFReadResult:
+    """Jobs parsed from an SWF file plus parsing statistics."""
+
+    jobs: Tuple[Job, ...]
+    skipped_records: int
+    comment_lines: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if self.skipped_records < 0 or self.comment_lines < 0:
+            raise ValueError("counters must be non-negative")
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+
+def _parse_record(fields: Sequence[str], cpu_intensity: float) -> Job | None:
+    """Convert one SWF record to a :class:`Job`, or ``None`` if unusable."""
+    job_id = int(float(fields[0]))
+    submit = float(fields[1])
+    runtime = float(fields[3])
+    cores = int(float(fields[4]))
+    requested_time = float(fields[10]) if len(fields) > 10 else -1.0
+    if runtime <= 0:
+        runtime = requested_time
+    if runtime <= 0 or cores <= 0 or job_id < 0 or submit < 0:
+        return None
+    return Job(
+        job_id=job_id,
+        submit_time_s=submit,
+        cores=cores,
+        runtime_s=runtime,
+        cpu_intensity=cpu_intensity,
+    )
+
+
+def read_swf(path: PathLike, cpu_intensity: float = 1.0,
+             max_jobs: int | None = None) -> SWFReadResult:
+    """Parse an SWF file into jobs.
+
+    Parameters
+    ----------
+    path:
+        The SWF file.
+    cpu_intensity:
+        SWF does not record how hard jobs drove their cores, so a single
+        intensity is applied to every job (1.0 = fully compute bound).
+    max_jobs:
+        Stop after this many parsed jobs (useful for sampling huge archives).
+    """
+    if not 0.0 < cpu_intensity <= 1.0:
+        raise ValueError("cpu_intensity must be in (0, 1]")
+    if max_jobs is not None and max_jobs <= 0:
+        raise ValueError("max_jobs must be positive when given")
+    jobs: List[Job] = []
+    skipped = 0
+    comments = 0
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith(";"):
+                comments += 1
+                continue
+            fields = stripped.split()
+            if len(fields) < 5:
+                skipped += 1
+                continue
+            job = _parse_record(fields, cpu_intensity)
+            if job is None:
+                skipped += 1
+                continue
+            jobs.append(job)
+            if max_jobs is not None and len(jobs) >= max_jobs:
+                break
+    return SWFReadResult(jobs=tuple(jobs), skipped_records=skipped,
+                         comment_lines=comments)
+
+
+def write_swf(path: PathLike, jobs: Sequence[Job],
+              header_comments: Sequence[str] = ()) -> None:
+    """Write jobs to an SWF file (fields this library does not model are -1).
+
+    Useful for exporting a synthetic workload so it can be replayed by other
+    SWF-consuming tools, or for round-trip testing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for comment in header_comments:
+            handle.write(f"; {comment}\n")
+        for job in jobs:
+            fields = [-1.0] * SWF_FIELD_COUNT
+            fields[0] = job.job_id
+            fields[1] = job.submit_time_s
+            fields[2] = -1            # wait time: scheduling decides this
+            fields[3] = job.runtime_s
+            fields[4] = job.cores
+            fields[7] = job.cores     # requested processors
+            fields[10] = job.runtime_s  # requested time
+            handle.write(" ".join(
+                str(int(value)) if float(value).is_integer() else f"{value:.1f}"
+                for value in fields
+            ) + "\n")
+
+
+__all__ = ["SWFReadResult", "read_swf", "write_swf", "SWF_FIELD_COUNT"]

@@ -1,0 +1,137 @@
+"""Per-node utilisation traces.
+
+A :class:`UtilizationTrace` is the interface between the scheduler and the
+power models: a matrix of shape ``(n_nodes, n_samples)`` whose entries are
+the *effective* utilisation of each node in each interval — busy cores
+weighted by how hard the jobs drive them (their ``cpu_intensity``), divided
+by the node's core count.  Entries therefore lie in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries
+
+
+class UtilizationTrace:
+    """Effective utilisation of every node on a regular sampling grid.
+
+    Parameters
+    ----------
+    start / step:
+        Sampling grid (seconds since the simulation epoch; fixed step).
+    node_ids:
+        One id per row of ``matrix``.
+    matrix:
+        Array of shape ``(len(node_ids), n_samples)`` with values in [0, 1].
+    """
+
+    __slots__ = ("_start", "_step", "_node_ids", "_matrix")
+
+    def __init__(self, start: float, step: float, node_ids: Sequence[str],
+                 matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be two-dimensional")
+        if matrix.shape[0] != len(node_ids):
+            raise ValueError("matrix row count must match the number of node ids")
+        if matrix.shape[1] == 0:
+            raise ValueError("trace must contain at least one sample")
+        if len(set(node_ids)) != len(node_ids):
+            raise ValueError("node ids must be unique")
+        if np.isnan(matrix).any():
+            raise ValueError("utilisation matrix must not contain NaN")
+        if (matrix < -1e-9).any() or (matrix > 1.0 + 1e-9).any():
+            raise ValueError("utilisation values must lie in [0, 1]")
+        self._start = float(start)
+        self._step = float(step)
+        self._node_ids = list(node_ids)
+        self._matrix = np.clip(matrix, 0.0, 1.0)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def start(self) -> float:
+        return self._start
+
+    @property
+    def step(self) -> float:
+        return self._step
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._node_ids)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._node_ids)
+
+    @property
+    def sample_count(self) -> int:
+        return int(self._matrix.shape[1])
+
+    @property
+    def duration_s(self) -> float:
+        return self._step * self.sample_count
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only view of the utilisation matrix."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    # -- derived series ---------------------------------------------------------
+
+    def node_series(self, node_id: str) -> TimeSeries:
+        """The utilisation series of one node."""
+        try:
+            row = self._node_ids.index(node_id)
+        except ValueError:
+            raise KeyError(f"no node {node_id!r} in trace") from None
+        return TimeSeries(self._start, self._step, self._matrix[row])
+
+    def mean_per_node(self) -> np.ndarray:
+        """Time-averaged utilisation of each node."""
+        return self._matrix.mean(axis=1)
+
+    def cluster_series(self) -> TimeSeries:
+        """Cluster-average utilisation over time (unweighted node mean)."""
+        return TimeSeries(self._start, self._step, self._matrix.mean(axis=0))
+
+    def mean_utilization(self) -> float:
+        """Overall space-time average utilisation."""
+        return float(self._matrix.mean())
+
+    def subset(self, node_ids: Sequence[str]) -> "UtilizationTrace":
+        """A trace restricted to the given nodes (in the given order)."""
+        rows = []
+        for node_id in node_ids:
+            try:
+                rows.append(self._node_ids.index(node_id))
+            except ValueError:
+                raise KeyError(f"no node {node_id!r} in trace") from None
+        return UtilizationTrace(self._start, self._step, list(node_ids),
+                                self._matrix[rows])
+
+    @classmethod
+    def constant(cls, start: float, step: float, node_ids: Sequence[str],
+                 n_samples: int, value: float) -> "UtilizationTrace":
+        """A trace where every node holds ``value`` for every sample."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        matrix = np.full((len(node_ids), n_samples), float(value))
+        return cls(start, step, node_ids, matrix)
+
+
+def cluster_mean_utilization(trace: UtilizationTrace) -> float:
+    """Convenience alias for :meth:`UtilizationTrace.mean_utilization`."""
+    return trace.mean_utilization()
+
+
+__all__ = ["UtilizationTrace", "cluster_mean_utilization"]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inventory.catalog import default_catalog
+from repro.inventory.node import NodeSpec
+from repro.power.node_power import NodePowerModel
+from repro.snapshot.config import default_iris_snapshot_config
+from repro.snapshot.experiment import SnapshotExperiment
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The default hardware catalog (session-scoped; it is immutable)."""
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def compute_spec(catalog) -> NodeSpec:
+    """The standard dual-socket compute node spec."""
+    return catalog.node("cpu-compute-standard")
+
+
+@pytest.fixture(scope="session")
+def storage_spec(catalog) -> NodeSpec:
+    """The storage server spec."""
+    return catalog.node("storage-server")
+
+
+@pytest.fixture(scope="session")
+def compute_power_model(compute_spec) -> NodePowerModel:
+    """Power model for the standard compute node."""
+    return NodePowerModel(compute_spec)
+
+
+@pytest.fixture(scope="session")
+def mini_snapshot_result():
+    """A heavily scaled-down IRIS snapshot run (fast; session-scoped).
+
+    Per-node behaviour (power calibration, measurement-scope ordering) is
+    preserved; only the node counts are reduced, so integration tests can
+    assert structural properties without the full-fleet runtime.
+    """
+    config = default_iris_snapshot_config(node_scale=0.1, campaign_seed=7)
+    return SnapshotExperiment(config).run()

@@ -1,0 +1,116 @@
+"""Tests for the baseline estimators (TDP proxy, CCF-style, Boavizta-style)."""
+
+import pytest
+
+from repro.baselines.boavizta_style import DEFAULT_LOAD_PROFILE, BoaviztaStyleEstimator
+from repro.baselines.ccf_style import CCFStyleEstimator
+from repro.baselines.tdp_proxy import TDPProxyEstimator
+from repro.inventory.node import NodeInstance
+from repro.power.node_power import NodePowerModel
+from repro.units.quantities import CarbonIntensity
+
+
+@pytest.fixture
+def fleet(compute_spec):
+    return [NodeInstance(node_id=f"n{i}", spec=compute_spec) for i in range(10)]
+
+
+class TestTDPProxy:
+    def test_energy_scales_with_fraction(self, fleet, compute_spec):
+        low = TDPProxyEstimator(tdp_fraction=0.5).estimate_energy_kwh(fleet, 24.0)
+        high = TDPProxyEstimator(tdp_fraction=1.0).estimate_energy_kwh(fleet, 24.0)
+        assert high == pytest.approx(2 * low)
+        expected = compute_spec.cpu_tdp_w * 10 * 24 / 1000.0
+        assert high == pytest.approx(expected)
+
+    def test_carbon_with_pue(self, fleet):
+        estimator = TDPProxyEstimator(tdp_fraction=0.65)
+        base = estimator.estimate_carbon(fleet, 24.0, CarbonIntensity(175.0), pue=1.0)
+        scaled = estimator.estimate_carbon(fleet, 24.0, CarbonIntensity(175.0), pue=1.3)
+        assert scaled.kg == pytest.approx(base.kg * 1.3)
+
+    def test_ignores_non_cpu_components(self, fleet, compute_spec):
+        # The proxy systematically differs from the physical model because it
+        # ignores DRAM, storage, platform and PSU losses.
+        model = NodePowerModel(compute_spec)
+        truth = 10 * float(model.wall_power_w(0.65)) * 24 / 1000.0
+        proxy = TDPProxyEstimator(tdp_fraction=0.65).estimate_energy_kwh(fleet, 24.0)
+        assert proxy != pytest.approx(truth, rel=0.05)
+
+    def test_validation(self, fleet):
+        with pytest.raises(ValueError):
+            TDPProxyEstimator(tdp_fraction=0.0)
+        with pytest.raises(ValueError):
+            TDPProxyEstimator().estimate_energy_kwh(fleet, -1.0)
+        with pytest.raises(ValueError):
+            TDPProxyEstimator().estimate_carbon(fleet, 1.0, CarbonIntensity(100.0), pue=0.5)
+
+
+class TestCCFStyle:
+    def test_average_watts_between_idle_and_max(self, fleet, compute_spec):
+        estimator = CCFStyleEstimator(assumed_utilization=0.5)
+        model = NodePowerModel(compute_spec)
+        watts = estimator.node_average_watts(fleet[0])
+        assert model.idle_wall_power_w < watts < model.max_wall_power_w
+
+    def test_usage_energy_includes_pue(self, fleet):
+        low = CCFStyleEstimator(pue=1.0).usage_energy_kwh(fleet, 24.0)
+        high = CCFStyleEstimator(pue=1.2).usage_energy_kwh(fleet, 24.0)
+        assert high == pytest.approx(low * 1.2)
+
+    def test_embodied_amortisation(self, fleet, compute_spec):
+        estimator = CCFStyleEstimator(embodied_amortization_years=4.0)
+        one_day = estimator.embodied_carbon_kg(fleet, 24.0)
+        expected = 10 * compute_spec.embodied_kgco2_datasheet / (4 * 365.0)
+        assert one_day == pytest.approx(expected)
+
+    def test_total_combines_terms(self, fleet):
+        estimator = CCFStyleEstimator()
+        result = estimator.total_carbon_kg(fleet, 24.0, CarbonIntensity(175.0))
+        assert result["total_kg"] == pytest.approx(result["usage_kg"] + result["embodied_kg"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CCFStyleEstimator(assumed_utilization=1.5)
+        with pytest.raises(ValueError):
+            CCFStyleEstimator(pue=0.9)
+        with pytest.raises(ValueError):
+            CCFStyleEstimator(embodied_amortization_years=0)
+
+
+class TestBoaviztaStyle:
+    def test_default_load_profile_sums_to_one(self):
+        assert sum(DEFAULT_LOAD_PROFILE.values()) == pytest.approx(1.0)
+
+    def test_manufacture_share_scales_with_hours(self, compute_spec):
+        estimator = BoaviztaStyleEstimator()
+        day = estimator.manufacture_share_kg(compute_spec, 24.0)
+        week = estimator.manufacture_share_kg(compute_spec, 7 * 24.0)
+        assert week == pytest.approx(7 * day)
+
+    def test_manufacture_share_capped_at_total(self, compute_spec):
+        estimator = BoaviztaStyleEstimator(reference_lifetime_years=1.0)
+        forever = estimator.manufacture_share_kg(compute_spec, 10 * 365.0 * 24.0)
+        from repro.embodied.bottom_up import BottomUpEstimator
+        assert forever == pytest.approx(BottomUpEstimator().node_total_kgco2(compute_spec))
+
+    def test_average_power_is_profile_weighted(self, compute_spec):
+        estimator = BoaviztaStyleEstimator()
+        model = NodePowerModel(compute_spec)
+        watts = estimator.average_power_w(compute_spec)
+        assert model.idle_wall_power_w < watts < model.max_wall_power_w
+
+    def test_server_and_fleet_totals(self, compute_spec):
+        estimator = BoaviztaStyleEstimator()
+        one = estimator.server_total_kg(compute_spec, 24.0, CarbonIntensity(175.0))
+        fleet = estimator.fleet_total_kg([compute_spec] * 5, 24.0, CarbonIntensity(175.0))
+        assert fleet["total_kg"] == pytest.approx(5 * one["total_kg"])
+        assert one["total_kg"] == pytest.approx(one["manufacture_kg"] + one["use_kg"])
+
+    def test_custom_profile_validation(self):
+        with pytest.raises(ValueError):
+            BoaviztaStyleEstimator(load_profile={0.5: 0.5})
+        with pytest.raises(ValueError):
+            BoaviztaStyleEstimator(load_profile={1.5: 1.0})
+        with pytest.raises(ValueError):
+            BoaviztaStyleEstimator(reference_lifetime_years=0.0)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInventory:
+    def test_prints_table1(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "QMUL" in out
+        assert "808" in out          # Durham CPU nodes
+
+
+class TestIntensity:
+    def test_summary(self, capsys):
+        assert main(["intensity", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "medium reference" in out
+
+    def test_chart(self, capsys):
+        assert main(["intensity", "--days", "1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "*" in out
+
+    def test_invalid_days(self, capsys):
+        assert main(["intensity", "--days", "0"]) == 2
+
+
+class TestSnapshot:
+    def test_scaled_snapshot(self, capsys, tmp_path):
+        code = main(["snapshot", "--scale", "0.05", "--output-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "total kgCO2e" in out
+        assert (tmp_path / "table2_energy.csv").exists()
+        assert (tmp_path / "table3_active_carbon.csv").exists()
+        assert (tmp_path / "table4_embodied.csv").exists()
+
+    def test_invalid_scale(self, capsys):
+        assert main(["snapshot", "--scale", "0"]) == 2
+
+
+class TestScenarios:
+    def test_default_arguments_reproduce_paper_grids(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Table 4" in out
+        # A recognisable Table 4 cell (3-year lifetime, 1100 kg estimate).
+        assert "2,408" in out or "2,409" in out
+
+    def test_invalid_servers(self, capsys):
+        assert main(["scenarios", "--servers", "0"]) == 2
+
+
+class TestUncertainty:
+    def test_runs_and_reports(self, capsys):
+        assert main(["uncertainty", "--samples", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "total_kg_mean" in out
+
+    def test_invalid_samples(self, capsys):
+        assert main(["uncertainty", "--samples", "0"]) == 2
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])

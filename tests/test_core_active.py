@@ -1,0 +1,106 @@
+"""Tests for the active-carbon term (equations 2 and 3)."""
+
+import pytest
+
+from repro.core.active import ActiveCarbonCalculator, ActiveEnergyInput
+from repro.power.facility import FacilityOverheadModel
+from repro.units.quantities import CarbonIntensity, Duration
+
+
+@pytest.fixture
+def iris_energy():
+    """The paper's measured snapshot energy as a single node group."""
+    return ActiveEnergyInput(
+        period=Duration.from_hours(24),
+        node_energy_kwh={"IRIS": 18760.0},
+    )
+
+
+class TestActiveEnergyInput:
+    def test_totals(self):
+        energy = ActiveEnergyInput(
+            period=Duration.from_hours(24),
+            node_energy_kwh={"A": 100.0, "B": 200.0},
+            network_energy_kwh=50.0,
+        )
+        assert energy.total_node_kwh == pytest.approx(300.0)
+        assert energy.it_energy_kwh == pytest.approx(350.0)
+        assert energy.it_energy.kwh == pytest.approx(350.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActiveEnergyInput(period=Duration.from_hours(24), node_energy_kwh={})
+        with pytest.raises(ValueError):
+            ActiveEnergyInput(period=Duration.from_hours(24),
+                              node_energy_kwh={"A": -1.0})
+        with pytest.raises(ValueError):
+            ActiveEnergyInput(period=Duration.from_hours(24),
+                              node_energy_kwh={"A": 1.0}, network_energy_kwh=-1.0)
+
+
+class TestEquation3:
+    def test_carbon_for_energy(self):
+        calculator = ActiveCarbonCalculator(CarbonIntensity(175.0))
+        assert calculator.carbon_for_energy(1000.0).kg == pytest.approx(175.0)
+
+    def test_negative_energy_rejected(self):
+        calculator = ActiveCarbonCalculator(CarbonIntensity(175.0))
+        with pytest.raises(ValueError):
+            calculator.carbon_for_energy(-1.0)
+
+
+class TestEquation2:
+    def test_it_only_carbon_matches_arithmetic(self, iris_energy):
+        """18,760 kWh at the paper's three intensities (the paper's implied
+        energy was ~19,380 kWh; see EXPERIMENTS.md for the discrepancy)."""
+        for intensity, expected in ((50.0, 938.0), (175.0, 3283.0), (300.0, 5628.0)):
+            calculator = ActiveCarbonCalculator(CarbonIntensity(intensity))
+            assert calculator.evaluate_it_only(iris_energy).kg == pytest.approx(expected)
+
+    def test_pue_scales_total(self, iris_energy):
+        calculator = ActiveCarbonCalculator(
+            CarbonIntensity(175.0), overhead_model=FacilityOverheadModel(pue=1.3)
+        )
+        result = calculator.evaluate(iris_energy)
+        assert result.total_kg == pytest.approx(3283.0 * 1.3, rel=1e-6)
+        assert result.it_only_kg == pytest.approx(3283.0, rel=1e-6)
+        assert result.pue == pytest.approx(1.3)
+        assert result.facility_energy_kwh == pytest.approx(18760.0 * 1.3)
+
+    def test_component_breakdown_sums_to_total(self, iris_energy):
+        calculator = ActiveCarbonCalculator(
+            CarbonIntensity(200.0), overhead_model=FacilityOverheadModel(pue=1.4)
+        )
+        result = calculator.evaluate(iris_energy)
+        assert sum(result.carbon_by_component_kg.values()) == pytest.approx(result.total_kg)
+        assert result.component("cooling") > result.component("building")
+        assert result.component("network") == 0.0
+
+    def test_measured_overhead_bypasses_pue(self):
+        energy = ActiveEnergyInput(
+            period=Duration.from_hours(24),
+            node_energy_kwh={"A": 1000.0},
+            measured_facility_overhead_kwh=200.0,
+        )
+        calculator = ActiveCarbonCalculator(
+            CarbonIntensity(100.0), overhead_model=FacilityOverheadModel(pue=1.5)
+        )
+        result = calculator.evaluate(energy)
+        # 1000 + 200 kWh at 100 g/kWh = 120 kg; effective PUE 1.2, not 1.5.
+        assert result.total_kg == pytest.approx(120.0)
+        assert result.pue == pytest.approx(1.2)
+
+    def test_zero_intensity_gives_zero_carbon(self, iris_energy):
+        calculator = ActiveCarbonCalculator(CarbonIntensity(0.0))
+        assert calculator.evaluate(iris_energy).total_kg == 0.0
+
+    def test_network_term_separated(self):
+        energy = ActiveEnergyInput(
+            period=Duration.from_hours(24),
+            node_energy_kwh={"A": 900.0},
+            network_energy_kwh=100.0,
+        )
+        calculator = ActiveCarbonCalculator(CarbonIntensity(100.0))
+        result = calculator.evaluate(energy)
+        assert result.component("nodes") == pytest.approx(90.0)
+        assert result.component("network") == pytest.approx(10.0)

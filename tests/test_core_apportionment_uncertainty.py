@@ -1,0 +1,111 @@
+"""Tests for shared-resource apportionment and the Monte-Carlo uncertainty model."""
+
+import pytest
+
+from repro.core.apportionment import ApportionmentBasis, ShareApportionment
+from repro.core.uncertainty import MonteCarloCarbonModel, UncertainInput
+
+
+class TestShareApportionment:
+    def test_fully_assigned_matches_paper_assumption(self):
+        share = ShareApportionment.fully_assigned()
+        assert share.fraction == 1.0
+        assert share.apportion(123.0) == 123.0
+
+    def test_by_capacity(self):
+        share = ShareApportionment.by_capacity(dri_amount=256.0, total_amount=1024.0)
+        assert share.fraction == pytest.approx(0.25)
+        assert share.apportion(1000.0) == pytest.approx(250.0)
+        assert share.basis is ApportionmentBasis.CAPACITY
+
+    def test_by_usage(self):
+        share = ShareApportionment.by_usage(dri_amount=30.0, total_amount=90.0)
+        assert share.fraction == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShareApportionment(basis=ApportionmentBasis.FIXED)
+        with pytest.raises(ValueError):
+            ShareApportionment(basis=ApportionmentBasis.FIXED, fixed_fraction=1.5)
+        with pytest.raises(ValueError):
+            ShareApportionment.by_capacity(10.0, 0.0)
+        with pytest.raises(ValueError):
+            ShareApportionment.by_capacity(20.0, 10.0)
+        with pytest.raises(ValueError):
+            ShareApportionment.fully_assigned().apportion(-1.0)
+
+
+class TestUncertainInput:
+    def test_defaults_match_paper_scenarios(self):
+        inputs = UncertainInput()
+        assert inputs.intensity_low == 50.0
+        assert inputs.intensity_high == 300.0
+        assert inputs.pue_mode == 1.3
+        assert inputs.embodied_low_kg == 400.0
+        assert inputs.embodied_high_kg == 1100.0
+        assert inputs.lifetimes_years == (3.0, 4.0, 5.0, 6.0, 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UncertainInput(intensity_low=200.0, intensity_mode=100.0)
+        with pytest.raises(ValueError):
+            UncertainInput(pue_low=0.9)
+        with pytest.raises(ValueError):
+            UncertainInput(embodied_low_kg=1200.0, embodied_high_kg=1100.0)
+        with pytest.raises(ValueError):
+            UncertainInput(lifetimes_years=())
+
+
+class TestMonteCarloCarbonModel:
+    @pytest.fixture
+    def model(self):
+        return MonteCarloCarbonModel(it_energy_kwh=18760.0, server_count=2398)
+
+    def test_deterministic_for_seed(self, model):
+        a = model.run(n_samples=2000, seed=1)
+        b = model.run(n_samples=2000, seed=1)
+        assert a.total_kg_mean == b.total_kg_mean
+
+    def test_distribution_within_scenario_corners(self, model):
+        result = model.run(n_samples=5000, seed=2)
+        # The scenario corners from Tables 3 and 4 must bracket the
+        # Monte-Carlo percentiles.
+        corner_low = 938.0 * 1.1 + 375.0
+        corner_high = 5628.0 * 1.5 + 2409.0
+        assert corner_low < result.total_kg_p5
+        assert result.total_kg_p95 < corner_high
+        assert result.total_kg_p5 < result.total_kg_p50 < result.total_kg_p95
+
+    def test_active_dominates_on_average(self, model):
+        """The paper's headline conclusion: embodied is the smaller share."""
+        result = model.run(n_samples=5000, seed=3)
+        assert result.embodied_fraction_mean < 0.5
+        assert result.probability_embodied_exceeds_active < 0.5
+        assert result.active_kg_mean > result.embodied_kg_mean
+
+    def test_zero_carbon_grid_flips_the_balance(self):
+        """With a fully decarbonised grid, embodied carbon dominates —
+        the future the paper's summary anticipates."""
+        inputs = UncertainInput(intensity_low=0.0, intensity_mode=5.0, intensity_high=15.0)
+        model = MonteCarloCarbonModel(18760.0, 2398, inputs=inputs)
+        result = model.run(n_samples=3000, seed=4)
+        assert result.probability_embodied_exceeds_active > 0.5
+
+    def test_samples_structure(self, model):
+        draws = model.sample(n_samples=100, seed=5)
+        assert set(draws) >= {"active_kg", "embodied_kg", "total_kg", "intensity", "pue"}
+        assert len(draws["total_kg"]) == 100
+        assert (draws["total_kg"] >= draws["active_kg"]).all()
+
+    def test_as_dict(self, model):
+        summary = model.run(n_samples=500, seed=6).as_dict()
+        assert summary["samples"] == 500
+        assert summary["total_kg_mean"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloCarbonModel(-1.0, 100)
+        with pytest.raises(ValueError):
+            MonteCarloCarbonModel(100.0, 0)
+        with pytest.raises(ValueError):
+            MonteCarloCarbonModel(100.0, 10).run(n_samples=0)

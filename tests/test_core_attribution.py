@@ -1,0 +1,127 @@
+"""Tests for per-job carbon attribution."""
+
+import pytest
+
+from repro.core.attribution import (
+    AllocationRule,
+    AttributionResult,
+    JobCarbonAttributor,
+    JobFootprint,
+)
+from repro.workload.cluster import SimulatedCluster
+from repro.workload.jobs import Job
+from repro.workload.scheduler import BackfillScheduler, Placement
+
+
+def _placements(specs):
+    """Build placements directly: (job_id, cores, start_s, end_s)."""
+    out = []
+    for job_id, cores, start, end in specs:
+        job = Job(job_id=job_id, submit_time_s=max(start, 0.0), cores=cores,
+                  runtime_s=end - start if end > start else 1.0)
+        out.append(Placement(job=job, node_index=0, start_time_s=start, end_time_s=end))
+    return out
+
+
+class TestCoreHoursRule:
+    def test_shares_proportional_to_core_hours(self):
+        placements = _placements([
+            (0, 8, 0.0, 12 * 3600.0),     # 96 core-hours
+            (1, 4, 0.0, 6 * 3600.0),      # 24 core-hours
+        ])
+        attributor = JobCarbonAttributor(total_carbon_kg=120.0, period_hours=24.0)
+        result = attributor.attribute(placements, cores_per_node=32)
+        by_id = {f.job_id: f for f in result.footprints}
+        assert by_id[0].share == pytest.approx(0.8)
+        assert by_id[1].share == pytest.approx(0.2)
+        assert by_id[0].carbon_kg == pytest.approx(96.0)
+        assert result.attributed_carbon_kg == pytest.approx(120.0)
+
+    def test_overlap_clipped_to_period(self):
+        placements = _placements([
+            (0, 4, -6 * 3600.0, 6 * 3600.0),        # only 6 h inside
+            (1, 4, 18 * 3600.0, 30 * 3600.0),       # only 6 h inside
+        ])
+        attributor = JobCarbonAttributor(100.0, 24.0)
+        result = attributor.attribute(placements, cores_per_node=16)
+        for footprint in result.footprints:
+            assert footprint.runtime_hours_in_period == pytest.approx(6.0)
+            assert footprint.share == pytest.approx(0.5)
+
+    def test_jobs_outside_period_excluded(self):
+        placements = _placements([
+            (0, 4, 0.0, 3600.0),
+            (1, 4, 30 * 3600.0, 40 * 3600.0),       # entirely after the window
+        ])
+        result = JobCarbonAttributor(10.0, 24.0).attribute(placements, 16)
+        assert [f.job_id for f in result.footprints] == [0]
+        assert result.attributed_carbon_kg == pytest.approx(10.0)
+
+    def test_no_overlapping_work_attributes_nothing(self):
+        placements = _placements([(0, 4, 100 * 3600.0, 110 * 3600.0)])
+        result = JobCarbonAttributor(10.0, 24.0).attribute(placements, 16)
+        assert result.footprints == ()
+        assert result.attributed_carbon_kg == 0.0
+        assert result.mean_g_per_core_hour == 0.0
+
+    def test_intensity_metric(self):
+        placements = _placements([(0, 10, 0.0, 10 * 3600.0)])   # 100 core-hours
+        result = JobCarbonAttributor(5.0, 24.0).attribute(placements, 32)
+        assert result.mean_g_per_core_hour == pytest.approx(50.0)
+        assert result.footprints[0].g_co2_per_core_hour == pytest.approx(50.0)
+
+
+class TestNodeHoursRule:
+    def test_small_jobs_charged_for_whole_nodes(self):
+        placements = _placements([
+            (0, 2, 0.0, 10 * 3600.0),
+            (1, 32, 0.0, 10 * 3600.0),
+        ])
+        attributor = JobCarbonAttributor(100.0, 24.0, rule=AllocationRule.NODE_HOURS)
+        result = attributor.attribute(placements, cores_per_node=32)
+        by_id = {f.job_id: f for f in result.footprints}
+        # Both occupied one node for the same time, so they split evenly
+        # despite very different core counts.
+        assert by_id[0].share == pytest.approx(0.5)
+        assert by_id[1].share == pytest.approx(0.5)
+
+
+class TestWithScheduler:
+    def test_attribution_of_a_simulated_day(self):
+        cluster = SimulatedCluster.homogeneous(4, 16)
+        jobs = [Job(job_id=i, submit_time_s=i * 600.0, cores=4, runtime_s=7200.0)
+                for i in range(20)]
+        placements, _ = BackfillScheduler(cluster).run(jobs, 86400.0)
+        result = JobCarbonAttributor(50.0, 24.0).attribute(placements, cores_per_node=16)
+        assert result.attributed_carbon_kg == pytest.approx(50.0)
+        assert len(result.footprints) == 20
+        top = result.top_emitters(3)
+        assert len(top) == 3
+        assert top[0].carbon_kg >= top[-1].carbon_kg
+        assert result.carbon_for_job(top[0].job_id).kg == pytest.approx(top[0].carbon_kg)
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            JobCarbonAttributor(-1.0, 24.0)
+        with pytest.raises(ValueError):
+            JobCarbonAttributor(1.0, 0.0)
+
+    def test_attribute_validation(self):
+        with pytest.raises(ValueError):
+            JobCarbonAttributor(1.0, 24.0).attribute([], cores_per_node=0)
+
+    def test_result_validation(self):
+        with pytest.raises(ValueError):
+            AttributionResult(footprints=(), total_carbon_kg=-1.0,
+                              total_core_hours=0.0, period_hours=24.0)
+        with pytest.raises(ValueError):
+            JobFootprint(job_id=0, cores=1, runtime_hours_in_period=1.0,
+                         core_hours=1.0, share=-0.1, carbon_kg=0.0)
+        with pytest.raises(KeyError):
+            AttributionResult(footprints=(), total_carbon_kg=0.0,
+                              total_core_hours=0.0, period_hours=1.0).carbon_for_job(5)
+        with pytest.raises(ValueError):
+            AttributionResult(footprints=(), total_carbon_kg=0.0,
+                              total_core_hours=0.0, period_hours=1.0).top_emitters(0)

@@ -1,0 +1,146 @@
+"""Tests for the embodied-carbon term and amortisation policies (equation 4)."""
+
+import pytest
+
+from repro.core.embodied import (
+    CoreHoursAmortization,
+    EmbodiedAsset,
+    EmbodiedCarbonCalculator,
+    LinearAmortization,
+    UtilizationWeightedAmortization,
+)
+from repro.units.quantities import Duration
+
+
+def _asset(embodied=400.0, lifetime=5.0, **kwargs):
+    return EmbodiedAsset(
+        asset_id=kwargs.pop("asset_id", "node-1"),
+        component=kwargs.pop("component", "nodes"),
+        embodied_kgco2=embodied,
+        lifetime_years=lifetime,
+        **kwargs,
+    )
+
+
+class TestEmbodiedAsset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _asset(embodied=-1.0)
+        with pytest.raises(ValueError):
+            _asset(lifetime=0.0)
+        with pytest.raises(ValueError):
+            _asset(period_utilization=1.5)
+        with pytest.raises(ValueError):
+            _asset(period_core_hours=-1.0)
+        with pytest.raises(ValueError):
+            EmbodiedAsset(asset_id="", component="nodes", embodied_kgco2=1.0, lifetime_years=1.0)
+
+
+class TestLinearAmortization:
+    def test_paper_example(self):
+        """The paper's worked example: 5 kg over 5 years, 6-month period -> 500 g."""
+        asset = _asset(embodied=5.0, lifetime=5.0)
+        period = Duration.from_days(365.0 / 2.0)
+        charged = LinearAmortization().period_kgco2(asset, period)
+        assert charged == pytest.approx(0.5, rel=1e-6)
+
+    def test_table4_per_server_per_day(self):
+        """The per-server-per-day column of Table 4."""
+        cases = {
+            (400.0, 3.0): 0.36, (400.0, 5.0): 0.22, (400.0, 7.0): 0.16,
+            (1100.0, 3.0): 1.00, (1100.0, 5.0): 0.61, (1100.0, 7.0): 0.43,
+        }
+        for (embodied, lifetime), expected in cases.items():
+            per_day = EmbodiedCarbonCalculator.per_server_per_day_kg(embodied, lifetime)
+            # The paper prints two-decimal roundings; allow for that.
+            assert per_day == pytest.approx(expected, abs=0.01)
+
+    def test_whole_lifetime_charges_everything(self):
+        asset = _asset(embodied=400.0, lifetime=4.0)
+        charged = LinearAmortization().period_kgco2(asset, Duration.from_years(4.0))
+        assert charged == pytest.approx(400.0)
+
+    def test_longer_than_lifetime_capped(self):
+        asset = _asset(embodied=400.0, lifetime=2.0)
+        charged = LinearAmortization().period_kgco2(asset, Duration.from_years(10.0))
+        assert charged == pytest.approx(400.0)
+
+
+class TestUtilizationWeightedAmortization:
+    def test_busy_period_charges_more(self):
+        policy = UtilizationWeightedAmortization()
+        day = Duration.from_days(1)
+        busy = _asset(period_utilization=0.9, lifetime_utilization=0.6)
+        idle = _asset(period_utilization=0.1, lifetime_utilization=0.6)
+        assert policy.period_kgco2(busy, day) > policy.period_kgco2(idle, day)
+
+    def test_average_period_matches_linear(self):
+        policy = UtilizationWeightedAmortization()
+        day = Duration.from_days(1)
+        asset = _asset(period_utilization=0.6, lifetime_utilization=0.6)
+        assert policy.period_kgco2(asset, day) == pytest.approx(
+            LinearAmortization().period_kgco2(asset, day)
+        )
+
+    def test_missing_data_falls_back_to_linear(self):
+        policy = UtilizationWeightedAmortization()
+        day = Duration.from_days(1)
+        asset = _asset()
+        assert policy.period_kgco2(asset, day) == pytest.approx(
+            LinearAmortization().period_kgco2(asset, day)
+        )
+
+
+class TestCoreHoursAmortization:
+    def test_share_by_delivered_core_hours(self):
+        policy = CoreHoursAmortization()
+        asset = _asset(period_core_hours=1000.0, lifetime_core_hours=100_000.0)
+        charged = policy.period_kgco2(asset, Duration.from_days(1))
+        assert charged == pytest.approx(400.0 * 0.01)
+
+    def test_missing_data_falls_back_to_linear(self):
+        policy = CoreHoursAmortization()
+        asset = _asset()
+        day = Duration.from_days(1)
+        assert policy.period_kgco2(asset, day) == pytest.approx(
+            LinearAmortization().period_kgco2(asset, day)
+        )
+
+
+class TestEmbodiedCarbonCalculator:
+    def test_fleet_snapshot_matches_table4(self):
+        """Table 4's snapshot column: 2398 servers, 400 kg, 3-year lifetime -> 876 kg."""
+        snapshot = EmbodiedCarbonCalculator.fleet_snapshot_kg(400.0, 3.0, 2398, 1.0)
+        assert snapshot == pytest.approx(876.0, abs=1.5)
+        snapshot_high = EmbodiedCarbonCalculator.fleet_snapshot_kg(1100.0, 7.0, 2398, 1.0)
+        assert snapshot_high == pytest.approx(1032.0, abs=2.0)
+
+    def test_evaluate_groups_by_component(self):
+        assets = [
+            _asset(asset_id="n1", component="nodes"),
+            _asset(asset_id="n2", component="nodes"),
+            _asset(asset_id="sw", component="network", embodied=300.0, lifetime=7.0),
+        ]
+        calculator = EmbodiedCarbonCalculator()
+        result = calculator.evaluate(assets, Duration.from_days(1))
+        assert set(result.carbon_by_component_kg) == {"nodes", "network"}
+        assert result.total_installed_kg == pytest.approx(1100.0)
+        assert result.total_kg == pytest.approx(sum(result.carbon_by_component_kg.values()))
+        assert 0.0 < result.apportioned_fraction < 0.01
+        assert result.amortization_policy == "linear"
+
+    def test_empty_assets_rejected(self):
+        with pytest.raises(ValueError):
+            EmbodiedCarbonCalculator().evaluate([], Duration.from_days(1))
+
+    def test_policy_injection(self):
+        calculator = EmbodiedCarbonCalculator(policy=CoreHoursAmortization())
+        assert calculator.policy.name == "core-hours"
+
+    def test_static_helpers_validate(self):
+        with pytest.raises(ValueError):
+            EmbodiedCarbonCalculator.per_server_per_day_kg(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            EmbodiedCarbonCalculator.per_server_per_day_kg(400.0, 0.0)
+        with pytest.raises(ValueError):
+            EmbodiedCarbonCalculator.fleet_snapshot_kg(400.0, 5.0, -1)

@@ -1,0 +1,164 @@
+"""Tests for the total model (equation 1) and the scenario grids (Tables 3-4)."""
+
+import pytest
+
+from repro.core.active import ActiveEnergyInput
+from repro.core.embodied import EmbodiedAsset, LinearAmortization
+from repro.core.model import CarbonModel, SnapshotInputs
+from repro.core.scenarios import (
+    EMBODIED_ESTIMATE_SCENARIOS_KG,
+    INTENSITY_SCENARIOS,
+    LIFESPAN_SCENARIOS_YEARS,
+    PAPER_TABLE3_IMPLIED_HIGH_PUE,
+    PUE_SCENARIOS,
+    ActiveScenarioGrid,
+    EmbodiedScenarioGrid,
+    ScenarioLevel,
+)
+from repro.inventory.iris import IRIS_IMPLIED_SERVER_COUNT
+from repro.power.facility import FacilityOverheadModel
+from repro.units.quantities import CarbonIntensity, Duration
+
+
+@pytest.fixture
+def iris_energy():
+    return ActiveEnergyInput(period=Duration.from_hours(24),
+                             node_energy_kwh={"IRIS": 18760.0})
+
+
+@pytest.fixture
+def iris_assets():
+    return [
+        EmbodiedAsset(asset_id=f"node-{i}", component="nodes",
+                      embodied_kgco2=750.0, lifetime_years=5.0)
+        for i in range(100)
+    ]
+
+
+class TestCarbonModel:
+    def test_total_is_active_plus_embodied(self, iris_energy, iris_assets):
+        model = CarbonModel(CarbonIntensity(175.0), pue=1.3)
+        result = model.evaluate(SnapshotInputs(energy=iris_energy, assets=iris_assets))
+        assert result.total_kg == pytest.approx(
+            result.active.total_kg + result.embodied.total_kg
+        )
+        assert 0.0 < result.embodied_fraction < 1.0
+        assert result.active_fraction + result.embodied_fraction == pytest.approx(1.0)
+
+    def test_breakdown_keys_are_prefixed(self, iris_energy, iris_assets):
+        model = CarbonModel(CarbonIntensity(175.0), pue=1.3)
+        result = model.evaluate(SnapshotInputs(energy=iris_energy, assets=iris_assets))
+        breakdown = result.breakdown_kg()
+        assert "active.nodes" in breakdown
+        assert "embodied.nodes" in breakdown
+
+    def test_conflicting_pue_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonModel(CarbonIntensity(175.0), pue=1.3,
+                        overhead_model=FacilityOverheadModel(pue=1.5))
+
+    def test_annualised_extrapolation(self, iris_energy, iris_assets):
+        model = CarbonModel(CarbonIntensity(175.0), pue=1.3)
+        inputs = SnapshotInputs(energy=iris_energy, assets=iris_assets)
+        daily = model.evaluate(inputs).total_kg
+        assert model.evaluate_annualised_kg(inputs) == pytest.approx(daily * 365.0)
+
+    def test_amortization_policy_exposed(self, iris_energy, iris_assets):
+        model = CarbonModel(CarbonIntensity(175.0))
+        assert isinstance(model.amortization, LinearAmortization)
+
+    def test_mismatched_periods_rejected(self, iris_assets):
+        from repro.core.results import TotalCarbonResult
+        model = CarbonModel(CarbonIntensity(175.0))
+        day = model.evaluate(SnapshotInputs(
+            energy=ActiveEnergyInput(period=Duration.from_hours(24),
+                                     node_energy_kwh={"A": 10.0}),
+            assets=iris_assets))
+        week = model.evaluate(SnapshotInputs(
+            energy=ActiveEnergyInput(period=Duration.from_hours(168),
+                                     node_energy_kwh={"A": 10.0}),
+            assets=iris_assets))
+        with pytest.raises(ValueError):
+            TotalCarbonResult(active=day.active, embodied=week.embodied)
+
+
+class TestScenarioConstants:
+    def test_paper_values(self):
+        assert INTENSITY_SCENARIOS[ScenarioLevel.LOW] == 50.0
+        assert INTENSITY_SCENARIOS[ScenarioLevel.MEDIUM] == 175.0
+        assert INTENSITY_SCENARIOS[ScenarioLevel.HIGH] == 300.0
+        assert PUE_SCENARIOS[ScenarioLevel.LOW] == 1.1
+        assert PUE_SCENARIOS[ScenarioLevel.HIGH] == 1.5
+        assert PAPER_TABLE3_IMPLIED_HIGH_PUE == 1.6
+        assert EMBODIED_ESTIMATE_SCENARIOS_KG == (400.0, 1100.0)
+        assert LIFESPAN_SCENARIOS_YEARS == (3.0, 4.0, 5.0, 6.0, 7.0)
+
+
+class TestActiveScenarioGrid:
+    def test_it_only_row(self, iris_energy):
+        grid = ActiveScenarioGrid()
+        it_only = grid.it_only_carbon_kg(iris_energy)
+        assert it_only[ScenarioLevel.LOW] == pytest.approx(938.0)
+        assert it_only[ScenarioLevel.MEDIUM] == pytest.approx(3283.0)
+        assert it_only[ScenarioLevel.HIGH] == pytest.approx(5628.0)
+
+    def test_with_facilities_grid_shape(self, iris_energy):
+        grid = ActiveScenarioGrid()
+        table = grid.with_facilities_carbon_kg(iris_energy)
+        assert len(table) == 9
+        low_low = table[(ScenarioLevel.LOW, ScenarioLevel.LOW)]
+        high_high = table[(ScenarioLevel.HIGH, ScenarioLevel.HIGH)]
+        assert low_low == pytest.approx(938.0 * 1.1, rel=1e-6)
+        assert high_high == pytest.approx(5628.0 * 1.5, rel=1e-6)
+        assert low_low < high_high
+
+    def test_table3_rows_count(self, iris_energy):
+        rows = ActiveScenarioGrid().table3_rows(iris_energy)
+        assert len(rows) == 3 + 9
+        it_rows = [row for row in rows if row["pue"] is None]
+        assert len(it_rows) == 3
+
+    def test_range_brackets_paper_summary_shape(self, iris_energy):
+        low, high = ActiveScenarioGrid().range_kg(iris_energy)
+        # The paper quotes 1066-9302 (from its slightly larger implied
+        # energy and a 1.6 high PUE); our measured-energy range must have
+        # the same shape: a factor of roughly 8-9 between corners.
+        assert low == pytest.approx(938.0 * 1.1, rel=1e-6)
+        assert high == pytest.approx(5628.0 * 1.5, rel=1e-6)
+        assert 7.0 < high / low < 10.0
+
+    def test_custom_grid_validation(self):
+        with pytest.raises(ValueError):
+            ActiveScenarioGrid(intensities={})
+        with pytest.raises(ValueError):
+            ActiveScenarioGrid(pues={ScenarioLevel.LOW: 0.9})
+
+
+class TestEmbodiedScenarioGrid:
+    def test_table4_reproduction(self):
+        rows = EmbodiedScenarioGrid().table4_rows(IRIS_IMPLIED_SERVER_COUNT)
+        assert len(rows) == 5
+        by_lifespan = {row["lifespan_years"]: row for row in rows}
+        assert by_lifespan[3.0]["snapshot_kg_400"] == pytest.approx(876.0, abs=1.5)
+        assert by_lifespan[3.0]["snapshot_kg_1100"] == pytest.approx(2409.0, abs=4.0)
+        assert by_lifespan[7.0]["snapshot_kg_400"] == pytest.approx(375.0, abs=1.5)
+        assert by_lifespan[7.0]["snapshot_kg_1100"] == pytest.approx(1032.0, abs=2.0)
+        assert by_lifespan[5.0]["per_server_per_day_kg_400"] == pytest.approx(0.22, abs=0.005)
+
+    def test_range_matches_paper_summary(self):
+        low, high = EmbodiedScenarioGrid().range_kg(IRIS_IMPLIED_SERVER_COUNT)
+        assert low == pytest.approx(375.0, abs=1.5)
+        assert high == pytest.approx(2409.0, abs=4.0)
+
+    def test_longer_life_means_less_per_day(self):
+        rows = EmbodiedScenarioGrid().table4_rows(1000)
+        values = [row["snapshot_kg_400"] for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmbodiedScenarioGrid(embodied_estimates_kg=())
+        with pytest.raises(ValueError):
+            EmbodiedScenarioGrid(lifespans_years=(0.0,))
+        with pytest.raises(ValueError):
+            EmbodiedScenarioGrid().table4_rows(0)

@@ -1,0 +1,140 @@
+"""Tests for embodied-carbon factors, the bottom-up estimator and the PCF database."""
+
+import pytest
+
+from repro.embodied.bottom_up import BottomUpEstimator, EmbodiedBreakdown
+from repro.embodied.datasheets import (
+    PAPER_SERVER_EMBODIED_HIGH_KGCO2,
+    PAPER_SERVER_EMBODIED_LOW_KGCO2,
+    DatasheetRecord,
+    PCFDatabase,
+    default_pcf_database,
+)
+from repro.embodied.factors import (
+    DEFAULT_FACTORS,
+    OPTIMISTIC_FACTORS,
+    PESSIMISTIC_FACTORS,
+    EmbodiedFactors,
+)
+from repro.inventory.network import SwitchSpec
+
+
+class TestFactors:
+    def test_defaults_non_negative(self):
+        for name in EmbodiedFactors.__dataclass_fields__:
+            assert getattr(DEFAULT_FACTORS, name) >= 0
+
+    def test_scaled(self):
+        doubled = DEFAULT_FACTORS.scaled(2.0)
+        assert doubled.dram_kgco2_per_gb == pytest.approx(2 * DEFAULT_FACTORS.dram_kgco2_per_gb)
+        with pytest.raises(ValueError):
+            DEFAULT_FACTORS.scaled(0.0)
+
+    def test_scenario_sets_ordered(self):
+        assert (OPTIMISTIC_FACTORS.silicon_kgco2_per_cm2
+                < DEFAULT_FACTORS.silicon_kgco2_per_cm2
+                < PESSIMISTIC_FACTORS.silicon_kgco2_per_cm2)
+
+    def test_with_overrides(self):
+        custom = DEFAULT_FACTORS.with_overrides(ssd_kgco2_per_tb=100.0)
+        assert custom.ssd_kgco2_per_tb == 100.0
+        assert custom.hdd_kgco2_per_tb == DEFAULT_FACTORS.hdd_kgco2_per_tb
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            EmbodiedFactors(dram_kgco2_per_gb=-1.0)
+
+
+class TestBottomUpEstimator:
+    def test_compute_node_estimate_within_paper_band(self, compute_spec):
+        estimate = BottomUpEstimator().estimate_node(compute_spec)
+        assert (PAPER_SERVER_EMBODIED_LOW_KGCO2 * 0.8
+                <= estimate.total_kgco2
+                <= PAPER_SERVER_EMBODIED_HIGH_KGCO2 * 1.2)
+
+    def test_breakdown_sums(self, compute_spec):
+        breakdown = BottomUpEstimator().estimate_node(compute_spec)
+        total = sum(getattr(breakdown, name) for name in breakdown.__dataclass_fields__)
+        assert breakdown.total_kgco2 == pytest.approx(total)
+        assert breakdown.manufacturing_kgco2 < breakdown.total_kgco2
+
+    def test_storage_node_dominated_by_drives_or_dram(self, storage_spec):
+        breakdown = BottomUpEstimator().estimate_node(storage_spec)
+        assert breakdown.storage_kgco2 > breakdown.cpu_kgco2
+        assert breakdown.dominant_component() in ("storage_kgco2", "dram_kgco2")
+
+    def test_more_memory_means_more_carbon(self, catalog):
+        small = BottomUpEstimator().estimate_node(catalog.node("cpu-compute-small"))
+        highmem = BottomUpEstimator().estimate_node(catalog.node("cpu-compute-highmem"))
+        assert highmem.dram_kgco2 > small.dram_kgco2
+        assert highmem.total_kgco2 > small.total_kgco2
+
+    def test_factor_scaling_propagates(self, compute_spec):
+        default = BottomUpEstimator(DEFAULT_FACTORS).estimate_node(compute_spec)
+        pessimistic = BottomUpEstimator(PESSIMISTIC_FACTORS).estimate_node(compute_spec)
+        assert pessimistic.total_kgco2 == pytest.approx(default.total_kgco2 * 1.6, rel=1e-6)
+
+    def test_datasheet_preferred_when_present(self, compute_spec):
+        estimator = BottomUpEstimator()
+        assert estimator.node_total_kgco2(compute_spec) == compute_spec.embodied_kgco2_datasheet
+        bottom_up = estimator.node_total_kgco2(compute_spec, prefer_datasheet=False)
+        assert bottom_up == pytest.approx(estimator.estimate_node(compute_spec).total_kgco2)
+
+    def test_switch_estimate(self):
+        switch = SwitchSpec(model="sw", embodied_kgco2=321.0)
+        assert BottomUpEstimator().switch_total_kgco2(switch) == 321.0
+
+    def test_negative_breakdown_rejected(self):
+        with pytest.raises(ValueError):
+            EmbodiedBreakdown(
+                cpu_kgco2=-1.0, dram_kgco2=0, storage_kgco2=0, gpu_kgco2=0,
+                mainboard_kgco2=0, psu_kgco2=0, chassis_kgco2=0, nic_kgco2=0,
+                assembly_kgco2=0, transport_kgco2=0, end_of_life_kgco2=0,
+            )
+
+
+class TestPCFDatabase:
+    def test_default_database_contents(self):
+        database = default_pcf_database()
+        assert len(database) >= 10
+        assert len(database.records_in_category("rack-server")) >= 5
+
+    def test_rack_server_range_contains_paper_bounds(self):
+        low, high = default_pcf_database().category_range_kgco2("rack-server")
+        assert low <= PAPER_SERVER_EMBODIED_LOW_KGCO2
+        assert high >= PAPER_SERVER_EMBODIED_HIGH_KGCO2
+
+    def test_category_mean(self):
+        database = default_pcf_database()
+        mean = database.category_mean_kgco2("rack-server")
+        low, high = database.category_range_kgco2("rack-server")
+        assert low < mean < high
+
+    def test_lookup_and_membership(self):
+        database = default_pcf_database()
+        record = database.get("vendorB-2u-large-memory")
+        assert record.embodied_kgco2 == pytest.approx(1100.0)
+        assert "vendorB-2u-large-memory" in database
+        with pytest.raises(KeyError):
+            database.get("missing")
+        with pytest.raises(KeyError):
+            database.category_range_kgco2("gpu-server")
+
+    def test_duplicate_rejected(self):
+        database = PCFDatabase()
+        record = DatasheetRecord("x", "rack-server", 500.0, 400.0, 700.0)
+        database.add(record)
+        with pytest.raises(ValueError):
+            database.add(record)
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            DatasheetRecord("x", "rack-server", 500.0, 600.0, 700.0)
+        with pytest.raises(ValueError):
+            DatasheetRecord("x", "rack-server", 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            DatasheetRecord("", "rack-server", 500.0, 400.0, 700.0)
+
+    def test_relative_uncertainty(self):
+        record = DatasheetRecord("x", "rack-server", 1000.0, 700.0, 1700.0)
+        assert record.relative_uncertainty == pytest.approx(0.5)

@@ -1,0 +1,92 @@
+"""Tests for the data-centre infrastructure embodied-carbon model."""
+
+import pytest
+
+from repro.core.embodied import EmbodiedCarbonCalculator, LinearAmortization
+from repro.embodied.facility import FacilityEmbodiedBreakdown, FacilityEmbodiedModel
+from repro.units.quantities import Duration
+
+
+class TestFacilityEmbodiedModel:
+    def test_breakdown_sums(self):
+        model = FacilityEmbodiedModel()
+        breakdown = model.estimate(it_power_kw=500.0, rack_count=30)
+        assert breakdown.total_kgco2 == pytest.approx(
+            breakdown.building_shell_kgco2 + breakdown.cooling_plant_kgco2
+            + breakdown.power_plant_kgco2 + breakdown.fit_out_kgco2
+        )
+        assert breakdown.total_kgco2 > 0
+
+    def test_scaling_with_load_and_racks(self):
+        model = FacilityEmbodiedModel()
+        small = model.estimate(100.0, 10)
+        large_load = model.estimate(200.0, 10)
+        large_floor = model.estimate(100.0, 20)
+        assert large_load.cooling_plant_kgco2 == pytest.approx(2 * small.cooling_plant_kgco2)
+        assert large_load.building_shell_kgco2 == pytest.approx(small.building_shell_kgco2)
+        assert large_floor.building_shell_kgco2 == pytest.approx(2 * small.building_shell_kgco2)
+
+    def test_headroom_applied_to_plant_only(self):
+        tight = FacilityEmbodiedModel(provisioning_headroom=1.0)
+        generous = FacilityEmbodiedModel(provisioning_headroom=2.0)
+        assert generous.estimate(100.0, 5).cooling_plant_kgco2 == pytest.approx(
+            2 * tight.estimate(100.0, 5).cooling_plant_kgco2
+        )
+        assert generous.estimate(100.0, 5).building_shell_kgco2 == pytest.approx(
+            tight.estimate(100.0, 5).building_shell_kgco2
+        )
+
+    def test_zero_facility(self):
+        breakdown = FacilityEmbodiedModel().estimate(0.0, 0)
+        assert breakdown.total_kgco2 == 0.0
+
+    def test_as_asset_and_amortisation(self):
+        model = FacilityEmbodiedModel(lifetime_years=20.0)
+        asset = model.as_asset("room-1", it_power_kw=400.0, rack_count=25)
+        assert asset.component == "facility"
+        assert asset.lifetime_years == 20.0
+        charged = LinearAmortization().period_kgco2(asset, Duration.from_days(1))
+        assert charged == pytest.approx(model.per_day_kgco2(400.0, 25), rel=1e-9)
+
+    def test_dri_share_scales_asset(self):
+        model = FacilityEmbodiedModel()
+        full = model.as_asset("room", 100.0, 10, dri_share=1.0)
+        half = model.as_asset("room", 100.0, 10, dri_share=0.5)
+        assert half.embodied_kgco2 == pytest.approx(0.5 * full.embodied_kgco2)
+
+    def test_per_day_is_small_relative_to_total(self):
+        """Long amortisation keeps the daily facility charge modest —
+        the reason the paper's omission does not overturn its conclusion."""
+        model = FacilityEmbodiedModel()
+        total = model.estimate(780.0, 70).total_kgco2     # roughly IRIS-sized
+        per_day = model.per_day_kgco2(780.0, 70)
+        assert per_day < total / 5000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FacilityEmbodiedModel(lifetime_years=0.0)
+        with pytest.raises(ValueError):
+            FacilityEmbodiedModel(provisioning_headroom=0.9)
+        with pytest.raises(ValueError):
+            FacilityEmbodiedModel(building_kgco2_per_m2=-1.0)
+        with pytest.raises(ValueError):
+            FacilityEmbodiedModel().estimate(-1.0, 10)
+        with pytest.raises(ValueError):
+            FacilityEmbodiedModel().as_asset("x", 100.0, 10, dri_share=0.0)
+        with pytest.raises(ValueError):
+            FacilityEmbodiedBreakdown(-1.0, 0.0, 0.0, 0.0)
+
+
+class TestIntegrationWithCalculator:
+    def test_facility_assets_add_a_component(self):
+        model = FacilityEmbodiedModel()
+        node_asset = model.as_asset("room", 200.0, 15)
+        from repro.core.embodied import EmbodiedAsset
+        assets = [
+            EmbodiedAsset(asset_id="n1", component="nodes",
+                          embodied_kgco2=750.0, lifetime_years=5.0),
+            node_asset,
+        ]
+        result = EmbodiedCarbonCalculator().evaluate(assets, Duration.from_days(1))
+        assert "facility" in result.carbon_by_component_kg
+        assert result.carbon_by_component_kg["facility"] > 0

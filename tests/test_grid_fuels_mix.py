@@ -1,0 +1,98 @@
+"""Tests for fuel factors and generation mixes."""
+
+import pytest
+
+from repro.grid.fuels import (
+    FUEL_INTENSITY_G_PER_KWH,
+    FUEL_LIFECYCLE_INTENSITY_G_PER_KWH,
+    Fuel,
+)
+from repro.grid.mix import (
+    GB_MIX_HIGH_CARBON,
+    GB_MIX_LOW_CARBON,
+    GB_MIX_TYPICAL,
+    GenerationMix,
+)
+
+
+class TestFuelFactors:
+    def test_every_fuel_has_a_factor(self):
+        for fuel in Fuel:
+            assert fuel in FUEL_INTENSITY_G_PER_KWH
+            assert fuel in FUEL_LIFECYCLE_INTENSITY_G_PER_KWH
+
+    def test_fossil_fuels_dominate(self):
+        assert FUEL_INTENSITY_G_PER_KWH[Fuel.COAL] > FUEL_INTENSITY_G_PER_KWH[Fuel.GAS] > 300
+
+    def test_direct_factors_are_zero_for_renewables(self):
+        for fuel in (Fuel.WIND, Fuel.SOLAR, Fuel.HYDRO, Fuel.NUCLEAR):
+            assert FUEL_INTENSITY_G_PER_KWH[fuel] == 0.0
+
+    def test_lifecycle_factors_are_nonzero_for_renewables(self):
+        # The paper's summary notes that "even renewable energy sources have
+        # carbon emissions associated with them".
+        for fuel in (Fuel.WIND, Fuel.SOLAR, Fuel.HYDRO, Fuel.NUCLEAR):
+            assert FUEL_LIFECYCLE_INTENSITY_G_PER_KWH[fuel] > 0.0
+
+    def test_lifecycle_never_below_direct(self):
+        for fuel in Fuel:
+            assert (FUEL_LIFECYCLE_INTENSITY_G_PER_KWH[fuel]
+                    >= FUEL_INTENSITY_G_PER_KWH[fuel])
+
+
+class TestGenerationMix:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            GenerationMix({Fuel.GAS: 0.5, Fuel.WIND: 0.2})
+
+    def test_small_rounding_error_renormalised(self):
+        mix = GenerationMix({Fuel.GAS: 0.5004, Fuel.WIND: 0.5001})
+        assert sum(mix.shares.values()) == pytest.approx(1.0)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            GenerationMix({Fuel.GAS: 1.2, Fuel.WIND: -0.2})
+
+    def test_from_percentages(self):
+        mix = GenerationMix.from_percentages({Fuel.GAS: 40.0, Fuel.WIND: 60.0})
+        assert mix.share(Fuel.GAS) == pytest.approx(0.4)
+
+    def test_intensity_weighted_sum(self):
+        mix = GenerationMix({Fuel.GAS: 0.5, Fuel.WIND: 0.5})
+        expected = 0.5 * FUEL_INTENSITY_G_PER_KWH[Fuel.GAS]
+        assert mix.intensity_g_per_kwh() == pytest.approx(expected)
+
+    def test_all_wind_is_zero_direct_but_positive_lifecycle(self):
+        mix = GenerationMix({Fuel.WIND: 1.0})
+        assert mix.intensity_g_per_kwh() == 0.0
+        assert mix.lifecycle_intensity_g_per_kwh() > 0.0
+
+    def test_share_groups(self):
+        mix = GB_MIX_TYPICAL
+        assert mix.fossil_share == pytest.approx(
+            mix.share(Fuel.GAS) + mix.share(Fuel.COAL)
+        )
+        assert mix.zero_carbon_share == pytest.approx(
+            mix.renewable_share + mix.share(Fuel.NUCLEAR)
+        )
+
+    def test_reference_mixes_span_paper_band(self):
+        # The three reference GB mixes should roughly bracket the paper's
+        # Low/Medium/High reference intensities of 50/175/300.
+        assert GB_MIX_LOW_CARBON.intensity_g_per_kwh() < 110.0
+        assert 120.0 < GB_MIX_TYPICAL.intensity_g_per_kwh() < 240.0
+        assert GB_MIX_HIGH_CARBON.intensity_g_per_kwh() > 250.0
+
+    def test_blended_with(self):
+        blended = GB_MIX_LOW_CARBON.blended_with(GB_MIX_HIGH_CARBON, 0.5)
+        low = GB_MIX_LOW_CARBON.intensity_g_per_kwh()
+        high = GB_MIX_HIGH_CARBON.intensity_g_per_kwh()
+        assert blended.intensity_g_per_kwh() == pytest.approx((low + high) / 2, rel=1e-6)
+
+    def test_blended_weight_bounds(self):
+        with pytest.raises(ValueError):
+            GB_MIX_LOW_CARBON.blended_with(GB_MIX_HIGH_CARBON, 1.5)
+
+    def test_missing_fuel_share_is_zero(self):
+        mix = GenerationMix({Fuel.WIND: 1.0})
+        assert mix.share(Fuel.COAL) == 0.0

@@ -1,0 +1,110 @@
+"""Tests for the carbon-intensity series."""
+
+import numpy as np
+import pytest
+
+from repro.grid.intensity import CarbonIntensitySeries, IntensityBand, classify_intensity
+from repro.timeseries import TimeSeries, TimeSeriesError
+from repro.units.quantities import Energy
+
+
+@pytest.fixture
+def flat_series():
+    return CarbonIntensitySeries(TimeSeries.constant(0.0, 1800.0, 175.0, 48))
+
+
+@pytest.fixture
+def varying_series():
+    # Half the day at 50, half at 300 -> mean 175.
+    values = [50.0] * 24 + [300.0] * 24
+    return CarbonIntensitySeries(TimeSeries(0.0, 1800.0, values))
+
+
+class TestConstruction:
+    def test_gaps_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            CarbonIntensitySeries(TimeSeries(0.0, 1800.0, [100.0, np.nan]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonIntensitySeries(TimeSeries(0.0, 1800.0, [100.0, -5.0]))
+
+
+class TestStatistics:
+    def test_mean(self, varying_series):
+        assert varying_series.mean_intensity().g_per_kwh == pytest.approx(175.0)
+
+    def test_min_max(self, varying_series):
+        assert varying_series.min_intensity().g_per_kwh == 50.0
+        assert varying_series.max_intensity().g_per_kwh == 300.0
+
+    def test_reference_values_ordering(self, varying_series):
+        refs = varying_series.reference_values()
+        assert refs["low"].g_per_kwh <= refs["medium"].g_per_kwh <= refs["high"].g_per_kwh
+
+    def test_band_occupancy_sums_to_one(self, varying_series):
+        occupancy = varying_series.band_occupancy()
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+        assert occupancy[IntensityBand.LOW] == pytest.approx(0.5)
+        assert occupancy[IntensityBand.VERY_HIGH] == pytest.approx(0.5)
+
+
+class TestCarbonCalculations:
+    def test_carbon_for_energy_uses_mean(self, varying_series):
+        carbon = varying_series.carbon_for_energy(Energy.from_kwh(1000.0))
+        assert carbon.kg == pytest.approx(175.0)
+
+    def test_time_resolved_equals_average_for_flat_profile(self, varying_series):
+        # A flat energy profile over the window must give the same result as
+        # the period-average treatment.
+        n = len(varying_series.series)
+        energy_profile = TimeSeries.constant(0.0, 1800.0, 1000.0 / n, n)
+        resolved = varying_series.carbon_for_energy_profile(energy_profile)
+        averaged = varying_series.carbon_for_energy(Energy.from_kwh(1000.0))
+        assert resolved.kg == pytest.approx(averaged.kg)
+
+    def test_time_resolved_rewards_low_carbon_alignment(self, varying_series):
+        # Consuming only during the low-intensity half must beat the
+        # period-average figure.
+        n = len(varying_series.series)
+        values = [2 * 1000.0 / n] * (n // 2) + [0.0] * (n // 2)
+        aligned_profile = TimeSeries(0.0, 1800.0, values)
+        resolved = varying_series.carbon_for_energy_profile(aligned_profile)
+        assert resolved.kg == pytest.approx(50.0, rel=1e-6)
+
+    def test_profile_grid_mismatch_rejected(self, varying_series):
+        bad_profile = TimeSeries.constant(0.0, 900.0, 1.0, 96)
+        with pytest.raises(TimeSeriesError):
+            varying_series.carbon_for_energy_profile(bad_profile)
+
+
+class TestDerivedSeries:
+    def test_rolling_daily_mean(self):
+        values = [100.0] * 48 + [200.0] * 48
+        series = CarbonIntensitySeries(TimeSeries(0.0, 1800.0, values))
+        daily = series.rolling_daily_mean()
+        assert daily == [pytest.approx(100.0), pytest.approx(200.0)]
+
+    def test_slice_window(self, varying_series):
+        window = varying_series.slice_window(0.0, 12 * 3600.0)
+        assert window.mean_intensity().g_per_kwh == pytest.approx(50.0)
+        assert window.region == varying_series.region
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "value, band",
+        [
+            (10.0, IntensityBand.VERY_LOW),
+            (60.0, IntensityBand.LOW),
+            (175.0, IntensityBand.MODERATE),
+            (250.0, IntensityBand.HIGH),
+            (400.0, IntensityBand.VERY_HIGH),
+        ],
+    )
+    def test_bands(self, value, band):
+        assert classify_intensity(value) is band
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_intensity(-1.0)

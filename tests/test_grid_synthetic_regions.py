@@ -1,0 +1,131 @@
+"""Tests for the synthetic grid model and the region registry."""
+
+import numpy as np
+import pytest
+
+from repro.grid.fuels import Fuel
+from repro.grid.regions import GridRegion, GridRegionRegistry, default_regions
+from repro.grid.synthetic import SyntheticGridModel, uk_november_2022_intensity
+
+
+class TestSyntheticGridModel:
+    def test_deterministic_for_seed(self):
+        a = SyntheticGridModel().generate_intensity(days=2, seed=42)
+        b = SyntheticGridModel().generate_intensity(days=2, seed=42)
+        np.testing.assert_allclose(a.series.values, b.series.values)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticGridModel().generate_intensity(days=2, seed=1)
+        b = SyntheticGridModel().generate_intensity(days=2, seed=2)
+        assert not np.allclose(a.series.values, b.series.values)
+
+    def test_sample_count(self):
+        series = SyntheticGridModel().generate_intensity(days=30, step_s=1800.0)
+        assert len(series.series) == 30 * 48
+
+    def test_mixes_are_valid(self):
+        mixes = SyntheticGridModel().generate_mixes(days=1, seed=3)
+        for mix in mixes:
+            assert sum(mix.shares.values()) == pytest.approx(1.0, abs=1e-6)
+            assert all(share >= 0 for share in mix.shares.values())
+
+    def test_demand_factor_daily_structure(self):
+        model = SyntheticGridModel()
+        hours = np.arange(0, 24.0, 0.5) * 3600.0
+        demand = model.demand_factor(hours)
+        # Evening peak must exceed the overnight trough.
+        evening = demand[int(18 * 2)]
+        night = demand[int(3 * 2)]
+        assert evening > night
+        assert demand.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_solar_zero_at_night(self):
+        model = SyntheticGridModel()
+        night = model.solar_share(np.array([2.0 * 3600.0, 22.0 * 3600.0]))
+        np.testing.assert_allclose(night, 0.0)
+        noon = model.solar_share(np.array([12.0 * 3600.0]))
+        assert noon[0] == pytest.approx(model.solar_noon_share)
+
+    def test_wind_share_within_bounds(self):
+        model = SyntheticGridModel()
+        rng = np.random.default_rng(0)
+        shares = model.wind_share_process(2000, 1800.0, rng)
+        assert shares.min() >= model.wind_share_min
+        assert shares.max() <= model.wind_share_max
+
+    def test_oversupply_curtails_wind(self):
+        model = SyntheticGridModel()
+        mix = model.mix_for_conditions(wind_share=0.95, solar_share=0.05, demand_factor=1.0)
+        assert mix.share(Fuel.GAS) == 0.0
+        assert sum(mix.shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_becalmed_evening_is_high_carbon(self):
+        model = SyntheticGridModel()
+        mix = model.mix_for_conditions(wind_share=0.04, solar_share=0.0, demand_factor=1.1)
+        assert mix.intensity_g_per_kwh() > 250.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticGridModel(wind_mean_share=0.0)
+        with pytest.raises(ValueError):
+            SyntheticGridModel(wind_share_min=0.5, wind_share_max=0.4)
+        with pytest.raises(ValueError):
+            SyntheticGridModel().generate_intensity(days=0)
+
+
+class TestNovember2022Profile:
+    """The synthetic profile must support the paper's reference values."""
+
+    @pytest.fixture(scope="class")
+    def november(self):
+        return uk_november_2022_intensity()
+
+    def test_covers_a_month_of_half_hours(self, november):
+        assert len(november.series) == 30 * 48
+
+    def test_mean_near_paper_medium(self, november):
+        assert 140.0 < november.mean_intensity().g_per_kwh < 210.0
+
+    def test_low_periods_near_paper_low(self, november):
+        assert november.percentile(5).g_per_kwh < 90.0
+
+    def test_high_periods_near_paper_high(self, november):
+        assert november.percentile(95).g_per_kwh > 240.0
+
+    def test_range_is_wide(self, november):
+        # Figure 1 shows swings over roughly an order of magnitude.
+        assert november.max_intensity().g_per_kwh > 2.5 * november.min_intensity().g_per_kwh
+
+    def test_day_to_day_variation_exists(self, november):
+        daily = november.rolling_daily_mean()
+        assert len(daily) == 30
+        assert max(daily) - min(daily) > 50.0
+
+
+class TestRegions:
+    def test_default_registry(self):
+        regions = default_regions()
+        assert "GB" in regions
+        assert len(regions) >= 4
+        assert regions.codes == sorted(regions.codes)
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError):
+            default_regions().get("XX")
+
+    def test_duplicate_registration_rejected(self):
+        registry = GridRegionRegistry()
+        region = default_regions().get("GB")
+        registry.register(region)
+        with pytest.raises(ValueError):
+            registry.register(region)
+
+    def test_regional_ordering_of_intensity(self):
+        regions = default_regions()
+        norway = regions.get("NO").intensity_series(days=3).mean_intensity().g_per_kwh
+        britain = regions.get("GB").intensity_series(days=3).mean_intensity().g_per_kwh
+        poland = regions.get("PL").intensity_series(days=3).mean_intensity().g_per_kwh
+        assert norway < britain < poland
+
+    def test_annual_average_quantity(self):
+        assert default_regions().get("FR").average_intensity().g_per_kwh == pytest.approx(55.0)

@@ -1,0 +1,108 @@
+"""Tests for component specifications."""
+
+import pytest
+
+from repro.inventory.components import (
+    ChassisSpec,
+    CPUSpec,
+    GPUSpec,
+    MainboardSpec,
+    MemorySpec,
+    NICSpec,
+    PSUSpec,
+    StorageDeviceSpec,
+    StorageMedium,
+)
+
+
+class TestCPUSpec:
+    def test_defaults(self):
+        cpu = CPUSpec(model="test-cpu")
+        assert cpu.cores > 0
+        assert cpu.tdp_w > 0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CPUSpec(model="bad", cores=0)
+        with pytest.raises(ValueError):
+            CPUSpec(model="bad", tdp_w=-10)
+        with pytest.raises(ValueError):
+            CPUSpec(model="bad", die_area_mm2=0)
+        with pytest.raises(ValueError):
+            CPUSpec(model="")
+
+    def test_frozen(self):
+        cpu = CPUSpec(model="test-cpu")
+        with pytest.raises(AttributeError):
+            cpu.tdp_w = 500.0
+
+
+class TestMemorySpec:
+    def test_valid(self):
+        memory = MemorySpec(model="ddr4", capacity_gb=256, dimm_count=8, power_per_dimm_w=4.0)
+        assert memory.capacity_gb == 256
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySpec(model="bad", capacity_gb=0)
+        with pytest.raises(ValueError):
+            MemorySpec(model="bad", dimm_count=0)
+        with pytest.raises(ValueError):
+            MemorySpec(model="bad", power_per_dimm_w=-1)
+
+
+class TestStorageDeviceSpec:
+    def test_medium_enum(self):
+        drive = StorageDeviceSpec(model="ssd", medium=StorageMedium.NVME)
+        assert drive.medium is StorageMedium.NVME
+
+    def test_idle_cannot_exceed_active(self):
+        with pytest.raises(ValueError):
+            StorageDeviceSpec(model="bad", active_power_w=5.0, idle_power_w=6.0)
+
+    def test_bad_medium_rejected(self):
+        with pytest.raises(ValueError):
+            StorageDeviceSpec(model="bad", medium="ssd")  # type: ignore[arg-type]
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            StorageDeviceSpec(model="bad", capacity_tb=0.0)
+
+
+class TestPSUSpec:
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            PSUSpec(model="bad", efficiency=0.4)
+        with pytest.raises(ValueError):
+            PSUSpec(model="bad", efficiency=1.01)
+        assert PSUSpec(model="ok", efficiency=1.0).efficiency == 1.0
+
+    def test_count_positive(self):
+        with pytest.raises(ValueError):
+            PSUSpec(model="bad", count=0)
+
+
+class TestOtherComponents:
+    def test_gpu_spec(self):
+        gpu = GPUSpec(model="a100-like", tdp_w=400.0, die_area_mm2=826.0, memory_gb=80.0)
+        assert gpu.tdp_w == 400.0
+        with pytest.raises(ValueError):
+            GPUSpec(model="bad", memory_gb=0)
+
+    def test_mainboard_spec(self):
+        board = MainboardSpec(model="board", base_power_w=0.0)
+        assert board.base_power_w == 0.0
+        with pytest.raises(ValueError):
+            MainboardSpec(model="bad", base_power_w=-5)
+
+    def test_chassis_spec(self):
+        chassis = ChassisSpec(model="2u", mass_kg=25.0, rack_units=2)
+        assert chassis.rack_units == 2
+        with pytest.raises(ValueError):
+            ChassisSpec(model="bad", mass_kg=0.0)
+
+    def test_nic_spec(self):
+        nic = NICSpec(model="cx", speed_gbps=100.0, power_w=20.0, ports=2)
+        assert nic.ports == 2
+        with pytest.raises(ValueError):
+            NICSpec(model="bad", speed_gbps=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the DRI aggregate and the hardware catalog."""
+
+import pytest
+
+from repro.inventory.catalog import HardwareCatalog, default_catalog
+from repro.inventory.infrastructure import DigitalResearchInfrastructure
+from repro.inventory.network import SwitchSpec
+from repro.inventory.node import NodeClass, NodeInstance, NodeSpec
+from repro.inventory.site import Facility, Rack, Site
+
+
+def _simple_site(name, node_count, spec):
+    nodes = tuple(
+        NodeInstance(node_id=f"{name}-{i:03d}", spec=spec) for i in range(node_count)
+    )
+    return Site(name=name, racks=[Rack(rack_id=f"{name}-r0", nodes=nodes)],
+                facility=Facility(name=f"{name}-room"))
+
+
+class TestDigitalResearchInfrastructure:
+    @pytest.fixture
+    def dri(self, catalog):
+        spec = catalog.node("cpu-compute-standard")
+        sites = [_simple_site("A", 3, spec), _simple_site("B", 5, spec)]
+        return DigitalResearchInfrastructure(name="TEST-DRI", sites=sites)
+
+    def test_aggregates(self, dri):
+        assert dri.node_count == 8
+        assert dri.node_count_by_site() == {"A": 3, "B": 5}
+        assert dri.node_count_by_class()[NodeClass.COMPUTE] == 8
+        assert len(dri.nodes) == 8
+        assert dri.switch_count >= 2
+
+    def test_site_lookup(self, dri):
+        assert dri.site("A").node_count == 3
+        with pytest.raises(KeyError):
+            dri.site("missing")
+
+    def test_duplicate_site_names_rejected(self, catalog):
+        spec = catalog.node("cpu-compute-standard")
+        sites = [_simple_site("A", 1, spec), _simple_site("A", 1, spec)]
+        with pytest.raises(ValueError):
+            DigitalResearchInfrastructure(name="bad", sites=sites)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DigitalResearchInfrastructure(name="bad", sites=[])
+
+
+class TestHardwareCatalog:
+    def test_default_catalog_contents(self, catalog):
+        assert "cpu-compute-standard" in catalog
+        assert "cpu-compute-small" in catalog
+        assert "storage-server" in catalog
+        assert "login-node" in catalog
+        assert "service-node" in catalog
+        assert len(catalog.switch_models) >= 2
+
+    def test_node_lookup_and_missing(self, catalog):
+        spec = catalog.node("storage-server")
+        assert spec.node_class is NodeClass.STORAGE
+        with pytest.raises(KeyError):
+            catalog.node("missing-model")
+
+    def test_switch_lookup_and_missing(self, catalog):
+        assert catalog.switch("tor-48p-25g").ports == 48
+        with pytest.raises(KeyError):
+            catalog.switch("missing-switch")
+
+    def test_nodes_of_class(self, catalog):
+        compute = catalog.nodes_of_class(NodeClass.COMPUTE)
+        assert len(compute) >= 3
+        assert all(spec.node_class is NodeClass.COMPUTE for spec in compute)
+
+    def test_duplicate_registration_rejected(self):
+        catalog = HardwareCatalog()
+        catalog.register_node(NodeSpec(model="x"))
+        with pytest.raises(ValueError):
+            catalog.register_node(NodeSpec(model="x"))
+        catalog.register_switch(SwitchSpec(model="sw"))
+        with pytest.raises(ValueError):
+            catalog.register_switch(SwitchSpec(model="sw"))
+
+    def test_iteration_and_len(self, catalog):
+        names = list(catalog)
+        assert len(names) == len(catalog)
+        assert names == sorted(names)
+
+    def test_datasheet_values_inside_paper_band(self, catalog):
+        # The compute-node datasheet figures should fall within (or near)
+        # the paper's 400-1100 kgCO2 per-server band.
+        for model in ("cpu-compute-standard", "cpu-compute-small", "cpu-compute-highmem"):
+            value = catalog.node(model).embodied_kgco2_datasheet
+            assert value is not None
+            assert 350.0 <= value <= 1150.0

@@ -1,0 +1,113 @@
+"""Tests for the encoded IRIS inventory and Table 1/2 reference data."""
+
+import pytest
+
+from repro.inventory.iris import (
+    IRIS_IMPLIED_SERVER_COUNT,
+    IRIS_SITE_MEAN_NODE_POWER_W,
+    IRIS_SITE_MEASUREMENT_METHODS,
+    IRIS_SITE_NODE_COUNTS,
+    IRIS_SNAPSHOT_MEASURED_NODES,
+    PAPER_TABLE2_ENERGY_KWH,
+    PAPER_TABLE2_TOTAL_KWH,
+    build_iris_infrastructure,
+    iris_inventory_table,
+)
+from repro.inventory.node import NodeClass
+
+
+class TestTable1Data:
+    def test_site_list_matches_paper(self):
+        assert set(IRIS_SITE_NODE_COUNTS) == {
+            "QMUL", "CAM", "DUR", "STFC SCARF", "STFC CLOUD", "IMP",
+        }
+
+    def test_cpu_node_counts_match_paper(self):
+        assert IRIS_SITE_NODE_COUNTS["QMUL"]["cpu"] == 118
+        assert IRIS_SITE_NODE_COUNTS["CAM"]["cpu"] == 60
+        assert IRIS_SITE_NODE_COUNTS["DUR"]["cpu"] == 808
+        assert IRIS_SITE_NODE_COUNTS["DUR"]["storage"] == 64
+        assert IRIS_SITE_NODE_COUNTS["STFC SCARF"]["cpu"] == 699
+        assert IRIS_SITE_NODE_COUNTS["STFC CLOUD"]["cpu"] == 651
+        assert IRIS_SITE_NODE_COUNTS["STFC CLOUD"]["storage"] == 105
+        assert IRIS_SITE_NODE_COUNTS["IMP"]["cpu"] == 241
+
+    def test_inventory_table_rows(self):
+        rows = iris_inventory_table()
+        assert len(rows) == 6
+        qmul = next(row for row in rows if row["site"] == "QMUL")
+        assert qmul["cpu_nodes"] == 118
+        assert qmul["storage_nodes"] == 0
+        dur = next(row for row in rows if row["site"] == "DUR")
+        assert dur["storage_nodes"] == 64
+
+
+class TestTable2Data:
+    def test_measured_node_counts(self):
+        assert IRIS_SNAPSHOT_MEASURED_NODES["QMUL"] == 118
+        assert IRIS_SNAPSHOT_MEASURED_NODES["DUR"] == 876
+        assert sum(IRIS_SNAPSHOT_MEASURED_NODES.values()) == 2462
+
+    def test_energy_values_match_paper(self):
+        qmul = PAPER_TABLE2_ENERGY_KWH["QMUL"]
+        assert qmul["facility"] == 1299.0
+        assert qmul["turbostat"] == 1214.0
+        assert PAPER_TABLE2_ENERGY_KWH["DUR"]["ipmi"] == 6267.0
+        assert PAPER_TABLE2_ENERGY_KWH["CAM"]["pdu"] is None
+
+    def test_paper_total_is_sum_of_widest_scope_readings(self):
+        total = 0.0
+        for methods in PAPER_TABLE2_ENERGY_KWH.values():
+            total += max(v for v in methods.values() if v is not None)
+        assert total == pytest.approx(PAPER_TABLE2_TOTAL_KWH)
+
+    def test_mean_node_power_derivation(self):
+        # QMUL: 1299 kWh over 24 h across 118 nodes is ~459 W per node.
+        assert IRIS_SITE_MEAN_NODE_POWER_W["QMUL"] == pytest.approx(458.7, abs=0.5)
+        # All sites land in a physically plausible server band.
+        for power in IRIS_SITE_MEAN_NODE_POWER_W.values():
+            assert 100.0 < power < 1000.0
+
+    def test_measurement_methods_match_table_cells(self):
+        assert set(IRIS_SITE_MEASUREMENT_METHODS["QMUL"]) == {
+            "facility", "pdu", "ipmi", "turbostat",
+        }
+        assert set(IRIS_SITE_MEASUREMENT_METHODS["CAM"]) == {"facility", "ipmi"}
+        assert set(IRIS_SITE_MEASUREMENT_METHODS["DUR"]) == {"facility", "pdu", "ipmi"}
+
+    def test_implied_server_count_reproduces_table4_numbers(self):
+        # 400 kg over 3 years, 2398 servers, 1 day -> 876 kg (Table 4).
+        per_day = 400.0 / (3 * 365.0)
+        assert per_day * IRIS_IMPLIED_SERVER_COUNT == pytest.approx(876.0, abs=1.0)
+        per_day_high = 1100.0 / (3 * 365.0)
+        assert per_day_high * IRIS_IMPLIED_SERVER_COUNT == pytest.approx(2409.0, abs=2.0)
+
+
+class TestBuildInfrastructure:
+    def test_measured_counts(self):
+        dri = build_iris_infrastructure(use_measured_counts=True)
+        assert dri.name == "IRIS"
+        assert dri.node_count == sum(IRIS_SNAPSHOT_MEASURED_NODES.values())
+        assert dri.site("QMUL").node_count == 118
+
+    def test_inventory_counts(self):
+        dri = build_iris_infrastructure(use_measured_counts=False)
+        expected = sum(
+            counts.get("cpu", 0) + counts.get("storage", 0)
+            for counts in IRIS_SITE_NODE_COUNTS.values()
+        )
+        assert dri.node_count == expected
+        dur = dri.site("DUR")
+        assert len(dur.nodes_of_class(NodeClass.STORAGE)) == 64
+
+    def test_storage_fraction_applied_to_measured_counts(self):
+        dri = build_iris_infrastructure(use_measured_counts=True)
+        dur = dri.site("DUR")
+        storage = len(dur.nodes_of_class(NodeClass.STORAGE))
+        # 64/872 of 876 measured nodes is about 64 storage servers.
+        assert 55 <= storage <= 75
+
+    def test_lifetime_and_pue_propagate(self):
+        dri = build_iris_infrastructure(lifetime_years=7.0, pue=1.5)
+        assert all(node.lifetime_years == 7.0 for node in dri.nodes)
+        assert all(site.facility.pue == 1.5 for site in dri.sites)

@@ -1,0 +1,118 @@
+"""Tests for network fabrics, racks, facilities and sites."""
+
+import pytest
+
+from repro.inventory.catalog import default_catalog
+from repro.inventory.network import NetworkFabric, SwitchSpec
+from repro.inventory.node import NodeClass, NodeInstance
+from repro.inventory.site import Facility, Rack, Site
+
+
+class TestSwitchSpec:
+    def test_valid(self):
+        switch = SwitchSpec(model="tor", ports=48, power_w=120.0, embodied_kgco2=250.0)
+        assert switch.ports == 48
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchSpec(model="", ports=48)
+        with pytest.raises(ValueError):
+            SwitchSpec(model="x", ports=0)
+        with pytest.raises(ValueError):
+            SwitchSpec(model="x", lifetime_years=0)
+
+
+class TestNetworkFabric:
+    def test_sized_for_nodes(self):
+        fabric = NetworkFabric.sized_for_nodes(118)
+        assert fabric.leaf_switches == 4      # ceil(118 / 32)
+        assert fabric.spine_switches == 1
+        assert fabric.switch_count == 5
+
+    def test_small_site_has_no_spine(self):
+        fabric = NetworkFabric.sized_for_nodes(20)
+        assert fabric.leaf_switches == 1
+        assert fabric.spine_switches == 0
+
+    def test_zero_nodes(self):
+        fabric = NetworkFabric.sized_for_nodes(0)
+        assert fabric.switch_count == 0
+        assert fabric.total_power_w == 0.0
+
+    def test_power_and_embodied_aggregation(self):
+        fabric = NetworkFabric.sized_for_nodes(64)
+        expected_power = 2 * fabric.leaf_spec.power_w + fabric.spine_switches * fabric.spine_spec.power_w
+        assert fabric.total_power_w == pytest.approx(expected_power)
+        assert fabric.total_embodied_kgco2 > 0
+
+    def test_energy_kwh(self):
+        fabric = NetworkFabric.sized_for_nodes(32)
+        assert fabric.energy_kwh(24.0) == pytest.approx(fabric.total_power_w * 24 / 1000.0)
+        with pytest.raises(ValueError):
+            fabric.energy_kwh(-1.0)
+
+
+class TestFacility:
+    def test_pue_validation(self):
+        with pytest.raises(ValueError):
+            Facility(name="f", pue=0.9)
+        assert Facility(name="f", pue=1.0).pue == 1.0
+
+    def test_defaults(self):
+        facility = Facility(name="room")
+        assert facility.grid_region == "GB"
+        assert facility.has_facility_meter
+
+
+def _make_nodes(prefix, count, spec):
+    return tuple(
+        NodeInstance(node_id=f"{prefix}-{i:03d}", spec=spec) for i in range(count)
+    )
+
+
+class TestRackAndSite:
+    @pytest.fixture
+    def spec(self):
+        return default_catalog().node("cpu-compute-standard")
+
+    def test_rack_duplicate_node_ids_rejected(self, spec):
+        node = NodeInstance(node_id="dup", spec=spec)
+        with pytest.raises(ValueError):
+            Rack(rack_id="r1", nodes=(node, node))
+
+    def test_site_queries(self, spec):
+        storage_spec = default_catalog().node("storage-server")
+        racks = [
+            Rack(rack_id="r1", nodes=_make_nodes("a", 3, spec)),
+            Rack(rack_id="r2", nodes=_make_nodes("b", 2, storage_spec)),
+        ]
+        site = Site(name="TEST", racks=racks, facility=Facility(name="room"))
+        assert site.node_count == 5
+        assert len(site.nodes_of_class(NodeClass.COMPUTE)) == 3
+        assert len(site.nodes_of_class(NodeClass.STORAGE)) == 2
+        counts = site.count_by_class()
+        assert counts[NodeClass.COMPUTE] == 3
+        assert site.get_node("a-001").node_id == "a-001"
+        with pytest.raises(KeyError):
+            site.get_node("missing")
+
+    def test_site_network_sized_automatically(self, spec):
+        racks = [Rack(rack_id="r1", nodes=_make_nodes("n", 40, spec))]
+        site = Site(name="TEST", racks=racks, facility=Facility(name="room"))
+        assert site.network.leaf_switches == 2
+
+    def test_site_duplicate_rack_ids_rejected(self, spec):
+        racks = [
+            Rack(rack_id="r1", nodes=_make_nodes("a", 1, spec)),
+            Rack(rack_id="r1", nodes=_make_nodes("b", 1, spec)),
+        ]
+        with pytest.raises(ValueError):
+            Site(name="TEST", racks=racks, facility=Facility(name="room"))
+
+    def test_site_duplicate_node_ids_across_racks_rejected(self, spec):
+        racks = [
+            Rack(rack_id="r1", nodes=_make_nodes("a", 1, spec)),
+            Rack(rack_id="r2", nodes=_make_nodes("a", 1, spec)),
+        ]
+        with pytest.raises(ValueError):
+            Site(name="TEST", racks=racks, facility=Facility(name="room"))

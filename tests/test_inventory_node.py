@@ -1,0 +1,77 @@
+"""Tests for node specs and node instances."""
+
+import pytest
+
+from repro.inventory.components import CPUSpec, MemorySpec, StorageDeviceSpec, StorageMedium
+from repro.inventory.node import NodeClass, NodeInstance, NodeSpec
+
+
+@pytest.fixture
+def simple_spec():
+    return NodeSpec(
+        model="test-node",
+        node_class=NodeClass.COMPUTE,
+        cpus=(CPUSpec(model="cpu", cores=16, tdp_w=100.0),
+              CPUSpec(model="cpu", cores=16, tdp_w=100.0)),
+        memory=MemorySpec(model="mem", capacity_gb=128, dimm_count=8, power_per_dimm_w=4.0),
+        storage=(StorageDeviceSpec(model="ssd", capacity_tb=1.0, medium=StorageMedium.SSD,
+                                   active_power_w=8.0, idle_power_w=4.0),),
+    )
+
+
+class TestNodeSpec:
+    def test_derived_quantities(self, simple_spec):
+        assert simple_spec.total_cores == 32
+        assert simple_spec.cpu_tdp_w == 200.0
+        assert simple_spec.memory_power_w == 32.0
+        assert simple_spec.storage_active_power_w == 8.0
+        assert simple_spec.storage_idle_power_w == 4.0
+        assert simple_spec.memory_gb == 128.0
+        assert simple_spec.total_storage_tb == 1.0
+
+    def test_defaults_without_components(self):
+        bare = NodeSpec(model="bare")
+        assert bare.total_cores == 0
+        assert bare.memory_power_w == 0.0
+        assert bare.psu_efficiency == 1.0
+        assert bare.base_power_w == 0.0
+        assert bare.gpu_tdp_w == 0.0
+
+    def test_invalid_node_class_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(model="bad", node_class="compute")  # type: ignore[arg-type]
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(model="")
+
+    def test_datasheet_value_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NodeSpec(model="bad", embodied_kgco2_datasheet=0.0)
+
+    def test_catalog_specs_have_sensible_power(self, catalog):
+        for model in catalog.node_models:
+            spec = catalog.node(model)
+            assert spec.total_cores >= 0
+            assert 0.5 < spec.psu_efficiency <= 1.0
+
+
+class TestNodeInstance:
+    def test_valid_instance(self, simple_spec):
+        node = NodeInstance(node_id="site-n-0001", spec=simple_spec, lifetime_years=5.0)
+        assert node.node_class is NodeClass.COMPUTE
+        assert node.dri_share == 1.0
+
+    def test_invalid_lifetime_rejected(self, simple_spec):
+        with pytest.raises(ValueError):
+            NodeInstance(node_id="x", spec=simple_spec, lifetime_years=0.0)
+
+    def test_invalid_share_rejected(self, simple_spec):
+        with pytest.raises(ValueError):
+            NodeInstance(node_id="x", spec=simple_spec, dri_share=0.0)
+        with pytest.raises(ValueError):
+            NodeInstance(node_id="x", spec=simple_spec, dri_share=1.5)
+
+    def test_empty_id_rejected(self, simple_spec):
+        with pytest.raises(ValueError):
+            NodeInstance(node_id="", spec=simple_spec)

@@ -1,0 +1,74 @@
+"""Tests for CSV and JSON interchange."""
+
+import pytest
+
+from repro.io.csvio import read_rows_csv, write_rows_csv
+from repro.io.jsonio import read_json, write_json
+from repro.units.quantities import Carbon, CarbonIntensity, Duration, Energy
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        rows = [
+            {"site": "QMUL", "facility": 1299.0, "pdu": None, "nodes": 118},
+            {"site": "CAM", "facility": 261.0, "pdu": 260.5, "nodes": 59},
+        ]
+        path = tmp_path / "table2.csv"
+        write_rows_csv(path, rows)
+        back = read_rows_csv(path)
+        assert back[0]["site"] == "QMUL"
+        assert back[0]["facility"] == pytest.approx(1299.0)
+        assert back[0]["pdu"] is None
+        assert back[0]["nodes"] == 118
+        assert isinstance(back[0]["nodes"], int)
+        assert back[1]["pdu"] == pytest.approx(260.5)
+
+    def test_column_order(self, tmp_path):
+        path = tmp_path / "ordered.csv"
+        write_rows_csv(path, [{"a": 1, "b": 2}], columns=["b", "a"])
+        header = path.read_text().splitlines()[0]
+        assert header == "b,a"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "rows.csv"
+        write_rows_csv(path, [{"x": 1}])
+        assert path.exists()
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows_csv(tmp_path / "empty.csv", [])
+
+
+class TestJSON:
+    def test_round_trip_nested(self, tmp_path):
+        data = {"summary": {"total_kwh": 18760.0, "sites": ["QMUL", "CAM"]}}
+        path = tmp_path / "result.json"
+        write_json(path, data)
+        assert read_json(path) == data
+
+    def test_quantities_serialised_as_canonical_values(self, tmp_path):
+        data = {
+            "energy": Energy.from_kwh(1.0),
+            "carbon": Carbon.from_kg(2.0),
+            "intensity": CarbonIntensity(175.0),
+            "period": Duration.from_hours(24.0),
+        }
+        path = tmp_path / "quantities.json"
+        write_json(path, data)
+        back = read_json(path)
+        assert back["energy"] == pytest.approx(3.6e6)     # joules
+        assert back["carbon"] == pytest.approx(2000.0)     # grams
+        assert back["intensity"] == pytest.approx(175.0)
+        assert back["period"] == pytest.approx(86400.0)
+
+    def test_numpy_types_serialised(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "numpy.json"
+        write_json(path, {"a": np.float64(1.5), "b": np.int64(2), "c": np.arange(3)})
+        back = read_json(path)
+        assert back == {"a": 1.5, "b": 2, "c": [0, 1, 2]}
+
+    def test_unserialisable_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_json(tmp_path / "bad.json", {"x": object()})

@@ -1,0 +1,111 @@
+"""Tests for the simulated measurement instruments."""
+
+import numpy as np
+import pytest
+
+from repro.power.instruments import (
+    FacilityMeter,
+    IPMIMeter,
+    MeasurementInstrument,
+    PDUMeter,
+    TurbostatMeter,
+)
+from repro.power.node_power import NodePowerModel
+from repro.power.traces import PowerBreakdownTrace
+from repro.workload.utilization import UtilizationTrace
+
+
+@pytest.fixture
+def site_trace(compute_spec):
+    """A ten-node site at 60% utilisation for 24 hours."""
+    model = NodePowerModel(compute_spec)
+    node_ids = [f"n{i}" for i in range(10)]
+    util = UtilizationTrace.constant(0.0, 600.0, node_ids, 144, 0.6)
+    return PowerBreakdownTrace.from_utilization(util, [model] * 10)
+
+
+class TestScopeOrdering:
+    def test_paper_table2_scope_ordering(self, site_trace):
+        """Turbostat < IPMI < PDU <= Facility, as in Table 2."""
+        turbostat = TurbostatMeter().measure(site_trace, seed=1).energy_kwh
+        ipmi = IPMIMeter().measure(site_trace, seed=1).energy_kwh
+        pdu = PDUMeter().measure(site_trace, seed=1, network_power_w=300.0).energy_kwh
+        facility = FacilityMeter().measure(site_trace, seed=1, network_power_w=300.0).energy_kwh
+        assert turbostat < ipmi < pdu
+        assert abs(facility - pdu) / pdu < 0.03
+
+    def test_turbostat_measures_rapl_scope(self, site_trace):
+        reading = TurbostatMeter(noise_fraction=0.0, dropout_fraction=0.0).measure(site_trace)
+        assert reading.energy_kwh == pytest.approx(site_trace.total_energy_kwh("rapl"), rel=1e-6)
+
+    def test_ipmi_measures_wall_scope(self, site_trace):
+        reading = IPMIMeter(noise_fraction=0.0, dropout_fraction=0.0).measure(site_trace)
+        assert reading.energy_kwh == pytest.approx(site_trace.total_energy_kwh("wall"), rel=1e-6)
+
+    def test_pdu_adds_distribution_loss_and_network(self, site_trace):
+        pdu = PDUMeter(noise_fraction=0.0, distribution_loss_fraction=0.02)
+        reading = pdu.measure(site_trace, network_power_w=1000.0)
+        expected = (site_trace.total_energy_kwh("wall") + 24.0) * 1.02
+        assert reading.energy_kwh == pytest.approx(expected, rel=1e-6)
+        assert reading.includes_network
+
+    def test_facility_reading_is_quantised_to_whole_kwh(self, site_trace):
+        reading = FacilityMeter().measure(site_trace, network_power_w=500.0)
+        assert reading.energy_kwh == pytest.approx(round(reading.energy_kwh))
+
+
+class TestCoverageAndDropout:
+    def test_partial_ipmi_coverage_under_reports(self, site_trace):
+        full = IPMIMeter(noise_fraction=0.0).measure(site_trace, seed=2)
+        partial = IPMIMeter(noise_fraction=0.0, node_coverage=0.5).measure(site_trace, seed=2)
+        assert partial.nodes_covered == 5
+        assert partial.energy_kwh < full.energy_kwh
+        assert partial.coverage_fraction == pytest.approx(0.5)
+
+    def test_facility_meter_sees_all_nodes_regardless(self, site_trace):
+        reading = FacilityMeter().measure(site_trace)
+        assert reading.nodes_covered == site_trace.node_count
+
+    def test_dropout_recorded_and_repaired(self, site_trace):
+        meter = IPMIMeter(noise_fraction=0.0, dropout_fraction=0.2)
+        reading = meter.measure(site_trace, seed=3)
+        assert reading.samples_dropped > 0
+        # Forward-fill repair keeps the energy close to the truth for a
+        # constant-power site.
+        assert reading.energy_kwh == pytest.approx(
+            site_trace.total_energy_kwh("wall"), rel=0.02
+        )
+
+    def test_determinism_per_seed(self, site_trace):
+        a = IPMIMeter().measure(site_trace, seed=11).energy_kwh
+        b = IPMIMeter().measure(site_trace, seed=11).energy_kwh
+        c = IPMIMeter().measure(site_trace, seed=12).energy_kwh
+        assert a == b
+        assert a != c
+
+    def test_noise_is_small_relative_error(self, site_trace):
+        noisy = IPMIMeter(noise_fraction=0.02, dropout_fraction=0.0).measure(site_trace, seed=5)
+        truth = site_trace.total_energy_kwh("wall")
+        assert abs(noisy.energy_kwh - truth) / truth < 0.02
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IPMIMeter(sample_period_s=0.0)
+        with pytest.raises(ValueError):
+            IPMIMeter(noise_fraction=-0.1)
+        with pytest.raises(ValueError):
+            IPMIMeter(dropout_fraction=1.0)
+        with pytest.raises(ValueError):
+            IPMIMeter(node_coverage=0.0)
+        with pytest.raises(ValueError):
+            PDUMeter(distribution_loss_fraction=-0.1)
+        with pytest.raises(ValueError):
+            FacilityMeter(room_constant_power_w=-1.0)
+
+    def test_reading_validation(self, site_trace):
+        reading = IPMIMeter().measure(site_trace)
+        assert reading.nodes_total == site_trace.node_count
+        assert reading.method == "ipmi"
+        assert reading.scope == "wall"

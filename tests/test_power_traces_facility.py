@@ -1,0 +1,109 @@
+"""Tests for power-breakdown traces and the facility overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.power.facility import FacilityOverheadModel, OverheadBreakdown
+from repro.power.node_power import NodePowerModel
+from repro.power.traces import PowerBreakdownTrace
+from repro.units.quantities import Energy
+from repro.workload.utilization import UtilizationTrace
+
+
+@pytest.fixture
+def trace_and_models(compute_spec):
+    model = NodePowerModel(compute_spec)
+    util = UtilizationTrace.constant(0.0, 3600.0, ["n0", "n1"], 24, 0.5)
+    power = PowerBreakdownTrace.from_utilization(util, [model, model])
+    return power, model
+
+
+class TestPowerBreakdownTrace:
+    def test_scope_ordering(self, trace_and_models):
+        power, _ = trace_and_models
+        rapl = power.total_energy_kwh("rapl")
+        dc = power.total_energy_kwh("dc")
+        wall = power.total_energy_kwh("wall")
+        assert rapl < dc < wall
+
+    def test_energy_matches_constant_power(self, trace_and_models):
+        power, model = trace_and_models
+        expected = 2 * float(model.wall_power_w(0.5)) * 24.0 / 1000.0
+        assert power.total_energy_kwh("wall") == pytest.approx(expected)
+
+    def test_per_node_energy(self, trace_and_models):
+        power, model = trace_and_models
+        per_node = power.per_node_energy_kwh("wall")
+        assert set(per_node) == {"n0", "n1"}
+        assert per_node["n0"] == pytest.approx(per_node["n1"])
+
+    def test_total_series_and_node_series(self, trace_and_models):
+        power, model = trace_and_models
+        total = power.total_series("wall")
+        node = power.node_series("n0", "wall")
+        assert total.values[0] == pytest.approx(2 * node.values[0])
+        with pytest.raises(KeyError):
+            power.node_series("missing")
+
+    def test_unknown_scope_rejected(self, trace_and_models):
+        power, _ = trace_and_models
+        with pytest.raises(ValueError):
+            power.scope_matrix("ac")
+
+    def test_model_count_mismatch_rejected(self, compute_spec):
+        model = NodePowerModel(compute_spec)
+        util = UtilizationTrace.constant(0.0, 60.0, ["a", "b"], 10, 0.1)
+        with pytest.raises(ValueError):
+            PowerBreakdownTrace.from_utilization(util, [model])
+
+    def test_mean_node_power(self, trace_and_models):
+        power, model = trace_and_models
+        assert power.mean_node_power_w("wall") == pytest.approx(
+            float(model.wall_power_w(0.5))
+        )
+
+    def test_heterogeneous_models(self, compute_spec, storage_spec):
+        compute_model = NodePowerModel(compute_spec)
+        storage_model = NodePowerModel(storage_spec)
+        util = UtilizationTrace.constant(0.0, 3600.0, ["c", "s"], 4, 0.3)
+        power = PowerBreakdownTrace.from_utilization(util, [compute_model, storage_model])
+        per_node = power.per_node_energy_kwh("wall")
+        assert per_node["c"] != pytest.approx(per_node["s"])
+
+
+class TestFacilityOverheadModel:
+    def test_paper_pue_values(self):
+        # Table 3's "including facilities" rows: PUE scales the carbon.
+        for pue in (1.1, 1.3, 1.5):
+            model = FacilityOverheadModel(pue=pue)
+            assert model.total_facility_kwh(1000.0) == pytest.approx(1000.0 * pue)
+            assert model.overhead_kwh(1000.0) == pytest.approx(1000.0 * (pue - 1.0))
+
+    def test_breakdown_sums_to_overhead(self):
+        model = FacilityOverheadModel(pue=1.4)
+        breakdown = model.breakdown(500.0)
+        assert breakdown.total_kwh == pytest.approx(model.overhead_kwh(500.0))
+        assert breakdown.cooling_kwh > breakdown.power_distribution_kwh > breakdown.building_kwh
+
+    def test_pue_one_has_no_overhead(self):
+        model = FacilityOverheadModel(pue=1.0)
+        assert model.overhead_kwh(1234.0) == 0.0
+        assert model.breakdown(1234.0).total_kwh == 0.0
+
+    def test_quantity_interface(self):
+        model = FacilityOverheadModel(pue=1.25)
+        total = model.total_facility_energy(Energy.from_kwh(100.0))
+        assert total.kwh == pytest.approx(125.0)
+        overhead = model.overhead_energy(Energy.from_kwh(100.0))
+        assert overhead.kwh == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FacilityOverheadModel(pue=0.99)
+        with pytest.raises(ValueError):
+            FacilityOverheadModel(cooling_fraction=0.5, distribution_fraction=0.2,
+                                  building_fraction=0.2)
+        with pytest.raises(ValueError):
+            FacilityOverheadModel().total_facility_kwh(-1.0)
+        with pytest.raises(ValueError):
+            OverheadBreakdown(cooling_kwh=-1.0, power_distribution_kwh=0.0, building_kwh=0.0)

@@ -1,0 +1,149 @@
+"""Tests for tables, text figures, equivalences and the audit report."""
+
+import numpy as np
+import pytest
+
+from repro.core.active import ActiveCarbonCalculator, ActiveEnergyInput
+from repro.core.embodied import EmbodiedAsset, EmbodiedCarbonCalculator
+from repro.core.results import TotalCarbonResult
+from repro.reporting.equivalents import (
+    FLIGHT_KGCO2_PER_PASSENGER_HOUR,
+    EquivalenceReport,
+    car_km_equivalent,
+    flight_hours_equivalent,
+    household_years_equivalent,
+    passenger_flight_days_equivalent,
+    return_long_haul_flights_equivalent,
+)
+from repro.reporting.figures import ascii_histogram, ascii_line_chart
+from repro.reporting.report import AuditReport
+from repro.reporting.tables import format_kv_table, format_table
+from repro.units.quantities import Carbon, CarbonIntensity, Duration
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        rows = [
+            {"site": "QMUL", "facility": 1299.0, "pdu": 1299.0, "nodes": 118},
+            {"site": "CAM", "facility": 261.0, "pdu": None, "nodes": 59},
+        ]
+        text = format_table(rows, title="Table 2")
+        assert "Table 2" in text
+        assert "QMUL" in text
+        assert "1,299.0" in text
+        # Missing values render as '-', matching the paper's empty cells.
+        assert "-" in text.splitlines()[-1]
+
+    def test_column_selection_and_headers(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"], headers={"b": "Bee"})
+        assert "Bee" in text
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+    def test_kv_table(self):
+        text = format_kv_table({"total_kwh": 18760.0, "sites": 6})
+        assert "total_kwh" in text
+        assert "18,760.0" in text
+        with pytest.raises(ValueError):
+            format_kv_table({})
+
+    def test_boolean_rendering(self):
+        text = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in text and "no" in text
+
+
+class TestFigures:
+    def test_line_chart_shape(self):
+        values = 175 + 100 * np.sin(np.linspace(0, 12, 1440))
+        chart = ascii_line_chart(values, width=60, height=12, title="Figure 1")
+        lines = chart.splitlines()
+        assert lines[0] == "Figure 1"
+        assert len(lines) == 1 + 12 + 1
+        assert any("*" in line for line in lines)
+
+    def test_line_chart_short_series(self):
+        chart = ascii_line_chart([1.0, 2.0, 3.0])
+        assert "*" in chart
+
+    def test_line_chart_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([])
+        with pytest.raises(ValueError):
+            ascii_line_chart([1.0], width=4)
+
+    def test_histogram(self):
+        rng = np.random.default_rng(0)
+        chart = ascii_histogram(rng.normal(100, 10, 500), bins=5)
+        assert chart.count("\n") == 4
+        assert "#" in chart
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+
+
+class TestEquivalents:
+    def test_paper_flight_figure(self):
+        """24 hours of flying at 92 kg/h is 2208 kgCO2 (paper section 6)."""
+        day_flight = Carbon.from_kg(24 * FLIGHT_KGCO2_PER_PASSENGER_HOUR)
+        assert day_flight.kg == pytest.approx(2208.0)
+        assert passenger_flight_days_equivalent(day_flight) == pytest.approx(1.0)
+
+    def test_paper_summary_range_in_flight_days(self):
+        """The snapshot total (1441-11711 kg) is roughly 1-5 flight-days."""
+        low_total = Carbon.from_kg(1066.0 + 375.0)
+        high_total = Carbon.from_kg(9302.0 + 2409.0)
+        assert 0.5 < passenger_flight_days_equivalent(low_total) < 1.5
+        assert 4.0 < passenger_flight_days_equivalent(high_total) < 6.0
+
+    def test_flight_hours(self):
+        assert flight_hours_equivalent(Carbon.from_kg(92.0)) == pytest.approx(1.0)
+
+    def test_return_long_haul(self):
+        trip = Carbon.from_kg(2 * 12 * 92.0)
+        assert return_long_haul_flights_equivalent(trip) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            return_long_haul_flights_equivalent(trip, flight_hours=0.0)
+
+    def test_other_equivalences_positive(self):
+        carbon = Carbon.from_kg(1000.0)
+        assert car_km_equivalent(carbon) > 0
+        assert household_years_equivalent(carbon) > 0
+
+    def test_report_dict_and_summary(self):
+        report = EquivalenceReport(Carbon.from_kg(2208.0))
+        values = report.as_dict()
+        assert values["passenger_flight_days"] == pytest.approx(1.0)
+        assert "passenger-days" in report.summary()
+
+
+class TestAuditReport:
+    def _total_result(self):
+        energy = ActiveEnergyInput(period=Duration.from_hours(24),
+                                   node_energy_kwh={"IRIS": 18760.0})
+        active = ActiveCarbonCalculator(CarbonIntensity(175.0)).evaluate(energy)
+        assets = [EmbodiedAsset(asset_id="n", component="nodes",
+                                embodied_kgco2=750.0, lifetime_years=5.0)]
+        embodied = EmbodiedCarbonCalculator().evaluate(assets, Duration.from_hours(24))
+        return TotalCarbonResult(active=active, embodied=embodied)
+
+    def test_sections_accumulate_and_render(self):
+        report = AuditReport(title="IRIS snapshot audit")
+        report.add_section("Scope", "Six sites, 24 hours.")
+        report.add_table("Inventory", [{"site": "QMUL", "nodes": 118}])
+        report.add_key_values("Totals", {"total_kwh": 18760.0})
+        report.add_total_result("Carbon model", self._total_result())
+        report.add_equivalences("Context", Carbon.from_kg(4000.0))
+        text = report.render()
+        assert report.section_count == 5
+        assert text.startswith("# IRIS snapshot audit")
+        assert "## Inventory" in text
+        assert "passenger" in text
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            AuditReport().render()
+        with pytest.raises(ValueError):
+            AuditReport().add_section("", "body")

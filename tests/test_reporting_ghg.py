@@ -1,0 +1,68 @@
+"""Tests for the GHG Protocol scope mapping."""
+
+import pytest
+
+from repro.core.active import ActiveCarbonCalculator, ActiveEnergyInput
+from repro.core.embodied import EmbodiedAsset, EmbodiedCarbonCalculator
+from repro.core.results import TotalCarbonResult
+from repro.power.facility import FacilityOverheadModel
+from repro.reporting.ghg import GHGScopeStatement, to_ghg_scopes
+from repro.units.quantities import CarbonIntensity, Duration
+
+
+@pytest.fixture
+def total_result():
+    energy = ActiveEnergyInput(period=Duration.from_hours(24),
+                               node_energy_kwh={"site": 10_000.0},
+                               network_energy_kwh=500.0)
+    active = ActiveCarbonCalculator(
+        CarbonIntensity(200.0), overhead_model=FacilityOverheadModel(pue=1.4)
+    ).evaluate(energy)
+    assets = [
+        EmbodiedAsset(asset_id="n1", component="nodes", embodied_kgco2=800.0,
+                      lifetime_years=5.0),
+        EmbodiedAsset(asset_id="sw", component="network", embodied_kgco2=300.0,
+                      lifetime_years=7.0),
+    ]
+    embodied = EmbodiedCarbonCalculator().evaluate(assets, Duration.from_hours(24))
+    return TotalCarbonResult(active=active, embodied=embodied)
+
+
+class TestToGHGScopes:
+    def test_scopes_partition_the_total(self, total_result):
+        statement = to_ghg_scopes(total_result)
+        assert statement.scope1_kg == 0.0
+        assert statement.scope2_kg == pytest.approx(total_result.active.total_kg)
+        assert statement.scope3_embodied_kg == pytest.approx(total_result.embodied.total_kg)
+        assert statement.total_kg == pytest.approx(total_result.total_kg)
+
+    def test_scope1_added_on_top(self, total_result):
+        statement = to_ghg_scopes(total_result, scope1_kg=42.0)
+        assert statement.scope1_kg == 42.0
+        assert statement.total_kg == pytest.approx(total_result.total_kg + 42.0)
+
+    def test_negative_scope1_rejected(self, total_result):
+        with pytest.raises(ValueError):
+            to_ghg_scopes(total_result, scope1_kg=-1.0)
+
+    def test_as_dict(self, total_result):
+        values = to_ghg_scopes(total_result).as_dict()
+        assert set(values) == {"scope1_kg", "scope2_kg", "scope3_embodied_kg",
+                               "total_kg", "period_hours"}
+
+    def test_annualised(self, total_result):
+        statement = to_ghg_scopes(total_result)
+        yearly = statement.annualised()
+        assert yearly.period_hours == pytest.approx(8760.0)
+        assert yearly.scope2_kg == pytest.approx(statement.scope2_kg * 365.0)
+        assert yearly.total_kg == pytest.approx(statement.total_kg * 365.0)
+
+
+class TestGHGScopeStatementValidation:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            GHGScopeStatement(scope1_kg=-1.0, scope2_kg=0.0, scope3_embodied_kg=0.0,
+                              period_hours=24.0)
+        with pytest.raises(ValueError):
+            GHGScopeStatement(scope1_kg=0.0, scope2_kg=0.0, scope3_embodied_kg=0.0,
+                              period_hours=0.0)

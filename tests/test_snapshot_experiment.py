@@ -1,0 +1,156 @@
+"""Integration tests for the end-to-end snapshot experiment.
+
+These run against a scaled-down IRIS configuration (session fixture
+``mini_snapshot_result``) so the whole suite stays fast; the full-scale
+reproduction of Table 2 is exercised by the benchmark harness.
+"""
+
+import pytest
+
+from repro.core.results import TotalCarbonResult
+from repro.inventory.iris import IRIS_SITE_MEAN_NODE_POWER_W
+from repro.power.reconciliation import METHOD_SCOPE_ORDER
+from repro.snapshot.config import SiteSnapshotConfig, SnapshotConfig
+from repro.snapshot.experiment import SnapshotExperiment
+
+
+class TestSiteLevelBehaviour:
+    def test_all_sites_present(self, mini_snapshot_result):
+        assert len(mini_snapshot_result.site_results) == 6
+        assert {r.site for r in mini_snapshot_result.site_results} == {
+            "QMUL", "CAM", "DUR", "STFC CLOUD", "STFC SCARF", "IMP",
+        }
+
+    def test_only_configured_methods_reported(self, mini_snapshot_result):
+        for result in mini_snapshot_result.site_results:
+            configured = set(result.config.measurement_methods)
+            assert set(result.energy_report.readings) == configured
+
+    def test_measurement_scope_ordering(self, mini_snapshot_result):
+        """Narrower scopes never report more energy than wider ones (Table 2)."""
+        for result in mini_snapshot_result.site_results:
+            energies = result.energy_report.energy_by_method()
+            present = [m for m in METHOD_SCOPE_ORDER if energies.get(m) is not None]
+            for narrow, wide in zip(present, present[1:]):
+                assert energies[narrow] <= energies[wide] * 1.02
+
+    def test_per_node_power_tracks_paper_calibration(self, mini_snapshot_result):
+        """Mean per-node power lands near the per-node power implied by Table 2.
+
+        Small node counts make the workload noisy, so the tolerance is loose;
+        the full-scale benchmark asserts a few-percent match.
+        """
+        for result in mini_snapshot_result.site_results:
+            paper = IRIS_SITE_MEAN_NODE_POWER_W[result.site]
+            assert result.mean_node_power_w == pytest.approx(paper, rel=0.2)
+
+    def test_utilization_bookkeeping(self, mini_snapshot_result):
+        for result in mini_snapshot_result.site_results:
+            assert 0.0 <= result.mean_utilization <= 1.0
+            assert 0.0 <= result.target_utilization <= 1.0
+            assert len(result.per_node_utilization) == result.config.node_count
+            assert result.network_power_w >= 0.0
+
+    def test_node_specs_recorded(self, mini_snapshot_result):
+        cam = mini_snapshot_result.site_result("CAM")
+        assert set(cam.node_specs.values()) == {"cpu-compute-small"}
+        dur = mini_snapshot_result.site_result("DUR")
+        assert "storage-server" in set(dur.node_specs.values())
+
+
+class TestCombinedResult:
+    def test_table2_rows_structure(self, mini_snapshot_result):
+        rows = mini_snapshot_result.table2_rows()
+        assert len(rows) == 6
+        for row in rows:
+            assert set(row) == {"site", "turbostat", "ipmi", "pdu", "facility", "nodes"}
+
+    def test_total_is_sum_of_best_estimates(self, mini_snapshot_result):
+        total = mini_snapshot_result.total_best_estimate_kwh
+        assert total == pytest.approx(
+            sum(r.best_estimate_kwh for r in mini_snapshot_result.site_results)
+        )
+        assert total > 0
+
+    def test_active_energy_input(self, mini_snapshot_result):
+        energy = mini_snapshot_result.active_energy_input()
+        assert energy.period.hours == pytest.approx(24.0)
+        assert energy.it_energy_kwh == pytest.approx(
+            mini_snapshot_result.total_best_estimate_kwh
+        )
+
+    def test_embodied_assets(self, mini_snapshot_result):
+        assets = mini_snapshot_result.embodied_assets()
+        node_assets = [a for a in assets if a.component == "nodes"]
+        network_assets = [a for a in assets if a.component == "network"]
+        assert len(node_assets) == mini_snapshot_result.total_nodes
+        assert len(network_assets) >= 1
+        assert all(a.embodied_kgco2 > 0 for a in assets)
+
+    def test_embodied_assets_override(self, mini_snapshot_result):
+        assets = mini_snapshot_result.embodied_assets(per_server_kgco2=400.0,
+                                                      lifetime_years=3.0)
+        node_assets = [a for a in assets if a.component == "nodes"]
+        assert all(a.embodied_kgco2 == 400.0 for a in node_assets)
+        assert all(a.lifetime_years == 3.0 for a in node_assets)
+
+    def test_evaluate_model(self, mini_snapshot_result):
+        result = mini_snapshot_result.evaluate_model(
+            carbon_intensity_g_per_kwh=175.0, pue=1.3
+        )
+        assert isinstance(result, TotalCarbonResult)
+        assert result.total_kg > 0
+        assert 0.0 < result.embodied_fraction < 1.0
+
+    def test_table3_and_table4_rows(self, mini_snapshot_result):
+        table3 = mini_snapshot_result.table3_rows()
+        assert len(table3) == 12
+        table4 = mini_snapshot_result.table4_rows()
+        assert len(table4) == 5
+        assert all(row["snapshot_kg_400"] > 0 for row in table4)
+
+    def test_site_result_lookup(self, mini_snapshot_result):
+        assert mini_snapshot_result.site_result("QMUL").site == "QMUL"
+        with pytest.raises(KeyError):
+            mini_snapshot_result.site_result("missing")
+
+
+class TestDeterminismAndCustomConfigs:
+    def test_run_is_deterministic(self):
+        config = SnapshotConfig(
+            sites=(SiteSnapshotConfig(site="X", node_count=3,
+                                      target_node_power_w=350.0,
+                                      measurement_methods=("facility", "ipmi"),
+                                      workload_seed=5),),
+            duration_hours=6.0,
+            warmup_hours=6.0,
+            campaign_seed=3,
+        )
+        a = SnapshotExperiment(config).run()
+        b = SnapshotExperiment(config).run()
+        assert a.total_best_estimate_kwh == pytest.approx(b.total_best_estimate_kwh)
+
+    def test_idle_site_draws_idle_power(self, catalog):
+        spec = catalog.node("cpu-compute-standard")
+        config = SnapshotConfig(
+            sites=(SiteSnapshotConfig(site="IDLE", node_count=3,
+                                      target_node_power_w=10.0,   # below idle
+                                      measurement_methods=("ipmi",)),),
+            duration_hours=6.0,
+            warmup_hours=0.0,
+        )
+        result = SnapshotExperiment(config).run()
+        site = result.site_result("IDLE")
+        assert site.target_utilization == 0.0
+        assert site.mean_utilization == 0.0
+        from repro.power.node_power import NodePowerModel
+        idle_power = NodePowerModel(spec).idle_wall_power_w
+        assert site.mean_node_power_w == pytest.approx(idle_power, rel=0.05)
+
+    def test_unknown_site_model_raises(self):
+        config = SnapshotConfig(
+            sites=(SiteSnapshotConfig(site="X", node_count=2,
+                                      compute_model="does-not-exist"),),
+        )
+        with pytest.raises(KeyError):
+            SnapshotExperiment(config).run()

@@ -1,0 +1,105 @@
+"""Tests for alignment and gap-filling."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    TimeSeries,
+    TimeSeriesError,
+    align_many,
+    align_pair,
+    common_window,
+    count_gaps,
+    fill_forward,
+    fill_interpolate,
+    fill_value,
+)
+
+
+class TestAlign:
+    def test_common_window(self):
+        a = TimeSeries(0.0, 10.0, list(range(10)))     # covers [0, 100)
+        b = TimeSeries(30.0, 10.0, list(range(10)))    # covers [30, 130)
+        assert common_window([a, b]) == (30.0, 100.0)
+
+    def test_no_overlap_raises(self):
+        a = TimeSeries(0.0, 10.0, [1.0, 2.0])
+        b = TimeSeries(100.0, 10.0, [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            common_window([a, b])
+
+    def test_align_pair_trims_to_overlap(self):
+        a = TimeSeries(0.0, 10.0, list(range(10)))
+        b = TimeSeries(30.0, 10.0, list(range(100, 110)))
+        a2, b2 = align_pair(a, b)
+        assert a2.start == b2.start == 30.0
+        assert len(a2) == len(b2) == 7
+        np.testing.assert_allclose(a2.values, [3, 4, 5, 6, 7, 8, 9])
+        np.testing.assert_allclose(b2.values, [100, 101, 102, 103, 104, 105, 106])
+
+    def test_align_many_requires_equal_steps(self):
+        a = TimeSeries(0.0, 10.0, [1.0, 2.0])
+        b = TimeSeries(0.0, 20.0, [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            align_many([a, b])
+
+    def test_align_many_requires_coincident_grids(self):
+        a = TimeSeries(0.0, 10.0, [1.0, 2.0, 3.0])
+        b = TimeSeries(5.0, 10.0, [1.0, 2.0, 3.0])
+        with pytest.raises(TimeSeriesError):
+            align_many([a, b])
+
+    def test_aligned_series_can_be_combined(self):
+        a = TimeSeries(0.0, 10.0, list(range(6)))
+        b = TimeSeries(20.0, 10.0, list(range(6)))
+        a2, b2 = align_pair(a, b)
+        combined = a2 + b2
+        assert len(combined) == 4
+
+
+class TestGapFill:
+    def test_count_gaps(self):
+        series = TimeSeries(0.0, 1.0, [1.0, np.nan, np.nan, 4.0])
+        assert count_gaps(series) == 2
+
+    def test_fill_value(self):
+        series = TimeSeries(0.0, 1.0, [1.0, np.nan, 3.0])
+        filled = fill_value(series, 0.0)
+        np.testing.assert_allclose(filled.values, [1.0, 0.0, 3.0])
+        assert not filled.has_gaps()
+
+    def test_fill_forward(self):
+        series = TimeSeries(0.0, 1.0, [1.0, np.nan, np.nan, 4.0, np.nan])
+        filled = fill_forward(series)
+        np.testing.assert_allclose(filled.values, [1.0, 1.0, 1.0, 4.0, 4.0])
+
+    def test_fill_forward_leading_gap(self):
+        series = TimeSeries(0.0, 1.0, [np.nan, 2.0, np.nan])
+        filled = fill_forward(series)
+        np.testing.assert_allclose(filled.values, [2.0, 2.0, 2.0])
+
+    def test_fill_forward_all_nan_raises(self):
+        series = TimeSeries(0.0, 1.0, [np.nan, np.nan])
+        with pytest.raises(TimeSeriesError):
+            fill_forward(series)
+
+    def test_fill_interpolate(self):
+        series = TimeSeries(0.0, 1.0, [1.0, np.nan, 3.0])
+        filled = fill_interpolate(series)
+        np.testing.assert_allclose(filled.values, [1.0, 2.0, 3.0])
+
+    def test_fill_interpolate_edges_extend_flat(self):
+        series = TimeSeries(0.0, 1.0, [np.nan, 2.0, np.nan])
+        filled = fill_interpolate(series)
+        np.testing.assert_allclose(filled.values, [2.0, 2.0, 2.0])
+
+    def test_fill_interpolate_no_gaps_returns_copy(self):
+        series = TimeSeries(0.0, 1.0, [1.0, 2.0])
+        filled = fill_interpolate(series)
+        np.testing.assert_allclose(filled.values, series.values)
+
+    def test_gapfill_preserves_grid(self):
+        series = TimeSeries(50.0, 30.0, [1.0, np.nan, 3.0])
+        for filled in (fill_value(series, 0.0), fill_forward(series), fill_interpolate(series)):
+            assert filled.start == 50.0
+            assert filled.step == 30.0

@@ -1,0 +1,84 @@
+"""Tests for down/up-sampling between cadences."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    TimeSeries,
+    TimeSeriesError,
+    resample_mean,
+    resample_sum,
+    upsample_repeat,
+)
+
+
+class TestResampleMean:
+    def test_exact_blocks(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 3.0, 5.0, 7.0])
+        coarse = resample_mean(series, 20.0)
+        np.testing.assert_allclose(coarse.values, [2.0, 6.0])
+        assert coarse.step == 20.0
+
+    def test_partial_trailing_block(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 3.0, 5.0])
+        coarse = resample_mean(series, 20.0)
+        np.testing.assert_allclose(coarse.values, [2.0, 5.0])
+
+    def test_identity_when_same_step(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 2.0])
+        same = resample_mean(series, 10.0)
+        np.testing.assert_allclose(same.values, series.values)
+
+    def test_non_integer_factor_rejected(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            resample_mean(series, 15.0)
+
+    def test_preserves_mean_power(self):
+        # Resampling a power trace by averaging must not change the energy.
+        rng = np.random.default_rng(3)
+        series = TimeSeries(0.0, 10.0, rng.uniform(100, 400, size=360))
+        coarse = resample_mean(series, 60.0)
+        assert coarse.mean() == pytest.approx(series.mean(), rel=1e-12)
+
+    def test_nan_gaps_handled(self):
+        series = TimeSeries(0.0, 10.0, [1.0, np.nan, 3.0, 5.0])
+        coarse = resample_mean(series, 20.0)
+        np.testing.assert_allclose(coarse.values, [1.0, 4.0])
+
+
+class TestResampleSum:
+    def test_sums_blocks(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 2.0, 3.0, 4.0])
+        coarse = resample_sum(series, 20.0)
+        np.testing.assert_allclose(coarse.values, [3.0, 7.0])
+
+    def test_total_preserved(self):
+        series = TimeSeries(0.0, 1.0, list(range(100)))
+        coarse = resample_sum(series, 10.0)
+        assert coarse.total() == pytest.approx(series.total())
+
+
+class TestUpsampleRepeat:
+    def test_repeats_values(self):
+        series = TimeSeries(0.0, 30.0, [1.0, 2.0])
+        fine = upsample_repeat(series, 10.0)
+        np.testing.assert_allclose(fine.values, [1.0, 1.0, 1.0, 2.0, 2.0, 2.0])
+        assert fine.step == 10.0
+        assert fine.duration == pytest.approx(series.duration)
+
+    def test_mean_preserved(self):
+        series = TimeSeries(0.0, 1800.0, [100.0, 300.0])
+        fine = upsample_repeat(series, 60.0)
+        assert fine.mean() == pytest.approx(series.mean())
+
+    def test_non_divisor_rejected(self):
+        series = TimeSeries(0.0, 30.0, [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            upsample_repeat(series, 7.0)
+
+    def test_round_trip_mean_then_repeat(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 1.0, 5.0, 5.0])
+        coarse = resample_mean(series, 20.0)
+        back = upsample_repeat(coarse, 10.0)
+        assert back.mean() == pytest.approx(series.mean())

@@ -1,0 +1,149 @@
+"""Tests for the regular time-series type."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import TimeSeries, TimeSeriesError
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        series = TimeSeries(0.0, 60.0, [1.0, 2.0, 3.0])
+        assert len(series) == 3
+        assert series.start == 0.0
+        assert series.step == 60.0
+        assert series.end == pytest.approx(180.0)
+        assert series.duration == pytest.approx(180.0)
+
+    def test_values_are_copied(self):
+        source = np.array([1.0, 2.0])
+        series = TimeSeries(0.0, 1.0, source)
+        source[0] = 99.0
+        assert series[0] == 1.0
+
+    def test_values_view_is_read_only(self):
+        series = TimeSeries(0.0, 1.0, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            series.values[0] = 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries(0.0, 1.0, [])
+
+    def test_non_positive_step_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries(0.0, 0.0, [1.0])
+        with pytest.raises(TimeSeriesError):
+            TimeSeries(0.0, -1.0, [1.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries(0.0, 1.0, np.ones((2, 2)))
+
+    def test_constant_and_zeros(self):
+        constant = TimeSeries.constant(0.0, 10.0, 5.0, 4)
+        assert constant.total() == pytest.approx(20.0)
+        zeros = TimeSeries.zeros(0.0, 10.0, 3)
+        assert zeros.total() == 0.0
+
+    def test_from_function(self):
+        series = TimeSeries.from_function(0.0, 1.0, 4, lambda t: t * 2.0)
+        np.testing.assert_allclose(series.values, [0.0, 2.0, 4.0, 6.0])
+
+    def test_times(self):
+        series = TimeSeries(100.0, 10.0, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(series.times, [100.0, 110.0, 120.0])
+
+
+class TestStatistics:
+    def test_mean_min_max_std(self):
+        series = TimeSeries(0.0, 1.0, [1.0, 2.0, 3.0, 4.0])
+        assert series.mean() == pytest.approx(2.5)
+        assert series.minimum() == 1.0
+        assert series.maximum() == 4.0
+        assert series.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_percentile(self):
+        series = TimeSeries(0.0, 1.0, list(range(101)))
+        assert series.percentile(95) == pytest.approx(95.0)
+
+    def test_nan_gaps_ignored_in_stats(self):
+        series = TimeSeries(0.0, 1.0, [1.0, np.nan, 3.0])
+        assert series.mean() == pytest.approx(2.0)
+        assert series.has_gaps()
+
+    def test_no_gaps(self):
+        assert not TimeSeries(0.0, 1.0, [1.0, 2.0]).has_gaps()
+
+
+class TestArithmetic:
+    def test_add_scalar_and_series(self):
+        a = TimeSeries(0.0, 1.0, [1.0, 2.0])
+        b = TimeSeries(0.0, 1.0, [10.0, 20.0])
+        np.testing.assert_allclose((a + 5).values, [6.0, 7.0])
+        np.testing.assert_allclose((a + b).values, [11.0, 22.0])
+
+    def test_multiply(self):
+        a = TimeSeries(0.0, 1.0, [1.0, 2.0])
+        np.testing.assert_allclose((a * 3).values, [3.0, 6.0])
+        np.testing.assert_allclose((3 * a).values, [3.0, 6.0])
+
+    def test_mismatched_length_rejected(self):
+        a = TimeSeries(0.0, 1.0, [1.0, 2.0])
+        b = TimeSeries(0.0, 1.0, [1.0, 2.0, 3.0])
+        with pytest.raises(TimeSeriesError):
+            _ = a + b
+
+    def test_mismatched_start_rejected(self):
+        a = TimeSeries(0.0, 1.0, [1.0, 2.0])
+        b = TimeSeries(5.0, 1.0, [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            _ = a * b
+
+    def test_map_preserves_grid(self):
+        a = TimeSeries(0.0, 2.0, [1.0, 4.0, 9.0])
+        mapped = a.map(np.sqrt)
+        np.testing.assert_allclose(mapped.values, [1.0, 2.0, 3.0])
+        assert mapped.step == a.step
+
+    def test_clip(self):
+        a = TimeSeries(0.0, 1.0, [-1.0, 0.5, 2.0])
+        np.testing.assert_allclose(a.clip(0.0, 1.0).values, [0.0, 0.5, 1.0])
+
+
+class TestSlicing:
+    def test_slice_time(self):
+        series = TimeSeries(0.0, 10.0, list(range(10)))
+        window = series.slice_time(20.0, 50.0)
+        np.testing.assert_allclose(window.values, [2.0, 3.0, 4.0])
+        assert window.start == 20.0
+
+    def test_slice_outside_raises(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 2.0])
+        with pytest.raises(TimeSeriesError):
+            series.slice_time(100.0, 200.0)
+
+    def test_value_at(self):
+        series = TimeSeries(0.0, 10.0, [1.0, 2.0, 3.0])
+        assert series.value_at(0.0) == 1.0
+        assert series.value_at(15.0) == 2.0
+        assert series.value_at(29.9) == 3.0
+        with pytest.raises(TimeSeriesError):
+            series.value_at(30.0)
+
+
+class TestCombination:
+    def test_sum_many(self):
+        series = [TimeSeries(0.0, 1.0, [i, i * 2]) for i in range(1, 4)]
+        total = TimeSeries.sum_many(series)
+        np.testing.assert_allclose(total.values, [6.0, 12.0])
+
+    def test_sum_many_empty_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries.sum_many([])
+
+    def test_copy_is_independent(self):
+        a = TimeSeries(0.0, 1.0, [1.0, 2.0])
+        b = a.copy()
+        assert b is not a
+        np.testing.assert_allclose(a.values, b.values)

@@ -1,0 +1,43 @@
+"""Tests for the scalar/array conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.units import conversions as conv
+
+
+def test_watt_kilowatt_round_trip():
+    assert conv.kw_to_w(conv.w_to_kw(1234.0)) == pytest.approx(1234.0)
+
+
+def test_joule_kwh_round_trip():
+    assert conv.j_to_kwh(conv.kwh_to_j(7.5)) == pytest.approx(7.5)
+
+
+def test_wh_to_kwh():
+    assert conv.wh_to_kwh(1500.0) == pytest.approx(1.5)
+
+
+def test_mwh_kwh_round_trip():
+    assert conv.mwh_to_kwh(conv.kwh_to_mwh(250.0)) == pytest.approx(250.0)
+
+
+def test_gram_kilogram_tonne_chain():
+    grams = 2_500_000.0
+    assert conv.g_to_kg(grams) == pytest.approx(2500.0)
+    assert conv.g_to_tonnes(grams) == pytest.approx(2.5)
+    assert conv.tonnes_to_kg(conv.kg_to_tonnes(812.0)) == pytest.approx(812.0)
+    assert conv.kg_to_g(1.0) == pytest.approx(1000.0)
+
+
+def test_conversions_are_vectorised():
+    watts = np.array([100.0, 250.0, 400.0])
+    kw = conv.w_to_kw(watts)
+    assert isinstance(kw, np.ndarray)
+    np.testing.assert_allclose(kw, [0.1, 0.25, 0.4])
+
+
+def test_paper_energy_conversion_consistency():
+    # 18,760 kWh should be the same energy expressed in joules.
+    joules = conv.kwh_to_j(18760.0)
+    assert conv.j_to_kwh(joules) == pytest.approx(18760.0)

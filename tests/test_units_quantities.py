@@ -1,0 +1,155 @@
+"""Tests for the physical quantity types."""
+
+import math
+
+import pytest
+
+from repro.units import Carbon, CarbonIntensity, Duration, Energy, Power, UnitError
+
+
+class TestDuration:
+    def test_hour_conversion(self):
+        day = Duration.from_hours(24)
+        assert day.seconds == pytest.approx(86400.0)
+        assert day.days == pytest.approx(1.0)
+
+    def test_year_conversion_uses_365_days(self):
+        year = Duration.from_years(1)
+        assert year.days == pytest.approx(365.0)
+
+    def test_minutes(self):
+        assert Duration.from_minutes(90).hours == pytest.approx(1.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(UnitError):
+            Duration(-1.0)
+
+    def test_fraction_of(self):
+        day = Duration.from_days(1)
+        year = Duration.from_years(1)
+        assert day.fraction_of(year) == pytest.approx(1.0 / 365.0)
+
+    def test_fraction_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Duration.from_days(1).fraction_of(Duration(0.0))
+
+    def test_addition(self):
+        assert (Duration.from_hours(1) + Duration.from_hours(2)).hours == pytest.approx(3)
+
+    def test_comparison(self):
+        assert Duration.from_hours(1) < Duration.from_hours(2)
+        assert Duration.from_days(1) >= Duration.from_hours(24)
+
+
+class TestPower:
+    def test_kilowatt_conversion(self):
+        assert Power.from_kilowatts(1.5).watts == pytest.approx(1500.0)
+        assert Power.from_megawatts(2).kilowatts == pytest.approx(2000.0)
+
+    def test_power_times_duration_is_energy(self):
+        energy = Power.from_kilowatts(1.0) * Duration.from_hours(2.0)
+        assert isinstance(energy, Energy)
+        assert energy.kwh == pytest.approx(2.0)
+
+    def test_duration_times_power_commutes(self):
+        a = Power.from_watts(500) * Duration.from_hours(1)
+        b = Duration.from_hours(1) * Power.from_watts(500)
+        assert a.kwh == pytest.approx(b.kwh)
+
+    def test_scalar_multiplication(self):
+        assert (Power.from_watts(100) * 3).watts == pytest.approx(300)
+
+    def test_nan_rejected(self):
+        with pytest.raises(UnitError):
+            Power(float("nan"))
+
+
+class TestEnergy:
+    def test_kwh_joule_round_trip(self):
+        energy = Energy.from_kwh(1.0)
+        assert energy.joules == pytest.approx(3.6e6)
+        assert Energy.from_joules(3.6e6).kwh == pytest.approx(1.0)
+
+    def test_mwh(self):
+        assert Energy.from_mwh(1.0).kwh == pytest.approx(1000.0)
+
+    def test_energy_divided_by_duration_is_power(self):
+        power = Energy.from_kwh(2.0) / Duration.from_hours(2.0)
+        assert isinstance(power, Power)
+        assert power.kilowatts == pytest.approx(1.0)
+
+    def test_energy_times_intensity_is_carbon(self):
+        # Equation 3 of the paper: 18760 kWh at 175 g/kWh is 3283 kg.
+        carbon = Energy.from_kwh(18760.0) * CarbonIntensity(175.0)
+        assert isinstance(carbon, Carbon)
+        assert carbon.kg == pytest.approx(3283.0)
+
+    def test_incompatible_addition_rejected(self):
+        with pytest.raises(UnitError):
+            Energy.from_kwh(1) + Power.from_watts(1)
+
+    def test_average_power(self):
+        assert Energy.from_kwh(24).average_power(Duration.from_hours(24)).kilowatts == pytest.approx(1.0)
+
+
+class TestCarbon:
+    def test_unit_chain(self):
+        carbon = Carbon.from_tonnes(1.5)
+        assert carbon.kg == pytest.approx(1500.0)
+        assert carbon.g == pytest.approx(1.5e6)
+
+    def test_zero(self):
+        assert Carbon.zero().g == 0.0
+        assert not Carbon.zero()
+
+    def test_subtraction_and_abs(self):
+        delta = Carbon.from_kg(3) - Carbon.from_kg(5)
+        assert delta.kg == pytest.approx(-2.0)
+        assert abs(delta).kg == pytest.approx(2.0)
+
+    def test_isclose(self):
+        assert Carbon.from_kg(1.0).isclose(Carbon.from_g(1000.0))
+
+
+class TestCarbonIntensity:
+    def test_reference_values_match_paper(self):
+        assert CarbonIntensity.reference_low().g_per_kwh == 50.0
+        assert CarbonIntensity.reference_medium().g_per_kwh == 175.0
+        assert CarbonIntensity.reference_high().g_per_kwh == 300.0
+
+    def test_carbon_for(self):
+        carbon = CarbonIntensity(50.0).carbon_for(Energy.from_kwh(18760.0))
+        assert carbon.kg == pytest.approx(938.0)
+
+    def test_intensity_times_energy_commutes(self):
+        a = CarbonIntensity(300.0) * Energy.from_kwh(10)
+        b = Energy.from_kwh(10) * CarbonIntensity(300.0)
+        assert a.kg == pytest.approx(b.kg)
+
+    def test_negative_rejected(self):
+        with pytest.raises(UnitError):
+            CarbonIntensity(-5.0)
+
+    def test_kg_per_kwh(self):
+        assert CarbonIntensity.from_kg_per_kwh(0.175).g_per_kwh == pytest.approx(175.0)
+
+
+class TestGenericBehaviour:
+    def test_hashable_and_equal(self):
+        assert hash(Energy.from_kwh(1)) == hash(Energy.from_kwh(1))
+        assert Energy.from_kwh(1) == Energy.from_kwh(1)
+        assert Energy.from_kwh(1) != Energy.from_kwh(2)
+
+    def test_division_by_same_type_gives_float(self):
+        assert Energy.from_kwh(4) / Energy.from_kwh(2) == pytest.approx(2.0)
+
+    def test_division_by_zero_scalar(self):
+        with pytest.raises(ZeroDivisionError):
+            Energy.from_kwh(1) / 0
+
+    def test_repr_contains_unit(self):
+        assert "gCO2e" in repr(Carbon.from_kg(1))
+        assert "W" in repr(Power.from_watts(10))
+
+    def test_float_conversion(self):
+        assert float(Power.from_watts(42.0)) == pytest.approx(42.0)

@@ -1,0 +1,89 @@
+"""Tests for the simulated cluster."""
+
+import pytest
+
+from repro.inventory.catalog import default_catalog
+from repro.inventory.node import NodeInstance
+from repro.workload.cluster import SimulatedCluster, SimulatedNode
+
+
+class TestSimulatedNode:
+    def test_allocate_release_cycle(self):
+        node = SimulatedNode(index=0, node_id="n0", cores=64, free_cores=64)
+        node.allocate(16)
+        assert node.free_cores == 48
+        assert node.busy_cores == 16
+        node.release(16)
+        assert node.free_cores == 64
+
+    def test_over_allocation_rejected(self):
+        node = SimulatedNode(index=0, node_id="n0", cores=8, free_cores=8)
+        with pytest.raises(ValueError):
+            node.allocate(9)
+
+    def test_over_release_rejected(self):
+        node = SimulatedNode(index=0, node_id="n0", cores=8, free_cores=8)
+        with pytest.raises(ValueError):
+            node.release(1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SimulatedNode(index=0, node_id="n0", cores=0, free_cores=0)
+        with pytest.raises(ValueError):
+            SimulatedNode(index=0, node_id="n0", cores=4, free_cores=5)
+
+
+class TestSimulatedCluster:
+    def test_homogeneous_construction(self):
+        cluster = SimulatedCluster.homogeneous(4, 32)
+        assert cluster.node_count == 4
+        assert cluster.total_cores == 128
+        assert cluster.free_cores == 128
+        assert cluster.utilization() == 0.0
+
+    def test_from_inventory(self):
+        spec = default_catalog().node("cpu-compute-standard")
+        instances = [NodeInstance(node_id=f"n{i}", spec=spec) for i in range(3)]
+        cluster = SimulatedCluster.from_inventory(instances)
+        assert cluster.node_count == 3
+        assert cluster.total_cores == 3 * spec.total_cores
+
+    def test_allocate_updates_bookkeeping(self):
+        cluster = SimulatedCluster.homogeneous(2, 16)
+        cluster.allocate(0, 8)
+        assert cluster.busy_cores == 8
+        assert cluster.utilization() == pytest.approx(0.25)
+        cluster.release(0, 8)
+        assert cluster.busy_cores == 0
+
+    def test_first_fit_prefers_lowest_index(self):
+        cluster = SimulatedCluster.homogeneous(3, 16)
+        assert cluster.find_node_with_free_cores(8) == 0
+        cluster.allocate(0, 16)
+        assert cluster.find_node_with_free_cores(8) == 1
+
+    def test_no_fit_returns_none(self):
+        cluster = SimulatedCluster.homogeneous(2, 8)
+        cluster.allocate(0, 8)
+        cluster.allocate(1, 8)
+        assert cluster.find_node_with_free_cores(1) is None
+
+    def test_reset(self):
+        cluster = SimulatedCluster.homogeneous(2, 8)
+        cluster.allocate(0, 8)
+        cluster.reset()
+        assert cluster.free_cores == 16
+        assert cluster.nodes[0].free_cores == 8
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster([])
+        nodes = [SimulatedNode(index=1, node_id="a", cores=4, free_cores=4)]
+        with pytest.raises(ValueError):
+            SimulatedCluster(nodes)  # indices must start at 0
+        duplicate = [
+            SimulatedNode(index=0, node_id="a", cores=4, free_cores=4),
+            SimulatedNode(index=1, node_id="a", cores=4, free_cores=4),
+        ]
+        with pytest.raises(ValueError):
+            SimulatedCluster(duplicate)

@@ -1,0 +1,100 @@
+"""Tests for synthetic job generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.jobs import Job, JobGenerator, WorkloadProfile
+
+
+class TestJob:
+    def test_core_seconds(self):
+        job = Job(job_id=1, submit_time_s=0.0, cores=4, runtime_s=3600.0)
+        assert job.core_seconds == pytest.approx(4 * 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(job_id=-1, submit_time_s=0.0, cores=1, runtime_s=1.0)
+        with pytest.raises(ValueError):
+            Job(job_id=0, submit_time_s=-1.0, cores=1, runtime_s=1.0)
+        with pytest.raises(ValueError):
+            Job(job_id=0, submit_time_s=0.0, cores=0, runtime_s=1.0)
+        with pytest.raises(ValueError):
+            Job(job_id=0, submit_time_s=0.0, cores=1, runtime_s=0.0)
+        with pytest.raises(ValueError):
+            Job(job_id=0, submit_time_s=0.0, cores=1, runtime_s=1.0, cpu_intensity=0.0)
+
+
+class TestWorkloadProfile:
+    def test_defaults_valid(self):
+        profile = WorkloadProfile()
+        assert 0.0 < profile.target_utilization <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(target_utilization=0.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(mean_cores_per_job=0.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(cpu_intensity_low=0.9, cpu_intensity_high=0.8)
+
+
+class TestJobGenerator:
+    def test_deterministic(self):
+        profile = WorkloadProfile(target_utilization=0.5)
+        a = JobGenerator(profile, total_cores=256, seed=11).generate(86400.0)
+        b = JobGenerator(profile, total_cores=256, seed=11).generate(86400.0)
+        assert len(a) == len(b)
+        assert all(x.runtime_s == y.runtime_s for x, y in zip(a, b))
+
+    def test_different_seed_differs(self):
+        profile = WorkloadProfile(target_utilization=0.5)
+        a = JobGenerator(profile, total_cores=256, seed=1).generate(86400.0)
+        b = JobGenerator(profile, total_cores=256, seed=2).generate(86400.0)
+        assert [x.runtime_s for x in a] != [y.runtime_s for y in b]
+
+    def test_submit_times_within_window(self):
+        profile = WorkloadProfile(target_utilization=0.5)
+        jobs = JobGenerator(profile, total_cores=128, seed=0).generate(3600.0 * 24)
+        assert all(0.0 <= job.submit_time_s < 3600.0 * 24 for job in jobs)
+
+    def test_core_seconds_track_target_utilization(self):
+        # The requested core-seconds should roughly cover target * capacity.
+        profile = WorkloadProfile(target_utilization=0.6, diurnal_amplitude=0.0,
+                                  runtime_sigma=0.5)
+        total_cores = 2048
+        duration = 5 * 86400.0
+        generator = JobGenerator(profile, total_cores=total_cores, seed=3)
+        jobs = generator.generate(duration)
+        demanded = generator.total_core_seconds(jobs)
+        capacity = total_cores * duration
+        assert 0.4 < demanded / capacity < 0.85
+
+    def test_cores_never_exceed_cluster(self):
+        profile = WorkloadProfile(target_utilization=0.9, mean_cores_per_job=64)
+        jobs = JobGenerator(profile, total_cores=32, seed=5).generate(86400.0)
+        assert all(job.cores <= 32 for job in jobs)
+
+    def test_warmup_produces_clamped_submit_times(self):
+        profile = WorkloadProfile(target_utilization=0.8)
+        jobs = JobGenerator(profile, total_cores=512, seed=7).generate(
+            86400.0, warmup_s=6 * 3600.0
+        )
+        # Warm-up jobs collapse onto submit time zero.
+        assert sum(1 for job in jobs if job.submit_time_s == 0.0) > 1
+
+    def test_intensity_bounds_respected(self):
+        profile = WorkloadProfile(cpu_intensity_low=0.8, cpu_intensity_high=0.9)
+        jobs = JobGenerator(profile, total_cores=128, seed=9).generate(86400.0)
+        assert all(0.8 <= job.cpu_intensity <= 0.9 for job in jobs)
+
+    def test_invalid_arguments(self):
+        profile = WorkloadProfile()
+        with pytest.raises(ValueError):
+            JobGenerator(profile, total_cores=0)
+        generator = JobGenerator(profile, total_cores=64)
+        with pytest.raises(ValueError):
+            generator.generate(0.0)
+        with pytest.raises(ValueError):
+            generator.generate(100.0, warmup_s=-1.0)

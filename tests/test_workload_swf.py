@@ -1,0 +1,87 @@
+"""Tests for SWF workload-log reading and writing."""
+
+import pytest
+
+from repro.workload.cluster import SimulatedCluster
+from repro.workload.jobs import Job
+from repro.workload.scheduler import BackfillScheduler
+from repro.workload.swf import SWF_FIELD_COUNT, read_swf, write_swf
+
+SAMPLE_SWF = """\
+; Version: 2.2
+; Computer: example cluster
+; MaxNodes: 4
+1 0 5 3600 8 -1 -1 8 7200 -1 7200 -1 -1 -1 -1 -1 -1 -1
+2 120 10 -1 4 -1 -1 4 1800 -1 1800 -1 -1 -1 -1 -1 -1 -1
+3 240 0 600 -1 -1 -1 2 600 -1 600 -1 -1 -1 -1 -1 -1 -1
+4 360 0 900 16 -1 -1 16 900 -1 900 -1 -1 -1 -1 -1 -1 -1
+bad line
+"""
+
+
+@pytest.fixture
+def swf_file(tmp_path):
+    path = tmp_path / "sample.swf"
+    path.write_text(SAMPLE_SWF, encoding="utf-8")
+    return path
+
+
+class TestReadSWF:
+    def test_parses_valid_records(self, swf_file):
+        result = read_swf(swf_file)
+        assert result.comment_lines == 3
+        # Job 3 has no processor count; the 'bad line' is malformed.
+        assert result.skipped_records == 2
+        assert result.job_count == 3
+        by_id = {job.job_id: job for job in result.jobs}
+        assert by_id[1].cores == 8
+        assert by_id[1].runtime_s == pytest.approx(3600.0)
+        assert by_id[1].submit_time_s == pytest.approx(0.0)
+
+    def test_requested_time_fallback(self, swf_file):
+        """Job 2 has runtime -1 but a requested time of 1800 s."""
+        result = read_swf(swf_file)
+        job2 = next(job for job in result.jobs if job.job_id == 2)
+        assert job2.runtime_s == pytest.approx(1800.0)
+
+    def test_cpu_intensity_applied(self, swf_file):
+        result = read_swf(swf_file, cpu_intensity=0.8)
+        assert all(job.cpu_intensity == 0.8 for job in result.jobs)
+
+    def test_max_jobs(self, swf_file):
+        result = read_swf(swf_file, max_jobs=2)
+        assert result.job_count == 2
+
+    def test_validation(self, swf_file):
+        with pytest.raises(ValueError):
+            read_swf(swf_file, cpu_intensity=0.0)
+        with pytest.raises(ValueError):
+            read_swf(swf_file, max_jobs=0)
+
+
+class TestWriteSWF:
+    def test_round_trip(self, tmp_path):
+        jobs = [
+            Job(job_id=1, submit_time_s=0.0, cores=4, runtime_s=600.0),
+            Job(job_id=2, submit_time_s=90.5, cores=16, runtime_s=7200.0),
+        ]
+        path = tmp_path / "out.swf"
+        write_swf(path, jobs, header_comments=["synthetic workload"])
+        text = path.read_text()
+        assert text.startswith("; synthetic workload")
+        assert all(len(line.split()) == SWF_FIELD_COUNT
+                   for line in text.splitlines() if not line.startswith(";"))
+        back = read_swf(path)
+        assert back.job_count == 2
+        assert back.jobs[1].cores == 16
+        assert back.jobs[1].runtime_s == pytest.approx(7200.0)
+        assert back.jobs[1].submit_time_s == pytest.approx(90.5)
+
+
+class TestSchedulingAnSWFWorkload:
+    def test_replayed_workload_can_be_scheduled(self, swf_file):
+        jobs = list(read_swf(swf_file).jobs)
+        cluster = SimulatedCluster.homogeneous(2, 16)
+        trace, stats = BackfillScheduler(cluster).simulate(jobs, 7200.0, step_s=600.0)
+        assert stats.jobs_started == len(jobs)
+        assert trace.mean_utilization() > 0.0

@@ -1,0 +1,74 @@
+"""Tests for utilisation traces."""
+
+import numpy as np
+import pytest
+
+from repro.workload.utilization import UtilizationTrace, cluster_mean_utilization
+
+
+@pytest.fixture
+def trace():
+    matrix = np.array([
+        [0.0, 0.5, 1.0, 0.5],
+        [1.0, 1.0, 0.0, 0.0],
+    ])
+    return UtilizationTrace(0.0, 600.0, ["a", "b"], matrix)
+
+
+class TestConstruction:
+    def test_basic_properties(self, trace):
+        assert trace.node_count == 2
+        assert trace.sample_count == 4
+        assert trace.duration_s == pytest.approx(2400.0)
+        assert trace.node_ids == ["a", "b"]
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(0.0, 60.0, ["a"], np.array([[1.5]]))
+        with pytest.raises(ValueError):
+            UtilizationTrace(0.0, 60.0, ["a"], np.array([[-0.5]]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(0.0, 60.0, ["a"], np.array([[np.nan]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(0.0, 60.0, ["a", "b"], np.array([[0.5, 0.5]]))
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(0.0, 60.0, ["a", "a"], np.zeros((2, 3)))
+
+    def test_matrix_read_only(self, trace):
+        with pytest.raises(ValueError):
+            trace.matrix[0, 0] = 0.9
+
+    def test_constant_factory(self):
+        trace = UtilizationTrace.constant(0.0, 60.0, ["x", "y"], 10, 0.7)
+        assert trace.mean_utilization() == pytest.approx(0.7)
+
+
+class TestQueries:
+    def test_node_series(self, trace):
+        series = trace.node_series("a")
+        np.testing.assert_allclose(series.values, [0.0, 0.5, 1.0, 0.5])
+        with pytest.raises(KeyError):
+            trace.node_series("missing")
+
+    def test_mean_per_node(self, trace):
+        np.testing.assert_allclose(trace.mean_per_node(), [0.5, 0.5])
+
+    def test_cluster_series(self, trace):
+        np.testing.assert_allclose(trace.cluster_series().values, [0.5, 0.75, 0.5, 0.25])
+
+    def test_mean_utilization(self, trace):
+        assert trace.mean_utilization() == pytest.approx(0.5)
+        assert cluster_mean_utilization(trace) == pytest.approx(0.5)
+
+    def test_subset(self, trace):
+        subset = trace.subset(["b"])
+        assert subset.node_count == 1
+        np.testing.assert_allclose(subset.matrix[0], [1.0, 1.0, 0.0, 0.0])
+        with pytest.raises(KeyError):
+            trace.subset(["missing"])
