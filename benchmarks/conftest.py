@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.snapshot.config import default_iris_snapshot_config
+from repro.snapshot.config import build_iris_snapshot_config
 from repro.snapshot.experiment import SnapshotExperiment
 
 #: Where the benches drop their regenerated tables.
@@ -36,5 +36,5 @@ def results_dir() -> Path:
 @pytest.fixture(scope="session")
 def full_snapshot():
     """The full-scale (2,462-node) IRIS snapshot simulation."""
-    config = default_iris_snapshot_config()
+    config = build_iris_snapshot_config()
     return SnapshotExperiment(config).run()

@@ -20,7 +20,7 @@ from repro.inventory.iris import PAPER_TABLE2_ENERGY_KWH, PAPER_TABLE2_TOTAL_KWH
 from repro.io.csvio import write_rows_csv
 from repro.power.reconciliation import METHOD_SCOPE_ORDER
 from repro.reporting.tables import format_table
-from repro.snapshot.config import default_iris_snapshot_config
+from repro.snapshot.config import build_iris_snapshot_config
 from repro.snapshot.experiment import SnapshotExperiment
 
 
@@ -30,7 +30,7 @@ def test_bench_table2_energy(benchmark, full_snapshot, results_dir):
     def run_snapshot():
         # A reduced-scale re-run is what gets timed (the full-scale result is
         # computed once in the session fixture and used for the assertions).
-        config = default_iris_snapshot_config(node_scale=0.1)
+        config = build_iris_snapshot_config(node_scale=0.1)
         return SnapshotExperiment(config).run()
 
     benchmark.pedantic(run_snapshot, rounds=1, iterations=1)

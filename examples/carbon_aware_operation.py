@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.grid import uk_november_2022_intensity
+from repro.api import GRID_PROVIDERS
 from repro.inventory import default_catalog
 from repro.power.node_power import NodePowerModel
 from repro.power.traces import PowerBreakdownTrace
@@ -93,7 +93,9 @@ def shift_flexible_load(profile: TimeSeries, intensity: TimeSeries,
 
 
 def main() -> None:
-    intensity_series = uk_november_2022_intensity(days=DAYS)
+    # The paper's synthetic November-2022 grid, resolved by name from the
+    # assessment API's provider registry (swap the name for any region).
+    intensity_series = GRID_PROVIDERS.create("uk-november-2022", days=DAYS)
     energy_profile = simulate_week_energy_profile()
 
     total_kwh = energy_profile.total()

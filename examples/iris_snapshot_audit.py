@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import Assessment, GRID_PROVIDERS, default_spec
 from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
-from repro.grid import uk_november_2022_intensity
 from repro.inventory.iris import (
     IRIS_IMPLIED_SERVER_COUNT,
     PAPER_TABLE2_ENERGY_KWH,
@@ -29,7 +29,6 @@ from repro.inventory.iris import (
 )
 from repro.reporting import AuditReport, EquivalenceReport, format_table
 from repro.reporting.figures import ascii_line_chart
-from repro.snapshot import SnapshotExperiment, default_iris_snapshot_config
 from repro.units import Carbon
 
 
@@ -50,7 +49,7 @@ def main() -> None:
     print()
 
     # --- Figure 1: the grid the snapshot drew from -------------------------------
-    november = uk_november_2022_intensity()
+    november = GRID_PROVIDERS.create("uk-november-2022")
     print(ascii_line_chart(november.series.values, width=72, height=12,
                            title="Figure 1 - GB grid intensity, synthetic November 2022 (gCO2e/kWh)"))
     refs = november.reference_values()
@@ -61,9 +60,9 @@ def main() -> None:
     print()
 
     # --- Table 2: the measurement campaign ----------------------------------------
-    config = default_iris_snapshot_config(node_scale=args.scale)
-    snapshot = SnapshotExperiment(config).run()
-    rows = snapshot.table2_rows()
+    assessment = Assessment.from_spec(default_spec(node_scale=args.scale)).run()
+    snapshot = assessment.snapshot
+    rows = assessment.table2_rows()
     for row in rows:
         paper = PAPER_TABLE2_ENERGY_KWH[row["site"]]
         row["paper_best_kwh"] = max(v for v in paper.values() if v is not None)

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import AMORTIZATION_POLICIES, EMBODIED_ESTIMATORS
 from repro.core.active import ActiveEnergyInput
 from repro.core.attribution import AllocationRule, JobCarbonAttributor
 from repro.core.embodied import EmbodiedAsset
 from repro.core.model import CarbonModel, SnapshotInputs
-from repro.embodied import BottomUpEstimator
 from repro.inventory import default_catalog
 from repro.power.node_power import NodePowerModel
 from repro.power.traces import PowerBreakdownTrace
@@ -53,14 +53,17 @@ def main() -> None:
     power = PowerBreakdownTrace.from_utilization(trace, [NodePowerModel(spec)] * NODE_COUNT)
     site_kwh = power.total_energy_kwh("wall")
     period = Duration.from_hours(DURATION_H)
-    estimator = BottomUpEstimator()
+    # Embodied estimator and amortisation policy resolved by name from the
+    # assessment API's registries, the same way a spec-driven run would.
+    estimator = EMBODIED_ESTIMATORS.create("catalog")
     assets = [
         EmbodiedAsset(asset_id=f"site-{i:03d}", component="nodes",
                       embodied_kgco2=estimator.node_total_kgco2(spec),
                       lifetime_years=5.0)
         for i in range(NODE_COUNT)
     ]
-    model = CarbonModel(carbon_intensity=CarbonIntensity.reference_medium(), pue=1.3)
+    model = CarbonModel(carbon_intensity=CarbonIntensity.reference_medium(), pue=1.3,
+                        amortization=AMORTIZATION_POLICIES.create("linear"))
     total = model.evaluate(SnapshotInputs(
         energy=ActiveEnergyInput(period=period, node_energy_kwh={"site": site_kwh}),
         assets=assets,

@@ -27,10 +27,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import EMBODIED_ESTIMATORS
 from repro.core.active import ActiveEnergyInput
 from repro.core.embodied import EmbodiedAsset
 from repro.core.model import CarbonModel, SnapshotInputs
-from repro.embodied import BottomUpEstimator
 from repro.grid import default_regions
 from repro.inventory import default_catalog
 from repro.power.node_power import NodePowerModel
@@ -69,7 +69,9 @@ def evaluate_option(option: ProcurementOption) -> dict:
     regions = default_regions()
     spec = catalog.node(option.node_model)
     power_model = NodePowerModel(spec)
-    estimator = BottomUpEstimator()
+    # The pure component model (no datasheet short-circuit), resolved from
+    # the assessment API's registry like any other pluggable backend.
+    estimator = EMBODIED_ESTIMATORS.create("bottom-up-components")
 
     # Size the fleet for the required core-hours at the assumed utilisation.
     core_hours_per_node_year = spec.total_cores * 8760.0 * ASSUMED_UTILIZATION
@@ -86,7 +88,7 @@ def evaluate_option(option: ProcurementOption) -> dict:
         EmbodiedAsset(
             asset_id=f"{option.name}-{i}",
             component="nodes",
-            embodied_kgco2=estimator.node_total_kgco2(spec, prefer_datasheet=False),
+            embodied_kgco2=estimator.node_total_kgco2(spec),
             lifetime_years=option.lifetime_years,
         )
         for i in range(node_count)

@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
-"""Quickstart: audit a small research-computing site end to end.
+"""Quickstart: the unified assessment pipeline in five minutes.
 
-This example walks through the whole pipeline on a deliberately small,
-fictional site so it runs in a couple of seconds:
+Everything the paper's audit does — build the inventory, simulate and
+measure a day of workload, price the energy against a grid, amortise the
+embodied carbon, report — is behind one front door: the ``Assessment``
+façade, configured by a declarative ``AssessmentSpec``.  This example shows
 
-1. describe the hardware (a rack of compute nodes and a storage server);
-2. simulate a day of batch workload on it;
-3. measure its energy with the simulated instruments (IPMI + PDU);
-4. convert the energy to carbon with the paper's model (equation 1):
-   active carbon from the measured energy, grid intensity and PUE, plus
-   embodied carbon amortised over the hardware lifetime;
-5. print the audit report with everyday-equivalent comparisons.
+1. the one-liner: run the paper's snapshot (at 5% fleet scale, so it takes
+   a fraction of a second) and read the headline numbers;
+2. fluent scenario variants — each ``with_*`` builder returns a new
+   assessment, and variants sharing a physical configuration reuse the
+   same cached simulation instead of re-running it;
+3. specs as data: JSON round-trip for sharing and automation;
+4. the extension seam: registering a custom grid provider by name and
+   assessing against it without touching any core code.
 
 Run with::
 
@@ -19,86 +22,65 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    Carbon,
-    CarbonIntensity,
-    CarbonModel,
-    SnapshotInputs,
-)
-from repro.core.active import ActiveEnergyInput
-from repro.core.embodied import EmbodiedAsset
-from repro.embodied import BottomUpEstimator
-from repro.inventory import default_catalog
-from repro.power.campaign import MeasurementCampaign
-from repro.power.instruments import IPMIMeter, PDUMeter
-from repro.power.node_power import NodePowerModel
-from repro.power.traces import PowerBreakdownTrace
-from repro.reporting import AuditReport
-from repro.units import Duration
-from repro.workload import BackfillScheduler, JobGenerator, SimulatedCluster, WorkloadProfile
+import tempfile
+from pathlib import Path
+
+from repro import Assessment, AssessmentSpec, default_spec, register_grid_provider
+from repro.grid.synthetic import SyntheticGridModel
+
+SCALE = 0.05  # 5% of the IRIS fleet: same per-node behaviour, much faster
 
 
 def main() -> None:
-    catalog = default_catalog()
-    compute_spec = catalog.node("cpu-compute-standard")
-    storage_spec = catalog.node("storage-server")
-
-    # --- 1. the site: 16 compute nodes and 2 storage servers ----------------
-    node_specs = [compute_spec] * 16 + [storage_spec] * 2
-    node_ids = [f"quick-{i:02d}" for i in range(len(node_specs))]
-
-    # --- 2. a day of batch workload ------------------------------------------
-    cluster = SimulatedCluster.homogeneous(len(node_specs), compute_spec.total_cores,
-                                           id_prefix="quick")
-    profile = WorkloadProfile(target_utilization=0.65)
-    jobs = JobGenerator(profile, cluster.total_cores, seed=1,
-                        max_cores_per_job=compute_spec.total_cores).generate(
-        duration_s=24 * 3600.0, warmup_s=12 * 3600.0
-    )
-    scheduler = BackfillScheduler(cluster)
-    utilization, stats = scheduler.simulate(jobs, duration_s=24 * 3600.0, step_s=300.0)
-    print(f"Scheduled {stats.jobs_started} jobs; "
-          f"mean cluster utilisation {utilization.mean_utilization():.0%}")
-
-    # --- 3. measure the energy ------------------------------------------------
-    models = [NodePowerModel(spec) for spec in node_specs]
-    # Use the real node ids on the power trace for the report.
-    power = PowerBreakdownTrace.from_utilization(utilization, models[: utilization.node_count])
-    campaign = MeasurementCampaign({"ipmi": IPMIMeter(), "pdu": PDUMeter()}, seed=7)
-    report = campaign.measure_site("quickstart-site", power, network_power_w=300.0)
-    measured_kwh = report.best_estimate_kwh
-    print(f"Measured energy over 24 h: {measured_kwh:,.0f} kWh "
-          f"(IPMI {report.readings['ipmi'].energy_kwh:,.0f} kWh, "
-          f"PDU {report.readings['pdu'].energy_kwh:,.0f} kWh)")
-
-    # --- 4. the carbon model ---------------------------------------------------
-    period = Duration.from_hours(24)
-    energy_input = ActiveEnergyInput(period=period,
-                                     node_energy_kwh={"quickstart-site": measured_kwh})
-    estimator = BottomUpEstimator()
-    assets = [
-        EmbodiedAsset(
-            asset_id=node_ids[i],
-            component="nodes",
-            embodied_kgco2=estimator.node_total_kgco2(spec),
-            lifetime_years=5.0,
-        )
-        for i, spec in enumerate(node_specs)
-    ]
-    model = CarbonModel(carbon_intensity=CarbonIntensity.reference_medium(), pue=1.3)
-    result = model.evaluate(SnapshotInputs(energy=energy_input, assets=assets))
-
-    # --- 5. report --------------------------------------------------------------
-    audit = AuditReport(title="Quickstart site - 24 hour carbon audit")
-    audit.add_key_values("Measured energy", {
-        "ipmi_kwh": report.readings["ipmi"].energy_kwh,
-        "pdu_kwh": report.readings["pdu"].energy_kwh,
-        "best_estimate_kwh": measured_kwh,
-    })
-    audit.add_total_result("Carbon model (medium intensity, PUE 1.3)", result)
-    audit.add_equivalences("In everyday terms", Carbon.from_kg(result.total_kg))
+    # --- 1. the one-liner -------------------------------------------------------
+    result = Assessment.from_spec(default_spec(node_scale=SCALE)).run()
+    print(f"Measured energy: {result.energy_kwh:,.0f} kWh over "
+          f"{result.spec.duration_hours:.0f} h on {result.snapshot.total_nodes} nodes")
+    print(f"Total carbon:    {result.total_kg:,.1f} kgCO2e "
+          f"(active {result.active_kg:,.1f}, embodied {result.embodied_kg:,.1f}, "
+          f"embodied share {result.embodied_fraction:.0%})")
     print()
-    print(audit.render())
+
+    # --- 2. fluent scenario variants (the simulation is reused, not re-run) ------
+    base = Assessment.from_spec(default_spec(node_scale=SCALE))
+    scenarios = {
+        "paper defaults (175 g, PUE 1.3)": base,
+        "clean grid (50 g, PUE 1.1)": base.with_grid(50.0).with_pue(1.1),
+        "dirty grid (300 g, PUE 1.5)": base.with_grid(300.0).with_pue(1.5),
+        "7-year hardware life": base.with_embodied(lifetime_years=7.0),
+    }
+    for label, assessment in scenarios.items():
+        scenario = assessment.run()
+        print(f"{label:35s} total {scenario.total_kg:8,.1f} kgCO2e "
+              f"(embodied {scenario.embodied_fraction:.0%})")
+    print()
+
+    # --- 3. specs are data --------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = Path(tmp) / "assessment.json"
+        base.spec.to_json(spec_path)
+        reloaded = AssessmentSpec.from_json(spec_path)
+        assert reloaded == base.spec
+        print(f"Spec round-tripped through {spec_path.name}: "
+              f"{len(spec_path.read_text().splitlines())} lines of JSON "
+              "(try `python -m repro assess --spec <file>`)")
+    print()
+
+    # --- 4. plug in a backend by name ----------------------------------------------
+    @register_grid_provider("quickstart-windy", overwrite=True)
+    def windy_grid(days: float = 30.0):
+        """A fictional very windy region: the GB model with doubled wind."""
+        return SyntheticGridModel(wind_mean_share=0.55,
+                                  wind_share_max=0.85).generate_intensity(days=days)
+
+    windy = base.with_grid("quickstart-windy").run()
+    print(f"On the custom 'quickstart-windy' grid "
+          f"({windy.spec.carbon_intensity_g_per_kwh:.0f} gCO2e/kWh medium "
+          f"reference): total {windy.total_kg:,.1f} kgCO2e")
+    print()
+
+    # --- and the full report is one call away ---------------------------------------
+    print(result.report(title="Quickstart - IRIS snapshot at 5% scale").render())
 
 
 if __name__ == "__main__":

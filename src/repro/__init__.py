@@ -11,14 +11,33 @@ carbon estimators and baselines.
 Quick start
 -----------
 
->>> from repro import default_iris_snapshot_config, SnapshotExperiment
->>> config = default_iris_snapshot_config(node_scale=0.05)   # small & fast
->>> snapshot = SnapshotExperiment(config).run()
->>> result = snapshot.evaluate_model(carbon_intensity_g_per_kwh=175.0, pue=1.3)
+The canonical front door is the :class:`~repro.api.assessment.Assessment`
+façade, driven by a declarative :class:`~repro.api.spec.AssessmentSpec`:
+
+>>> from repro import Assessment, default_spec
+>>> result = Assessment.from_spec(default_spec(node_scale=0.05)).run()
 >>> result.total_kg > 0
 True
 
-The subpackages are importable directly (``repro.core``, ``repro.power``,
+Scenario variants are fluent — each builder returns a new assessment, and
+runs sharing a physical configuration reuse one cached simulation:
+
+>>> cheap = (Assessment.from_spec(default_spec(node_scale=0.05))
+...          .with_grid(50.0).with_pue(1.1).run())
+>>> cheap.total_kg < result.total_kg
+True
+
+Parameter grids go through :class:`~repro.api.batch.BatchAssessmentRunner`:
+
+>>> from repro import BatchAssessmentRunner
+>>> batch = BatchAssessmentRunner(default_spec(node_scale=0.05)).sweep(
+...     intensity=[50.0, 175.0, 300.0], pue=[1.1, 1.3])
+>>> len(batch)
+6
+
+New backends (grid providers, embodied estimators, inventory sources, ...)
+register by name via :mod:`repro.api` and become addressable from any spec.
+The subpackages remain importable directly (``repro.core``, ``repro.power``,
 ``repro.grid``, ...); the names re-exported here are the ones most users
 need.
 """
@@ -65,11 +84,24 @@ from repro.snapshot import (
     SnapshotConfig,
     SnapshotExperiment,
     SnapshotResult,
+    build_iris_snapshot_config,
     default_iris_snapshot_config,
 )
 from repro.reporting import AuditReport, EquivalenceReport, format_table
+from repro.api import (
+    Assessment,
+    AssessmentResult,
+    AssessmentSpec,
+    BatchAssessmentRunner,
+    BatchResult,
+    SubstrateCache,
+    default_spec,
+    register_embodied_estimator,
+    register_grid_provider,
+    register_inventory_source,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -118,7 +150,19 @@ __all__ = [
     "SnapshotConfig",
     "SnapshotExperiment",
     "SnapshotResult",
+    "build_iris_snapshot_config",
     "default_iris_snapshot_config",
+    # unified assessment API
+    "Assessment",
+    "AssessmentResult",
+    "AssessmentSpec",
+    "BatchAssessmentRunner",
+    "BatchResult",
+    "SubstrateCache",
+    "default_spec",
+    "register_embodied_estimator",
+    "register_grid_provider",
+    "register_inventory_source",
     # reporting
     "AuditReport",
     "EquivalenceReport",

@@ -1,0 +1,200 @@
+"""The ``Assessment`` façade: one front door for the whole pipeline.
+
+Every workflow used to hand-wire the same chain — build the inventory,
+simulate and measure the workload, pick an intensity, evaluate the
+active+embodied model, assemble the report — from five subpackages.
+:class:`Assessment` owns that chain.  It is configured declaratively
+(:meth:`Assessment.from_spec`) or fluently (the ``with_*`` builders, each
+returning a new assessment), resolves every pluggable component through the
+:mod:`repro.api.registry`, and runs against a shared
+:class:`~repro.api.substrates.SubstrateCache` so repeated runs never repeat
+the expensive simulation::
+
+    from repro.api import Assessment, default_spec
+
+    result = Assessment.from_spec(default_spec(node_scale=0.05)).run()
+    print(result.total_kg)
+
+    cheap_grid = (Assessment.from_spec(default_spec(node_scale=0.05))
+                  .with_grid(50.0).with_pue(1.1).run())
+
+The default spec reproduces the historical ``SnapshotExperiment`` +
+``evaluate_model`` path exactly (same configuration, same seeds, same
+floating-point operations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.embodied import EmbodiedAsset
+from repro.core.model import CarbonModel, SnapshotInputs
+from repro.units.quantities import CarbonIntensity
+
+from repro.api.registry import AMORTIZATION_POLICIES, EMBODIED_ESTIMATORS
+from repro.api.result import AssessmentResult
+from repro.api.spec import CATALOG_ESTIMATOR, AssessmentSpec, default_spec
+from repro.api.substrates import SubstrateCache, shared_substrates
+
+IntensityLike = Union[str, float, int, CarbonIntensity]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` (= clear).
+_UNSET = object()
+
+
+class Assessment:
+    """A configured assessment, ready to run.
+
+    Parameters
+    ----------
+    spec:
+        The declarative configuration; defaults to the paper's full-scale
+        snapshot (:func:`~repro.api.spec.default_spec`).
+    substrates:
+        The substrate cache to run against; defaults to the process-wide
+        shared cache, so independent assessments of the same physical
+        configuration reuse one simulation.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[AssessmentSpec] = None,
+        *,
+        substrates: Optional[SubstrateCache] = None,
+    ):
+        self._spec = spec or default_spec()
+        self._substrates = substrates if substrates is not None else shared_substrates()
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: AssessmentSpec,
+        *,
+        substrates: Optional[SubstrateCache] = None,
+    ) -> "Assessment":
+        """An assessment for the given spec."""
+        return cls(spec, substrates=substrates)
+
+    @property
+    def spec(self) -> AssessmentSpec:
+        return self._spec
+
+    @property
+    def substrates(self) -> SubstrateCache:
+        return self._substrates
+
+    # -- fluent builders (each returns a new Assessment) ---------------------------
+
+    def _replace(self, **changes) -> "Assessment":
+        return Assessment(self._spec.replace(**changes), substrates=self._substrates)
+
+    def with_grid(self, grid: IntensityLike) -> "Assessment":
+        """Set the grid intensity: a registered provider name or a fixed value.
+
+        A string selects a registered grid provider (whose Medium reference
+        intensity prices the active term); a number or
+        :class:`~repro.units.quantities.CarbonIntensity` fixes the intensity
+        directly.
+        """
+        if isinstance(grid, str):
+            return self._replace(grid=grid, carbon_intensity_g_per_kwh=None)
+        if isinstance(grid, CarbonIntensity):
+            return self._replace(carbon_intensity_g_per_kwh=grid.g_per_kwh)
+        return self._replace(carbon_intensity_g_per_kwh=float(grid))
+
+    def with_pue(self, pue: float) -> "Assessment":
+        """Set the facility PUE."""
+        return self._replace(pue=float(pue))
+
+    def with_embodied(
+        self,
+        estimator: Optional[str] = None,
+        *,
+        per_server_kgco2=_UNSET,
+        lifetime_years: Optional[float] = None,
+    ) -> "Assessment":
+        """Configure the embodied term: estimator, uniform override, lifetime.
+
+        Pass ``per_server_kgco2=None`` explicitly to clear a previous
+        uniform override.
+        """
+        changes = {}
+        if estimator is not None:
+            changes["embodied_estimator"] = estimator
+        if per_server_kgco2 is not _UNSET:
+            changes["per_server_kgco2"] = per_server_kgco2
+        if lifetime_years is not None:
+            changes["lifetime_years"] = float(lifetime_years)
+        return self._replace(**changes)
+
+    def with_amortization(self, policy: str) -> "Assessment":
+        """Set the registered amortisation policy."""
+        return self._replace(amortization=policy)
+
+    def with_inventory(self, inventory: str) -> "Assessment":
+        """Set the registered inventory source."""
+        return self._replace(inventory=inventory)
+
+    def scaled(self, node_scale: float) -> "Assessment":
+        """Shrink the fleet proportionally (minimum two nodes per site)."""
+        return self._replace(node_scale=float(node_scale))
+
+    # -- running ---------------------------------------------------------------------
+
+    def resolved_intensity_g_per_kwh(self) -> float:
+        """The intensity the active term will use, resolving the grid provider."""
+        if self._spec.carbon_intensity_g_per_kwh is not None:
+            return self._spec.carbon_intensity_g_per_kwh
+        series = self._substrates.intensity_series(self._spec.grid)
+        return series.reference_values()["medium"].g_per_kwh
+
+    def run(self) -> AssessmentResult:
+        """Run the full pipeline and return the unified result."""
+        spec = self._spec
+        # Resolve every registry name before the expensive simulation so a
+        # typo'd component fails in milliseconds, not after a full run.
+        policy_factory = AMORTIZATION_POLICIES.get(spec.amortization)
+        if spec.per_server_kgco2 is None and spec.embodied_estimator != CATALOG_ESTIMATOR:
+            EMBODIED_ESTIMATORS.get(spec.embodied_estimator)
+        intensity = self.resolved_intensity_g_per_kwh()
+        snapshot = self._substrates.snapshot(spec)
+        assets = self._assets(snapshot, spec)
+        policy = policy_factory()
+        model = CarbonModel(
+            carbon_intensity=CarbonIntensity(intensity),
+            pue=spec.pue,
+            amortization=policy,
+        )
+        total = model.evaluate(
+            SnapshotInputs(energy=snapshot.active_energy_input(), assets=assets)
+        )
+        return AssessmentResult(
+            spec=spec.replace(carbon_intensity_g_per_kwh=intensity),
+            snapshot=snapshot,
+            total=total,
+        )
+
+    # -- embodied asset assembly ------------------------------------------------------
+
+    def _assets(self, snapshot, spec: AssessmentSpec) -> List[EmbodiedAsset]:
+        if spec.per_server_kgco2 is not None or spec.embodied_estimator == CATALOG_ESTIMATOR:
+            # The engine's native path (catalog datasheet figures, or the
+            # uniform Table 4 override) — bit-identical to the historical
+            # SnapshotExperiment pipeline.
+            return snapshot.embodied_assets(spec.per_server_kgco2, spec.lifetime_years)
+        estimator = EMBODIED_ESTIMATORS.create(spec.embodied_estimator)
+        catalog = self._substrates.catalog()
+        per_model: dict = {}
+
+        def node_kgco2(model_name: str) -> float:
+            kg = per_model.get(model_name)
+            if kg is None:
+                kg = float(estimator.node_total_kgco2(catalog.node(model_name)))
+                per_model[model_name] = kg
+            return kg
+
+        return snapshot.embodied_assets(
+            lifetime_years=spec.lifetime_years, node_kgco2_resolver=node_kgco2)
+
+
+__all__ = ["Assessment"]

@@ -1,0 +1,212 @@
+"""String-keyed component registries: the extension seam of the pipeline.
+
+Every pluggable role in an assessment — where the inventory comes from,
+which grid-intensity provider prices the energy, how embodied carbon is
+estimated, how it is amortised, which baseline estimators the measured
+approach is compared against — is resolved by name through a
+:class:`ComponentRegistry`.  The stock implementations are registered under
+well-known names by :mod:`repro.api.defaults`; new backends plug in with
+one ``register_*`` call and become addressable from an
+:class:`~repro.api.spec.AssessmentSpec` without touching core code::
+
+    from repro.api import register_grid_provider
+
+    @register_grid_provider("my-region")
+    def my_region_intensity(days=30.0):
+        return load_my_intensity_series(days)
+
+Factories are stored, not instances: ``create()`` calls the factory so
+each lookup gets a fresh component (registries stay free of shared state).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class UnknownComponentError(KeyError):
+    """Lookup of a name that was never registered.
+
+    Carries the registry kind and the known names so the error message tells
+    the caller what *would* have worked.
+    """
+
+    def __init__(self, kind: str, name: str, known: List[str]):
+        self.kind = kind
+        self.name = name
+        self.known = list(known)
+        choices = ", ".join(sorted(self.known)) or "<none registered>"
+        super().__init__(f"unknown {kind} {name!r}; registered names: {choices}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0]
+
+
+class DuplicateComponentError(ValueError):
+    """Registration of a name that is already taken (without ``overwrite``)."""
+
+
+class ComponentRegistry:
+    """A named, thread-safe mapping from string keys to component factories.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable role of the registered components (``"grid
+        provider"``); used in error messages.
+    """
+
+    def __init__(self, kind: str):
+        if not kind:
+            raise ValueError("registry kind must be non-empty")
+        self._kind = kind
+        self._factories: Dict[str, Callable[..., Any]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    # -- registration -------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., Any]] = None,
+        *,
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``registry.register("x", make_x)``) or as a
+        decorator (``@registry.register("x")``).  Re-registering an existing
+        name raises :class:`DuplicateComponentError` unless ``overwrite`` is
+        set — accidental shadowing of a default should be loud.
+        """
+        if not name:
+            raise ValueError(f"{self._kind} name must be non-empty")
+
+        def _store(func: Callable[..., Any]) -> Callable[..., Any]:
+            if not callable(func):
+                raise TypeError(f"{self._kind} factory for {name!r} must be callable")
+            with self._lock:
+                if name in self._factories and not overwrite:
+                    raise DuplicateComponentError(
+                        f"{self._kind} {name!r} is already registered; "
+                        "pass overwrite=True to replace it"
+                    )
+                self._factories[name] = func
+            return func
+
+        if factory is None:
+            return _store
+        return _store(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (mainly for tests tearing down plugins)."""
+        with self._lock:
+            if name not in self._factories:
+                raise UnknownComponentError(self._kind, name, list(self._factories))
+            del self._factories[name]
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name``."""
+        with self._lock:
+            try:
+                return self._factories[name]
+            except KeyError:
+                raise UnknownComponentError(
+                    self._kind, name, list(self._factories)
+                ) from None
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        with self._lock:
+            return sorted(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._factories)
+
+    def __repr__(self) -> str:
+        return f"ComponentRegistry(kind={self._kind!r}, names={self.names()})"
+
+
+# ----------------------------------------------------------------------------
+# the pipeline's registries
+# ----------------------------------------------------------------------------
+
+#: ``factory(days=..., **kw) -> CarbonIntensitySeries`` — grid carbon-intensity
+#: providers (the paper's synthetic GB November 2022 series by default).
+GRID_PROVIDERS = ComponentRegistry("grid provider")
+
+#: ``factory() -> estimator`` with ``node_total_kgco2(spec) -> float`` —
+#: per-node embodied-carbon estimators.
+EMBODIED_ESTIMATORS = ComponentRegistry("embodied estimator")
+
+#: ``factory(spec: AssessmentSpec) -> SnapshotConfig`` — inventory sources
+#: that turn a declarative spec into a concrete snapshot configuration.
+INVENTORY_SOURCES = ComponentRegistry("inventory source")
+
+#: ``factory() -> AmortizationPolicy`` — embodied amortisation policies.
+AMORTIZATION_POLICIES = ComponentRegistry("amortization policy")
+
+#: ``factory(**kw) -> estimator`` — the estimate-based baselines the measured
+#: approach is compared against (CCF-style, Boavizta-style, TDP proxy).
+BASELINE_ESTIMATORS = ComponentRegistry("baseline estimator")
+
+
+def register_grid_provider(name: str, factory=None, *, overwrite: bool = False):
+    """Register a grid carbon-intensity provider under ``name``."""
+    return GRID_PROVIDERS.register(name, factory, overwrite=overwrite)
+
+
+def register_embodied_estimator(name: str, factory=None, *, overwrite: bool = False):
+    """Register a per-node embodied-carbon estimator under ``name``."""
+    return EMBODIED_ESTIMATORS.register(name, factory, overwrite=overwrite)
+
+
+def register_inventory_source(name: str, factory=None, *, overwrite: bool = False):
+    """Register an inventory source (spec -> SnapshotConfig) under ``name``."""
+    return INVENTORY_SOURCES.register(name, factory, overwrite=overwrite)
+
+
+def register_amortization_policy(name: str, factory=None, *, overwrite: bool = False):
+    """Register an embodied amortisation policy under ``name``."""
+    return AMORTIZATION_POLICIES.register(name, factory, overwrite=overwrite)
+
+
+def register_baseline_estimator(name: str, factory=None, *, overwrite: bool = False):
+    """Register a baseline (estimate-based) carbon estimator under ``name``."""
+    return BASELINE_ESTIMATORS.register(name, factory, overwrite=overwrite)
+
+
+__all__ = [
+    "ComponentRegistry",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+    "GRID_PROVIDERS",
+    "EMBODIED_ESTIMATORS",
+    "INVENTORY_SOURCES",
+    "AMORTIZATION_POLICIES",
+    "BASELINE_ESTIMATORS",
+    "register_grid_provider",
+    "register_embodied_estimator",
+    "register_inventory_source",
+    "register_amortization_policy",
+    "register_baseline_estimator",
+]

@@ -1,0 +1,127 @@
+"""The unified result object an assessment run produces.
+
+:class:`AssessmentResult` wraps everything the pipeline produced for one
+spec — the simulated snapshot (Table 2), the evaluated carbon model
+(equation 1), and lazy views of the scenario grids (Tables 3 and 4) and the
+rendered audit report — behind one object, so callers stop reaching into
+five subpackages to assemble their outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.core.results import TotalCarbonResult
+from repro.io.jsonio import PathLike, write_json
+from repro.reporting.report import AuditReport
+from repro.snapshot.experiment import SnapshotResult
+from repro.units.quantities import Carbon
+
+from repro.api.spec import AssessmentSpec
+
+
+@dataclass(frozen=True)
+class AssessmentResult:
+    """Everything one assessment produced.
+
+    Attributes
+    ----------
+    spec:
+        The spec that was run (with the intensity actually used resolved
+        into ``carbon_intensity_g_per_kwh``).
+    snapshot:
+        The simulated measurement campaign (per-site energies, Table 2).
+    total:
+        The evaluated carbon model: active + embodied = total (equation 1).
+    """
+
+    spec: AssessmentSpec
+    snapshot: SnapshotResult
+    total: TotalCarbonResult
+
+    # -- headline numbers ---------------------------------------------------------
+
+    @property
+    def total_kg(self) -> float:
+        return self.total.total_kg
+
+    @property
+    def active_kg(self) -> float:
+        return self.total.active.total_kg
+
+    @property
+    def embodied_kg(self) -> float:
+        return self.total.embodied.total_kg
+
+    @property
+    def embodied_fraction(self) -> float:
+        return self.total.embodied_fraction
+
+    @property
+    def energy_kwh(self) -> float:
+        """The snapshot's total best-estimate IT energy."""
+        return self.snapshot.total_best_estimate_kwh
+
+    # -- tables --------------------------------------------------------------------
+
+    def table2_rows(self) -> List[Dict[str, object]]:
+        """Per-site energy by measurement method (the paper's Table 2)."""
+        return self.snapshot.table2_rows()
+
+    def table3_rows(self) -> List[Dict[str, object]]:
+        """The active-carbon scenario grid for this snapshot's energy."""
+        return self.snapshot.table3_rows()
+
+    def table4_rows(self) -> List[Dict[str, float]]:
+        """The embodied scenario grid for this snapshot's fleet size."""
+        return self.snapshot.table4_rows(self.spec.duration_hours / 24.0)
+
+    def summary(self) -> Dict[str, object]:
+        """One flat row of the scenario parameters and headline results."""
+        return {
+            "inventory": self.spec.inventory,
+            "node_scale": self.spec.node_scale,
+            "nodes": self.snapshot.total_nodes,
+            "energy_kwh": self.energy_kwh,
+            "intensity_g_per_kwh": self.spec.carbon_intensity_g_per_kwh,
+            "pue": self.spec.pue,
+            "lifetime_years": self.spec.lifetime_years,
+            "amortization": self.spec.amortization,
+            "active_kg": self.active_kg,
+            "embodied_kg": self.embodied_kg,
+            "total_kg": self.total_kg,
+            "embodied_fraction": self.embodied_fraction,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The result as a JSON-serialisable dictionary."""
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary(),
+            "table2": self.table2_rows(),
+            "breakdown_kg": self.total.breakdown_kg(),
+        }
+
+    def to_json(self, path: PathLike) -> None:
+        """Write :meth:`as_dict` to ``path`` as JSON."""
+        write_json(path, self.as_dict())
+
+    # -- report ---------------------------------------------------------------------
+
+    def report(self, title: str = "Infrastructure carbon assessment") -> AuditReport:
+        """The assembled audit report for this run."""
+        audit = AuditReport(title=title)
+        audit.add_table(
+            "Active energy by measurement method (kWh)", self.table2_rows())
+        audit.add_total_result(
+            f"Carbon model (intensity "
+            f"{self.spec.carbon_intensity_g_per_kwh:.0f} gCO2e/kWh, "
+            f"PUE {self.spec.pue})",
+            self.total,
+        )
+        audit.add_equivalences("In everyday terms", Carbon.from_kg(self.total_kg))
+        return audit
+
+
+__all__ = ["AssessmentResult"]

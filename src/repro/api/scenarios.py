@@ -1,0 +1,36 @@
+"""Scenario-grid helpers shared by the CLI and the result object.
+
+Thin functions over :mod:`repro.core.scenarios` so that both ``repro
+assess``/``repro snapshot`` and the standalone ``repro scenarios``
+subcommand produce their Table 3 / Table 4 grids through the same code
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.active import ActiveEnergyInput
+from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
+from repro.units.quantities import Duration
+
+
+def active_scenario_rows(
+    energy_kwh: float, period_hours: float = 24.0
+) -> List[Dict[str, object]]:
+    """Table 3 rows for a single measured IT energy total."""
+    energy = ActiveEnergyInput(
+        period=Duration.from_hours(period_hours),
+        node_energy_kwh={"total": energy_kwh},
+    )
+    return ActiveScenarioGrid().table3_rows(energy)
+
+
+def embodied_scenario_rows(
+    server_count: int, period_hours: float = 24.0
+) -> List[Dict[str, float]]:
+    """Table 4 rows for a homogeneous fleet."""
+    return EmbodiedScenarioGrid().table4_rows(server_count, period_hours / 24.0)
+
+
+__all__ = ["active_scenario_rows", "embodied_scenario_rows"]

@@ -1,0 +1,168 @@
+"""The declarative description of one assessment run.
+
+An :class:`AssessmentSpec` names every pluggable component of the pipeline
+(inventory source, grid provider, embodied estimator, amortisation policy)
+plus the scenario parameters (scale, intensity, PUE, lifetime), and round-
+trips losslessly through plain dictionaries and JSON files via
+:mod:`repro.io`.  It is the unit of work of the whole API: the
+:class:`~repro.api.assessment.Assessment` façade runs one spec, the
+:class:`~repro.api.batch.BatchAssessmentRunner` sweeps grids of them, and
+``python -m repro assess --spec file.json`` runs one from the shell.
+
+The **physical** fields (inventory, node_scale, duration_hours,
+trace_step_s, campaign_seed) determine the expensive simulation substrate;
+the remaining **scenario** fields (intensity, PUE, lifetime, embodied
+estimate) only affect the cheap carbon-model evaluation.  Specs sharing a
+:meth:`~AssessmentSpec.physical_key` can therefore share one simulated
+snapshot — the batch runner's main speed lever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.io.jsonio import PathLike, read_json, write_json
+
+#: Spec value meaning "use the hardware catalog's embodied figures"
+#: (datasheet PCF when declared, bottom-up estimate otherwise) — the
+#: engine's native behaviour and the paper's.
+CATALOG_ESTIMATOR = "catalog"
+
+
+@dataclass(frozen=True)
+class AssessmentSpec:
+    """Declarative configuration of one assessment.
+
+    Attributes
+    ----------
+    inventory:
+        Registered inventory-source name; ``"iris"`` reproduces the paper's
+        six-site snapshot campaign.
+    node_scale:
+        Proportional fleet shrink factor in (0, 1]; 1.0 is the full fleet.
+    duration_hours / trace_step_s / campaign_seed:
+        Measurement-window length, utilisation-trace resolution and the
+        measurement campaign's noise seed.
+    grid:
+        Registered grid-provider name used when ``carbon_intensity_g_per_kwh``
+        is ``None`` (the provider's Medium reference intensity is used) and
+        for any time-resolved reporting.
+    carbon_intensity_g_per_kwh:
+        Fixed grid carbon intensity for the active term; ``None`` derives it
+        from the ``grid`` provider.
+    pue:
+        Power usage effectiveness of the hosting facilities (>= 1.0).
+    embodied_estimator:
+        Registered embodied-estimator name; :data:`CATALOG_ESTIMATOR` keeps
+        the catalog's datasheet-first figures.
+    per_server_kgco2:
+        Uniform per-node embodied override (the Table 4 sweep axis); takes
+        precedence over ``embodied_estimator``.
+    lifetime_years:
+        Amortisation lifetime of the fleet.
+    amortization:
+        Registered amortisation-policy name (``"linear"`` is the paper's).
+    """
+
+    inventory: str = "iris"
+    node_scale: float = 1.0
+    duration_hours: float = 24.0
+    trace_step_s: float = 60.0
+    campaign_seed: int = 1234
+    grid: str = "uk-november-2022"
+    carbon_intensity_g_per_kwh: Optional[float] = 175.0
+    pue: float = 1.3
+    embodied_estimator: str = CATALOG_ESTIMATOR
+    per_server_kgco2: Optional[float] = None
+    lifetime_years: float = 5.0
+    amortization: str = "linear"
+
+    def __post_init__(self):
+        if not self.inventory:
+            raise ValueError("inventory must be non-empty")
+        if not 0.0 < self.node_scale <= 1.0:
+            raise ValueError("node_scale must be in (0, 1]")
+        if self.duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+        if self.trace_step_s <= 0:
+            raise ValueError("trace_step_s must be positive")
+        if not self.grid:
+            raise ValueError("grid must be non-empty")
+        if (self.carbon_intensity_g_per_kwh is not None
+                and self.carbon_intensity_g_per_kwh < 0):
+            raise ValueError("carbon_intensity_g_per_kwh must be non-negative")
+        if self.pue < 1.0:
+            raise ValueError("pue must be at least 1.0")
+        if not self.embodied_estimator:
+            raise ValueError("embodied_estimator must be non-empty")
+        if self.per_server_kgco2 is not None and self.per_server_kgco2 <= 0:
+            raise ValueError("per_server_kgco2 must be positive when given")
+        if self.lifetime_years <= 0:
+            raise ValueError("lifetime_years must be positive")
+        if not self.amortization:
+            raise ValueError("amortization must be non-empty")
+
+    # -- derived views -----------------------------------------------------------
+
+    def physical_key(self) -> Tuple[Any, ...]:
+        """The fields that determine the expensive simulation substrate.
+
+        Two specs with equal physical keys can share one simulated snapshot;
+        everything else is a cheap re-evaluation of the carbon model.
+        """
+        return (
+            self.inventory,
+            self.node_scale,
+            self.duration_hours,
+            self.trace_step_s,
+            self.campaign_seed,
+        )
+
+    def replace(self, **changes: Any) -> "AssessmentSpec":
+        """A copy of the spec with the given fields replaced (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- dict / JSON round-trip -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a plain, JSON-serialisable dictionary."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AssessmentSpec":
+        """Build a spec from a dictionary, rejecting unknown keys loudly."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown AssessmentSpec fields: {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        return cls(**data)
+
+    def to_json(self, path: PathLike) -> None:
+        """Write the spec to ``path`` as JSON."""
+        write_json(path, self.to_dict())
+
+    @classmethod
+    def from_json(cls, path: PathLike) -> "AssessmentSpec":
+        """Load a spec from a JSON file."""
+        data = read_json(path)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: an assessment spec must be a JSON object")
+        return cls.from_dict(data)
+
+
+def default_spec(node_scale: float = 1.0, **overrides: Any) -> AssessmentSpec:
+    """The spec reproducing the paper's snapshot at the given fleet scale.
+
+    Every field can be overridden by keyword; the defaults match the
+    historical ``default_iris_snapshot_config()`` +
+    ``evaluate_model(175.0, 1.3)`` pipeline exactly.
+    """
+    return AssessmentSpec(node_scale=node_scale, **overrides)
+
+
+__all__ = ["AssessmentSpec", "default_spec", "CATALOG_ESTIMATOR"]

@@ -1,0 +1,136 @@
+"""Shared, cached simulation substrates.
+
+The expensive parts of an assessment — the hardware catalog, a grid
+carbon-intensity series, and above all the simulated measurement campaign
+(workload generation, scheduling, power conversion, instrument sweep) — do
+not depend on the scenario parameters being evaluated.  A
+:class:`SubstrateCache` computes each of them once per distinct
+configuration and hands the cached object to every assessment that shares
+it, which is what makes a :class:`~repro.api.batch.BatchAssessmentRunner`
+sweep of N scenarios cost one simulation instead of N.
+
+The cache is thread-safe: concurrent requests for the *same* key block on
+one in-flight computation (no duplicated engine runs), while requests for
+different keys proceed independently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple
+
+from repro.grid.intensity import CarbonIntensitySeries
+from repro.inventory.catalog import HardwareCatalog, default_catalog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.spec import AssessmentSpec
+    from repro.snapshot.experiment import SnapshotResult
+
+
+class _Slot:
+    """One cache entry being computed or already computed."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SubstrateCache:
+    """Caches the expensive substrates shared across assessment runs."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._slots: Dict[Tuple[str, Tuple[Any, ...]], _Slot] = {}
+        self._catalog: HardwareCatalog | None = None
+        # Statistics, mainly so tests and benchmarks can assert reuse.
+        self.snapshot_runs = 0
+        self.snapshot_hits = 0
+
+    # -- generic compute-once machinery ------------------------------------------
+
+    def _compute_once(self, kind: str, key: Tuple[Any, ...],
+                      compute: Callable[[], Any]) -> Any:
+        with self._lock:
+            slot = self._slots.get((kind, key))
+            owner = slot is None
+            if owner:
+                slot = self._slots[(kind, key)] = _Slot()
+            elif kind == "snapshot":
+                self.snapshot_hits += 1
+        if owner:
+            try:
+                slot.value = compute()
+            except BaseException as exc:
+                slot.error = exc
+                # A failed computation must not poison the key forever.
+                with self._lock:
+                    del self._slots[(kind, key)]
+                slot.event.set()
+                raise
+            slot.event.set()
+            return slot.value
+        slot.event.wait()
+        if slot.error is not None:
+            raise slot.error
+        return slot.value
+
+    # -- substrates -----------------------------------------------------------------
+
+    def catalog(self) -> HardwareCatalog:
+        """The (immutable) default hardware catalog."""
+        with self._lock:
+            if self._catalog is None:
+                self._catalog = default_catalog()
+            return self._catalog
+
+    def intensity_series(self, grid: str, days: float = 30.0) -> CarbonIntensitySeries:
+        """The named grid provider's intensity series, computed once.
+
+        The resolved factory is part of the cache key, so re-registering a
+        provider name (``overwrite=True``) is picked up instead of serving
+        the replaced provider's stale series.
+        """
+        from repro.api.registry import GRID_PROVIDERS
+
+        factory = GRID_PROVIDERS.get(grid)
+        return self._compute_once(
+            "intensity", (grid, days, factory),
+            lambda: factory(days=days),
+        )
+
+    def snapshot(self, spec: "AssessmentSpec") -> "SnapshotResult":
+        """The simulated snapshot for the spec's physical configuration.
+
+        Keyed by :meth:`AssessmentSpec.physical_key` plus the resolved
+        inventory-source factory, so specs differing only in scenario
+        parameters share one engine run while a re-registered inventory
+        source (``overwrite=True``) is not served stale results.
+        """
+        from repro.api.registry import INVENTORY_SOURCES
+        from repro.snapshot.experiment import SnapshotExperiment
+
+        factory = INVENTORY_SOURCES.get(spec.inventory)
+
+        def _run() -> "SnapshotResult":
+            config = factory(spec)
+            result = SnapshotExperiment(config, catalog=self.catalog()).run()
+            with self._lock:
+                self.snapshot_runs += 1
+            return result
+
+        return self._compute_once("snapshot", spec.physical_key() + (factory,), _run)
+
+
+#: Process-wide default cache used when callers do not pass their own.
+_GLOBAL_CACHE = SubstrateCache()
+
+
+def shared_substrates() -> SubstrateCache:
+    """The process-wide substrate cache."""
+    return _GLOBAL_CACHE
+
+
+__all__ = ["SubstrateCache", "shared_substrates"]

@@ -4,6 +4,10 @@ Installed as ``python -m repro``.  The subcommands mirror the paper's
 evaluation artefacts so the whole reproduction can be driven without writing
 any Python:
 
+``assess``
+    The canonical entry point: run the unified assessment pipeline from a
+    JSON spec file (``--spec``) and/or inline overrides, printing the
+    result as a table, JSON or CSV.
 ``inventory``
     Print the Table 1 hardware inventory.
 ``intensity``
@@ -11,23 +15,36 @@ any Python:
     the text chart).
 ``snapshot``
     Run the simulated IRIS measurement campaign (Table 2) and the carbon
-    model, optionally writing the regenerated tables to CSV.
+    model, optionally writing the regenerated tables to CSV.  Delegates to
+    the same :mod:`repro.api` pipeline as ``assess``.
 ``scenarios``
     Print the Table 3 (active) and Table 4 (embodied) scenario grids for a
     given energy total and fleet size.
 ``uncertainty``
     Run the Monte-Carlo analysis over the paper's input ranges.
+
+Scenario arguments are validated at parse time (``--scale`` in (0, 1],
+``--pue`` >= 1.0) so mistakes produce a one-line usage error instead of a
+stack trace from the model layer.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.active import ActiveEnergyInput
-from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
+from repro.api import (
+    Assessment,
+    AssessmentResult,
+    AssessmentSpec,
+    active_scenario_rows,
+    default_spec,
+    embodied_scenario_rows,
+)
 from repro.core.uncertainty import MonteCarloCarbonModel
 from repro.grid.synthetic import uk_november_2022_intensity
 from repro.inventory.iris import (
@@ -36,11 +53,33 @@ from repro.inventory.iris import (
     iris_inventory_table,
 )
 from repro.io.csvio import write_rows_csv
+from repro.io.jsonio import json_default as _json_default
 from repro.reporting.figures import ascii_line_chart
 from repro.reporting.tables import format_kv_table, format_table
-from repro.snapshot.config import default_iris_snapshot_config
-from repro.snapshot.experiment import SnapshotExperiment
-from repro.units.quantities import Duration
+
+
+# --------------------------------------------------------------------------
+# parse-time validators
+# --------------------------------------------------------------------------
+
+def _float_argument(predicate, message: str):
+    """An argparse ``type=`` validator: float that must satisfy ``predicate``."""
+
+    def _parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+        if not predicate(value):
+            raise argparse.ArgumentTypeError(f"{message}, got {value}")
+        return value
+
+    return _parse
+
+
+_scale_argument = _float_argument(lambda v: 0.0 < v <= 1.0, "must be in (0, 1]")
+_pue_argument = _float_argument(lambda v: v >= 1.0, "must be at least 1.0")
+_positive_argument = _float_argument(lambda v: v > 0, "must be positive")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,6 +88,31 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Total environmental impact accounting for computing infrastructures",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    assess = subparsers.add_parser(
+        "assess", help="run the unified assessment pipeline (the canonical entry point)")
+    assess.add_argument("--spec", type=Path, default=None,
+                        help="JSON AssessmentSpec file to start from")
+    assess.add_argument("--scale", type=_scale_argument, default=None,
+                        help="node-count scale factor in (0, 1]")
+    assess.add_argument("--intensity", type=float, default=None,
+                        help="grid carbon intensity (gCO2e/kWh) for the model")
+    assess.add_argument("--grid", type=str, default=None,
+                        help="registered grid provider to derive the intensity from")
+    assess.add_argument("--pue", type=_pue_argument, default=None,
+                        help="PUE for the facility overhead (>= 1.0)")
+    assess.add_argument("--lifetime", type=_positive_argument, default=None,
+                        help="amortisation lifetime in years")
+    assess.add_argument("--per-server-kg", type=_positive_argument, default=None,
+                        help="uniform per-server embodied carbon override (kgCO2e)")
+    assess.add_argument("--amortization", type=str, default=None,
+                        help="registered amortisation policy name")
+    assess.add_argument("--format", choices=("table", "json", "csv"), default="table",
+                        help="output format (default: table)")
+    assess.add_argument("--output", type=Path, default=None,
+                        help="write the json/csv output to this file instead of stdout")
+    assess.add_argument("--output-dir", type=Path, default=None,
+                        help="directory to write the regenerated tables as CSV")
 
     subparsers.add_parser("inventory", help="print the Table 1 hardware inventory")
 
@@ -90,8 +154,104 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 # --------------------------------------------------------------------------
+# shared assessment helpers
+# --------------------------------------------------------------------------
+
+def _run_assessment(spec: AssessmentSpec) -> AssessmentResult:
+    return Assessment.from_spec(spec).run()
+
+
+def _assessment_tables_text(result: AssessmentResult) -> str:
+    """The human-readable assessment output (shared by assess and snapshot)."""
+    table2 = format_table(
+        result.table2_rows(),
+        columns=["site", "facility", "pdu", "ipmi", "turbostat", "nodes"],
+        title="Table 2 - Active energy measured for the snapshot period (kWh)",
+    )
+    model = format_kv_table({
+        "carbon intensity gCO2/kWh": result.spec.carbon_intensity_g_per_kwh,
+        "pue": result.spec.pue,
+        "active kgCO2e": result.active_kg,
+        "embodied kgCO2e": result.embodied_kg,
+        "total kgCO2e": result.total_kg,
+        "embodied fraction": result.embodied_fraction,
+    }, title="Carbon model (equation 1)", float_format=",.2f")
+    return (f"{table2}\n"
+            f"\nTotal best-estimate energy: {result.energy_kwh:,.0f} kWh "
+            f"(paper: {PAPER_TABLE2_TOTAL_KWH:,.0f} kWh at full scale)\n"
+            f"\n{model}")
+
+
+def _write_assessment_tables(result: AssessmentResult, output_dir: Path) -> None:
+    write_rows_csv(output_dir / "table2_energy.csv", result.table2_rows())
+    write_rows_csv(output_dir / "table3_active_carbon.csv", result.table3_rows())
+    write_rows_csv(output_dir / "table4_embodied.csv", result.table4_rows())
+    print(f"\nWrote tables to {output_dir}")
+
+
+def _emit(text: str, output: Optional[Path]) -> None:
+    if output is None:
+        print(text)
+    else:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+        print(f"Wrote {output}")
+
+
+# --------------------------------------------------------------------------
 # subcommand implementations
 # --------------------------------------------------------------------------
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    try:
+        spec = AssessmentSpec.from_json(args.spec) if args.spec else default_spec()
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: cannot load spec: {exc}", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.scale is not None:
+        overrides["node_scale"] = args.scale
+    if args.grid is not None:
+        overrides["grid"] = args.grid
+        overrides["carbon_intensity_g_per_kwh"] = None
+    if args.intensity is not None:
+        if args.intensity < 0:
+            print("error: --intensity must be non-negative", file=sys.stderr)
+            return 2
+        overrides["carbon_intensity_g_per_kwh"] = args.intensity
+    if args.pue is not None:
+        overrides["pue"] = args.pue
+    if args.lifetime is not None:
+        overrides["lifetime_years"] = args.lifetime
+    if args.per_server_kg is not None:
+        overrides["per_server_kgco2"] = args.per_server_kg
+    if args.amortization is not None:
+        overrides["amortization"] = args.amortization
+    try:
+        spec = spec.replace(**overrides) if overrides else spec
+        result = _run_assessment(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "table":
+        _emit(_assessment_tables_text(result), args.output)
+    elif args.format == "json":
+        _emit(json.dumps(result.as_dict(), indent=2, default=_json_default,
+                         sort_keys=True), args.output)
+    else:  # csv
+        rows = [result.summary()]
+        if args.output is not None:
+            write_rows_csv(args.output, rows)
+            print(f"Wrote {args.output}")
+        else:
+            writer = csv.writer(sys.stdout)
+            writer.writerow(list(rows[0]))
+            writer.writerow(list(rows[0].values()))
+    if args.output_dir is not None:
+        _write_assessment_tables(result, args.output_dir)
+    return 0
+
 
 def _cmd_inventory(_args: argparse.Namespace) -> int:
     print(format_table(iris_inventory_table(),
@@ -124,36 +284,25 @@ def _cmd_intensity(args: argparse.Namespace) -> int:
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
+    # Validated here (not via argparse types) so programmatic callers get a
+    # return code rather than SystemExit, as this command always did.
     if not 0.0 < args.scale <= 1.0:
-        print("error: --scale must be in (0, 1]", file=sys.stderr)
+        print("error: argument --scale: must be in (0, 1]", file=sys.stderr)
         return 2
-    config = default_iris_snapshot_config(node_scale=args.scale)
-    snapshot = SnapshotExperiment(config).run()
-    rows = snapshot.table2_rows()
-    print(format_table(
-        rows,
-        columns=["site", "facility", "pdu", "ipmi", "turbostat", "nodes"],
-        title="Table 2 - Active energy measured for the snapshot period (kWh)",
+    if args.pue < 1.0:
+        print("error: argument --pue: must be at least 1.0", file=sys.stderr)
+        return 2
+    if args.intensity < 0:
+        print("error: argument --intensity: must be non-negative", file=sys.stderr)
+        return 2
+    result = _run_assessment(default_spec(
+        node_scale=args.scale,
+        carbon_intensity_g_per_kwh=args.intensity,
+        pue=args.pue,
     ))
-    print(f"\nTotal best-estimate energy: {snapshot.total_best_estimate_kwh:,.0f} kWh "
-          f"(paper: {PAPER_TABLE2_TOTAL_KWH:,.0f} kWh at full scale)")
-    result = snapshot.evaluate_model(carbon_intensity_g_per_kwh=args.intensity,
-                                     pue=args.pue)
-    print()
-    print(format_kv_table({
-        "carbon intensity gCO2/kWh": args.intensity,
-        "pue": args.pue,
-        "active kgCO2e": result.active.total_kg,
-        "embodied kgCO2e": result.embodied.total_kg,
-        "total kgCO2e": result.total_kg,
-        "embodied fraction": result.embodied_fraction,
-    }, title="Carbon model (equation 1)", float_format=",.2f"))
+    print(_assessment_tables_text(result))
     if args.output_dir is not None:
-        write_rows_csv(args.output_dir / "table2_energy.csv", rows)
-        write_rows_csv(args.output_dir / "table3_active_carbon.csv",
-                       snapshot.table3_rows())
-        write_rows_csv(args.output_dir / "table4_embodied.csv", snapshot.table4_rows())
-        print(f"\nWrote tables to {args.output_dir}")
+        _write_assessment_tables(result, args.output_dir)
     return 0
 
 
@@ -161,16 +310,14 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.energy_kwh < 0 or args.servers <= 0 or args.period_hours <= 0:
         print("error: energy must be >= 0, servers and period positive", file=sys.stderr)
         return 2
-    energy = ActiveEnergyInput(period=Duration.from_hours(args.period_hours),
-                               node_energy_kwh={"total": args.energy_kwh})
     print(format_table(
-        ActiveScenarioGrid().table3_rows(energy),
+        active_scenario_rows(args.energy_kwh, args.period_hours),
         columns=["intensity_level", "intensity_g_per_kwh", "pue", "carbon_kg"],
         title=f"Table 3 - Active carbon for {args.energy_kwh:,.0f} kWh (kgCO2e)",
     ))
     print()
     print(format_table(
-        EmbodiedScenarioGrid().table4_rows(args.servers, args.period_hours / 24.0),
+        embodied_scenario_rows(args.servers, args.period_hours),
         title=f"Table 4 - Embodied carbon for {args.servers} servers (kgCO2e)",
         float_format=",.2f",
     ))
@@ -191,6 +338,7 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "assess": _cmd_assess,
     "inventory": _cmd_inventory,
     "intensity": _cmd_intensity,
     "snapshot": _cmd_snapshot,

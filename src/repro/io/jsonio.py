@@ -34,6 +34,11 @@ def _default(value: Any) -> Any:
     raise TypeError(f"cannot serialise {type(value).__name__} to JSON")
 
 
+#: Public name for use as ``json.dumps(..., default=json_default)`` by
+#: callers serialising result structures themselves (the CLI does).
+json_default = _default
+
+
 def write_json(path: PathLike, data: Any, indent: int = 2) -> None:
     """Write ``data`` to ``path`` as JSON, creating parent directories."""
     path = Path(path)
@@ -50,4 +55,4 @@ def read_json(path: PathLike) -> Any:
         return json.load(handle)
 
 
-__all__ = ["write_json", "read_json"]
+__all__ = ["write_json", "read_json", "json_default"]

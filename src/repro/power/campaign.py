@@ -9,6 +9,7 @@ paper's Table 2.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence
 
@@ -91,8 +92,13 @@ class MeasurementCampaign:
         return [m for m in METHOD_SCOPE_ORDER if m in self._instruments]
 
     def _method_seed(self, site: str, method: str) -> int:
-        """A stable per-(site, method) seed derived from the campaign seed."""
-        return (hash((site, method)) ^ self._seed) & 0x7FFFFFFF
+        """A stable per-(site, method) seed derived from the campaign seed.
+
+        Uses CRC32, not ``hash()``: Python randomises string hashes per
+        process, which would make "the same campaign" produce different
+        measurement noise on every run.
+        """
+        return (zlib.crc32(f"{site}\x1f{method}".encode()) ^ self._seed) & 0x7FFFFFFF
 
     def measure_site(
         self,

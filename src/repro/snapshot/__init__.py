@@ -17,6 +17,7 @@ model over the result.
 from repro.snapshot.config import (
     SiteSnapshotConfig,
     SnapshotConfig,
+    build_iris_snapshot_config,
     default_iris_snapshot_config,
 )
 from repro.snapshot.experiment import (
@@ -28,6 +29,7 @@ from repro.snapshot.experiment import (
 __all__ = [
     "SiteSnapshotConfig",
     "SnapshotConfig",
+    "build_iris_snapshot_config",
     "default_iris_snapshot_config",
     "SnapshotExperiment",
     "SiteSnapshotResult",

@@ -1,7 +1,8 @@
 """Configuration of a snapshot audit run.
 
 A snapshot run is described by one :class:`SnapshotConfig` containing one
-:class:`SiteSnapshotConfig` per site.  :func:`default_iris_snapshot_config`
+:class:`SiteSnapshotConfig` per site.  :func:`build_iris_snapshot_config`
+(registered as the ``"iris"`` inventory source of :mod:`repro.api`)
 builds the configuration that reproduces the paper's snapshot: the six IRIS
 sites with their measured node counts, the measurement methods each could
 provide (the non-empty cells of Table 2), and per-site calibration targets
@@ -20,6 +21,7 @@ Two calibration knobs deserve a note:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -177,7 +179,7 @@ IRIS_SITE_IPMI_COVERAGE: Dict[str, float] = {
 }
 
 
-def default_iris_snapshot_config(
+def build_iris_snapshot_config(
     duration_hours: float = IRIS_SNAPSHOT_HOURS,
     trace_step_s: float = 60.0,
     campaign_seed: int = 1234,
@@ -219,9 +221,38 @@ def default_iris_snapshot_config(
     )
 
 
+def default_iris_snapshot_config(
+    duration_hours: float = IRIS_SNAPSHOT_HOURS,
+    trace_step_s: float = 60.0,
+    campaign_seed: int = 1234,
+    lifetime_years: float = 5.0,
+    node_scale: float = 1.0,
+) -> SnapshotConfig:
+    """Deprecated alias of :func:`build_iris_snapshot_config`.
+
+    Kept so pre-``repro.api`` code keeps working unchanged; new code should
+    either call :func:`build_iris_snapshot_config` or, better, go through
+    ``repro.api.Assessment`` / ``repro.api.default_spec``.
+    """
+    warnings.warn(
+        "default_iris_snapshot_config() is deprecated; use "
+        "build_iris_snapshot_config() or the repro.api.Assessment pipeline",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_iris_snapshot_config(
+        duration_hours=duration_hours,
+        trace_step_s=trace_step_s,
+        campaign_seed=campaign_seed,
+        lifetime_years=lifetime_years,
+        node_scale=node_scale,
+    )
+
+
 __all__ = [
     "SiteSnapshotConfig",
     "SnapshotConfig",
+    "build_iris_snapshot_config",
     "default_iris_snapshot_config",
     "IRIS_SITE_COMPUTE_MODEL",
     "IRIS_SITE_IPMI_COVERAGE",

@@ -20,7 +20,7 @@ convenience evaluations of the scenario grids (Tables 3 and 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from repro.power.campaign import MeasurementCampaign, SiteEnergyReport
 from repro.power.instruments import FacilityMeter, IPMIMeter, PDUMeter, TurbostatMeter
 from repro.power.node_power import NodePowerModel
 from repro.power.traces import PowerBreakdownTrace
-from repro.snapshot.config import SiteSnapshotConfig, SnapshotConfig, default_iris_snapshot_config
+from repro.snapshot.config import SiteSnapshotConfig, SnapshotConfig, build_iris_snapshot_config
 from repro.units.quantities import CarbonIntensity, Duration
 from repro.workload.cluster import SimulatedCluster, SimulatedNode
 from repro.workload.jobs import JobGenerator, WorkloadProfile
@@ -133,18 +133,23 @@ class SnapshotResult:
         self,
         per_server_kgco2: Optional[float] = None,
         lifetime_years: Optional[float] = None,
+        node_kgco2_resolver: Optional[Callable[[str], float]] = None,
     ) -> List[EmbodiedAsset]:
         """One embodied asset per measured node (plus per-site network fabrics).
 
         ``per_server_kgco2`` overrides the per-node embodied carbon (used by
-        the Table 4 scenario sweeps); by default each node class keeps its
-        catalog datasheet figure.
+        the Table 4 scenario sweeps); ``node_kgco2_resolver`` maps a catalog
+        model name to a per-node figure (how ``repro.api`` plugs in named
+        embodied estimators); by default each node class keeps its catalog
+        datasheet figure.
         """
         lifetime = lifetime_years or self.config.lifetime_years
         assets: List[EmbodiedAsset] = []
         for result in self.site_results:
             for node_id, model_name in result.node_specs.items():
                 embodied = per_server_kgco2
+                if embodied is None and node_kgco2_resolver is not None:
+                    embodied = node_kgco2_resolver(model_name)
                 if embodied is None:
                     embodied = self._catalog_embodied_kg(model_name)
                 assets.append(
@@ -207,14 +212,20 @@ class SnapshotResult:
 
 
 class SnapshotExperiment:
-    """Run the IRISCAST-style snapshot over a simulated infrastructure."""
+    """Run the IRISCAST-style snapshot over a simulated infrastructure.
+
+    This is the simulation *engine*; most callers should go through the
+    :class:`repro.api.Assessment` façade, which drives it from a
+    declarative spec and caches its (expensive) output across scenario
+    evaluations.
+    """
 
     def __init__(
         self,
         config: Optional[SnapshotConfig] = None,
         catalog: Optional[HardwareCatalog] = None,
     ):
-        self._config = config or default_iris_snapshot_config()
+        self._config = config or build_iris_snapshot_config()
         self._catalog = catalog or default_catalog()
 
     @property

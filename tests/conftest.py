@@ -7,7 +7,7 @@ import pytest
 from repro.inventory.catalog import default_catalog
 from repro.inventory.node import NodeSpec
 from repro.power.node_power import NodePowerModel
-from repro.snapshot.config import default_iris_snapshot_config
+from repro.snapshot.config import build_iris_snapshot_config
 from repro.snapshot.experiment import SnapshotExperiment
 
 
@@ -43,5 +43,5 @@ def mini_snapshot_result():
     preserved; only the node counts are reduced, so integration tests can
     assert structural properties without the full-fleet runtime.
     """
-    config = default_iris_snapshot_config(node_scale=0.1, campaign_seed=7)
+    config = build_iris_snapshot_config(node_scale=0.1, campaign_seed=7)
     return SnapshotExperiment(config).run()

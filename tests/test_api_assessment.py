@@ -1,0 +1,148 @@
+"""Tests for the Assessment façade and its result object."""
+
+import pytest
+
+from repro.api import (
+    Assessment,
+    AssessmentResult,
+    SubstrateCache,
+    default_spec,
+)
+from repro.api.registry import UnknownComponentError
+from repro.snapshot.config import build_iris_snapshot_config
+from repro.snapshot.experiment import SnapshotExperiment
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def cache():
+    """One substrate cache shared by this module (one engine run)."""
+    return SubstrateCache()
+
+
+@pytest.fixture(scope="module")
+def result(cache) -> AssessmentResult:
+    return Assessment.from_spec(default_spec(node_scale=SCALE),
+                                substrates=cache).run()
+
+
+class TestEquivalence:
+    def test_matches_snapshot_experiment_exactly(self, result):
+        """The acceptance criterion: bit-identical to the historical path."""
+        config = build_iris_snapshot_config(node_scale=SCALE)
+        snapshot = SnapshotExperiment(config).run()
+        legacy = snapshot.evaluate_model(carbon_intensity_g_per_kwh=175.0, pue=1.3)
+        assert result.total_kg == legacy.total_kg
+        assert result.active_kg == legacy.active.total_kg
+        assert result.embodied_kg == legacy.embodied.total_kg
+        assert result.energy_kwh == snapshot.total_best_estimate_kwh
+
+    def test_table2_matches_engine(self, result):
+        config = build_iris_snapshot_config(node_scale=SCALE)
+        snapshot = SnapshotExperiment(config).run()
+        assert result.table2_rows() == snapshot.table2_rows()
+
+
+class TestBuilders:
+    def test_builders_return_new_assessments(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        variant = base.with_grid(50.0).with_pue(1.1)
+        assert base.spec.carbon_intensity_g_per_kwh == 175.0
+        assert variant.spec.carbon_intensity_g_per_kwh == 50.0
+        assert variant.spec.pue == 1.1
+        # The variant kept the shared substrate cache.
+        assert variant.substrates is cache
+
+    def test_with_grid_name_defers_to_provider(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        named = base.with_grid("uk-november-2022")
+        assert named.spec.carbon_intensity_g_per_kwh is None
+        resolved = named.resolved_intensity_g_per_kwh()
+        # The synthetic November profile's medium reference is ~175.
+        assert 150.0 < resolved < 200.0
+
+    def test_scenario_ordering(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        clean = base.with_grid(50.0).with_pue(1.1).run()
+        dirty = base.with_grid(300.0).with_pue(1.5).run()
+        assert clean.total_kg < dirty.total_kg
+        # Only one simulation backed all of these runs.
+        assert cache.snapshot_runs == 1
+
+    def test_longer_lifetime_reduces_embodied(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        short = base.with_embodied(lifetime_years=3.0).run()
+        long = base.with_embodied(lifetime_years=7.0).run()
+        assert long.embodied_kg < short.embodied_kg
+        assert long.active_kg == short.active_kg
+
+    def test_per_server_override(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        low = base.with_embodied(per_server_kgco2=400.0).run()
+        high = base.with_embodied(per_server_kgco2=1100.0).run()
+        assert high.embodied_kg > low.embodied_kg
+
+    def test_component_estimator_changes_embodied(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        catalog = base.run()
+        components = base.with_embodied("bottom-up-components").run()
+        assert components.embodied_kg > 0
+        assert components.embodied_kg != catalog.embodied_kg
+
+    def test_amortization_policy_applies(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        weighted = base.with_amortization("utilization-weighted").run()
+        linear = base.run()
+        assert weighted.total.embodied.amortization_policy == "utilization-weighted"
+        assert weighted.embodied_kg != linear.embodied_kg
+
+    def test_unknown_component_names_fail_loudly(self, cache):
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=cache)
+        with pytest.raises(UnknownComponentError):
+            base.with_amortization("no-such-policy").run()
+        with pytest.raises(UnknownComponentError):
+            base.with_inventory("no-such-inventory").run()
+        with pytest.raises(UnknownComponentError):
+            base.with_grid("no-such-grid").run()
+        with pytest.raises(UnknownComponentError):
+            base.with_embodied("no-such-estimator").run()
+
+    def test_unknown_names_fail_before_the_simulation(self):
+        fresh = SubstrateCache()
+        base = Assessment.from_spec(default_spec(node_scale=SCALE), substrates=fresh)
+        for broken in (base.with_amortization("typo"),
+                       base.with_grid("typo"),
+                       base.with_embodied("typo")):
+            with pytest.raises(UnknownComponentError):
+                broken.run()
+        # None of the failures paid for an engine run.
+        assert fresh.snapshot_runs == 0
+
+
+class TestResultObject:
+    def test_summary_row_is_flat_and_complete(self, result):
+        row = result.summary()
+        assert row["total_kg"] == pytest.approx(
+            row["active_kg"] + row["embodied_kg"])
+        assert row["nodes"] == result.snapshot.total_nodes
+        assert row["intensity_g_per_kwh"] == 175.0
+
+    def test_scenario_tables(self, result):
+        table3 = result.table3_rows()
+        table4 = result.table4_rows()
+        assert len(table3) == 12  # 3 IT-only rows + 3x3 grid
+        assert len(table4) == 5   # one row per lifetime
+        assert all(row["carbon_kg"] >= 0 for row in table3)
+
+    def test_as_dict_and_json(self, result, tmp_path):
+        data = result.as_dict()
+        assert data["summary"]["total_kg"] == result.total_kg
+        path = tmp_path / "result.json"
+        result.to_json(path)
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_report_renders(self, result):
+        text = result.report(title="Test report").render()
+        assert "# Test report" in text
+        assert "total_kg" in text

@@ -1,0 +1,143 @@
+"""Tests for the batch scenario engine and substrate sharing."""
+
+import pytest
+
+from repro.api import (
+    Assessment,
+    BatchAssessmentRunner,
+    SubstrateCache,
+    default_spec,
+)
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def swept():
+    """A 12-scenario sweep over one shared cache (module-scoped: one sim)."""
+    cache = SubstrateCache()
+    runner = BatchAssessmentRunner(default_spec(node_scale=SCALE), substrates=cache)
+    batch = runner.sweep(
+        intensity=[50.0, 175.0, 300.0],
+        pue=[1.1, 1.3],
+        lifetime=[3.0, 5.0],
+    )
+    return cache, batch
+
+
+class TestSweep:
+    def test_result_count_and_order(self, swept):
+        _, batch = swept
+        assert len(batch) == 12
+        # Deterministic cartesian order: last axis fastest.
+        assert [r.spec.carbon_intensity_g_per_kwh for r in batch][:4] == [50.0] * 4
+        assert [r.spec.lifetime_years for r in batch][:4] == [3.0, 5.0, 3.0, 5.0]
+
+    def test_substrate_reuse(self, swept):
+        cache, batch = swept
+        # One physical configuration -> exactly one engine run, 12 cache hits.
+        assert cache.snapshot_runs == 1
+        assert cache.snapshot_hits >= len(batch)
+        # Every scenario saw the same snapshot object.
+        snapshots = {id(result.snapshot) for result in batch}
+        assert len(snapshots) == 1
+
+    def test_monotonic_in_intensity(self, swept):
+        _, batch = swept
+        by_params = {
+            (r.spec.carbon_intensity_g_per_kwh, r.spec.pue, r.spec.lifetime_years): r
+            for r in batch
+        }
+        for pue in (1.1, 1.3):
+            for lifetime in (3.0, 5.0):
+                totals = [by_params[(g, pue, lifetime)].total_kg
+                          for g in (50.0, 175.0, 300.0)]
+                assert totals == sorted(totals)
+                assert totals[0] < totals[-1]
+
+    def test_rows_and_serialisation(self, swept, tmp_path):
+        _, batch = swept
+        rows = batch.as_rows()
+        assert len(rows) == 12
+        assert all(row["total_kg"] > 0 for row in rows)
+        batch.to_json(tmp_path / "batch.json")
+        batch.to_csv(tmp_path / "batch.csv")
+        assert (tmp_path / "batch.json").stat().st_size > 0
+        assert (tmp_path / "batch.csv").read_text().count("\n") == 13  # header + 12
+
+    def test_min_max(self, swept):
+        _, batch = swept
+        assert batch.min_total_kg == min(batch.totals_kg)
+        assert batch.max_total_kg == max(batch.totals_kg)
+        assert batch.min_total_kg < batch.max_total_kg
+
+
+class TestAxes:
+    def test_unknown_axis_rejected(self):
+        runner = BatchAssessmentRunner(default_spec(node_scale=SCALE))
+        with pytest.raises(ValueError) as err:
+            runner.grid_specs(wibble=[1, 2])
+        assert "wibble" in str(err.value)
+
+    def test_empty_axis_rejected(self):
+        runner = BatchAssessmentRunner(default_spec(node_scale=SCALE))
+        with pytest.raises(ValueError):
+            runner.grid_specs(intensity=[])
+
+    def test_empty_spec_list_rejected(self):
+        runner = BatchAssessmentRunner(default_spec(node_scale=SCALE))
+        with pytest.raises(ValueError):
+            runner.run_specs([])
+
+    def test_invalid_axis_value_rejected_at_spec_build(self):
+        runner = BatchAssessmentRunner(default_spec(node_scale=SCALE))
+        with pytest.raises(ValueError):
+            runner.grid_specs(pue=[0.5])
+
+
+class TestGridAxis:
+    def test_grid_sweep_actually_varies_the_intensity(self):
+        """Sweeping providers must clear the base spec's fixed intensity."""
+        runner = BatchAssessmentRunner(default_spec(node_scale=SCALE))
+        specs = runner.grid_specs(grid=["uk-november-2022", "region-FR"])
+        assert all(s.carbon_intensity_g_per_kwh is None for s in specs)
+        batch = runner.run_specs(specs)
+        intensities = [r.spec.carbon_intensity_g_per_kwh for r in batch]
+        assert intensities[0] != intensities[1]
+        assert batch.totals_kg[0] != batch.totals_kg[1]
+
+    def test_grid_and_intensity_axes_together_rejected(self):
+        runner = BatchAssessmentRunner(default_spec(node_scale=SCALE))
+        with pytest.raises(ValueError, match="contradictory"):
+            runner.grid_specs(grid=["uk-november-2022", "region-FR"],
+                              intensity=[100.0])
+
+
+class TestParallel:
+    def test_parallel_matches_sequential_and_shares_runs(self):
+        specs = [
+            default_spec(node_scale=SCALE, carbon_intensity_g_per_kwh=g)
+            for g in (50.0, 175.0, 300.0)
+        ]
+        sequential_cache = SubstrateCache()
+        sequential = BatchAssessmentRunner(
+            substrates=sequential_cache).run_specs(specs)
+        parallel_cache = SubstrateCache()
+        parallel = BatchAssessmentRunner(
+            substrates=parallel_cache, max_workers=4).run_specs(specs)
+        assert parallel.totals_kg == sequential.totals_kg
+        assert sequential_cache.snapshot_runs == 1
+        assert parallel_cache.snapshot_runs == 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            BatchAssessmentRunner(max_workers=0)
+
+
+class TestSharedWithFacade:
+    def test_runner_and_facade_share_one_simulation(self):
+        cache = SubstrateCache()
+        spec = default_spec(node_scale=SCALE)
+        Assessment.from_spec(spec, substrates=cache).run()
+        BatchAssessmentRunner(spec, substrates=cache).sweep(intensity=[50.0, 300.0])
+        assert cache.snapshot_runs == 1

@@ -1,0 +1,157 @@
+"""Tests for the component registries."""
+
+import pytest
+
+from repro.api import (
+    AMORTIZATION_POLICIES,
+    BASELINE_ESTIMATORS,
+    EMBODIED_ESTIMATORS,
+    GRID_PROVIDERS,
+    INVENTORY_SOURCES,
+    ComponentRegistry,
+    DuplicateComponentError,
+    UnknownComponentError,
+)
+from repro.baselines import CCFStyleEstimator
+from repro.core.embodied import LinearAmortization
+from repro.grid.intensity import CarbonIntensitySeries
+
+
+class TestComponentRegistry:
+    def test_register_and_create(self):
+        registry = ComponentRegistry("widget")
+        registry.register("three", lambda: 3)
+        assert registry.create("three") == 3
+        assert "three" in registry
+        assert registry.names() == ["three"]
+
+    def test_decorator_form(self):
+        registry = ComponentRegistry("widget")
+
+        @registry.register("four")
+        def make_four():
+            return 4
+
+        assert registry.create("four") == 4
+        assert make_four() == 4  # the decorator returns the factory unchanged
+
+    def test_create_passes_arguments(self):
+        registry = ComponentRegistry("widget")
+        registry.register("add", lambda a, b=1: a + b)
+        assert registry.create("add", 2, b=3) == 5
+
+    def test_unknown_name_error_lists_known_names(self):
+        registry = ComponentRegistry("widget")
+        registry.register("known", lambda: None)
+        with pytest.raises(UnknownComponentError) as err:
+            registry.create("missing")
+        assert "missing" in str(err.value)
+        assert "known" in str(err.value)
+        assert "widget" in str(err.value)
+        # It is still a KeyError, so broad callers can catch it as one.
+        assert isinstance(err.value, KeyError)
+
+    def test_duplicate_registration_rejected(self):
+        registry = ComponentRegistry("widget")
+        registry.register("x", lambda: 1)
+        with pytest.raises(DuplicateComponentError):
+            registry.register("x", lambda: 2)
+        # ... unless overwrite is explicit.
+        registry.register("x", lambda: 2, overwrite=True)
+        assert registry.create("x") == 2
+
+    def test_unregister(self):
+        registry = ComponentRegistry("widget")
+        registry.register("x", lambda: 1)
+        registry.unregister("x")
+        assert "x" not in registry
+        with pytest.raises(UnknownComponentError):
+            registry.unregister("x")
+
+    def test_non_callable_factory_rejected(self):
+        registry = ComponentRegistry("widget")
+        with pytest.raises(TypeError):
+            registry.register("x", 42)
+
+    def test_empty_name_rejected(self):
+        registry = ComponentRegistry("widget")
+        with pytest.raises(ValueError):
+            registry.register("", lambda: 1)
+
+
+class TestDefaultRegistrations:
+    def test_grid_providers(self):
+        names = GRID_PROVIDERS.names()
+        assert "uk-november-2022" in names
+        assert "synthetic-gb" in names
+        assert "region-GB" in names
+        series = GRID_PROVIDERS.create("uk-november-2022", days=1.0)
+        assert isinstance(series, CarbonIntensitySeries)
+
+    def test_embodied_estimators(self, compute_spec):
+        assert {"catalog", "bottom-up", "bottom-up-components"} <= set(
+            EMBODIED_ESTIMATORS.names())
+        catalog_kg = EMBODIED_ESTIMATORS.create("catalog").node_total_kgco2(compute_spec)
+        components_kg = EMBODIED_ESTIMATORS.create(
+            "bottom-up-components").node_total_kgco2(compute_spec)
+        assert catalog_kg > 0 and components_kg > 0
+
+    def test_inventory_sources(self):
+        assert "iris" in INVENTORY_SOURCES.names()
+
+    def test_amortization_policies(self):
+        assert {"linear", "utilization-weighted", "core-hours"} <= set(
+            AMORTIZATION_POLICIES.names())
+        assert isinstance(AMORTIZATION_POLICIES.create("linear"), LinearAmortization)
+
+    def test_baselines(self):
+        assert {"ccf-style", "boavizta-style", "tdp-proxy"} <= set(
+            BASELINE_ESTIMATORS.names())
+        assert isinstance(BASELINE_ESTIMATORS.create("ccf-style"), CCFStyleEstimator)
+
+
+class TestPluggability:
+    def test_overwritten_provider_is_not_served_stale_from_cache(self):
+        """Re-registering with overwrite=True must reach cached assessments."""
+        from repro.api import SubstrateCache, register_grid_provider
+        from repro.grid.intensity import CarbonIntensitySeries
+        from repro.timeseries.series import TimeSeries
+
+        def constant_provider(value):
+            def _series(days=30.0):
+                import numpy as np
+                n = int(days * 48)
+                return CarbonIntensitySeries(
+                    TimeSeries(0.0, 1800.0, np.full(n, float(value))))
+            return _series
+
+        name = "test-overwrite-grid"
+        cache = SubstrateCache()
+        register_grid_provider(name, constant_provider(100.0), overwrite=True)
+        try:
+            first = cache.intensity_series(name)
+            assert first.mean_intensity().g_per_kwh == pytest.approx(100.0)
+            register_grid_provider(name, constant_provider(20.0), overwrite=True)
+            second = cache.intensity_series(name)
+            assert second.mean_intensity().g_per_kwh == pytest.approx(20.0)
+        finally:
+            GRID_PROVIDERS.unregister(name)
+
+    def test_new_grid_provider_is_addressable_from_a_spec(self):
+        from repro.api import Assessment, default_spec, register_grid_provider
+        from repro.grid.synthetic import SyntheticGridModel
+
+        name = "test-only-grid"
+        register_grid_provider(
+            name,
+            lambda days=30.0: SyntheticGridModel().generate_intensity(days=min(days, 2.0)),
+            overwrite=True,
+        )
+        try:
+            assessment = Assessment.from_spec(
+                default_spec(node_scale=0.05, grid=name,
+                             carbon_intensity_g_per_kwh=None))
+            intensity = assessment.resolved_intensity_g_per_kwh()
+            assert intensity > 0
+        finally:
+            GRID_PROVIDERS.unregister(name)

@@ -1,0 +1,44 @@
+"""Deprecation shims: old entry points warn but return identical results."""
+
+import pytest
+
+from repro.api import Assessment, default_spec
+from repro.snapshot.config import (
+    build_iris_snapshot_config,
+    default_iris_snapshot_config,
+)
+from repro.snapshot.experiment import SnapshotExperiment
+
+
+class TestDefaultIrisSnapshotConfigShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="build_iris_snapshot_config"):
+            default_iris_snapshot_config(node_scale=0.1)
+
+    def test_returns_identical_config(self):
+        with pytest.warns(DeprecationWarning):
+            old = default_iris_snapshot_config(node_scale=0.1, campaign_seed=7)
+        new = build_iris_snapshot_config(node_scale=0.1, campaign_seed=7)
+        assert old == new
+
+    def test_new_name_does_not_warn(self, recwarn):
+        build_iris_snapshot_config(node_scale=0.1)
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+
+class TestOldPipelineStillWorks:
+    def test_legacy_path_equals_new_api(self):
+        """The shimmed pre-api pipeline returns exactly what Assessment does."""
+        with pytest.warns(DeprecationWarning):
+            config = default_iris_snapshot_config(node_scale=0.05)
+        snapshot = SnapshotExperiment(config).run()
+        legacy_total = snapshot.evaluate_model(
+            carbon_intensity_g_per_kwh=175.0, pue=1.3)
+        new_total = Assessment.from_spec(default_spec(node_scale=0.05)).run()
+        assert new_total.total_kg == legacy_total.total_kg
+
+    def test_shim_exported_from_package_root(self):
+        import repro
+
+        assert repro.default_iris_snapshot_config is default_iris_snapshot_config
+        assert repro.build_iris_snapshot_config is build_iris_snapshot_config

@@ -66,6 +66,92 @@ class TestUncertainty:
         assert main(["uncertainty", "--samples", "0"]) == 2
 
 
+class TestAssess:
+    def test_inline_overrides(self, capsys):
+        assert main(["assess", "--scale", "0.05", "--intensity", "50",
+                     "--pue", "1.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "total kgCO2e" in out
+
+    def test_matches_snapshot_command(self, capsys):
+        assert main(["assess", "--scale", "0.05"]) == 0
+        assess_out = capsys.readouterr().out
+        assert main(["snapshot", "--scale", "0.05"]) == 0
+        snapshot_out = capsys.readouterr().out
+        assert assess_out == snapshot_out
+
+    def test_spec_file(self, capsys, tmp_path):
+        from repro.api import default_spec
+
+        spec_path = tmp_path / "spec.json"
+        default_spec(node_scale=0.05).to_json(spec_path)
+        assert main(["assess", "--spec", str(spec_path)]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["assess", "--scale", "0.05", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["total_kg"] > 0
+        assert data["spec"]["node_scale"] == 0.05
+
+    def test_csv_format_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "summary.csv"
+        assert main(["assess", "--scale", "0.05", "--format", "csv",
+                     "--output", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert text.startswith("inventory,")
+        assert text.count("\n") == 2  # header + one row
+
+    def test_table_format_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "tables.txt"
+        assert main(["assess", "--scale", "0.05",
+                     "--output", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "Table 2" in text
+        assert "total kgCO2e" in text
+
+    def test_output_dir_tables(self, capsys, tmp_path):
+        assert main(["assess", "--scale", "0.05",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "table2_energy.csv").exists()
+        assert (tmp_path / "table3_active_carbon.csv").exists()
+        assert (tmp_path / "table4_embodied.csv").exists()
+
+    def test_invalid_scale_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["assess", "--scale", "0"])
+        assert err.value.code == 2
+        assert "(0, 1]" in capsys.readouterr().err
+
+    def test_invalid_pue_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["assess", "--pue", "0.8"])
+        assert err.value.code == 2
+        assert "at least 1.0" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["assess", "--spec", "/does/not/exist.json"]) == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_unknown_component_name(self, capsys):
+        assert main(["assess", "--scale", "0.05",
+                     "--amortization", "no-such-policy"]) == 2
+        assert "no-such-policy" in capsys.readouterr().err
+
+
+class TestSnapshotValidation:
+    def test_invalid_pue_returns_error_code(self, capsys):
+        assert main(["snapshot", "--scale", "0.05", "--pue", "0.5"]) == 2
+        assert "--pue" in capsys.readouterr().err
+
+    def test_invalid_intensity_returns_error_code(self, capsys):
+        assert main(["snapshot", "--scale", "0.05", "--intensity", "-1"]) == 2
+        assert "--intensity" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
