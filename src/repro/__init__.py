@@ -95,10 +95,13 @@ from repro.api import (
     BatchAssessmentRunner,
     BatchResult,
     SubstrateCache,
+    TemporalAssessment,
+    TemporalAssessmentResult,
     default_spec,
     register_embodied_estimator,
     register_grid_provider,
     register_inventory_source,
+    register_trace_provider,
 )
 
 __version__ = "1.1.0"
@@ -159,10 +162,13 @@ __all__ = [
     "BatchAssessmentRunner",
     "BatchResult",
     "SubstrateCache",
+    "TemporalAssessment",
+    "TemporalAssessmentResult",
     "default_spec",
     "register_embodied_estimator",
     "register_grid_provider",
     "register_inventory_source",
+    "register_trace_provider",
     # reporting
     "AuditReport",
     "EquivalenceReport",

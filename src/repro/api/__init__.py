@@ -36,18 +36,26 @@ from repro.api.registry import (
     EMBODIED_ESTIMATORS,
     GRID_PROVIDERS,
     INVENTORY_SOURCES,
+    TRACE_PROVIDERS,
     UnknownComponentError,
     register_amortization_policy,
     register_baseline_estimator,
     register_embodied_estimator,
     register_grid_provider,
     register_inventory_source,
+    register_trace_provider,
 )
 from repro.api.spec import CATALOG_ESTIMATOR, AssessmentSpec, default_spec
 from repro.api.substrates import SubstrateCache, shared_substrates
 from repro.api.result import AssessmentResult
 from repro.api.assessment import Assessment
-from repro.api.batch import BatchAssessmentRunner, BatchResult, SWEEP_AXES
+from repro.api.batch import (
+    BatchAssessmentRunner,
+    BatchResult,
+    SWEEP_AXES,
+    TemporalBatchResult,
+)
+from repro.api.temporal import TemporalAssessment, TemporalAssessmentResult
 from repro.api.scenarios import active_scenario_rows, embodied_scenario_rows
 
 # Register the stock components under their well-known names (import for
@@ -64,6 +72,9 @@ __all__ = [
     "AssessmentResult",
     "BatchAssessmentRunner",
     "BatchResult",
+    "TemporalBatchResult",
+    "TemporalAssessment",
+    "TemporalAssessmentResult",
     "SWEEP_AXES",
     # substrates
     "SubstrateCache",
@@ -80,9 +91,11 @@ __all__ = [
     "INVENTORY_SOURCES",
     "AMORTIZATION_POLICIES",
     "BASELINE_ESTIMATORS",
+    "TRACE_PROVIDERS",
     "register_grid_provider",
     "register_embodied_estimator",
     "register_inventory_source",
     "register_amortization_policy",
     "register_baseline_estimator",
+    "register_trace_provider",
 ]

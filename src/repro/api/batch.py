@@ -27,7 +27,10 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.temporal import TemporalAssessmentResult
 
 from repro.io.csvio import write_rows_csv
 from repro.io.jsonio import PathLike, write_json
@@ -47,7 +50,20 @@ SWEEP_AXES: Dict[str, str] = {
     "amortization": "amortization",
     "grid": "grid",
     "embodied_estimator": "embodied_estimator",
+    # Carbon-aware temporal axes (sweep_temporal only; the static pipeline
+    # ignores these fields, so a plain sweep over them rejects loudly
+    # rather than returning N identical results).
+    "shift_hours": "shift_hours",
+    "defer_fraction": "defer_fraction",
+    "trace_source": "trace_source",
+    "resolution": "temporal_resolution_s",
+    "alignment": "alignment",
 }
+
+#: Axes that only have an effect through the time-resolved engine.
+TEMPORAL_ONLY_AXES = frozenset(
+    {"shift_hours", "defer_fraction", "trace_source", "resolution", "alignment"}
+)
 
 
 @dataclass(frozen=True)
@@ -79,6 +95,43 @@ class BatchResult:
     @property
     def max_total_kg(self) -> float:
         return max(self.totals_kg)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One summary row per scenario, in sweep order."""
+        return [result.summary() for result in self.results]
+
+    def to_json(self, path: PathLike) -> None:
+        write_json(path, self.as_rows())
+
+    def to_csv(self, path: PathLike) -> None:
+        write_rows_csv(path, self.as_rows())
+
+
+@dataclass(frozen=True)
+class TemporalBatchResult:
+    """The ordered outcome of a temporal scenario sweep."""
+
+    results: Tuple["TemporalAssessmentResult", ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> "TemporalAssessmentResult":
+        return self.results[index]
+
+    @property
+    def active_totals_kg(self) -> List[float]:
+        return [result.active_kg for result in self.results]
+
+    def best(self) -> "TemporalAssessmentResult":
+        """The scenario with the lowest time-resolved active carbon."""
+        return min(self.results, key=lambda result: result.active_kg)
 
     def as_rows(self) -> List[Dict[str, object]]:
         """One summary row per scenario, in sweep order."""
@@ -181,8 +234,54 @@ class BatchAssessmentRunner:
         return BatchResult(results=tuple(results))
 
     def sweep(self, **axes: Iterable) -> BatchResult:
-        """Run the cartesian product of the given axes (see :meth:`grid_specs`)."""
+        """Run the cartesian product of the given axes (see :meth:`grid_specs`).
+
+        Temporal-only axes are rejected here: the static pipeline would
+        evaluate every such scenario to the identical number, which reads
+        as "this lever saves nothing" — use :meth:`sweep_temporal`.
+        """
+        temporal_axes = sorted(TEMPORAL_ONLY_AXES & set(axes))
+        if temporal_axes:
+            raise ValueError(
+                f"axes {', '.join(temporal_axes)} only affect the "
+                "time-resolved engine; use sweep_temporal() for them"
+            )
         return self.run_specs(self.grid_specs(**axes))
+
+    def run_temporal_specs(
+        self, specs: Sequence[AssessmentSpec]
+    ) -> TemporalBatchResult:
+        """Run the given scenarios through the time-resolved engine.
+
+        Shares substrates exactly like :meth:`run_specs` — the expensive
+        simulation happens once per distinct physical configuration, and
+        every temporal scenario (shift, deferral, grid, resolution) is a
+        cheap re-integration over the cached traces.
+        """
+        from repro.api.temporal import TemporalAssessment
+
+        specs = list(specs)
+        if not specs:
+            raise ValueError("run_temporal_specs needs at least one spec")
+        self._prepare_snapshots(specs)
+        results = [
+            TemporalAssessment(spec, substrates=self._substrates).run()
+            for spec in specs
+        ]
+        return TemporalBatchResult(results=tuple(results))
+
+    def sweep_temporal(self, **axes: Iterable) -> TemporalBatchResult:
+        """Sweep carbon-aware scenario axes through the temporal engine.
+
+        The axes are the same as :meth:`sweep` plus the temporal ones —
+        ``shift_hours``, ``defer_fraction``, ``trace_source``,
+        ``resolution`` and ``alignment`` — so a time-shifting ×
+        region-shifting grid is one call::
+
+            runner.sweep_temporal(grid=["region-GB", "region-FR"],
+                                  shift_hours=[0, 6, 12])
+        """
+        return self.run_temporal_specs(self.grid_specs(**axes))
 
     def _prepare_snapshots(self, specs: Sequence[AssessmentSpec]) -> None:
         """Simulate each distinct physical configuration exactly once.
@@ -205,4 +304,10 @@ class BatchAssessmentRunner:
                 self._substrates.snapshot(spec)
 
 
-__all__ = ["BatchAssessmentRunner", "BatchResult", "SWEEP_AXES"]
+__all__ = [
+    "BatchAssessmentRunner",
+    "BatchResult",
+    "TemporalBatchResult",
+    "SWEEP_AXES",
+    "TEMPORAL_ONLY_AXES",
+]

@@ -13,6 +13,7 @@ grid providers            ``uk-november-2022``, ``synthetic-gb``, and one
 embodied estimators       ``catalog``, ``bottom-up``, ``bottom-up-components``
 amortization policies     ``linear``, ``utilization-weighted``, ``core-hours``
 baseline estimators       ``ccf-style``, ``boavizta-style``, ``tdp-proxy``
+trace providers           ``measured``, ``flat``, ``synthetic-diurnal``
 ========================  =====================================================
 
 Everything here goes through the public ``register_*`` calls — a template
@@ -21,12 +22,15 @@ for third-party backends, which plug in exactly the same way.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.api.registry import (
     register_amortization_policy,
     register_baseline_estimator,
     register_embodied_estimator,
     register_grid_provider,
     register_inventory_source,
+    register_trace_provider,
 )
 from repro.api.spec import CATALOG_ESTIMATOR
 from repro.baselines import (
@@ -47,6 +51,8 @@ from repro.grid.synthetic import (
     uk_november_2022_intensity,
 )
 from repro.inventory.node import NodeSpec
+from repro.timeseries.series import TimeSeries
+from repro.units.constants import JOULES_PER_KWH
 
 
 # -- inventory sources -------------------------------------------------------------
@@ -139,6 +145,49 @@ register_amortization_policy("core-hours", CoreHoursAmortization)
 register_baseline_estimator("ccf-style", CCFStyleEstimator)
 register_baseline_estimator("boavizta-style", BoaviztaStyleEstimator)
 register_baseline_estimator("tdp-proxy", TDPProxyEstimator)
+
+
+# -- trace providers ----------------------------------------------------------------
+
+def _measured_trace(spec, snapshot):
+    """The per-site simulated traces, reconciled to the measured energies.
+
+    The default: keeps the workload's real temporal shape while agreeing
+    exactly with the snapshot's Table 2 totals, so time-resolved and
+    period-average accounting price the same energy.
+    """
+    return snapshot.facility_power_series(reconcile=True)
+
+
+def _flat_trace(spec, snapshot):
+    """A constant-power trace carrying the snapshot's measured energy."""
+    duration_s = spec.duration_hours * 3600.0
+    mean_w = snapshot.total_best_estimate_kwh * JOULES_PER_KWH / duration_s
+    n = max(int(round(duration_s / spec.trace_step_s)), 1)
+    return TimeSeries.constant(0.0, spec.trace_step_s, mean_w, n)
+
+
+def _synthetic_diurnal_trace(spec, snapshot):
+    """A day-shaped trace (mid-afternoon peak, overnight trough).
+
+    Carries the snapshot's measured energy with a ±20% interactive-load
+    swing — for what-if studies of diurnal fleets when only a lumped
+    energy measurement exists.
+    """
+    duration_s = spec.duration_hours * 3600.0
+    step = spec.trace_step_s
+    n = max(int(round(duration_s / step)), 1)
+    times = step * np.arange(n)
+    hour = (times % 86400.0) / 3600.0
+    shape = 1.0 + 0.2 * np.cos(2.0 * np.pi * (hour - 15.0) / 24.0)
+    energy_j = snapshot.total_best_estimate_kwh * JOULES_PER_KWH
+    watts = shape * (energy_j / float(shape.sum() * step))
+    return TimeSeries(0.0, step, watts)
+
+
+register_trace_provider("measured", _measured_trace)
+register_trace_provider("flat", _flat_trace)
+register_trace_provider("synthetic-diurnal", _synthetic_diurnal_trace)
 
 
 __all__ = ["CatalogEmbodiedEstimator", "ComponentModelEstimator"]

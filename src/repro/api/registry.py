@@ -169,6 +169,11 @@ AMORTIZATION_POLICIES = ComponentRegistry("amortization policy")
 #: approach is compared against (CCF-style, Boavizta-style, TDP proxy).
 BASELINE_ESTIMATORS = ComponentRegistry("baseline estimator")
 
+#: ``factory(spec, snapshot) -> TimeSeries`` — facility IT-power trace
+#: providers for the time-resolved engine: given the spec and the simulated
+#: snapshot, return the fleet's power over the window in watts.
+TRACE_PROVIDERS = ComponentRegistry("trace provider")
+
 
 def register_grid_provider(name: str, factory=None, *, overwrite: bool = False):
     """Register a grid carbon-intensity provider under ``name``."""
@@ -195,6 +200,11 @@ def register_baseline_estimator(name: str, factory=None, *, overwrite: bool = Fa
     return BASELINE_ESTIMATORS.register(name, factory, overwrite=overwrite)
 
 
+def register_trace_provider(name: str, factory=None, *, overwrite: bool = False):
+    """Register a facility power-trace provider under ``name``."""
+    return TRACE_PROVIDERS.register(name, factory, overwrite=overwrite)
+
+
 __all__ = [
     "ComponentRegistry",
     "UnknownComponentError",
@@ -204,9 +214,11 @@ __all__ = [
     "INVENTORY_SOURCES",
     "AMORTIZATION_POLICIES",
     "BASELINE_ESTIMATORS",
+    "TRACE_PROVIDERS",
     "register_grid_provider",
     "register_embodied_estimator",
     "register_inventory_source",
     "register_amortization_policy",
     "register_baseline_estimator",
+    "register_trace_provider",
 ]

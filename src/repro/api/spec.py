@@ -64,6 +64,23 @@ class AssessmentSpec:
         Amortisation lifetime of the fleet.
     amortization:
         Registered amortisation-policy name (``"linear"`` is the paper's).
+    trace_source:
+        Registered trace-provider name supplying the facility power trace
+        for time-resolved assessment (``"measured"`` reconciles the
+        simulated per-site traces to the measured energies).
+    temporal_resolution_s:
+        Interval length of the time-resolved emission profile, in seconds;
+        ``None`` uses the coarser of the power and intensity cadences.
+    alignment:
+        Policy for bringing the power and intensity traces onto one grid
+        (``strict``, ``resample`` or ``intersect``; see
+        :mod:`repro.temporal.align`).
+    shift_hours:
+        Carbon-aware scenario: circularly shift the workload this many
+        hours within the window (positive = later).
+    defer_fraction:
+        Carbon-aware scenario: fraction of above-median-intensity energy
+        deferred into below-median intervals, in [0, 1).
     """
 
     inventory: str = "iris"
@@ -78,6 +95,11 @@ class AssessmentSpec:
     per_server_kgco2: Optional[float] = None
     lifetime_years: float = 5.0
     amortization: str = "linear"
+    trace_source: str = "measured"
+    temporal_resolution_s: Optional[float] = None
+    alignment: str = "resample"
+    shift_hours: float = 0.0
+    defer_fraction: float = 0.0
 
     def __post_init__(self):
         if not self.inventory:
@@ -103,6 +125,19 @@ class AssessmentSpec:
             raise ValueError("lifetime_years must be positive")
         if not self.amortization:
             raise ValueError("amortization must be non-empty")
+        if not self.trace_source:
+            raise ValueError("trace_source must be non-empty")
+        if self.temporal_resolution_s is not None and self.temporal_resolution_s <= 0:
+            raise ValueError("temporal_resolution_s must be positive when given")
+        from repro.temporal.align import ALIGNMENT_POLICIES
+
+        if self.alignment not in ALIGNMENT_POLICIES:
+            raise ValueError(
+                f"alignment must be one of {', '.join(ALIGNMENT_POLICIES)}, "
+                f"got {self.alignment!r}"
+            )
+        if not 0.0 <= self.defer_fraction < 1.0:
+            raise ValueError("defer_fraction must be in [0, 1)")
 
     # -- derived views -----------------------------------------------------------
 

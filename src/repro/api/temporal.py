@@ -1,0 +1,299 @@
+"""The ``TemporalAssessment`` façade: time-resolved assessment from a spec.
+
+Where :class:`~repro.api.assessment.Assessment` prices the snapshot's total
+energy with one period-average intensity, this façade aligns the facility's
+power trace with the grid's intensity trace and integrates energy ×
+intensity interval by interval::
+
+    from repro.api import TemporalAssessment, default_spec
+
+    result = (TemporalAssessment.from_spec(default_spec(node_scale=0.05))
+              .with_grid("uk-november-2022")
+              .run())
+    print(result.active_kg, result.window_average_active_kg)
+
+    shifted = (TemporalAssessment.from_spec(default_spec(node_scale=0.05))
+               .with_grid("uk-november-2022").with_shift(hours=6).run())
+    print(shifted.savings_kg)
+
+Every pluggable piece resolves through the registries: the intensity trace
+comes from the spec's ``grid`` provider (or a constant series when the spec
+fixes ``carbon_intensity_g_per_kwh``), the power trace from the spec's
+``trace_source`` provider, and both run against the shared
+:class:`~repro.api.substrates.SubstrateCache`, so the expensive simulation
+is never repeated across temporal scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.grid.intensity import CarbonIntensitySeries
+from repro.temporal.align import align_power_and_intensity
+from repro.temporal.integrate import integrate_power_intensity
+from repro.temporal.profile import TemporalEmissionsProfile
+from repro.temporal.scenarios import defer_load, time_shift
+from repro.io.jsonio import PathLike, write_json
+from repro.snapshot.experiment import SnapshotResult
+from repro.timeseries.series import TimeSeries
+
+from repro.api.assessment import Assessment, IntensityLike
+from repro.api.registry import TRACE_PROVIDERS
+from repro.api.result import AssessmentResult
+from repro.api.spec import AssessmentSpec, default_spec
+from repro.api.substrates import SubstrateCache, shared_substrates
+
+
+@dataclass(frozen=True)
+class TemporalAssessmentResult:
+    """Everything one time-resolved assessment produced.
+
+    Attributes
+    ----------
+    spec:
+        The spec that was run.
+    snapshot:
+        The simulated measurement campaign the power trace came from.
+    profile:
+        The per-interval emission profile of the (possibly shifted /
+        deferred) scenario.
+    baseline_profile:
+        The same trace with no carbon-aware transform applied — the
+        reference the scenario's savings are measured against.
+    static:
+        The period-average assessment of the same spec (the snapshot
+        pipeline's treatment), carrying the embodied term and the
+        window-average active term the temporal result is compared to.
+    """
+
+    spec: AssessmentSpec
+    snapshot: SnapshotResult
+    profile: TemporalEmissionsProfile
+    baseline_profile: TemporalEmissionsProfile
+    static: AssessmentResult
+
+    # -- headline numbers ---------------------------------------------------------
+
+    @property
+    def active_kg(self) -> float:
+        """Time-resolved active carbon (cumulative over the window)."""
+        return self.profile.total_carbon_kg
+
+    @property
+    def window_average_active_kg(self) -> float:
+        """Active carbon under period-average accounting of the same trace."""
+        return self.profile.window_average_carbon_kg
+
+    @property
+    def temporal_correction_kg(self) -> float:
+        """Time-resolved minus period-average active carbon (signed)."""
+        return self.profile.temporal_correction_kg
+
+    @property
+    def embodied_kg(self) -> float:
+        """The embodied term (time-invariant; from the static assessment)."""
+        return self.static.embodied_kg
+
+    @property
+    def total_kg(self) -> float:
+        """Time-resolved active plus amortised embodied carbon."""
+        return self.active_kg + self.embodied_kg
+
+    @property
+    def savings_kg(self) -> float:
+        """Carbon avoided by the scenario's shift/deferral (vs. baseline)."""
+        return self.baseline_profile.total_carbon_kg - self.profile.total_carbon_kg
+
+    @property
+    def energy_kwh(self) -> float:
+        """Facility energy integrated over the profile (PUE included)."""
+        return self.profile.total_energy_kwh
+
+    @property
+    def experienced_intensity_g_per_kwh(self) -> float:
+        return self.profile.experienced_intensity_g_per_kwh
+
+    # -- serialisation -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """One flat row of the temporal scenario and its headline results."""
+        return {
+            "inventory": self.spec.inventory,
+            "node_scale": self.spec.node_scale,
+            "grid": self.spec.grid,
+            "trace_source": self.spec.trace_source,
+            "alignment": self.spec.alignment,
+            "resolution_s": self.profile.step,
+            "intervals": len(self.profile),
+            "shift_hours": self.spec.shift_hours,
+            "defer_fraction": self.spec.defer_fraction,
+            "pue": self.spec.pue,
+            "energy_kwh": self.energy_kwh,
+            "mean_intensity_g_per_kwh": self.profile.mean_intensity_g_per_kwh,
+            "experienced_intensity_g_per_kwh": self.experienced_intensity_g_per_kwh,
+            "active_kg": self.active_kg,
+            "window_average_active_kg": self.window_average_active_kg,
+            "temporal_correction_kg": self.temporal_correction_kg,
+            "savings_kg": self.savings_kg,
+            "embodied_kg": self.embodied_kg,
+            "total_kg": self.total_kg,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The result as a JSON-serialisable dictionary."""
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary(),
+            "intervals": self.profile.interval_rows(),
+        }
+
+    def to_json(self, path: PathLike) -> None:
+        write_json(path, self.as_dict())
+
+
+class TemporalAssessment:
+    """A configured time-resolved assessment, ready to run.
+
+    Mirrors :class:`~repro.api.assessment.Assessment`: configured from a
+    spec or fluently (each ``with_*`` returns a new instance), running
+    against a shared substrate cache.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[AssessmentSpec] = None,
+        *,
+        substrates: Optional[SubstrateCache] = None,
+    ):
+        self._spec = spec or default_spec()
+        self._substrates = substrates if substrates is not None else shared_substrates()
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: AssessmentSpec,
+        *,
+        substrates: Optional[SubstrateCache] = None,
+    ) -> "TemporalAssessment":
+        return cls(spec, substrates=substrates)
+
+    @property
+    def spec(self) -> AssessmentSpec:
+        return self._spec
+
+    @property
+    def substrates(self) -> SubstrateCache:
+        return self._substrates
+
+    # -- fluent builders ------------------------------------------------------------
+
+    def _replace(self, **changes) -> "TemporalAssessment":
+        return TemporalAssessment(
+            self._spec.replace(**changes), substrates=self._substrates
+        )
+
+    def with_grid(self, grid: IntensityLike) -> "TemporalAssessment":
+        """A provider name (time-varying series) or a number (flat series)."""
+        if isinstance(grid, str):
+            return self._replace(grid=grid, carbon_intensity_g_per_kwh=None)
+        value = getattr(grid, "g_per_kwh", None)
+        return self._replace(
+            carbon_intensity_g_per_kwh=float(value if value is not None else grid)
+        )
+
+    def with_trace_source(self, trace_source: str) -> "TemporalAssessment":
+        """Set the registered power-trace provider."""
+        return self._replace(trace_source=trace_source)
+
+    def with_resolution(self, resolution_s: Optional[float]) -> "TemporalAssessment":
+        """Set the temporal resolution in seconds (``None`` = automatic)."""
+        return self._replace(temporal_resolution_s=resolution_s)
+
+    def with_alignment(self, policy: str) -> "TemporalAssessment":
+        """Set the trace alignment policy."""
+        return self._replace(alignment=policy)
+
+    def with_shift(self, hours: float) -> "TemporalAssessment":
+        """Circularly shift the workload within the window."""
+        return self._replace(shift_hours=float(hours))
+
+    def with_deferral(self, fraction: float) -> "TemporalAssessment":
+        """Defer a fraction of dirty-interval energy into clean intervals."""
+        return self._replace(defer_fraction=float(fraction))
+
+    def with_pue(self, pue: float) -> "TemporalAssessment":
+        return self._replace(pue=float(pue))
+
+    def scaled(self, node_scale: float) -> "TemporalAssessment":
+        return self._replace(node_scale=float(node_scale))
+
+    # -- running ---------------------------------------------------------------------
+
+    def _intensity_series(self, power: TimeSeries) -> CarbonIntensitySeries:
+        """The intensity trace the scenario prices energy with.
+
+        A fixed spec intensity becomes a flat series on the power trace's
+        grid; otherwise the spec's grid provider supplies the series, over
+        enough whole days to cover the assessment window.
+        """
+        spec = self._spec
+        if spec.carbon_intensity_g_per_kwh is not None:
+            return CarbonIntensitySeries.constant(
+                spec.carbon_intensity_g_per_kwh,
+                power.start,
+                power.step,
+                len(power),
+            )
+        days = float(max(30, math.ceil(spec.duration_hours / 24.0)))
+        return self._substrates.intensity_series(spec.grid, days=days)
+
+    def run(self) -> TemporalAssessmentResult:
+        """Run the time-resolved pipeline and return the unified result."""
+        spec = self._spec
+        # Resolve the trace provider before the expensive simulation so a
+        # typo'd name fails in milliseconds (the static assessment performs
+        # the same early check for its own components).
+        trace_factory = TRACE_PROVIDERS.get(spec.trace_source)
+        static = Assessment(spec, substrates=self._substrates).run()
+        snapshot = self._substrates.snapshot(spec)
+        power = trace_factory(spec, snapshot)
+        if not isinstance(power, TimeSeries):
+            raise TypeError(
+                f"trace provider {spec.trace_source!r} must return a "
+                f"TimeSeries, got {type(power).__name__}"
+            )
+        intensity = self._intensity_series(power)
+        aligned_power, aligned_intensity = align_power_and_intensity(
+            power,
+            intensity.series,
+            policy=spec.alignment,
+            resolution_s=spec.temporal_resolution_s,
+        )
+        baseline_profile = integrate_power_intensity(
+            aligned_power, aligned_intensity, pue=spec.pue
+        )
+        scenario_power = aligned_power
+        if spec.shift_hours:
+            scenario_power = time_shift(scenario_power, spec.shift_hours * 3600.0)
+        if spec.defer_fraction:
+            scenario_power = defer_load(
+                scenario_power, aligned_intensity, spec.defer_fraction
+            )
+        if scenario_power is aligned_power:
+            profile = baseline_profile
+        else:
+            profile = integrate_power_intensity(
+                scenario_power, aligned_intensity, pue=spec.pue
+            )
+        return TemporalAssessmentResult(
+            spec=static.spec,
+            snapshot=snapshot,
+            profile=profile,
+            baseline_profile=baseline_profile,
+            static=static,
+        )
+
+
+__all__ = ["TemporalAssessment", "TemporalAssessmentResult"]

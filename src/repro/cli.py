@@ -8,6 +8,11 @@ any Python:
     The canonical entry point: run the unified assessment pipeline from a
     JSON spec file (``--spec``) and/or inline overrides, printing the
     result as a table, JSON or CSV.
+``temporal``
+    Run the time-resolved assessment engine: align the facility power
+    trace with the grid-intensity trace, integrate energy × intensity per
+    interval, and report per-day, per-band and intensity-weighted results
+    (plus carbon-aware what-ifs via ``--shift-hours``/``--defer-fraction``).
 ``inventory``
     Print the Table 1 hardware inventory.
 ``intensity``
@@ -41,6 +46,7 @@ from repro.api import (
     Assessment,
     AssessmentResult,
     AssessmentSpec,
+    TemporalAssessment,
     active_scenario_rows,
     default_spec,
     embodied_scenario_rows,
@@ -56,6 +62,11 @@ from repro.io.csvio import write_rows_csv
 from repro.io.jsonio import json_default as _json_default
 from repro.reporting.figures import ascii_line_chart
 from repro.reporting.tables import format_kv_table, format_table
+from repro.reporting.temporal import (
+    carbon_rate_chart,
+    daily_emission_rows,
+    intensity_band_rows,
+)
 
 
 # --------------------------------------------------------------------------
@@ -80,6 +91,7 @@ def _float_argument(predicate, message: str):
 _scale_argument = _float_argument(lambda v: 0.0 < v <= 1.0, "must be in (0, 1]")
 _pue_argument = _float_argument(lambda v: v >= 1.0, "must be at least 1.0")
 _positive_argument = _float_argument(lambda v: v > 0, "must be positive")
+_fraction_argument = _float_argument(lambda v: 0.0 <= v < 1.0, "must be in [0, 1)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -113,6 +125,35 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the json/csv output to this file instead of stdout")
     assess.add_argument("--output-dir", type=Path, default=None,
                         help="directory to write the regenerated tables as CSV")
+
+    temporal = subparsers.add_parser(
+        "temporal", help="run the time-resolved assessment engine")
+    temporal.add_argument("--spec", type=Path, default=None,
+                          help="JSON AssessmentSpec file to start from")
+    temporal.add_argument("--scale", type=_scale_argument, default=None,
+                          help="node-count scale factor in (0, 1]")
+    temporal.add_argument("--grid", type=str, default=None,
+                          help="registered grid provider supplying the intensity trace")
+    temporal.add_argument("--intensity", type=float, default=None,
+                          help="fixed grid carbon intensity (gCO2e/kWh) instead of a trace")
+    temporal.add_argument("--pue", type=_pue_argument, default=None,
+                          help="PUE for the facility overhead (>= 1.0)")
+    temporal.add_argument("--trace-source", type=str, default=None,
+                          help="registered power-trace provider (default: measured)")
+    temporal.add_argument("--resolution", type=_positive_argument, default=None,
+                          help="temporal resolution in seconds (default: automatic)")
+    temporal.add_argument("--alignment", choices=("strict", "resample", "intersect"),
+                          default=None, help="trace alignment policy")
+    temporal.add_argument("--shift-hours", type=float, default=None,
+                          help="circularly shift the workload by this many hours")
+    temporal.add_argument("--defer-fraction", type=_fraction_argument, default=None,
+                          help="fraction of dirty-interval energy deferred, in [0, 1)")
+    temporal.add_argument("--format", choices=("table", "json", "csv"), default="table",
+                          help="output format (default: table)")
+    temporal.add_argument("--output", type=Path, default=None,
+                          help="write the json/csv output to this file instead of stdout")
+    temporal.add_argument("--chart", action="store_true",
+                          help="also print the ASCII emission-rate chart")
 
     subparsers.add_parser("inventory", help="print the Table 1 hardware inventory")
 
@@ -202,12 +243,21 @@ def _emit(text: str, output: Optional[Path]) -> None:
 # subcommand implementations
 # --------------------------------------------------------------------------
 
-def _cmd_assess(args: argparse.Namespace) -> int:
-    try:
-        spec = AssessmentSpec.from_json(args.spec) if args.spec else default_spec()
-    except (OSError, ValueError, TypeError) as exc:
-        print(f"error: cannot load spec: {exc}", file=sys.stderr)
-        return 2
+def _load_spec(spec_path: Optional[Path]) -> AssessmentSpec:
+    """Load a spec file, or the default spec; raises on unreadable/invalid."""
+    return AssessmentSpec.from_json(spec_path) if spec_path else default_spec()
+
+
+class _UsageError(Exception):
+    """A user mistake reported as a one-line stderr message + exit code 2."""
+
+
+def _scenario_overrides(args: argparse.Namespace) -> dict:
+    """The scale/grid/intensity/pue overrides shared by assess and temporal."""
+    if args.grid is not None and args.intensity is not None:
+        raise _UsageError(
+            "--grid and --intensity conflict: a fixed intensity "
+            "would override the provider; pass one or the other")
     overrides = {}
     if args.scale is not None:
         overrides["node_scale"] = args.scale
@@ -216,11 +266,24 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         overrides["carbon_intensity_g_per_kwh"] = None
     if args.intensity is not None:
         if args.intensity < 0:
-            print("error: --intensity must be non-negative", file=sys.stderr)
-            return 2
+            raise _UsageError("--intensity must be non-negative")
         overrides["carbon_intensity_g_per_kwh"] = args.intensity
     if args.pue is not None:
         overrides["pue"] = args.pue
+    return overrides
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    try:
+        overrides = _scenario_overrides(args)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = _load_spec(args.spec)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: cannot load spec: {exc}", file=sys.stderr)
+        return 2
     if args.lifetime is not None:
         overrides["lifetime_years"] = args.lifetime
     if args.per_server_kg is not None:
@@ -250,6 +313,78 @@ def _cmd_assess(args: argparse.Namespace) -> int:
             writer.writerow(list(rows[0].values()))
     if args.output_dir is not None:
         _write_assessment_tables(result, args.output_dir)
+    return 0
+
+
+def _cmd_temporal(args: argparse.Namespace) -> int:
+    try:
+        overrides = _scenario_overrides(args)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = _load_spec(args.spec)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: cannot load spec: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_source is not None:
+        overrides["trace_source"] = args.trace_source
+    if args.resolution is not None:
+        overrides["temporal_resolution_s"] = args.resolution
+    if args.alignment is not None:
+        overrides["alignment"] = args.alignment
+    if args.shift_hours is not None:
+        overrides["shift_hours"] = args.shift_hours
+    if args.defer_fraction is not None:
+        overrides["defer_fraction"] = args.defer_fraction
+    try:
+        spec = spec.replace(**overrides) if overrides else spec
+        result = TemporalAssessment.from_spec(spec).run()
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "table":
+        parts = []
+        if args.chart:
+            parts.append(carbon_rate_chart(result.profile) + "\n")
+        summary = result.summary()
+        parts.append(format_kv_table(
+            {key: summary[key] for key in (
+                "grid", "trace_source", "resolution_s", "intervals",
+                "shift_hours", "defer_fraction", "pue", "energy_kwh",
+                "mean_intensity_g_per_kwh", "experienced_intensity_g_per_kwh",
+                "active_kg", "window_average_active_kg",
+                "temporal_correction_kg", "savings_kg", "embodied_kg",
+                "total_kg",
+            )},
+            title="Time-resolved assessment", float_format=",.3f"))
+        daily = daily_emission_rows(result.profile)
+        parts.append("\n" + format_table(
+            daily,
+            columns=["day", "hours", "energy_kwh", "carbon_kg",
+                     "mean_intensity_g_per_kwh",
+                     "experienced_intensity_g_per_kwh"],
+            title="Per-day emissions", float_format=",.2f"))
+        bands = intensity_band_rows(result.profile)
+        parts.append("\n" + format_table(
+            bands,
+            columns=["band", "share_of_time", "energy_kwh", "carbon_kg",
+                     "share_of_carbon"],
+            title="Carbon by grid-intensity band", float_format=",.3f"))
+        _emit("\n".join(parts), args.output)
+    elif args.format == "json":
+        _emit(json.dumps(result.as_dict(), indent=2, default=_json_default,
+                         sort_keys=True), args.output)
+    else:  # csv
+        rows = [result.summary()]
+        if args.output is not None:
+            write_rows_csv(args.output, rows)
+            print(f"Wrote {args.output}")
+        else:
+            writer = csv.writer(sys.stdout)
+            writer.writerow(list(rows[0]))
+            writer.writerow(list(rows[0].values()))
     return 0
 
 
@@ -339,6 +474,7 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "assess": _cmd_assess,
+    "temporal": _cmd_temporal,
     "inventory": _cmd_inventory,
     "intensity": _cmd_intensity,
     "snapshot": _cmd_snapshot,

@@ -52,6 +52,19 @@ def classify_intensity(g_per_kwh: float) -> IntensityBand:
     return IntensityBand.VERY_HIGH  # pragma: no cover - unreachable
 
 
+def band_index_array(g_per_kwh: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`classify_intensity`: band indices for whole series.
+
+    One ``searchsorted`` over the band boundaries instead of a Python call
+    per sample; index ``i`` maps to ``tuple(IntensityBand)[i]``.
+    """
+    values = np.asarray(g_per_kwh, dtype=np.float64)
+    if (values < 0).any():
+        raise ValueError("intensity must be non-negative")
+    uppers = np.array([upper for upper, _ in _BAND_UPPER_BOUNDS[:-1]])
+    return np.searchsorted(uppers, values, side="right")
+
+
 @dataclass(frozen=True)
 class CarbonIntensitySeries:
     """A regularly sampled grid carbon-intensity series (gCO2e/kWh)."""
@@ -150,15 +163,56 @@ class CarbonIntensitySeries:
             raise TimeSeriesError("series step is longer than a day")
         values = self.series.values
         n_days = len(values) // samples_per_day
-        out: List[float] = []
-        for day in range(n_days):
-            chunk = values[day * samples_per_day: (day + 1) * samples_per_day]
-            out.append(float(np.mean(chunk)))
-        return out
+        if n_days == 0:
+            return []
+        trimmed = values[: n_days * samples_per_day]
+        return trimmed.reshape(n_days, samples_per_day).mean(axis=1).tolist()
 
     def slice_window(self, t0: float, t1: float) -> "CarbonIntensitySeries":
         """The sub-series covering ``[t0, t1)``."""
         return CarbonIntensitySeries(self.series.slice_time(t0, t1), region=self.region)
 
+    def resampled(self, new_step: float) -> "CarbonIntensitySeries":
+        """The series on a different cadence.
 
-__all__ = ["CarbonIntensitySeries", "IntensityBand", "classify_intensity"]
+        Intensity is rate-like, so coarsening averages blocks
+        (:func:`~repro.timeseries.resample.resample_mean`) and refining
+        repeats samples piecewise-constant
+        (:func:`~repro.timeseries.resample.upsample_repeat`); both require
+        integer step ratios and fail loudly otherwise.
+        """
+        from repro.timeseries.resample import resample_mean, upsample_repeat
+
+        if new_step <= 0:
+            raise TimeSeriesError("new_step must be positive")
+        if abs(new_step - self.series.step) <= 1e-9 * self.series.step:
+            return self
+        if new_step > self.series.step:
+            series = resample_mean(self.series, new_step)
+        else:
+            series = upsample_repeat(self.series, new_step)
+        return CarbonIntensitySeries(series, region=self.region)
+
+    @classmethod
+    def constant(
+        cls,
+        g_per_kwh: float,
+        start: float,
+        step: float,
+        n: int,
+        region: str = "fixed",
+    ) -> "CarbonIntensitySeries":
+        """A flat intensity series on the given grid.
+
+        How a fixed scenario intensity (the paper's Low/Medium/High
+        references) enters the time-resolved engine.
+        """
+        return cls(TimeSeries.constant(start, step, g_per_kwh, n), region=region)
+
+
+__all__ = [
+    "CarbonIntensitySeries",
+    "IntensityBand",
+    "classify_intensity",
+    "band_index_array",
+]

@@ -159,14 +159,63 @@ class SyntheticGridModel:
         }
         return GenerationMix(shares)
 
-    def generate_mixes(
+    def intensity_for_conditions(
         self,
-        days: float,
-        step_s: float = 1800.0,
-        seed: int = NOVEMBER_2022_SEED,
-        start_s: float = 0.0,
-    ) -> List[GenerationMix]:
-        """Generate the per-interval mixes for ``days`` days."""
+        wind_share: np.ndarray,
+        solar_share: np.ndarray,
+        demand_factor: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised intensity for arrays of per-interval conditions.
+
+        Performs the same stacking arithmetic as :meth:`mix_for_conditions`
+        followed by :meth:`GenerationMix.intensity_g_per_kwh`, element-wise
+        over whole windows at once, without materialising a
+        :class:`GenerationMix` per interval.  On the common path (shares
+        summing to 1 within float error) the result is bit-identical to the
+        per-interval loop; a year of hourly samples computes in microseconds
+        instead of tens of milliseconds.
+        """
+        wind = np.asarray(wind_share, dtype=np.float64)
+        solar = np.asarray(solar_share, dtype=np.float64)
+        demand = np.asarray(demand_factor, dtype=np.float64)
+        nuclear = self.nuclear_share_of_mean_demand / demand
+        fixed = self.biomass_share + self.hydro_share + self.imports_share + nuclear
+        residual = 1.0 - fixed - (wind + solar)
+        oversupply = residual <= 0.0
+        wind = np.where(oversupply, np.maximum(wind + residual, 0.0), wind)
+        gas = np.where(oversupply, 0.0, residual)
+        coal = np.where(
+            ~oversupply & (gas > self.coal_trigger_gas_share),
+            np.minimum(self.coal_share_when_triggered, gas),
+            0.0,
+        )
+        gas = gas - coal
+        factors = FUEL_INTENSITY_G_PER_KWH
+        # Same term order as the per-mix sum (GenerationMix share dict order).
+        weighted = (
+            wind * factors[Fuel.WIND]
+            + solar * factors[Fuel.SOLAR]
+            + nuclear * factors[Fuel.NUCLEAR]
+            + self.biomass_share * factors[Fuel.BIOMASS]
+            + self.hydro_share * factors[Fuel.HYDRO]
+            + self.imports_share * factors[Fuel.IMPORTS]
+            + gas * factors[Fuel.GAS]
+            + coal * factors[Fuel.COAL]
+        )
+        total = wind + solar + nuclear + (
+            self.biomass_share + self.hydro_share + self.imports_share
+        ) + gas + coal
+        # Mirror GenerationMix: reject badly unbalanced stacks loudly,
+        # renormalise away small residue, leave exact stacks untouched.
+        if (np.abs(total - 1.0) > 1e-3).any():
+            worst = float(total[np.argmax(np.abs(total - 1.0))])
+            raise ValueError(f"fuel shares must sum to 1.0, got {worst:.6f}")
+        return np.where(np.abs(total - 1.0) > 1e-6, weighted / total, weighted)
+
+    def _window_conditions(
+        self, days: float, step_s: float, seed: int, start_s: float
+    ) -> tuple:
+        """The (wind, solar, demand) condition arrays for one window."""
         if days <= 0:
             raise ValueError("days must be positive")
         if step_s <= 0:
@@ -179,9 +228,25 @@ class SyntheticGridModel:
         demand = self.demand_factor(times)
         solar = self.solar_share(times)
         wind = self.wind_share_process(n, step_s, rng)
+        return wind, solar, demand
+
+    def generate_mixes(
+        self,
+        days: float,
+        step_s: float = 1800.0,
+        seed: int = NOVEMBER_2022_SEED,
+        start_s: float = 0.0,
+    ) -> List[GenerationMix]:
+        """Generate the per-interval mixes for ``days`` days.
+
+        For consumers that need the fuel-level breakdown; when only the
+        intensity is wanted, :meth:`generate_intensity` takes the
+        vectorised path and never builds the per-interval mix objects.
+        """
+        wind, solar, demand = self._window_conditions(days, step_s, seed, start_s)
         return [
             self.mix_for_conditions(float(wind[i]), float(solar[i]), float(demand[i]))
-            for i in range(n)
+            for i in range(len(wind))
         ]
 
     def generate_intensity(
@@ -192,9 +257,13 @@ class SyntheticGridModel:
         start_s: float = 0.0,
         region: str = "GB",
     ) -> CarbonIntensitySeries:
-        """Generate a carbon-intensity series for ``days`` days."""
-        mixes = self.generate_mixes(days=days, step_s=step_s, seed=seed, start_s=start_s)
-        values = np.array([mix.intensity_g_per_kwh() for mix in mixes])
+        """Generate a carbon-intensity series for ``days`` days.
+
+        Uses the bulk-array path (:meth:`intensity_for_conditions`); the
+        per-interval mix loop is only taken by :meth:`generate_mixes`.
+        """
+        wind, solar, demand = self._window_conditions(days, step_s, seed, start_s)
+        values = self.intensity_for_conditions(wind, solar, demand)
         return CarbonIntensitySeries(
             TimeSeries(start_s, step_s, values), region=region
         )

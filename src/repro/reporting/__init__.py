@@ -17,6 +17,12 @@ from repro.reporting.equivalents import (
 )
 from repro.reporting.report import AuditReport
 from repro.reporting.ghg import GHGScopeStatement, to_ghg_scopes
+from repro.reporting.temporal import (
+    carbon_rate_chart,
+    daily_emission_rows,
+    intensity_band_rows,
+    intensity_weighted_summary,
+)
 
 __all__ = [
     "GHGScopeStatement",
@@ -30,4 +36,8 @@ __all__ = [
     "flight_hours_equivalent",
     "passenger_flight_days_equivalent",
     "AuditReport",
+    "carbon_rate_chart",
+    "daily_emission_rows",
+    "intensity_band_rows",
+    "intensity_weighted_summary",
 ]

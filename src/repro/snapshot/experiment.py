@@ -38,6 +38,8 @@ from repro.power.instruments import FacilityMeter, IPMIMeter, PDUMeter, Turbosta
 from repro.power.node_power import NodePowerModel
 from repro.power.traces import PowerBreakdownTrace
 from repro.snapshot.config import SiteSnapshotConfig, SnapshotConfig, build_iris_snapshot_config
+from repro.timeseries.series import TimeSeries
+from repro.units.constants import JOULES_PER_KWH
 from repro.units.quantities import CarbonIntensity, Duration
 from repro.workload.cluster import SimulatedCluster, SimulatedNode
 from repro.workload.jobs import JobGenerator, WorkloadProfile
@@ -66,6 +68,11 @@ class SiteSnapshotResult:
     #: Duration of the measurement window in hours; set by the experiment
     #: when it builds the result (defaults to the paper's 24-hour snapshot).
     _duration_hours: float = 24.0
+
+    #: Site-total wall power over the window (one value per trace step),
+    #: retained for the time-resolved engine; ``None`` for results built
+    #: before traces were kept (a flat profile is substituted downstream).
+    site_power_series: Optional["TimeSeries"] = None
 
     @property
     def best_estimate_kwh(self) -> float:
@@ -128,6 +135,47 @@ class SnapshotResult:
             result.site: result.best_estimate_kwh for result in self.site_results
         }
         return ActiveEnergyInput(period=self.period(), node_energy_kwh=node_energy)
+
+    def facility_power_series(self, reconcile: bool = True) -> TimeSeries:
+        """The fleet's total IT power over the window, one value per step.
+
+        Sums the retained per-site wall-power traces onto the shared trace
+        grid.  With ``reconcile`` (the default) each site's trace is scaled
+        so that it integrates (rectangle rule, matching the meters' own
+        accumulation) to exactly the site's best-estimate measured energy —
+        the same per-site energies :meth:`active_energy_input` feeds the
+        carbon model — so time-resolved and period-average accounting agree
+        on the total energy and differ only in *when* it was drawn.
+
+        Sites whose trace was not retained (results built before traces
+        were kept) contribute a flat profile at their mean measured power.
+        """
+        step = self.config.trace_step_s
+        n = int(round(self.config.duration_s / step))
+        if n < 1:
+            raise ValueError("the snapshot window contains no trace steps")
+        total = np.zeros(n, dtype=np.float64)
+        for result in self.site_results:
+            series = result.site_power_series
+            if series is None:
+                mean_w = (result.best_estimate_kwh * JOULES_PER_KWH
+                          / self.config.duration_s)
+                total += mean_w
+                continue
+            values = series.values
+            if len(values) != n or abs(series.step - step) > 1e-9 * step:
+                raise ValueError(
+                    f"site {result.site!r} power trace is not on the snapshot "
+                    f"grid ({len(values)} x {series.step}s vs {n} x {step}s)"
+                )
+            if reconcile:
+                trace_kwh = float(values.sum()) * step / JOULES_PER_KWH
+                scale = (result.best_estimate_kwh / trace_kwh
+                         if trace_kwh > 0.0 else 0.0)
+                total += values * scale
+            else:
+                total += values
+        return TimeSeries(0.0, step, total)
 
     def embodied_assets(
         self,
@@ -350,6 +398,7 @@ class SnapshotExperiment:
             network_power_w=fabric.total_power_w,
             per_node_utilization=per_node_util,
             node_specs=node_spec_names,
+            site_power_series=power.total_series("wall"),
         )
         object.__setattr__(result, "_duration_hours", config.duration_hours)
         return result

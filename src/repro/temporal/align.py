@@ -1,0 +1,110 @@
+"""Alignment policies for combining power and intensity traces.
+
+The facility power trace and the grid-intensity series rarely arrive on the
+same grid: the simulator samples utilisation every minute, the synthetic
+grid is half-hourly, real intensity APIs are hourly.  Before integrating
+energy × intensity the two series must share a start, step and length, and
+*how* they are brought together is a modelling decision the caller should
+make explicitly.  Three policies are offered:
+
+``strict``
+    The traces must already share a grid exactly; anything else is an
+    error.  Use when the upstream pipeline guarantees alignment and any
+    mismatch indicates a bug.
+``resample``
+    Resample both traces onto a common cadence — by default the coarser of
+    the two steps, or an explicit target resolution — averaging rate-like
+    samples down and repeating them up (piecewise-constant), then trim to
+    the overlapping window.  The default, and the right choice for mixing
+    instrument cadences with grid data.
+``intersect``
+    Steps must match; only the covered windows may differ.  Trim both to
+    the common overlap.  Use when instruments started at slightly
+    different times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.timeseries.align import align_pair
+from repro.timeseries.resample import resample_mean, upsample_repeat
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+
+#: The recognised alignment policy names, in documentation order.
+ALIGNMENT_POLICIES = ("strict", "resample", "intersect")
+
+
+def _to_step(series: TimeSeries, step: float) -> TimeSeries:
+    """Bring ``series`` onto ``step``, averaging down or repeating up."""
+    if abs(series.step - step) <= 1e-9 * max(series.step, step):
+        return series
+    if step > series.step:
+        return resample_mean(series, step)
+    return upsample_repeat(series, step)
+
+
+def align_power_and_intensity(
+    power_w: TimeSeries,
+    intensity_g_per_kwh: TimeSeries,
+    policy: str = "resample",
+    resolution_s: Optional[float] = None,
+) -> Tuple[TimeSeries, TimeSeries]:
+    """Bring a power trace and an intensity trace onto one shared grid.
+
+    Parameters
+    ----------
+    power_w / intensity_g_per_kwh:
+        The two traces, each on its own regular grid.
+    policy:
+        One of :data:`ALIGNMENT_POLICIES` (see the module docstring).
+    resolution_s:
+        Target step in seconds for the ``resample`` policy; defaults to
+        the coarser of the two input steps.  Must be reachable by exact
+        resampling (integer step ratios); silent interpolation is never
+        performed.
+
+    Returns the two aligned series, in the same order as the inputs.
+    """
+    if policy not in ALIGNMENT_POLICIES:
+        raise ValueError(
+            f"unknown alignment policy {policy!r}; "
+            f"expected one of {', '.join(ALIGNMENT_POLICIES)}"
+        )
+    if policy == "strict":
+        if resolution_s is not None:
+            raise ValueError("the strict policy does not resample; "
+                             "drop resolution_s or use policy='resample'")
+        same_grid = (
+            len(power_w) == len(intensity_g_per_kwh)
+            and abs(power_w.step - intensity_g_per_kwh.step) <= 1e-9 * power_w.step
+            and abs(power_w.start - intensity_g_per_kwh.start)
+            <= 1e-6 * max(1.0, abs(power_w.start))
+        )
+        if not same_grid:
+            raise TimeSeriesError(
+                "strict alignment: power and intensity are not on the same "
+                f"grid (power: start={power_w.start}, step={power_w.step}, "
+                f"n={len(power_w)}; intensity: start={intensity_g_per_kwh.start}, "
+                f"step={intensity_g_per_kwh.step}, n={len(intensity_g_per_kwh)})"
+            )
+        return power_w, intensity_g_per_kwh
+
+    if policy == "intersect":
+        if resolution_s is not None:
+            raise ValueError("the intersect policy does not resample; "
+                             "drop resolution_s or use policy='resample'")
+        return align_pair(power_w, intensity_g_per_kwh)
+
+    # policy == "resample"
+    step = float(resolution_s) if resolution_s is not None else max(
+        power_w.step, intensity_g_per_kwh.step
+    )
+    if step <= 0:
+        raise ValueError("resolution_s must be positive")
+    power_resampled = _to_step(power_w, step)
+    intensity_resampled = _to_step(intensity_g_per_kwh, step)
+    return align_pair(power_resampled, intensity_resampled)
+
+
+__all__ = ["ALIGNMENT_POLICIES", "align_power_and_intensity"]

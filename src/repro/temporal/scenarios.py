@@ -1,0 +1,98 @@
+"""Carbon-aware operation scenarios as energy-conserving trace transforms.
+
+The paper identifies *when* and *where* work runs as the main operational
+levers on active carbon.  This module implements the "when" levers as pure
+transforms of a facility power trace (the "where" lever — region shifting —
+is just a different grid provider on the intensity side):
+
+* :func:`time_shift` — run the same workload earlier or later in the
+  window (e.g. a nightly batch moved into the windy overnight trough);
+* :func:`defer_load` — defer a fraction of the energy drawn during
+  dirty (above-median-intensity) intervals into clean (below-median)
+  intervals, modelling batch/deferrable load under carbon-aware
+  scheduling.
+
+Both transforms conserve total energy exactly, so any carbon difference
+they produce is purely a consequence of *when* the energy is drawn —
+which is the quantity the time-resolved engine exists to measure.
+:func:`defer_load` can never increase carbon: every deferred unit of
+energy moves from an above-median-intensity interval to a below-median
+one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+
+
+def time_shift(power_w: TimeSeries, shift_s: float) -> TimeSeries:
+    """Circularly shift a power trace in time by ``shift_s`` seconds.
+
+    Positive shifts move consumption later, negative earlier; the trace
+    wraps around the window (the workload still runs, just at a different
+    time of day), so total energy is conserved exactly.  ``shift_s`` must
+    be an integer number of steps — fractional-step shifts would require
+    interpolation, which fabricates samples.
+    """
+    step = power_w.step
+    ratio = shift_s / step
+    steps = int(round(ratio))
+    if abs(ratio - steps) > 1e-9:
+        raise TimeSeriesError(
+            f"shift of {shift_s} s is not an integer number of {step} s steps"
+        )
+    if steps % len(power_w) == 0:
+        return power_w.copy()
+    return TimeSeries(power_w.start, step, np.roll(power_w.values, steps))
+
+
+def defer_load(
+    power_w: TimeSeries,
+    intensity_g_per_kwh: TimeSeries,
+    defer_fraction: float,
+) -> TimeSeries:
+    """Defer a fraction of dirty-interval energy into clean intervals.
+
+    Every interval whose grid intensity is strictly above the window median
+    donates ``defer_fraction`` of its power; the donated energy is spread
+    uniformly (equal added watts) over the intervals strictly below the
+    median.  Total energy is conserved exactly and, because each deferred
+    unit moves from an above-median to a below-median interval, carbon can
+    only decrease (or stay equal when the intensity is flat).
+
+    The two series must already share a grid (align first).  Receivers are
+    treated as capacity-unconstrained — the model's deferrable load is
+    assumed small against facility headroom, matching the paper's framing
+    of batch workloads.
+    """
+    if not 0.0 <= defer_fraction < 1.0:
+        raise ValueError("defer_fraction must be in [0, 1)")
+    if (len(power_w) != len(intensity_g_per_kwh)
+            or abs(power_w.step - intensity_g_per_kwh.step) > 1e-9 * power_w.step
+            or abs(power_w.start - intensity_g_per_kwh.start)
+            > 1e-6 * max(1.0, abs(power_w.start))):
+        raise TimeSeriesError(
+            "defer_load requires power and intensity on the same grid; "
+            "align them first"
+        )
+    if defer_fraction == 0.0:
+        return power_w.copy()
+    values = np.array(power_w.values, dtype=np.float64)
+    intensity = intensity_g_per_kwh.values
+    median = float(np.median(intensity))
+    donors = intensity > median
+    receivers = intensity < median
+    n_receivers = int(np.count_nonzero(receivers))
+    if not donors.any() or n_receivers == 0:
+        # A flat (or half-flat) intensity offers nowhere cleaner to go.
+        return power_w.copy()
+    donated = defer_fraction * values[donors]
+    pool = float(donated.sum())
+    values[donors] -= donated
+    values[receivers] += pool / n_receivers
+    return TimeSeries(power_w.start, power_w.step, values)
+
+
+__all__ = ["time_shift", "defer_load"]

@@ -1,0 +1,31 @@
+"""Regenerate the golden assessment fixture.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only regenerate after an *intended* modelling change, and commit the new
+fixture together with that change.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(TESTS_DIR))
+
+from test_golden_regression import GOLDEN_PATH, build_golden_payload  # noqa: E402
+
+
+def main() -> None:
+    payload = build_golden_payload()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
+    print(f"  total_kg = {payload['summary']['total_kg']}")
+
+
+if __name__ == "__main__":
+    main()

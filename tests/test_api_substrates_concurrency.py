@@ -1,0 +1,145 @@
+"""Concurrency guarantees of the SubstrateCache.
+
+The batch engine's whole speed story rests on one invariant: however many
+threads ask for the same physical configuration at the same time, the
+expensive simulation runs exactly once.  These tests hammer that invariant
+directly — identical specs raced across many threads, whole batch runners
+raced against each other — and pin the failure-recovery behaviour (an
+error must not poison the key, but must also not be recomputed per waiter).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import (
+    Assessment,
+    BatchAssessmentRunner,
+    INVENTORY_SOURCES,
+    SubstrateCache,
+    default_spec,
+    register_inventory_source,
+)
+
+N_THREADS = 8
+
+
+class _CountingIrisSource:
+    """An inventory source that counts how often the substrate is built."""
+
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, spec):
+        from repro.snapshot.config import build_iris_snapshot_config
+
+        with self._lock:
+            self.calls += 1
+        return build_iris_snapshot_config(
+            duration_hours=spec.duration_hours,
+            trace_step_s=spec.trace_step_s,
+            campaign_seed=spec.campaign_seed,
+            node_scale=spec.node_scale,
+        )
+
+
+@pytest.fixture
+def counting_source():
+    source = _CountingIrisSource()
+    register_inventory_source("test-counting-iris", source)
+    try:
+        yield source
+    finally:
+        INVENTORY_SOURCES.unregister("test-counting-iris")
+
+
+def _spec(**overrides):
+    kwargs = dict(node_scale=0.02, campaign_seed=11,
+                  inventory="test-counting-iris")
+    kwargs.update(overrides)
+    return default_spec(**kwargs)
+
+
+class TestSimulateExactlyOnce:
+    def test_racing_assessments_share_one_simulation(self, counting_source):
+        """Many threads, identical physical config -> exactly one engine run."""
+        cache = SubstrateCache()
+        barrier = threading.Barrier(N_THREADS)
+        spec = _spec()
+
+        def run():
+            barrier.wait()  # maximise contention on the cache slot
+            return Assessment.from_spec(spec, substrates=cache).run().total_kg
+
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            totals = list(pool.map(lambda _: run(), range(N_THREADS)))
+
+        assert counting_source.calls == 1
+        assert cache.snapshot_runs == 1
+        assert cache.snapshot_hits >= N_THREADS - 1
+        assert len(set(totals)) == 1  # all threads saw the same substrate
+
+    def test_racing_batch_runners_share_one_simulation(self, counting_source):
+        """Concurrent batch sweeps of identical physical configs: one run."""
+        cache = SubstrateCache()
+        barrier = threading.Barrier(4)
+
+        def sweep(_):
+            runner = BatchAssessmentRunner(_spec(), substrates=cache,
+                                           max_workers=2)
+            barrier.wait()
+            batch = runner.sweep(intensity=[50.0, 175.0, 300.0], pue=[1.1, 1.3])
+            return batch.totals_kg
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            all_totals = list(pool.map(sweep, range(4)))
+
+        assert counting_source.calls == 1
+        assert cache.snapshot_runs == 1
+        # Every racing sweep produced identical scenario totals.
+        assert all(totals == all_totals[0] for totals in all_totals[1:])
+
+    def test_distinct_physical_configs_each_simulate_once(self, counting_source):
+        cache = SubstrateCache()
+        specs = [_spec(campaign_seed=seed) for seed in (1, 2, 3)]
+
+        def run(spec):
+            return Assessment.from_spec(spec, substrates=cache).run()
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            # Submit every spec twice, concurrently.
+            list(pool.map(run, specs + specs))
+
+        assert counting_source.calls == 3
+        assert cache.snapshot_runs == 3
+
+    def test_failure_does_not_poison_the_key(self):
+        """A failed computation is raised to its waiters, then retried fresh."""
+        cache = SubstrateCache()
+        attempts = {"count": 0}
+        lock = threading.Lock()
+
+        def flaky(spec):
+            with lock:
+                attempts["count"] += 1
+                if attempts["count"] == 1:
+                    raise RuntimeError("transient substrate failure")
+            from repro.snapshot.config import build_iris_snapshot_config
+
+            return build_iris_snapshot_config(node_scale=0.02,
+                                              campaign_seed=spec.campaign_seed)
+
+        register_inventory_source("test-flaky-iris", flaky)
+        try:
+            spec = default_spec(node_scale=0.02, campaign_seed=11,
+                                inventory="test-flaky-iris")
+            with pytest.raises(RuntimeError, match="transient"):
+                Assessment.from_spec(spec, substrates=cache).run()
+            # The key was not poisoned: the next request recomputes and wins.
+            result = Assessment.from_spec(spec, substrates=cache).run()
+            assert result.total_kg > 0
+            assert attempts["count"] == 2
+        finally:
+            INVENTORY_SOURCES.unregister("test-flaky-iris")

@@ -1,0 +1,185 @@
+"""Tests for the TemporalAssessment façade, trace providers and sweeps."""
+
+import pytest
+
+from repro.api import (
+    Assessment,
+    BatchAssessmentRunner,
+    SubstrateCache,
+    TemporalAssessment,
+    TRACE_PROVIDERS,
+    UnknownComponentError,
+    default_spec,
+    register_trace_provider,
+)
+from repro.timeseries.series import TimeSeries
+
+#: One small physical configuration shared (via the cache) by every test in
+#: this module, so the expensive simulation runs once.
+SCALE = 0.05
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SubstrateCache()
+
+
+def _spec(**overrides):
+    return default_spec(node_scale=SCALE, campaign_seed=SEED, **overrides)
+
+
+class TestTemporalAssessment:
+    def test_constant_intensity_agrees_with_snapshot_pipeline(self, cache):
+        """The acceptance bar: flat intensity -> temporal == period-average."""
+        spec = _spec()  # fixed 175 gCO2e/kWh by default
+        temporal = TemporalAssessment.from_spec(spec, substrates=cache).run()
+        static = Assessment.from_spec(spec, substrates=cache).run()
+        assert temporal.active_kg == pytest.approx(static.active_kg, rel=1e-6)
+        assert temporal.embodied_kg == pytest.approx(static.embodied_kg, rel=1e-12)
+        assert temporal.total_kg == pytest.approx(static.total_kg, rel=1e-6)
+        assert temporal.savings_kg == pytest.approx(0.0, abs=1e-9)
+
+    def test_provider_series_prices_intervals_individually(self, cache):
+        result = (TemporalAssessment.from_spec(_spec(), substrates=cache)
+                  .with_grid("uk-november-2022").run())
+        # The profile covers the 24 h window at the intensity cadence.
+        assert result.profile.duration_s == pytest.approx(24 * 3600.0)
+        assert result.profile.step == pytest.approx(1800.0)
+        # Energy equals the snapshot's measured energy times PUE.
+        expected_kwh = result.snapshot.total_best_estimate_kwh * result.spec.pue
+        assert result.energy_kwh == pytest.approx(expected_kwh, rel=1e-9)
+        # Time-resolved and window-average differ once intensity varies.
+        assert result.active_kg != pytest.approx(
+            result.window_average_active_kg, abs=1e-9)
+        assert result.temporal_correction_kg == pytest.approx(
+            result.active_kg - result.window_average_active_kg)
+
+    def test_deferral_saves_and_shift_changes_when_not_what(self, cache):
+        base = (TemporalAssessment.from_spec(_spec(), substrates=cache)
+                .with_grid("uk-november-2022"))
+        plain = base.run()
+        deferred = base.with_deferral(0.4).run()
+        shifted = base.with_shift(hours=6).run()
+        assert deferred.savings_kg > 0
+        assert deferred.energy_kwh == pytest.approx(plain.energy_kwh, rel=1e-9)
+        assert shifted.energy_kwh == pytest.approx(plain.energy_kwh, rel=1e-9)
+        assert shifted.active_kg != pytest.approx(plain.active_kg, abs=1e-9)
+        # The baseline profile is the untransformed trace in both cases.
+        assert deferred.baseline_profile.total_carbon_kg == pytest.approx(
+            plain.active_kg, rel=1e-12)
+
+    def test_explicit_resolution_and_alignment(self, cache):
+        result = (TemporalAssessment.from_spec(_spec(), substrates=cache)
+                  .with_grid("uk-november-2022").with_resolution(3600.0).run())
+        assert result.profile.step == pytest.approx(3600.0)
+        assert len(result.profile) == 24
+        strict = (TemporalAssessment.from_spec(_spec(), substrates=cache)
+                  .with_alignment("strict").run())
+        # Fixed intensity is built on the power grid, so strict passes and
+        # keeps the native trace resolution.
+        assert strict.profile.step == pytest.approx(strict.spec.trace_step_s)
+
+    def test_unknown_trace_source_fails_fast(self, cache):
+        spec = _spec(trace_source="no-such-trace")
+        with pytest.raises(UnknownComponentError, match="no-such-trace"):
+            TemporalAssessment.from_spec(spec, substrates=cache).run()
+
+    def test_summary_and_json_round_trip(self, cache, tmp_path):
+        result = (TemporalAssessment.from_spec(_spec(), substrates=cache)
+                  .with_grid("uk-november-2022").run())
+        summary = result.summary()
+        assert summary["active_kg"] == pytest.approx(result.active_kg)
+        assert summary["grid"] == "uk-november-2022"
+        out = tmp_path / "temporal.json"
+        result.to_json(out)
+        import json
+
+        data = json.loads(out.read_text())
+        assert data["summary"]["total_kg"] == pytest.approx(result.total_kg)
+        assert len(data["intervals"]) == len(result.profile)
+
+
+class TestTraceProviders:
+    def test_defaults_registered(self):
+        for name in ("measured", "flat", "synthetic-diurnal"):
+            assert name in TRACE_PROVIDERS
+
+    def test_all_providers_carry_the_measured_energy(self, cache):
+        for name in ("measured", "flat", "synthetic-diurnal"):
+            result = (TemporalAssessment.from_spec(
+                _spec(trace_source=name), substrates=cache).run())
+            expected = (result.snapshot.total_best_estimate_kwh
+                        * result.spec.pue)
+            assert result.energy_kwh == pytest.approx(expected, rel=1e-9), name
+
+    def test_custom_provider_pluggable(self, cache):
+        @register_trace_provider("test-constant-1kw")
+        def _one_kw(spec, snapshot):
+            n = int(round(spec.duration_hours * 3600.0 / spec.trace_step_s))
+            return TimeSeries.constant(0.0, spec.trace_step_s, 1000.0, n)
+
+        try:
+            result = (TemporalAssessment.from_spec(
+                _spec(trace_source="test-constant-1kw"), substrates=cache).run())
+            assert result.energy_kwh == pytest.approx(
+                24.0 * result.spec.pue, rel=1e-9)
+        finally:
+            TRACE_PROVIDERS.unregister("test-constant-1kw")
+
+    def test_provider_returning_wrong_type_is_loud(self, cache):
+        @register_trace_provider("test-bad-return")
+        def _bad(spec, snapshot):
+            return [1.0, 2.0]
+
+        try:
+            with pytest.raises(TypeError, match="must return a TimeSeries"):
+                TemporalAssessment.from_spec(
+                    _spec(trace_source="test-bad-return"), substrates=cache).run()
+        finally:
+            TRACE_PROVIDERS.unregister("test-bad-return")
+
+
+class TestTemporalSweeps:
+    def test_sweep_temporal_shares_one_simulation(self, cache):
+        runner = BatchAssessmentRunner(
+            _spec(carbon_intensity_g_per_kwh=None), substrates=cache)
+        runs_before = cache.snapshot_runs
+        batch = runner.sweep_temporal(shift_hours=[0.0, 6.0, 12.0],
+                                      defer_fraction=[0.0, 0.3])
+        assert len(batch) == 6
+        assert cache.snapshot_runs == max(runs_before, 1)
+        rows = batch.as_rows()
+        assert [row["shift_hours"] for row in rows] == [0, 0, 6, 6, 12, 12]
+        # Deferral rows never emit more than their undeferred sibling.
+        for base_row, deferred_row in zip(rows[::2], rows[1::2]):
+            assert deferred_row["active_kg"] <= base_row["active_kg"] + 1e-9
+        best = batch.best()
+        assert best.active_kg == min(batch.active_totals_kg)
+
+    def test_region_shifting_sweep(self, cache):
+        runner = BatchAssessmentRunner(_spec(), substrates=cache)
+        batch = runner.sweep_temporal(grid=["region-GB", "region-FR"])
+        assert len(batch) == 2
+        by_grid = {row["grid"]: row["active_kg"] for row in batch.as_rows()}
+        # France's nuclear-heavy grid is far cleaner than GB's.
+        assert by_grid["region-FR"] < by_grid["region-GB"]
+
+    def test_static_sweep_rejects_temporal_only_axes(self, cache):
+        runner = BatchAssessmentRunner(_spec(), substrates=cache)
+        with pytest.raises(ValueError, match="sweep_temporal"):
+            runner.sweep(defer_fraction=[0.0, 0.3])
+        with pytest.raises(ValueError, match="shift_hours"):
+            runner.sweep(intensity=[50.0, 175.0], shift_hours=[0.0, 6.0])
+
+    def test_sweep_temporal_to_files(self, cache, tmp_path):
+        runner = BatchAssessmentRunner(
+            _spec(carbon_intensity_g_per_kwh=None), substrates=cache)
+        batch = runner.sweep_temporal(defer_fraction=[0.0, 0.2])
+        batch.to_json(tmp_path / "sweep.json")
+        batch.to_csv(tmp_path / "sweep.csv")
+        import json
+
+        rows = json.loads((tmp_path / "sweep.json").read_text())
+        assert len(rows) == 2 and rows[0]["total_kg"] > 0
+        assert (tmp_path / "sweep.csv").read_text().count("\n") >= 3

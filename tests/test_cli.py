@@ -160,3 +160,57 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])
+
+
+class TestAssessErrorPaths:
+    """The assess error paths: bad spec files, bad formats, conflicts."""
+
+    def test_spec_file_with_invalid_json(self, capsys, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["assess", "--spec", str(bad)]) == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_spec_file_with_unknown_fields(self, capsys, tmp_path):
+        bad = tmp_path / "unknown.json"
+        bad.write_text('{"node_scale": 0.05, "warp_factor": 9}', encoding="utf-8")
+        assert main(["assess", "--spec", str(bad)]) == 2
+        assert "warp_factor" in capsys.readouterr().err
+
+    def test_spec_file_that_is_not_an_object(self, capsys, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]", encoding="utf-8")
+        assert main(["assess", "--spec", str(bad)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_spec_file_with_invalid_values(self, capsys, tmp_path):
+        bad = tmp_path / "badvalues.json"
+        bad.write_text('{"node_scale": 7.0}', encoding="utf-8")
+        assert main(["assess", "--spec", str(bad)]) == 2
+        assert "node_scale" in capsys.readouterr().err
+
+    def test_invalid_format_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["assess", "--format", "xml"])
+        assert err.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_grid_and_intensity_conflict(self, capsys):
+        assert main(["assess", "--scale", "0.05", "--grid", "uk-november-2022",
+                     "--intensity", "175"]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_negative_intensity_returns_error_code(self, capsys):
+        assert main(["assess", "--scale", "0.05", "--intensity", "-3"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_unknown_grid_provider(self, capsys):
+        assert main(["assess", "--scale", "0.05", "--grid", "atlantis"]) == 2
+        err = capsys.readouterr().err
+        assert "atlantis" in err and "registered names" in err
+
+    def test_invalid_lifetime_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["assess", "--lifetime", "0"])
+        assert err.value.code == 2
+        assert "must be positive" in capsys.readouterr().err

@@ -1,0 +1,116 @@
+"""CLI coverage for the ``repro temporal`` subcommand."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTemporalCommand:
+    def test_table_output(self, capsys):
+        code = main(["temporal", "--scale", "0.02", "--grid", "uk-november-2022"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Time-resolved assessment" in out
+        assert "Per-day emissions" in out
+        assert "Carbon by grid-intensity band" in out
+        assert "experienced_intensity_g_per_kwh" in out
+
+    def test_chart_flag(self, capsys):
+        code = main(["temporal", "--scale", "0.02", "--chart"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Emission rate over the window" in out
+
+    def test_json_output(self, capsys):
+        code = main(["temporal", "--scale", "0.02", "--grid", "uk-november-2022",
+                     "--defer-fraction", "0.3", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["summary"]["savings_kg"] > 0
+        assert data["spec"]["defer_fraction"] == 0.3
+        assert len(data["intervals"]) == data["summary"]["intervals"]
+
+    def test_csv_output(self, capsys):
+        code = main(["temporal", "--scale", "0.02", "--format", "csv"])
+        out = capsys.readouterr().out
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 1
+        assert float(rows[0]["total_kg"]) > 0
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "temporal.json"
+        code = main(["temporal", "--scale", "0.02", "--format", "json",
+                     "--output", str(target)])
+        assert code == 0
+        assert "Wrote" in capsys.readouterr().out
+        assert json.loads(target.read_text())["summary"]["total_kg"] > 0
+
+    def test_spec_file_with_overrides(self, capsys, tmp_path):
+        from repro.api import default_spec
+
+        spec_path = tmp_path / "spec.json"
+        default_spec(node_scale=0.02).to_json(spec_path)
+        code = main(["temporal", "--spec", str(spec_path),
+                     "--shift-hours", "6", "--grid", "uk-november-2022",
+                     "--format", "csv"])
+        out = capsys.readouterr().out
+        assert code == 0
+        row = next(csv.DictReader(io.StringIO(out)))
+        assert float(row["shift_hours"]) == 6.0
+
+
+class TestTemporalErrorPaths:
+    def test_grid_and_intensity_conflict(self, capsys):
+        code = main(["temporal", "--scale", "0.02",
+                     "--grid", "uk-november-2022", "--intensity", "100"])
+        assert code == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_unknown_grid_provider(self, capsys):
+        code = main(["temporal", "--scale", "0.02", "--grid", "narnia"])
+        assert code == 2
+        assert "narnia" in capsys.readouterr().err
+
+    def test_unknown_trace_source(self, capsys):
+        code = main(["temporal", "--scale", "0.02",
+                     "--trace-source", "no-such-source"])
+        assert code == 2
+        assert "no-such-source" in capsys.readouterr().err
+
+    def test_negative_intensity(self, capsys):
+        code = main(["temporal", "--scale", "0.02", "--intensity", "-5"])
+        assert code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_bad_defer_fraction_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["temporal", "--defer-fraction", "1.5"])
+        assert excinfo.value.code == 2
+        assert "must be in [0, 1)" in capsys.readouterr().err
+
+    def test_bad_resolution_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["temporal", "--resolution", "-60"])
+        assert excinfo.value.code == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_bad_alignment_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["temporal", "--alignment", "fuzzy"])
+        assert excinfo.value.code == 2
+
+    def test_fractional_step_shift_reports_cleanly(self, capsys):
+        code = main(["temporal", "--scale", "0.02", "--shift-hours", "0.007"])
+        assert code == 2
+        assert "integer number" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys):
+        code = main(["temporal", "--spec", "/nonexistent/spec.json"])
+        assert code == 2
+        assert "cannot load spec" in capsys.readouterr().err

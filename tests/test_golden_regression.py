@@ -1,0 +1,82 @@
+"""Golden regression: pin the full Assessment output against a committed fixture.
+
+Runs ``Assessment.from_spec`` for a fixed small-scale Iris spec and compares
+everything the pipeline produced — Table 2 energies per site and method,
+the active/embodied split, the component breakdown — against
+``tests/golden/assessment_iris_scale005_seed7.json`` with tight tolerances.
+A refactor that silently drifts any number fails here first.
+
+To regenerate after an *intended* physics change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the updated fixture together with the change that justified it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Assessment, SubstrateCache, default_spec
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "assessment_iris_scale005_seed7.json"
+
+#: Relative tolerance for pinned floats: tight enough that any modelling
+#: change trips it, loose enough to absorb cross-platform libm jitter.
+RTOL = 1e-9
+
+#: The pinned configuration. Small enough to simulate in well under a
+#: second, large enough to exercise every site and both node classes.
+GOLDEN_SPEC_KWARGS = dict(node_scale=0.05, campaign_seed=7)
+
+
+def build_golden_payload() -> dict:
+    """Run the pinned spec and collect everything worth pinning."""
+    spec = default_spec(**GOLDEN_SPEC_KWARGS)
+    result = Assessment.from_spec(spec, substrates=SubstrateCache()).run()
+    return {
+        "spec": result.spec.to_dict(),
+        "summary": result.summary(),
+        "table2": result.table2_rows(),
+        "breakdown_kg": result.total.breakdown_kg(),
+    }
+
+
+def _assert_matches(actual, expected, path="$"):
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected an object"
+        assert sorted(actual) == sorted(expected), (
+            f"{path}: keys changed: {sorted(actual)} vs {sorted(expected)}")
+        for key in expected:
+            _assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"{path}: length changed")
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{index}]")
+    elif isinstance(expected, float) and not isinstance(expected, bool):
+        assert actual == pytest.approx(expected, rel=RTOL, abs=1e-12), (
+            f"{path}: {actual!r} != {expected!r}")
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+class TestGoldenRegression:
+    def test_assessment_output_matches_committed_fixture(self):
+        assert GOLDEN_PATH.exists(), (
+            f"golden fixture missing: {GOLDEN_PATH}; "
+            "run PYTHONPATH=src python tests/golden/regenerate.py")
+        expected = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        actual = build_golden_payload()
+        _assert_matches(actual, expected)
+
+    def test_fixture_is_self_consistent(self):
+        """Guard the fixture itself against hand-editing mistakes."""
+        data = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        summary = data["summary"]
+        assert summary["total_kg"] == pytest.approx(
+            summary["active_kg"] + summary["embodied_kg"], rel=1e-9)
+        table2_total = sum(
+            row["facility"] for row in data["table2"] if row["facility"] is not None)
+        assert summary["energy_kwh"] == pytest.approx(table2_total, rel=1e-6)

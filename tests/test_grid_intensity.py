@@ -108,3 +108,27 @@ class TestClassification:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             classify_intensity(-1.0)
+
+
+class TestBandIndexArray:
+    def test_matches_scalar_classifier(self):
+        import numpy as np
+
+        from repro.grid.intensity import (
+            IntensityBand,
+            band_index_array,
+            classify_intensity,
+        )
+
+        values = np.array([0.0, 34.9, 35.0, 109.9, 110.0, 189.9, 190.0,
+                           269.9, 270.0, 1000.0])
+        bands = tuple(IntensityBand)
+        vectorized = [bands[i] for i in band_index_array(values)]
+        scalar = [classify_intensity(float(v)) for v in values]
+        assert vectorized == scalar
+
+    def test_rejects_negative(self):
+        from repro.grid.intensity import band_index_array
+
+        with pytest.raises(ValueError, match="non-negative"):
+            band_index_array([-1.0])
