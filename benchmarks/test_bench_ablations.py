@@ -33,7 +33,6 @@ from repro.inventory.node import NodeInstance
 from repro.io.csvio import write_rows_csv
 from repro.power.reconciliation import best_estimate_kwh, compare_methods, ratio_table
 from repro.reporting.tables import format_table
-from repro.timeseries.resample import resample_sum
 from repro.timeseries.series import TimeSeries
 from repro.units.quantities import CarbonIntensity, Duration, Energy
 

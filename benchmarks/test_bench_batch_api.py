@@ -15,7 +15,6 @@ from repro.api import BatchAssessmentRunner, SubstrateCache, default_spec
 from repro.io.jsonio import write_json
 from repro.snapshot.config import build_iris_snapshot_config
 from repro.snapshot.experiment import SnapshotExperiment
-from repro.units.quantities import CarbonIntensity
 
 SCALE = 0.05
 INTENSITIES = (50.0, 175.0, 300.0)
@@ -58,13 +57,15 @@ def test_bench_batch_vs_naive(results_dir):
     # Same physics: scenario for scenario, the answers agree exactly
     # (sweep order is intensity, then pue, then lifetime on both sides).
     assert batch.totals_kg == naive_totals
-    # Shared substrates: one simulation backed all twelve scenarios ...
+    # The primary assertion is structural, not wall-clock: one simulation
+    # backed all twelve scenarios while the naive loop ran twelve.
     assert cache.snapshot_runs == 1
-    # ... which must beat twelve independent experiment runs outright.
-    assert batch_s < naive_s, (
-        f"batch sweep ({batch_s:.2f}s) not faster than naive loop ({naive_s:.2f}s)")
-
+    # Wall clock only gets a conservative floor (typically ~5x is measured;
+    # asserting anywhere near that is flaky on loaded CI machines).
     speedup = naive_s / batch_s if batch_s > 0 else float("inf")
+    assert speedup >= 1.5, (
+        f"batch sweep ({batch_s:.2f}s) not meaningfully faster than the "
+        f"naive loop ({naive_s:.2f}s); speedup {speedup:.2f}x < 1.5x floor")
     write_json(results_dir / "bench_batch_api.json", {
         "scenarios": len(batch),
         "node_scale": SCALE,

@@ -13,7 +13,6 @@ reported as an extension rather than a correction.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.embodied import EmbodiedCarbonCalculator
 from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid

@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
-from repro.core.uncertainty import MonteCarloCarbonModel, UncertainInput
+from repro.core.uncertainty import MonteCarloCarbonModel
 from repro.inventory.iris import IRIS_IMPLIED_SERVER_COUNT
 from repro.io.jsonio import write_json
 from repro.reporting.equivalents import EquivalenceReport, passenger_flight_days_equivalent

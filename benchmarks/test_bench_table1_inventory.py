@@ -7,7 +7,6 @@ two agree with the paper's printed counts.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.inventory.iris import (
     IRIS_SITE_NODE_COUNTS,

@@ -35,7 +35,7 @@ from repro.grid import default_regions
 from repro.inventory import default_catalog
 from repro.power.node_power import NodePowerModel
 from repro.reporting import format_table
-from repro.units import CarbonIntensity, Duration
+from repro.units import Duration
 
 #: Scientific demand to satisfy: delivered core-hours per year.
 REQUIRED_CORE_HOURS_PER_YEAR = 25_000_000.0
@@ -122,14 +122,14 @@ def main() -> None:
     baseline, longer, denser, sited = rows
     print("Observations")
     print("------------")
-    print(f"* Keeping hardware 7 years instead of 4 cuts embodied carbon by "
+    print("* Keeping hardware 7 years instead of 4 cuts embodied carbon by "
           f"{(1 - longer['embodied_tCO2'] / baseline['embodied_tCO2']):.0%} "
           "with no change to active carbon.")
-    print(f"* Low-carbon siting cuts the total by "
+    print("* Low-carbon siting cuts the total by "
           f"{(1 - sited['total_tCO2'] / baseline['total_tCO2']):.0%}, after which the "
           f"embodied share rises to {sited['embodied_share']:.0%} — the paper's point "
           "that embodied carbon dominates once the grid decarbonises.")
-    print(f"* Denser nodes change the balance between chassis count and per-node "
+    print("* Denser nodes change the balance between chassis count and per-node "
           f"power; here they deliver {denser['gCO2_per_core_hour']:.1f} gCO2e per "
           f"core-hour vs {baseline['gCO2_per_core_hour']:.1f} for the baseline.")
 

@@ -74,7 +74,7 @@ def main() -> None:
                                   wind_share_max=0.85).generate_intensity(days=days)
 
     windy = base.with_grid("quickstart-windy").run()
-    print(f"On the custom 'quickstart-windy' grid "
+    print("On the custom 'quickstart-windy' grid "
           f"({windy.spec.carbon_intensity_g_per_kwh:.0f} gCO2e/kWh medium "
           f"reference): total {windy.total_kg:,.1f} kgCO2e")
     print()

@@ -37,7 +37,7 @@ def scenario_corners() -> None:
         intensity=[50.0, 175.0, 300.0],
         pue=[1.1, 1.3, 1.5],
     )
-    print(f"Deterministic corners (simulated snapshot at 5% scale, "
+    print("Deterministic corners (simulated snapshot at 5% scale, "
           f"{len(batch)} scenarios, one simulation): "
           f"{batch.min_total_kg:,.0f} - {batch.max_total_kg:,.0f} kgCO2e")
     print()

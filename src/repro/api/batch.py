@@ -29,9 +29,6 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.api.temporal import TemporalAssessmentResult
-
 from repro.io.csvio import write_rows_csv
 from repro.io.jsonio import PathLike, write_json
 
@@ -39,6 +36,9 @@ from repro.api.assessment import Assessment
 from repro.api.result import AssessmentResult
 from repro.api.spec import AssessmentSpec, default_spec
 from repro.api.substrates import SubstrateCache, shared_substrates
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.temporal import TemporalAssessmentResult
 
 #: Sweep axis name -> the AssessmentSpec field it drives.
 SWEEP_AXES: Dict[str, str] = {
@@ -158,6 +158,15 @@ class BatchAssessmentRunner:
     max_workers:
         Thread count for simulating *distinct* physical configurations
         concurrently; 1 (the default) runs everything sequentially.
+    substrate_cache_dir:
+        Convenience for the common case: build a private
+        :class:`SubstrateCache` persisting snapshots under this directory
+        (so full-scale simulations are paid once per machine).  Mutually
+        exclusive with ``substrates`` — pass a configured cache instead.
+    jobs:
+        Per-simulation site concurrency.  Giving ``jobs`` (with or without
+        ``substrate_cache_dir``) builds a private cache configured with it;
+        mutually exclusive with ``substrates`` for the same reason.
     """
 
     def __init__(
@@ -166,11 +175,25 @@ class BatchAssessmentRunner:
         *,
         substrates: Optional[SubstrateCache] = None,
         max_workers: int = 1,
+        substrate_cache_dir=None,
+        jobs: Optional[int] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if substrates is not None and (substrate_cache_dir is not None
+                                       or jobs is not None):
+            raise ValueError(
+                "pass either substrates or substrate_cache_dir/jobs, not "
+                "both; use SubstrateCache(persist_dir=..., jobs=...) to "
+                "combine them")
         self._base_spec = base_spec or default_spec()
-        self._substrates = substrates if substrates is not None else shared_substrates()
+        if substrates is not None:
+            self._substrates = substrates
+        elif substrate_cache_dir is not None or jobs is not None:
+            self._substrates = SubstrateCache(persist_dir=substrate_cache_dir,
+                                              jobs=jobs if jobs is not None else 1)
+        else:
+            self._substrates = shared_substrates()
         self._max_workers = max_workers
 
     @property

@@ -115,7 +115,7 @@ class AssessmentResult:
         audit.add_table(
             "Active energy by measurement method (kWh)", self.table2_rows())
         audit.add_total_result(
-            f"Carbon model (intensity "
+            "Carbon model (intensity "
             f"{self.spec.carbon_intensity_g_per_kwh:.0f} gCO2e/kWh, "
             f"PUE {self.spec.pue})",
             self.total,

@@ -12,12 +12,20 @@ sweep of N scenarios cost one simulation instead of N.
 The cache is thread-safe: concurrent requests for the *same* key block on
 one in-flight computation (no duplicated engine runs), while requests for
 different keys proceed independently.
+
+With ``persist_dir`` set, simulated snapshots are additionally written to
+disk (``.npz`` + JSON sidecar keyed by the spec's physical hash, see
+:mod:`repro.api.persistence`), so a full-scale simulation is paid once per
+machine rather than once per process; ``jobs`` controls how many sites each
+simulation runs concurrently.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.grid.intensity import CarbonIntensitySeries
 from repro.inventory.catalog import HardwareCatalog, default_catalog
@@ -39,15 +47,40 @@ class _Slot:
 
 
 class SubstrateCache:
-    """Caches the expensive substrates shared across assessment runs."""
+    """Caches the expensive substrates shared across assessment runs.
 
-    def __init__(self):
+    Parameters
+    ----------
+    persist_dir:
+        Directory for the on-disk snapshot cache; ``None`` (default) keeps
+        the cache in-process only.  Entries are keyed by the spec's
+        physical hash, written atomically, and unreadable/stale entries are
+        recomputed rather than raised.
+    jobs:
+        How many sites each simulated snapshot runs concurrently
+        (:meth:`SnapshotExperiment.run`'s ``max_workers``); ``None`` picks
+        one thread per site capped at the CPU count.
+    """
+
+    def __init__(self, persist_dir: Optional[Union[str, Path]] = None,
+                 jobs: Optional[int] = 1):
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be at least 1 (or None)")
         self._lock = threading.Lock()
         self._slots: Dict[Tuple[str, Tuple[Any, ...]], _Slot] = {}
         self._catalog: HardwareCatalog | None = None
+        self._persist_dir = (Path(persist_dir).expanduser()
+                             if persist_dir is not None else None)
+        self._jobs = jobs
         # Statistics, mainly so tests and benchmarks can assert reuse.
         self.snapshot_runs = 0
         self.snapshot_hits = 0
+        self.snapshot_loads = 0
+
+    @property
+    def persist_dir(self) -> Optional[Path]:
+        """Where snapshots persist across processes (``None`` = in-memory only)."""
+        return self._persist_dir
 
     # -- generic compute-once machinery ------------------------------------------
 
@@ -108,6 +141,9 @@ class SubstrateCache:
         inventory-source factory, so specs differing only in scenario
         parameters share one engine run while a re-registered inventory
         source (``overwrite=True``) is not served stale results.
+
+        With ``persist_dir`` configured, the on-disk cache is consulted
+        before simulating, and fresh simulations are written back.
         """
         from repro.api.registry import INVENTORY_SOURCES
         from repro.snapshot.experiment import SnapshotExperiment
@@ -115,10 +151,33 @@ class SubstrateCache:
         factory = INVENTORY_SOURCES.get(spec.inventory)
 
         def _run() -> "SnapshotResult":
+            digest = None
+            if self._persist_dir is not None:
+                from repro.api.persistence import (
+                    load_snapshot_result, snapshot_digest)
+
+                digest = snapshot_digest(spec.physical_key(), factory)
+                cached = load_snapshot_result(self._persist_dir, digest)
+                if cached is not None:
+                    with self._lock:
+                        self.snapshot_loads += 1
+                    return cached
             config = factory(spec)
-            result = SnapshotExperiment(config, catalog=self.catalog()).run()
+            result = SnapshotExperiment(
+                config, catalog=self.catalog(), max_workers=self._jobs).run()
             with self._lock:
                 self.snapshot_runs += 1
+            if digest is not None:
+                from repro.api.persistence import save_snapshot_result
+
+                try:
+                    save_snapshot_result(self._persist_dir, digest, result)
+                except OSError as exc:
+                    # A cache problem must never cost the caller the result
+                    # of a simulation that already succeeded.
+                    warnings.warn(
+                        f"could not persist snapshot to {self._persist_dir}: "
+                        f"{exc}", RuntimeWarning, stacklevel=2)
             return result
 
         return self._compute_once("snapshot", spec.physical_key() + (factory,), _run)

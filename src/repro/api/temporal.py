@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.grid.intensity import CarbonIntensitySeries
 from repro.temporal.align import align_power_and_intensity

@@ -125,6 +125,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the json/csv output to this file instead of stdout")
     assess.add_argument("--output-dir", type=Path, default=None,
                         help="directory to write the regenerated tables as CSV")
+    assess.add_argument("--substrate-cache-dir", type=Path, default=None,
+                        help="persist simulated snapshots here so full-scale "
+                             "runs are paid once per machine")
+    assess.add_argument("--jobs", type=int, default=None,
+                        help="simulate this many sites concurrently "
+                             "(default: 1; 0 = one thread per site)")
 
     temporal = subparsers.add_parser(
         "temporal", help="run the time-resolved assessment engine")
@@ -154,6 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write the json/csv output to this file instead of stdout")
     temporal.add_argument("--chart", action="store_true",
                           help="also print the ASCII emission-rate chart")
+    temporal.add_argument("--substrate-cache-dir", type=Path, default=None,
+                          help="persist simulated snapshots here so full-scale "
+                               "runs are paid once per machine")
+    temporal.add_argument("--jobs", type=int, default=None,
+                          help="simulate this many sites concurrently "
+                               "(default: 1; 0 = one thread per site)")
 
     subparsers.add_parser("inventory", help="print the Table 1 hardware inventory")
 
@@ -198,8 +210,28 @@ def _build_parser() -> argparse.ArgumentParser:
 # shared assessment helpers
 # --------------------------------------------------------------------------
 
-def _run_assessment(spec: AssessmentSpec) -> AssessmentResult:
-    return Assessment.from_spec(spec).run()
+def _run_assessment(spec: AssessmentSpec, substrates=None) -> AssessmentResult:
+    return Assessment.from_spec(spec, substrates=substrates).run()
+
+
+def _build_substrates(args: argparse.Namespace):
+    """A SubstrateCache from --substrate-cache-dir/--jobs, or None for shared.
+
+    ``--jobs 0`` means "one thread per site" (auto); raises
+    :class:`_UsageError` on a negative count.
+    """
+    cache_dir = getattr(args, "substrate_cache_dir", None)
+    jobs = getattr(args, "jobs", None)
+    if cache_dir is None and jobs is None:
+        return None
+    if jobs is not None and jobs < 0:
+        raise _UsageError("--jobs must be non-negative (0 = one thread per site)")
+    from repro.api import SubstrateCache
+
+    return SubstrateCache(
+        persist_dir=cache_dir,
+        jobs=None if jobs == 0 else (jobs if jobs is not None else 1),
+    )
 
 
 def _assessment_tables_text(result: AssessmentResult) -> str:
@@ -276,6 +308,7 @@ def _scenario_overrides(args: argparse.Namespace) -> dict:
 def _cmd_assess(args: argparse.Namespace) -> int:
     try:
         overrides = _scenario_overrides(args)
+        substrates = _build_substrates(args)
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -292,7 +325,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         overrides["amortization"] = args.amortization
     try:
         spec = spec.replace(**overrides) if overrides else spec
-        result = _run_assessment(spec)
+        result = _run_assessment(spec, substrates)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -319,6 +352,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
 def _cmd_temporal(args: argparse.Namespace) -> int:
     try:
         overrides = _scenario_overrides(args)
+        substrates = _build_substrates(args)
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -339,7 +373,7 @@ def _cmd_temporal(args: argparse.Namespace) -> int:
         overrides["defer_fraction"] = args.defer_fraction
     try:
         spec = spec.replace(**overrides) if overrides else spec
-        result = TemporalAssessment.from_spec(spec).run()
+        result = TemporalAssessment.from_spec(spec, substrates=substrates).run()
     except (KeyError, ValueError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

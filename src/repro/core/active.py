@@ -15,7 +15,7 @@ chosen carbon intensity and PUE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from repro.core.results import ActiveCarbonResult

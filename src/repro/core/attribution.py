@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.units.quantities import Carbon
 from repro.workload.scheduler import Placement

@@ -23,10 +23,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.results import EmbodiedCarbonResult
-from repro.units.constants import HOURS_PER_YEAR, SECONDS_PER_YEAR
 from repro.units.quantities import Duration
 
 

@@ -8,7 +8,7 @@ stated evaluation period.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.units.quantities import Carbon, Duration

@@ -17,7 +17,6 @@ directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Mapping, Sequence, Tuple
 

@@ -17,7 +17,7 @@ that:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 #: The two bounding per-server embodied-carbon estimates used by the paper.
 PAPER_SERVER_EMBODIED_LOW_KGCO2: float = 400.0

@@ -9,8 +9,8 @@ each region and can generate an intensity series for any window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator
 
 from repro.grid.intensity import CarbonIntensitySeries
 from repro.grid.synthetic import NOVEMBER_2022_SEED, SyntheticGridModel

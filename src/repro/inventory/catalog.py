@@ -19,7 +19,6 @@ from typing import Dict, Iterator, List
 from repro.inventory.components import (
     ChassisSpec,
     CPUSpec,
-    GPUSpec,
     MainboardSpec,
     MemorySpec,
     NICSpec,

@@ -16,7 +16,7 @@ files fails early rather than producing nonsense carbon numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

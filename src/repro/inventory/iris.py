@@ -22,11 +22,11 @@ Table 1 summary rows.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.inventory.catalog import HardwareCatalog, default_catalog
 from repro.inventory.infrastructure import DigitalResearchInfrastructure
-from repro.inventory.node import NodeClass, NodeInstance, NodeSpec
+from repro.inventory.node import NodeInstance
 from repro.inventory.site import Facility, Rack, Site
 
 # --------------------------------------------------------------------------

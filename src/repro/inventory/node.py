@@ -11,9 +11,9 @@ node assigned to the DRI).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.inventory.components import (
     ChassisSpec,

@@ -8,6 +8,9 @@ the simulated equivalents:
 * :mod:`~repro.power.node_power` — a component-resolved node power model
   mapping utilisation to electrical draw (CPU, DRAM, storage, platform, PSU
   conversion loss).
+* :mod:`~repro.power.fleet_power` — the columnar fleet power model: one
+  broadcasting pass converts a whole site's utilisation matrix to the
+  three measurement-scope power matrices.
 * :mod:`~repro.power.traces` — per-node power traces with the component
   breakdown the different instrument scopes need.
 * :mod:`~repro.power.facility` — the facility overhead model (PUE
@@ -23,6 +26,7 @@ the simulated equivalents:
   taken with different scopes (the paper's Table 2 discussion).
 """
 
+from repro.power.fleet_power import FleetPowerModel
 from repro.power.node_power import NodePowerModel
 from repro.power.traces import PowerBreakdownTrace
 from repro.power.facility import FacilityOverheadModel, OverheadBreakdown
@@ -44,6 +48,7 @@ from repro.power.reconciliation import (
 )
 
 __all__ = [
+    "FleetPowerModel",
     "NodePowerModel",
     "PowerBreakdownTrace",
     "FacilityOverheadModel",

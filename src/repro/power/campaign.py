@@ -10,7 +10,7 @@ paper's Table 2.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.power.instruments import InstrumentReading, MeasurementInstrument

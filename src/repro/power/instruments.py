@@ -24,7 +24,6 @@ reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -33,7 +32,6 @@ from repro.timeseries.gapfill import fill_forward
 from repro.timeseries.integrate import energy_kwh_from_power_w
 from repro.timeseries.resample import resample_mean
 from repro.timeseries.series import TimeSeries
-from repro.units.constants import JOULES_PER_KWH
 
 
 @dataclass(frozen=True)
@@ -97,12 +95,16 @@ class MeasurementInstrument:
         self, trace: PowerBreakdownTrace, covered_rows: np.ndarray,
         network_power_w: float,
     ) -> TimeSeries:
-        """The site-level power series this instrument observes (watts)."""
-        matrix = trace.scope_matrix(self.scope)
-        total = matrix[covered_rows].sum(axis=0)
+        """The site-level power series this instrument observes (watts).
+
+        The covered-node reduction maps the whole fleet matrix to the site
+        series in one pass (:meth:`PowerBreakdownTrace.covered_series`);
+        on a columnar trace no per-scope power matrix is materialised.
+        """
+        series = trace.covered_series(self.scope, covered_rows)
         if self.includes_network:
-            total = total + network_power_w
-        return TimeSeries(trace.start, trace.step, total)
+            series = series + network_power_w
+        return series
 
     # -- the measurement itself -----------------------------------------------------
 
@@ -255,9 +257,8 @@ class FacilityMeter(MeasurementInstrument):
 
     def _site_power_series(self, trace, covered_rows, network_power_w):
         # A room meter sees every node regardless of per-node tooling.
-        matrix = trace.scope_matrix(self.scope)
-        total = matrix.sum(axis=0) + network_power_w + self.room_constant_power_w
-        series = TimeSeries(trace.start, trace.step, total)
+        series = (trace.covered_series(self.scope, None)
+                  + (network_power_w + self.room_constant_power_w))
         return series * (1.0 + self.distribution_loss_fraction)
 
     def measure(self, trace, seed=0, network_power_w=0.0):

@@ -18,7 +18,7 @@ implements that adjustment step:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 #: Measurement methods ordered from narrowest to widest scope.
 METHOD_SCOPE_ORDER = ("turbostat", "ipmi", "pdu", "facility")

@@ -1,7 +1,7 @@
 """Per-node power traces with a component breakdown.
 
-A :class:`PowerBreakdownTrace` holds, on a single regular sampling grid, one
-matrix per measurement scope:
+A :class:`PowerBreakdownTrace` exposes, on a single regular sampling grid,
+one matrix per measurement scope:
 
 * ``rapl_w`` — CPU package + DRAM (what Turbostat sees);
 * ``dc_w`` — all node components on the DC side;
@@ -11,24 +11,45 @@ matrix per measurement scope:
 It is produced from a :class:`~repro.workload.utilization.UtilizationTrace`
 and a per-node :class:`~repro.power.node_power.NodePowerModel`, and consumed
 by the measurement instruments.
+
+Internally the trace has two representations:
+
+**columnar/lazy** (:meth:`from_utilization`, the engine default) — the
+utilisation matrix plus a :class:`~repro.power.fleet_power.FleetPowerModel`
+holding per-node affine coefficients.  Because every instrument ultimately
+*reduces* the fleet matrix (a site series over covered nodes, a total
+energy, per-node energies), the reductions are evaluated directly from the
+coefficients — ``sum_i c_i (a_i + b_i u_i(t))`` is one vector contraction
+against the utilisation matrix — and a full per-scope power matrix is only
+materialised if :meth:`scope_matrix` is explicitly asked for it.
+
+**materialised** (the public constructor and
+:meth:`from_utilization_loop`, the per-node oracle) — three explicit
+power matrices, validated for shape, sign and scope ordering.  The oracle
+path cross-validates the lazy engine in the fleet-engine benchmark and
+equivalence tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.power.fleet_power import FleetPowerModel
 from repro.power.node_power import NodePowerModel
 from repro.timeseries.series import TimeSeries
 from repro.units.constants import JOULES_PER_KWH
 from repro.workload.utilization import UtilizationTrace
 
+_SCOPES = ("rapl", "dc", "wall")
+
 
 class PowerBreakdownTrace:
     """Scope-resolved power traces for a set of nodes on one sampling grid."""
 
-    __slots__ = ("_start", "_step", "_node_ids", "_rapl", "_dc", "_wall")
+    __slots__ = ("_start", "_step", "_node_ids", "_matrices", "_util",
+                 "_model", "_series_cache")
 
     def __init__(
         self,
@@ -57,9 +78,12 @@ class PowerBreakdownTrace:
         self._start = float(start)
         self._step = float(step)
         self._node_ids = list(node_ids)
-        self._rapl = rapl_w
-        self._dc = dc_w
-        self._wall = wall_w
+        self._matrices: Dict[str, np.ndarray] = {
+            "rapl": rapl_w, "dc": dc_w, "wall": wall_w,
+        }
+        self._util: Optional[np.ndarray] = None
+        self._model: Optional[FleetPowerModel] = None
+        self._series_cache: Dict[tuple, np.ndarray] = {}
 
     # -- construction ---------------------------------------------------------------
 
@@ -73,6 +97,41 @@ class PowerBreakdownTrace:
 
         ``models`` must be ordered like ``trace.node_ids``; pass a list with
         a single repeated model (``[model] * n``) for homogeneous sites.
+
+        This is the columnar engine: the fleet's affine power coefficients
+        are computed once and reductions (site series, energies) evaluate
+        straight off the utilisation matrix; per-scope power matrices are
+        materialised only on explicit :meth:`scope_matrix` access.  Agrees
+        with the per-node oracle (:meth:`from_utilization_loop`) to within
+        a few float64 ulp.
+        """
+        if len(models) != trace.node_count:
+            raise ValueError(
+                f"need one power model per node: {trace.node_count} nodes, "
+                f"{len(models)} models"
+            )
+        obj = cls.__new__(cls)
+        obj._start = trace.start
+        obj._step = trace.step
+        obj._node_ids = trace.node_ids
+        obj._matrices = {}
+        obj._util = trace.matrix
+        obj._model = FleetPowerModel(models)
+        obj._series_cache = {}
+        return obj
+
+    @classmethod
+    def from_utilization_loop(
+        cls,
+        trace: UtilizationTrace,
+        models: Sequence[NodePowerModel],
+    ) -> "PowerBreakdownTrace":
+        """The seed per-node conversion, retained as the oracle.
+
+        Evaluates each node's power model against its own matrix row, one
+        node at a time, materialising all three scope matrices up front;
+        used by the fleet-engine benchmark and the equivalence tests to
+        cross-validate :meth:`from_utilization`.
         """
         if len(models) != trace.node_count:
             raise ValueError(
@@ -109,28 +168,99 @@ class PowerBreakdownTrace:
 
     @property
     def sample_count(self) -> int:
-        return int(self._wall.shape[1])
+        if self._util is not None:
+            return int(self._util.shape[1])
+        return int(self._matrices["wall"].shape[1])
 
     @property
     def duration_s(self) -> float:
         return self._step * self.sample_count
 
+    def _check_scope(self, scope: str) -> None:
+        if scope not in _SCOPES:
+            raise ValueError(
+                f"unknown scope {scope!r}; expected rapl, dc or wall")
+
     def scope_matrix(self, scope: str) -> np.ndarray:
-        """The power matrix for a named scope (``rapl``, ``dc`` or ``wall``)."""
-        try:
-            matrix = {"rapl": self._rapl, "dc": self._dc, "wall": self._wall}[scope]
-        except KeyError:
-            raise ValueError(f"unknown scope {scope!r}; expected rapl, dc or wall") from None
+        """The power matrix for a named scope (``rapl``, ``dc`` or ``wall``).
+
+        On a columnar trace the matrix is materialised (and kept) on first
+        access; the reduction helpers below never need it.
+        """
+        self._check_scope(scope)
+        matrix = self._matrices.get(scope)
+        if matrix is None:  # columnar representation: materialise on demand
+            a, b = self._model.affine(scope)
+            matrix = np.multiply(b, self._util)
+            matrix += a
+            self._matrices[scope] = matrix
         view = matrix.view()
         view.flags.writeable = False
         return view
 
-    # -- aggregates ------------------------------------------------------------------
+    # -- reductions (the instruments' fast path) -------------------------------------
+
+    def _coverage_vector(
+        self, covered_rows: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Per-node multiplicity of the covered rows, or ``None`` for all.
+
+        Accepts an index array (duplicates count multiply, matching fancy
+        row indexing) or a boolean mask over the nodes.
+        """
+        if covered_rows is None:
+            return None
+        rows = np.asarray(covered_rows)
+        if rows.dtype == np.bool_:
+            if rows.shape != (self.node_count,):
+                raise ValueError(
+                    f"boolean coverage mask must have shape "
+                    f"({self.node_count},), got {rows.shape}")
+            rows = np.nonzero(rows)[0]
+        elif rows.size and (rows.min() < 0 or rows.max() >= self.node_count):
+            raise IndexError(
+                f"covered row indices must lie in [0, {self.node_count})")
+        if (rows.size == self.node_count
+                and np.array_equal(rows, np.arange(self.node_count))):
+            return None
+        coverage = np.zeros(self.node_count, dtype=np.float64)
+        np.add.at(coverage, rows, 1.0)
+        return coverage
+
+    def _covered_values(self, scope: str,
+                        covered_rows: Optional[np.ndarray]) -> np.ndarray:
+        """Summed power over the covered nodes, one value per sample."""
+        self._check_scope(scope)
+        coverage = self._coverage_vector(covered_rows)
+        key = (scope, None if coverage is None else coverage.tobytes())
+        cached = self._series_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._util is not None and scope not in self._matrices:
+            # Columnar: sum_i c_i (a_i + b_i u_i(t)) without materialising.
+            a, b = self._model.affine(scope)
+            if coverage is None:
+                values = b[:, 0] @ self._util + a.sum()
+            else:
+                values = (coverage * b[:, 0]) @ self._util + coverage @ a[:, 0]
+        else:
+            matrix = self.scope_matrix(scope)
+            if coverage is None:
+                values = matrix.sum(axis=0)
+            else:
+                values = coverage @ matrix
+        self._series_cache[key] = values
+        return values
+
+    def covered_series(self, scope: str = "wall",
+                       covered_rows: Optional[np.ndarray] = None) -> TimeSeries:
+        """Summed power of the covered nodes over time (all nodes by default)."""
+        return TimeSeries(self._start, self._step,
+                          self._covered_values(scope, covered_rows))
 
     def total_series(self, scope: str = "wall") -> TimeSeries:
         """Site-total power over time for the given scope."""
-        matrix = self.scope_matrix(scope)
-        return TimeSeries(self._start, self._step, matrix.sum(axis=0))
+        return self.covered_series(scope, None)
 
     def node_series(self, node_id: str, scope: str = "wall") -> TimeSeries:
         """One node's power over time for the given scope."""
@@ -138,22 +268,37 @@ class PowerBreakdownTrace:
             row = self._node_ids.index(node_id)
         except ValueError:
             raise KeyError(f"no node {node_id!r} in power trace") from None
+        self._check_scope(scope)
+        if self._util is not None and scope not in self._matrices:
+            a, b = self._model.affine(scope)
+            return TimeSeries(self._start, self._step,
+                              a[row, 0] + b[row, 0] * self._util[row])
         return TimeSeries(self._start, self._step, self.scope_matrix(scope)[row])
+
+    # -- aggregates ------------------------------------------------------------------
 
     def total_energy_kwh(self, scope: str = "wall") -> float:
         """True total energy in kWh for the given scope (no instrument effects)."""
-        matrix = self.scope_matrix(scope)
-        return float(matrix.sum() * self._step / JOULES_PER_KWH)
+        values = self._covered_values(scope, None)
+        return float(values.sum() * self._step / JOULES_PER_KWH)
 
     def per_node_energy_kwh(self, scope: str = "wall") -> Dict[str, float]:
         """True per-node energy in kWh for the given scope."""
-        matrix = self.scope_matrix(scope)
-        energies = matrix.sum(axis=1) * self._step / JOULES_PER_KWH
+        self._check_scope(scope)
+        if self._util is not None and scope not in self._matrices:
+            a, b = self._model.affine(scope)
+            energies = (a[:, 0] * self.sample_count
+                        + b[:, 0] * self._util.sum(axis=1))
+            energies *= self._step / JOULES_PER_KWH
+        else:
+            matrix = self.scope_matrix(scope)
+            energies = matrix.sum(axis=1) * self._step / JOULES_PER_KWH
         return dict(zip(self._node_ids, energies.tolist()))
 
     def mean_node_power_w(self, scope: str = "wall") -> float:
         """Average per-node power across the whole trace."""
-        return float(self.scope_matrix(scope).mean())
+        values = self._covered_values(scope, None)
+        return float(values.sum() / (self.node_count * self.sample_count))
 
 
 __all__ = ["PowerBreakdownTrace"]

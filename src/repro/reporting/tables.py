@@ -8,7 +8,7 @@ separator, and ``-`` for missing values (the paper's empty cells).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 
 def _format_cell(value: object, float_format: str) -> str:

@@ -22,8 +22,8 @@ Two calibration knobs deserve a note:
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.inventory.iris import (
     IRIS_SITE_MEAN_NODE_POWER_W,

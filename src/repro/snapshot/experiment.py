@@ -19,6 +19,8 @@ convenience evaluations of the scenario grids (Tables 3 and 4).
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,7 +34,6 @@ from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
 from repro.inventory.catalog import HardwareCatalog, default_catalog
 from repro.inventory.network import NetworkFabric
 from repro.inventory.node import NodeSpec
-from repro.power.calibration import utilization_for_target_power
 from repro.power.campaign import MeasurementCampaign, SiteEnergyReport
 from repro.power.instruments import FacilityMeter, IPMIMeter, PDUMeter, TurbostatMeter
 from repro.power.node_power import NodePowerModel
@@ -42,9 +43,9 @@ from repro.timeseries.series import TimeSeries
 from repro.units.constants import JOULES_PER_KWH
 from repro.units.quantities import CarbonIntensity, Duration
 from repro.workload.cluster import SimulatedCluster, SimulatedNode
+from repro.workload.fleet import FleetUtilization
 from repro.workload.jobs import JobGenerator, WorkloadProfile
-from repro.workload.scheduler import BackfillScheduler, SchedulerStatistics
-from repro.workload.utilization import UtilizationTrace
+from repro.workload.scheduler import ENGINES, BackfillScheduler, SchedulerStatistics
 
 
 @dataclass(frozen=True)
@@ -266,15 +267,39 @@ class SnapshotExperiment:
     :class:`repro.api.Assessment` façade, which drives it from a
     declarative spec and caches its (expensive) output across scenario
     evaluations.
+
+    Parameters
+    ----------
+    config / catalog:
+        Snapshot configuration and hardware catalog (paper defaults).
+    engine:
+        ``"columnar"`` (default) runs the vectorised array-first substrate
+        (:class:`~repro.workload.fleet.FleetUtilization` +
+        :meth:`~repro.power.traces.PowerBreakdownTrace.from_utilization`);
+        ``"oracle"`` runs the retained per-placement/per-node reference
+        path, kept for cross-validation and benchmarking.
+    max_workers:
+        Number of sites simulated concurrently by :meth:`run` (threads; the
+        hot paths are numpy, so threads suffice).  1 runs sequentially,
+        ``None`` uses one thread per site capped at the CPU count.
     """
 
     def __init__(
         self,
         config: Optional[SnapshotConfig] = None,
         catalog: Optional[HardwareCatalog] = None,
+        engine: str = "columnar",
+        max_workers: Optional[int] = 1,
     ):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1 (or None)")
         self._config = config or build_iris_snapshot_config()
         self._catalog = catalog or default_catalog()
+        self._engine = engine
+        self._max_workers = max_workers
 
     @property
     def config(self) -> SnapshotConfig:
@@ -283,6 +308,10 @@ class SnapshotExperiment:
     @property
     def catalog(self) -> HardwareCatalog:
         return self._catalog
+
+    @property
+    def engine(self) -> str:
+        return self._engine
 
     # -- per-site pieces -----------------------------------------------------------------
 
@@ -368,16 +397,21 @@ class SnapshotExperiment:
             )
             jobs = generator.generate(duration_s, warmup_s=warmup_s)
             scheduler = BackfillScheduler(cluster)
-            trace, stats = scheduler.simulate(jobs, duration_s, step_s=config.trace_step_s)
+            trace, stats = scheduler.simulate(jobs, duration_s,
+                                              step_s=config.trace_step_s,
+                                              engine=self._engine)
         else:
             # A fully idle site: no jobs, flat zero utilisation.
             n_samples = int(round(duration_s / config.trace_step_s))
-            trace = UtilizationTrace.constant(0.0, config.trace_step_s, node_ids,
+            trace = FleetUtilization.constant(0.0, config.trace_step_s, node_ids,
                                               n_samples, 0.0)
             stats = SchedulerStatistics(jobs_submitted=0)
 
         models = [NodePowerModel(spec) for spec in specs]
-        power = PowerBreakdownTrace.from_utilization(trace, models)
+        if self._engine == "columnar":
+            power = PowerBreakdownTrace.from_utilization(trace, models)
+        else:
+            power = PowerBreakdownTrace.from_utilization_loop(trace, models)
         fabric = NetworkFabric.sized_for_nodes(site.node_count)
         campaign = MeasurementCampaign(self._instruments(site), seed=config.campaign_seed)
         report = campaign.measure_site(
@@ -405,9 +439,28 @@ class SnapshotExperiment:
 
     # -- whole snapshot -----------------------------------------------------------------------
 
-    def run(self) -> SnapshotResult:
-        """Run every configured site and assemble the combined result."""
-        results = [self.run_site(site) for site in self._config.sites]
+    def run(self, max_workers: Optional[int] = None) -> SnapshotResult:
+        """Run every configured site and assemble the combined result.
+
+        ``max_workers`` overrides the instance default for this run.  Sites
+        are independent simulations, so with more than one worker they run
+        concurrently on a thread pool; result order always matches the
+        configuration order, and per-site determinism is unaffected (every
+        site derives its own seeds).
+        """
+        if max_workers is None:
+            max_workers = self._max_workers
+        sites = self._config.sites
+        if max_workers is None:
+            max_workers = min(len(sites), os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1 (or None)")
+        workers = min(max_workers, len(sites))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(self.run_site, sites))
+        else:
+            results = [self.run_site(site) for site in sites]
         return SnapshotResult(config=self._config, site_results=tuple(results))
 
 

@@ -29,7 +29,7 @@ from typing import Optional, Tuple
 
 from repro.timeseries.align import align_pair
 from repro.timeseries.resample import resample_mean, upsample_repeat
-from repro.timeseries.series import TimeSeries, TimeSeriesError
+from repro.timeseries.series import TimeSeries, TimeSeriesError, steps_equal
 
 #: The recognised alignment policy names, in documentation order.
 ALIGNMENT_POLICIES = ("strict", "resample", "intersect")
@@ -37,7 +37,7 @@ ALIGNMENT_POLICIES = ("strict", "resample", "intersect")
 
 def _to_step(series: TimeSeries, step: float) -> TimeSeries:
     """Bring ``series`` onto ``step``, averaging down or repeating up."""
-    if abs(series.step - step) <= 1e-9 * max(series.step, step):
+    if steps_equal(series.step, step):
         return series
     if step > series.step:
         return resample_mean(series, step)
@@ -77,7 +77,7 @@ def align_power_and_intensity(
                              "drop resolution_s or use policy='resample'")
         same_grid = (
             len(power_w) == len(intensity_g_per_kwh)
-            and abs(power_w.step - intensity_g_per_kwh.step) <= 1e-9 * power_w.step
+            and steps_equal(power_w.step, intensity_g_per_kwh.step)
             and abs(power_w.start - intensity_g_per_kwh.start)
             <= 1e-6 * max(1.0, abs(power_w.start))
         )

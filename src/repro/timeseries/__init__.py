@@ -19,7 +19,7 @@ the operations the pipeline needs:
   and computing time-weighted averages.
 """
 
-from repro.timeseries.series import TimeSeries, TimeSeriesError
+from repro.timeseries.series import TimeSeries, TimeSeriesError, steps_equal
 from repro.timeseries.resample import resample_mean, resample_sum, upsample_repeat
 from repro.timeseries.align import align_pair, align_many, common_window
 from repro.timeseries.gapfill import (
@@ -37,6 +37,7 @@ from repro.timeseries.integrate import (
 __all__ = [
     "TimeSeries",
     "TimeSeriesError",
+    "steps_equal",
     "resample_mean",
     "resample_sum",
     "upsample_repeat",

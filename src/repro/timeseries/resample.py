@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.timeseries.series import TimeSeries, TimeSeriesError
+from repro.timeseries.series import TimeSeries, TimeSeriesError, steps_equal
 
 
 def _factor(series: TimeSeries, new_step: float) -> int:
@@ -23,6 +23,8 @@ def _factor(series: TimeSeries, new_step: float) -> int:
     new_step = float(new_step)
     if new_step <= 0:
         raise TimeSeriesError("new_step must be positive")
+    if steps_equal(series.step, new_step):
+        return 1
     ratio = new_step / series.step
     factor = int(round(ratio))
     if factor < 1 or not np.isclose(ratio, factor):
@@ -91,6 +93,8 @@ def upsample_repeat(series: TimeSeries, new_step: float) -> TimeSeries:
     new_step = float(new_step)
     if new_step <= 0:
         raise TimeSeriesError("new_step must be positive")
+    if steps_equal(series.step, new_step):
+        return series.copy()
     ratio = series.step / new_step
     factor = int(round(ratio))
     if factor < 1 or not np.isclose(ratio, factor):
@@ -98,8 +102,6 @@ def upsample_repeat(series: TimeSeries, new_step: float) -> TimeSeries:
             f"current step {series.step} is not an integer multiple of the "
             f"new step {new_step}"
         )
-    if factor == 1:
-        return series.copy()
     values = np.repeat(series.values, factor)
     return TimeSeries(series.start, new_step, values)
 

@@ -23,6 +23,18 @@ class TimeSeriesError(ValueError):
     """Raised for invalid time-series construction or incompatible operands."""
 
 
+def steps_equal(step_a: float, step_b: float, rel_tol: float = 1e-9) -> bool:
+    """Whether two sampling steps are equal up to float tolerance.
+
+    The single definition of "same cadence" used across resampling and
+    alignment: steps within ``rel_tol`` of the larger magnitude compare
+    equal, so steps that drifted through float arithmetic (for example
+    ``3600.0`` vs ``3600.0000000001`` from a division round-trip) are not
+    treated as a resampling request.
+    """
+    return abs(step_a - step_b) <= rel_tol * max(abs(step_a), abs(step_b))
+
+
 class TimeSeries:
     """A regularly sampled series of float values.
 
@@ -272,4 +284,4 @@ class TimeSeries:
         return TimeSeries(self._start, self._step, self._values)
 
 
-__all__ = ["TimeSeries", "TimeSeriesError"]
+__all__ = ["TimeSeries", "TimeSeriesError", "steps_equal"]

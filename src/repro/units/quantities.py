@@ -33,8 +33,6 @@ from typing import Any
 from repro.units.constants import (
     GRAMS_PER_KILOGRAM,
     GRAMS_PER_TONNE,
-    HOURS_PER_DAY,
-    HOURS_PER_YEAR,
     JOULES_PER_KWH,
     JOULES_PER_WH,
     SECONDS_PER_DAY,

@@ -13,6 +13,9 @@ cannot measure real hardware, this package simulates that load:
   scheduler that places jobs on nodes over the snapshot window.
 * :mod:`~repro.workload.utilization` — per-node and cluster-level
   utilisation traces, the interface consumed by the power models.
+* :mod:`~repro.workload.fleet` — the columnar :class:`FleetUtilization`
+  engine: the whole fleet as one (nodes × intervals) matrix, built
+  vectorizedly from scheduler placements.
 
 The separation mirrors real deployments: the scheduler knows nothing about
 power, and the power instruments observe only the utilisation the schedule
@@ -21,11 +24,13 @@ produces.
 
 from repro.workload.jobs import Job, JobGenerator, WorkloadProfile
 from repro.workload.cluster import SimulatedCluster, SimulatedNode
+from repro.workload.fleet import FleetUtilization
 from repro.workload.scheduler import BackfillScheduler, SchedulerStatistics
 from repro.workload.utilization import UtilizationTrace, cluster_mean_utilization
 from repro.workload.swf import SWFReadResult, read_swf, write_swf
 
 __all__ = [
+    "FleetUtilization",
     "Job",
     "JobGenerator",
     "WorkloadProfile",

@@ -10,7 +10,7 @@ runtimes, not the mapping from utilisation to power).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

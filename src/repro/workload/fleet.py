@@ -1,0 +1,226 @@
+"""Columnar fleet utilisation: the array-first workload→power interface.
+
+A :class:`FleetUtilization` is the columnar heart of the simulation
+substrate: one ``(n_nodes, n_intervals)`` float64 matrix for the *whole*
+fleet plus a node-id index with O(1) lookup, instead of anything resembling
+one object per node.  It extends
+:class:`~repro.workload.utilization.UtilizationTrace` (so every existing
+consumer keeps working) with:
+
+* :meth:`FleetUtilization.from_placements` — building the matrix directly
+  from scheduler :class:`~repro.workload.scheduler.Placement` records with
+  interval-overlap math on arrays.  The per-placement Python loop of the
+  historical ``BackfillScheduler.build_trace`` survives only as the
+  cross-validation oracle (``build_trace_loop``).
+* O(1) node lookup — ``node_series``/``subset`` resolve ids through a dict
+  index rather than a linear scan, which matters at full IRIS scale
+  (thousands of nodes × thousands of lookups).
+* thin per-node row views — :meth:`node_view` returns a read-only numpy
+  view of one node's row (no copy), and :meth:`per_node_views` the whole
+  fleet as a mapping, preserving the ergonomics of the old per-node API
+  without per-node storage.
+
+The vectorised construction decomposes each placement's coverage of the
+sampling grid into (a) a partial first interval, (b) a run of fully covered
+intervals, and (c) a partial last interval.  Partials are scatter-added
+with :func:`numpy.add.at`; full runs use a boundary (difference) array that
+a single cumulative sum turns into per-interval occupancy — O(placements +
+nodes × intervals) with no Python-level loop over placements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries
+from repro.workload.utilization import UtilizationTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.scheduler import Placement
+
+
+class FleetUtilization(UtilizationTrace):
+    """A whole fleet's effective utilisation as one columnar matrix.
+
+    Construction is identical to :class:`UtilizationTrace`; the subclass
+    adds the node-id index and the vectorised builders.  Instances satisfy
+    ``isinstance(x, UtilizationTrace)``, so the power layer and every
+    pre-existing consumer accept them unchanged.
+    """
+
+    __slots__ = ("_row_index",)
+
+    def __init__(self, start: float, step: float, node_ids: Sequence[str],
+                 matrix: np.ndarray):
+        super().__init__(start, step, node_ids, matrix)
+        self._row_index: Dict[str, int] = {
+            node_id: row for row, node_id in enumerate(self._node_ids)
+        }
+
+    # -- vectorised construction ---------------------------------------------------
+
+    @classmethod
+    def from_placements(
+        cls,
+        placements: Sequence["Placement"],
+        node_ids: Sequence[str],
+        node_cores: Sequence[int],
+        duration_s: float,
+        step_s: float = 60.0,
+        start_s: float = 0.0,
+    ) -> "FleetUtilization":
+        """Build the fleet matrix from placements with array math.
+
+        Each placement contributes ``cores * cpu_intensity / node_cores``
+        to its node's row for every interval it overlaps, partial first and
+        last intervals pro-rated — the same quantity the historical
+        per-placement loop accumulated, computed columnar-ly.
+        """
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        n_samples = int(round(duration_s / step_s))
+        if n_samples <= 0:
+            raise ValueError("duration_s must cover at least one sample")
+        n_nodes = len(node_ids)
+        cores = np.asarray(node_cores, dtype=np.float64)
+        if cores.shape != (n_nodes,):
+            raise ValueError("node_cores must have one entry per node id")
+        if (cores <= 0).any():
+            raise ValueError("node core counts must be positive")
+        if not placements:
+            return cls._from_trusted(
+                start_s, step_s, node_ids,
+                np.zeros((n_nodes, n_samples), dtype=np.float64))
+
+        n = len(placements)
+        node_idx = np.fromiter((p.node_index for p in placements),
+                               dtype=np.int64, count=n)
+        if (node_idx < 0).any() or (node_idx >= n_nodes).any():
+            raise ValueError("placement node_index outside the fleet")
+        t0 = np.fromiter((p.start_time_s for p in placements),
+                         dtype=np.float64, count=n)
+        t1 = np.fromiter((p.end_time_s for p in placements),
+                         dtype=np.float64, count=n)
+        weight = np.fromiter(
+            (p.job.cores * p.job.cpu_intensity for p in placements),
+            dtype=np.float64, count=n)
+
+        # Clip every placement to the trace window (same bound as the
+        # oracle) and drop non-overlapping ones; interval indices are
+        # additionally clamped to the sampled grid below, so a window that
+        # is not a whole number of steps cannot scatter off-grid (the
+        # per-placement oracle can raise IndexError there instead).
+        end_s = start_s + duration_s
+        t0 = np.maximum(t0, start_s)
+        t1 = np.minimum(t1, end_s)
+        keep = t1 > t0
+        if not keep.all():
+            node_idx, t0, t1, weight = (a[keep] for a in (node_idx, t0, t1, weight))
+        if node_idx.size == 0:
+            return cls._from_trusted(
+                start_s, step_s, node_ids,
+                np.zeros((n_nodes, n_samples), dtype=np.float64))
+
+        first = np.minimum(((t0 - start_s) // step_s).astype(np.int64),
+                           n_samples - 1)
+        last = np.minimum(((t1 - start_s) // step_s).astype(np.int64),
+                          n_samples - 1)
+        edge_first = start_s + step_s * (first + 1.0)  # end of first interval
+        edge_last = start_s + step_s * last            # start of last interval
+
+        matrix = np.zeros((n_nodes, n_samples), dtype=np.float64)
+        acc = matrix.reshape(-1)
+        single = first == last
+        multi = ~single
+        # Placements confined to one interval: pro-rate by covered fraction.
+        if single.any():
+            frac = (t1[single] - t0[single]) / step_s
+            np.add.at(acc, node_idx[single] * n_samples + first[single],
+                      weight[single] * frac)
+        if multi.any():
+            m_idx, m_first, m_last = node_idx[multi], first[multi], last[multi]
+            m_w = weight[multi]
+            # Partial first and last intervals.
+            np.add.at(acc, m_idx * n_samples + m_first,
+                      m_w * (edge_first[multi] - t0[multi]) / step_s)
+            np.add.at(acc, m_idx * n_samples + m_last,
+                      m_w * (t1[multi] - edge_last[multi]) / step_s)
+            # Fully covered run [first+1, last): boundary deltas, one cumsum.
+            run = np.zeros((n_nodes, n_samples + 1), dtype=np.float64)
+            flat = run.reshape(-1)
+            np.add.at(flat, m_idx * (n_samples + 1) + m_first + 1, m_w)
+            np.add.at(flat, m_idx * (n_samples + 1) + m_last, -m_w)
+            np.cumsum(run, axis=1, out=run)
+            matrix += run[:, :n_samples]
+
+        matrix /= cores[:, None]
+        np.clip(matrix, 0.0, 1.0, out=matrix)
+        return cls._from_trusted(start_s, step_s, node_ids, matrix)
+
+    @classmethod
+    def _from_trusted(cls, start: float, step: float, node_ids: Sequence[str],
+                      matrix: np.ndarray) -> "FleetUtilization":
+        """Construct without re-validation from a matrix correct by construction.
+
+        Only for engine-internal callers that already guarantee the
+        invariants the public constructor checks (finite values clipped to
+        [0, 1], unique node ids, one row per node).
+        """
+        obj = cls.__new__(cls)
+        obj._start = float(start)
+        obj._step = float(step)
+        obj._node_ids = list(node_ids)
+        obj._matrix = matrix
+        obj._row_index = {nid: row for row, nid in enumerate(obj._node_ids)}
+        return obj
+
+    @classmethod
+    def from_trace(cls, trace: UtilizationTrace) -> "FleetUtilization":
+        """Promote a plain trace to a fleet view (shares no mutable state)."""
+        if isinstance(trace, cls):
+            return trace
+        return cls(trace.start, trace.step, trace.node_ids, trace.matrix)
+
+    # -- O(1) per-node access --------------------------------------------------------
+
+    def row_of(self, node_id: str) -> int:
+        """The matrix row holding ``node_id``'s utilisation."""
+        try:
+            return self._row_index[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id!r} in trace") from None
+
+    def node_view(self, node_id: str) -> np.ndarray:
+        """A read-only, zero-copy view of one node's utilisation row."""
+        view = self._matrix[self.row_of(node_id)].view()
+        view.flags.writeable = False
+        return view
+
+    def per_node_views(self) -> Mapping[str, np.ndarray]:
+        """The old dict-of-per-node shape, as thin row views (no copies)."""
+        return {node_id: self.node_view(node_id) for node_id in self._node_ids}
+
+    def node_series(self, node_id: str) -> TimeSeries:
+        """The utilisation series of one node (O(1) id lookup)."""
+        return TimeSeries(self._start, self._step,
+                          self._matrix[self.row_of(node_id)])
+
+    def subset(self, node_ids: Sequence[str]) -> "FleetUtilization":
+        """A fleet restricted to the given nodes (O(1) per-id lookup)."""
+        rows = [self.row_of(node_id) for node_id in node_ids]
+        return FleetUtilization(self._start, self._step, list(node_ids),
+                                self._matrix[rows])
+
+    # -- fleet-level aggregates -----------------------------------------------------
+
+    def busy_core_seconds(self, node_cores: Sequence[int]) -> float:
+        """Total effective core-seconds delivered across the fleet."""
+        cores = np.asarray(node_cores, dtype=np.float64)
+        if cores.shape != (self.node_count,):
+            raise ValueError("node_cores must have one entry per node")
+        return float((self._matrix.sum(axis=1) * cores).sum() * self._step)
+
+
+__all__ = ["FleetUtilization"]

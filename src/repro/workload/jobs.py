@@ -15,8 +15,8 @@ a :class:`WorkloadProfile` capturing the knobs that matter for energy:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 

@@ -25,14 +25,19 @@ generator.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.workload.cluster import SimulatedCluster
+from repro.workload.fleet import FleetUtilization
 from repro.workload.jobs import Job
 from repro.workload.utilization import UtilizationTrace
+
+#: Recognised substrate engines: ``columnar`` is the vectorised default,
+#: ``oracle`` the retained per-placement/per-node reference implementation.
+ENGINES = ("columnar", "oracle")
 
 
 @dataclass(frozen=True)
@@ -237,13 +242,45 @@ class BackfillScheduler:
         duration_s: float,
         step_s: float = 60.0,
         start_s: float = 0.0,
+        engine: str = "columnar",
     ) -> UtilizationTrace:
         """Convert placements into a per-node utilisation trace.
 
         Each placement contributes ``cores * cpu_intensity / node_cores`` to
-        its node's utilisation for every sample interval it overlaps.
-        Partial overlap of the first/last interval is accounted for
-        proportionally.
+        its node's utilisation for every sample interval it overlaps,
+        partial first/last intervals pro-rated.  The default ``columnar``
+        engine does the interval-overlap math on arrays
+        (:meth:`~repro.workload.fleet.FleetUtilization.from_placements`);
+        ``engine="oracle"`` runs the historical per-placement loop, kept for
+        cross-validation and benchmarking.
+        """
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}")
+        if engine == "columnar":
+            return FleetUtilization.from_placements(
+                placements,
+                [node.node_id for node in self._cluster.nodes],
+                [node.cores for node in self._cluster.nodes],
+                duration_s,
+                step_s=step_s,
+                start_s=start_s,
+            )
+        return self.build_trace_loop(placements, duration_s,
+                                     step_s=step_s, start_s=start_s)
+
+    def build_trace_loop(
+        self,
+        placements: Sequence[Placement],
+        duration_s: float,
+        step_s: float = 60.0,
+        start_s: float = 0.0,
+    ) -> UtilizationTrace:
+        """The seed per-placement trace builder, retained as the oracle.
+
+        Numerically equivalent to the columnar engine (identical up to
+        floating-point summation order); used by the fleet-engine benchmark
+        and equivalence tests to cross-validate the vectorised path.
         """
         if step_s <= 0:
             raise ValueError("step_s must be positive")
@@ -282,11 +319,13 @@ class BackfillScheduler:
         jobs: Sequence[Job],
         duration_s: float,
         step_s: float = 60.0,
+        engine: str = "columnar",
     ) -> Tuple[UtilizationTrace, SchedulerStatistics]:
         """Run the scheduler and return the utilisation trace and statistics."""
         placements, stats = self.run(jobs, duration_s)
-        trace = self.build_trace(placements, duration_s, step_s=step_s)
+        trace = self.build_trace(placements, duration_s, step_s=step_s,
+                                 engine=engine)
         return trace, stats
 
 
-__all__ = ["BackfillScheduler", "Placement", "SchedulerStatistics"]
+__all__ = ["BackfillScheduler", "ENGINES", "Placement", "SchedulerStatistics"]

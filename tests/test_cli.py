@@ -214,3 +214,34 @@ class TestAssessErrorPaths:
             main(["assess", "--lifetime", "0"])
         assert err.value.code == 2
         assert "must be positive" in capsys.readouterr().err
+
+
+class TestSubstrateCacheFlags:
+    def test_assess_persists_and_reloads_substrate(self, capsys, tmp_path):
+        cache_dir = tmp_path / "substrates"
+        argv = ["assess", "--scale", "0.02", "--format", "csv",
+                "--substrate-cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("*.npz")) and list(cache_dir.glob("*.json"))
+        # A second process-equivalent run loads the persisted substrate and
+        # reproduces the identical numbers.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_jobs_flag_accepts_auto_and_explicit(self, capsys):
+        assert main(["assess", "--scale", "0.02", "--format", "csv",
+                     "--jobs", "0"]) == 0
+        capsys.readouterr()
+        assert main(["assess", "--scale", "0.02", "--format", "csv",
+                     "--jobs", "2"]) == 0
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["assess", "--scale", "0.02", "--jobs", "-1"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_temporal_accepts_cache_dir(self, capsys, tmp_path):
+        cache_dir = tmp_path / "substrates"
+        assert main(["temporal", "--scale", "0.02", "--format", "csv",
+                     "--substrate-cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.glob("*.npz"))

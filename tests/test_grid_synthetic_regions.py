@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.grid.fuels import Fuel
-from repro.grid.regions import GridRegion, GridRegionRegistry, default_regions
+from repro.grid.regions import GridRegionRegistry, default_regions
 from repro.grid.synthetic import SyntheticGridModel, uk_november_2022_intensity
 
 

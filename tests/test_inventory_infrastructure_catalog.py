@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.inventory.catalog import HardwareCatalog, default_catalog
+from repro.inventory.catalog import HardwareCatalog
 from repro.inventory.infrastructure import DigitalResearchInfrastructure
 from repro.inventory.network import SwitchSpec
 from repro.inventory.node import NodeClass, NodeInstance, NodeSpec

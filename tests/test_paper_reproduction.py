@@ -16,7 +16,6 @@ from repro.core.scenarios import (
     PAPER_TABLE3_IMPLIED_HIGH_PUE,
     ActiveScenarioGrid,
     EmbodiedScenarioGrid,
-    ScenarioLevel,
 )
 from repro.inventory.iris import (
     IRIS_IMPLIED_SERVER_COUNT,

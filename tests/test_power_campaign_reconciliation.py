@@ -4,7 +4,7 @@ import pytest
 
 from repro.inventory.iris import PAPER_TABLE2_ENERGY_KWH, PAPER_TABLE2_TOTAL_KWH
 from repro.power.calibration import clamped_target_power, utilization_for_target_power
-from repro.power.campaign import MeasurementCampaign, SiteEnergyReport
+from repro.power.campaign import MeasurementCampaign
 from repro.power.instruments import FacilityMeter, IPMIMeter, PDUMeter, TurbostatMeter
 from repro.power.node_power import NodePowerModel
 from repro.power.reconciliation import (

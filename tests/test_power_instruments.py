@@ -1,12 +1,10 @@
 """Tests for the simulated measurement instruments."""
 
-import numpy as np
 import pytest
 
 from repro.power.instruments import (
     FacilityMeter,
     IPMIMeter,
-    MeasurementInstrument,
     PDUMeter,
     TurbostatMeter,
 )

@@ -1,6 +1,5 @@
 """Tests for power-breakdown traces and the facility overhead model."""
 
-import numpy as np
 import pytest
 
 from repro.power.facility import FacilityOverheadModel, OverheadBreakdown

@@ -6,7 +6,6 @@ model, conservation through resampling and measurement, and amortisation
 summing back to the installed embodied carbon.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,7 +14,6 @@ from repro.core.embodied import EmbodiedAsset, EmbodiedCarbonCalculator, LinearA
 from repro.core.active import ActiveCarbonCalculator, ActiveEnergyInput
 from repro.power.calibration import utilization_for_target_power
 from repro.power.facility import FacilityOverheadModel
-from repro.power.node_power import NodePowerModel
 from repro.timeseries.integrate import energy_kwh_from_power_w
 from repro.timeseries.resample import resample_mean, resample_sum, upsample_repeat
 from repro.timeseries.series import TimeSeries

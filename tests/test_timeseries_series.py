@@ -147,3 +147,30 @@ class TestCombination:
         b = a.copy()
         assert b is not a
         np.testing.assert_allclose(a.values, b.values)
+
+
+class TestStepsEqual:
+    def test_identical_and_drifted_steps(self):
+        from repro.timeseries.series import steps_equal
+
+        assert steps_equal(60.0, 60.0)
+        # float drift from a division round-trip is still "the same step"
+        assert steps_equal(3600.0, 3600.0 * (1.0 + 1e-12))
+        assert not steps_equal(60.0, 120.0)
+        assert not steps_equal(60.0, 60.1)
+
+    def test_is_the_shared_definition_for_resample_and_align(self):
+        """resample_mean/upsample_repeat and the alignment policies treat a
+        within-tolerance step as a no-op rather than a grid change."""
+        import numpy as np
+
+        from repro.temporal.align import align_power_and_intensity
+        from repro.timeseries.resample import resample_mean, upsample_repeat
+
+        series = TimeSeries(0.0, 60.0, np.arange(10, dtype=float))
+        drifted = 60.0 * (1.0 + 1e-12)
+        assert np.array_equal(resample_mean(series, drifted).values, series.values)
+        assert np.array_equal(upsample_repeat(series, drifted).values, series.values)
+        other = TimeSeries(0.0, drifted, np.ones(10))
+        aligned_a, aligned_b = align_power_and_intensity(series, other, "strict")
+        assert len(aligned_a) == len(aligned_b) == 10

@@ -1,6 +1,5 @@
 """Tests for the physical quantity types."""
 
-import math
 
 import pytest
 

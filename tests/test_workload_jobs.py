@@ -1,6 +1,5 @@
 """Tests for synthetic job generation."""
 
-import numpy as np
 import pytest
 
 from repro.workload.jobs import Job, JobGenerator, WorkloadProfile

@@ -154,3 +154,65 @@ class TestTraceConstruction:
             scheduler.build_trace([], 3600.0, step_s=0.0)
         with pytest.raises(ValueError):
             BackfillScheduler(cluster, backfill_depth=-1)
+
+
+class TestEdgeCases:
+    def test_unschedulable_jobs_dropped_and_counted(self):
+        """Jobs wider than the widest node never start, but are accounted."""
+        cluster = SimulatedCluster.homogeneous(2, 8)
+        scheduler = BackfillScheduler(cluster)
+        jobs = [
+            _job(0, 0.0, 4, 600.0),
+            _job(1, 0.0, 16, 600.0),   # wider than any node
+            _job(2, 10.0, 9, 600.0),   # one core too wide
+            _job(3, 20.0, 8, 600.0),   # exactly node-wide: schedulable
+        ]
+        placements, stats = scheduler.run(jobs, 7200.0)
+        assert stats.jobs_submitted == 4
+        assert stats.jobs_unschedulable == 2
+        assert stats.jobs_started == 2
+        assert {p.job.job_id for p in placements} == {0, 3}
+
+    def test_only_unschedulable_jobs(self):
+        cluster = SimulatedCluster.homogeneous(1, 4)
+        scheduler = BackfillScheduler(cluster)
+        placements, stats = scheduler.run([_job(0, 0.0, 5, 100.0)], 3600.0)
+        assert placements == []
+        assert stats.jobs_unschedulable == 1
+        assert stats.jobs_started == 0
+        assert stats.core_seconds_delivered == 0.0
+        trace = scheduler.build_trace(placements, 3600.0)
+        assert not trace.matrix.any()
+
+    def test_pure_fcfs_with_zero_backfill_depth_preserves_order(self):
+        """backfill_depth=0 degenerates to strict FCFS start order."""
+        cluster = SimulatedCluster.homogeneous(1, 8)
+        scheduler = BackfillScheduler(cluster, backfill_depth=0)
+        jobs = [
+            _job(0, 0.0, 6, 1000.0),
+            _job(1, 1.0, 8, 500.0),    # blocks the queue head
+            _job(2, 2.0, 1, 10.0),     # would trivially backfill if allowed
+            _job(3, 3.0, 1, 10.0),
+        ]
+        placements, stats = scheduler.run(jobs, 20000.0)
+        assert stats.backfilled_jobs == 0
+        starts = {p.job.job_id: p.start_time_s for p in placements}
+        # FCFS: nothing overtakes the blocked head.
+        assert starts[2] >= starts[1]
+        assert starts[3] >= starts[2]
+
+    def test_zero_length_window_rejected(self):
+        cluster = SimulatedCluster.homogeneous(1, 4)
+        scheduler = BackfillScheduler(cluster)
+        for duration in (0.0, -60.0):
+            with pytest.raises(ValueError, match="duration_s"):
+                scheduler.run([_job(0, 0.0, 2, 100.0)], duration)
+        with pytest.raises(ValueError, match="at least one sample"):
+            scheduler.build_trace([], 0.0)
+
+    def test_window_shorter_than_one_step_rejected(self):
+        cluster = SimulatedCluster.homogeneous(1, 4)
+        scheduler = BackfillScheduler(cluster)
+        placements, _ = scheduler.run([_job(0, 0.0, 2, 100.0)], 10.0)
+        with pytest.raises(ValueError, match="at least one sample"):
+            scheduler.build_trace(placements, 10.0, step_s=60.0)

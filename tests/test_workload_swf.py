@@ -1,6 +1,11 @@
 """Tests for SWF workload-log reading and writing."""
 
+import tempfile
+from pathlib import Path
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.workload.cluster import SimulatedCluster
 from repro.workload.jobs import Job
@@ -85,3 +90,35 @@ class TestSchedulingAnSWFWorkload:
         trace, stats = BackfillScheduler(cluster).simulate(jobs, 7200.0, step_s=600.0)
         assert stats.jobs_started == len(jobs)
         assert trace.mean_utilization() > 0.0
+
+
+class TestRoundTripProperty:
+    """Hypothesis: write_swf → read_swf preserves every schedulable field."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**7),   # submit, tenths of s
+            st.integers(min_value=1, max_value=512),     # cores
+            st.integers(min_value=1, max_value=10**7),   # runtime, tenths of s
+        ),
+        max_size=25,
+    ))
+    def test_write_read_round_trip(self, records):
+        jobs = [
+            Job(job_id=index, submit_time_s=submit_tenths / 10.0,
+                cores=cores, runtime_s=runtime_tenths / 10.0)
+            for index, (submit_tenths, cores, runtime_tenths) in enumerate(records)
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "roundtrip.swf"
+            write_swf(path, jobs)
+            result = read_swf(path)
+        assert result.job_count == len(jobs)
+        assert result.skipped_records == 0
+        for original, parsed in zip(jobs, result.jobs):
+            assert parsed.job_id == original.job_id
+            assert parsed.cores == original.cores
+            # One decimal place survives the SWF text format exactly.
+            assert parsed.submit_time_s == original.submit_time_s
+            assert parsed.runtime_s == original.runtime_s
