@@ -15,7 +15,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.scenarios import ActiveScenarioGrid, EmbodiedScenarioGrid
-from repro.core.uncertainty import MonteCarloCarbonModel
+from repro.core.uncertainty import (
+    UncertainInput,
+    closed_form_draws,
+    summarise_closed_form,
+)
 from repro.inventory.iris import IRIS_IMPLIED_SERVER_COUNT
 from repro.io.jsonio import write_json
 from repro.reporting.equivalents import EquivalenceReport, passenger_flight_days_equivalent
@@ -34,10 +38,10 @@ def test_bench_summary_comparison(benchmark, full_snapshot, results_dir):
         embodied_low, embodied_high = EmbodiedScenarioGrid().range_kg(
             IRIS_IMPLIED_SERVER_COUNT
         )
-        monte_carlo = MonteCarloCarbonModel(
-            it_energy_kwh=energy.it_energy_kwh,
-            server_count=IRIS_IMPLIED_SERVER_COUNT,
-        ).run(n_samples=20_000, seed=42)
+        monte_carlo = summarise_closed_form(closed_form_draws(
+            UncertainInput(), energy.it_energy_kwh,
+            IRIS_IMPLIED_SERVER_COUNT, period_days=1.0,
+            n_samples=20_000, seed=42))
         return active_low, active_high, embodied_low, embodied_high, monte_carlo
 
     active_low, active_high, embodied_low, embodied_high, monte_carlo = benchmark(

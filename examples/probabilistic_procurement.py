@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Probabilistic procurement: distribution specs and the crossover question.
+
+The paper's summary asks when embodied carbon overtakes active carbon —
+the moment procurement (what you buy, how long you keep it) matters more
+than operation (how cleanly you run it).  This example answers that with
+distribution-aware specs:
+
+1. a spec *file* where the uncertain fields hold tagged distribution
+   objects — the same flat JSON document as a deterministic spec — is
+   written, reloaded and run, showing the round trip the CLI uses
+   (``python -m repro uncertainty --spec file.json``);
+2. two procurement policies (replace every 3 years vs sweat assets for 7)
+   are compared as ensembles sharing one simulated substrate;
+3. the crossover probability P(embodied > active) is tracked across grid
+   decarbonisation scenarios for both policies.
+
+Run with::
+
+    python examples/probabilistic_procurement.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.api import SubstrateCache, default_spec
+from repro.reporting import format_table
+from repro.uncertainty import (
+    Discrete,
+    EnsembleRunner,
+    Triangular,
+    UncertainSpec,
+    Uniform,
+)
+
+SCALE = 0.05
+SAMPLES = 20_000
+
+
+def spec_file_round_trip(substrates: SubstrateCache) -> None:
+    """Write a distribution-aware spec file, reload it, run the ensemble."""
+    document = {
+        "node_scale": SCALE,
+        "carbon_intensity_g_per_kwh": {
+            "dist": "triangular", "low": 50.0, "mode": 175.0, "high": 300.0},
+        "pue": {"dist": "triangular", "low": 1.1, "mode": 1.3, "high": 1.5},
+        "per_server_kgco2": {"dist": "uniform", "low": 400.0, "high": 1100.0},
+        "lifetime_years": {"dist": "discrete", "values": [3, 4, 5, 6, 7]},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "uncertain_spec.json"
+        path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+        spec = UncertainSpec.from_json(path)
+        result = EnsembleRunner(spec, substrates=substrates).run(
+            n_samples=SAMPLES, seed=0)
+    quantiles = result.quantiles("total_kg")
+    print("Spec-file ensemble (the CLI's path):")
+    print(f"  fields: {', '.join(result.fields)}")
+    print(f"  total kgCO2e p05/p50/p95 = {quantiles['p05']:,.0f} / "
+          f"{quantiles['p50']:,.0f} / {quantiles['p95']:,.0f}")
+    print(f"  P(embodied > active) = "
+          f"{result.probability_embodied_exceeds_active:.3f}")
+    print()
+
+
+def procurement_policies(substrates: SubstrateCache) -> None:
+    """Churn-and-replace vs sweat-the-assets, as competing ensembles."""
+    base = default_spec(node_scale=SCALE)
+    shared = {
+        "carbon_intensity_g_per_kwh": Triangular(50.0, 175.0, 300.0),
+        "pue": Triangular(1.1, 1.3, 1.5),
+    }
+    policies = {
+        # Frequent refresh: young fleet, high embodied churn; vendors'
+        # newer nodes also carry a wider manufacturing-footprint spread.
+        "replace every 3 years": {
+            **shared,
+            "per_server_kgco2": Uniform(600.0, 1100.0),
+            "lifetime_years": Discrete((3.0,)),
+        },
+        # Sweat the assets: the same hardware amortised over 7 years.
+        "sweat assets 7 years": {
+            **shared,
+            "per_server_kgco2": Uniform(600.0, 1100.0),
+            "lifetime_years": Discrete((7.0,)),
+        },
+    }
+    rows = []
+    for label, distributions in policies.items():
+        result = EnsembleRunner(base, distributions,
+                                substrates=substrates).run(
+            n_samples=SAMPLES, seed=11)
+        quantiles = result.quantiles("total_kg")
+        rows.append({
+            "policy": label,
+            "total p05": quantiles["p05"],
+            "total p50": quantiles["p50"],
+            "total p95": quantiles["p95"],
+            "embodied share": result.mean("embodied_fraction"),
+            "P(emb > act)": result.probability_embodied_exceeds_active,
+        })
+    print(format_table(rows, title="Procurement policies under uncertainty "
+                                   "(24-hour snapshot, kgCO2e)",
+                       float_format=",.3f"))
+    print()
+
+
+def crossover_by_grid(substrates: SubstrateCache) -> None:
+    """When does procurement start to dominate?  Sweep the grid scenario."""
+    base = default_spec(node_scale=SCALE)
+    grids = {
+        "2022 (paper)": Triangular(50.0, 175.0, 300.0),
+        "2030-ish": Triangular(15.0, 80.0, 160.0),
+        "2035-ish": Triangular(5.0, 40.0, 90.0),
+        "near-zero": Triangular(0.1, 10.0, 25.0),
+    }
+    lifetimes = {"3-year refresh": 3.0, "7-year sweating": 7.0}
+    rows = []
+    for grid_label, intensity in grids.items():
+        row = {"grid": grid_label}
+        for policy_label, lifetime in lifetimes.items():
+            result = EnsembleRunner(base, {
+                "carbon_intensity_g_per_kwh": intensity,
+                "pue": Triangular(1.1, 1.3, 1.5),
+                "per_server_kgco2": Uniform(400.0, 1100.0),
+                "lifetime_years": Discrete((lifetime,)),
+            }, substrates=substrates).run(n_samples=SAMPLES, seed=23)
+            row[policy_label] = result.probability_embodied_exceeds_active
+        rows.append(row)
+    print(format_table(rows,
+                       title="P(embodied > active) by grid scenario and "
+                             "procurement policy",
+                       float_format=",.3f"))
+    print()
+    print("On today's grid the crossover is unlikely either way; as the grid")
+    print("decarbonises it becomes near-certain for a 3-year refresh cycle —")
+    print("lifetime extension is the lever that keeps it at bay.")
+
+
+def main() -> None:
+    substrates = SubstrateCache()
+    spec_file_round_trip(substrates)
+    procurement_policies(substrates)
+    crossover_by_grid(substrates)
+    print(f"(Every ensemble above shared one simulation: "
+          f"snapshot_runs = {substrates.snapshot_runs}.)")
+
+
+if __name__ == "__main__":
+    main()

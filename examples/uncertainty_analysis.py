@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Uncertainty analysis: turning the paper's scenario corners into a distribution.
+"""Uncertainty analysis: turning the paper's scenario corners into distributions.
 
 Tables 3 and 4 of the paper bound the snapshot's impact with a handful of
-scenario corners.  This example treats the same inputs as distributions
-(triangular grid intensity and PUE, uniform per-server embodied carbon,
-discrete lifetimes) and propagates them through the model with Monte Carlo,
-answering questions the corner tables cannot:
+scenario corners.  This example runs the vectorized uncertainty engine
+instead: the input corners become distributions attached to the assessment
+spec, a seeded ensemble pushes 50,000 joint scenarios through the analysis
+stage in one columnar pass — the fleet is simulated exactly once — and the
+result answers questions the corner tables cannot:
 
 * what is the *likely* total, not just its extreme bounds?
 * how probable is it that embodied carbon exceeds active carbon today?
-* how does that probability change as the grid decarbonises?
+* which input's uncertainty actually drives the answer (sensitivity)?
+* how does the balance change as the grid decarbonises?
 
 Run with::
 
@@ -18,81 +20,92 @@ Run with::
 
 from __future__ import annotations
 
-from repro.api import BatchAssessmentRunner, default_spec
-from repro.core.uncertainty import MonteCarloCarbonModel, UncertainInput
-from repro.inventory.iris import IRIS_IMPLIED_SERVER_COUNT, PAPER_TABLE2_TOTAL_KWH
+from repro.api import BatchAssessmentRunner, SubstrateCache, default_spec
 from repro.reporting import format_table
-from repro.reporting.figures import ascii_histogram
+from repro.reporting.uncertainty import (
+    ensemble_histogram,
+    ensemble_quantile_table,
+    sensitivity_table,
+)
+from repro.uncertainty import EnsembleRunner, Triangular
 
+SCALE = 0.05
 SAMPLES = 50_000
+SEED = 2022
 
 
-def scenario_corners() -> None:
+def scenario_corners(substrates: SubstrateCache) -> None:
     """The deterministic corner sweep the distributions generalise.
 
-    One simulated snapshot (cached by the batch runner's substrate cache)
-    re-evaluated over the paper's 3 x 3 intensity x PUE grid.
+    One simulated snapshot (shared with every ensemble below through the
+    substrate cache) re-evaluated over the paper's 3 x 3 intensity x PUE
+    grid.
     """
-    batch = BatchAssessmentRunner(default_spec(node_scale=0.05)).sweep(
+    batch = BatchAssessmentRunner(default_spec(node_scale=SCALE),
+                                  substrates=substrates).sweep(
         intensity=[50.0, 175.0, 300.0],
         pue=[1.1, 1.3, 1.5],
     )
-    print("Deterministic corners (simulated snapshot at 5% scale, "
+    print(f"Deterministic corners (simulated snapshot at {SCALE:.0%} scale, "
           f"{len(batch)} scenarios, one simulation): "
           f"{batch.min_total_kg:,.0f} - {batch.max_total_kg:,.0f} kgCO2e")
     print()
 
 
 def main() -> None:
-    scenario_corners()
-    model = MonteCarloCarbonModel(
-        it_energy_kwh=PAPER_TABLE2_TOTAL_KWH,
-        server_count=IRIS_IMPLIED_SERVER_COUNT,
-    )
-    result = model.run(n_samples=SAMPLES, seed=2022)
-    draws = model.sample(n_samples=SAMPLES, seed=2022)
+    substrates = SubstrateCache()
+    scenario_corners(substrates)
 
-    print(format_table(
-        [
-            {"quantity": "total kgCO2e (mean)", "value": result.total_kg_mean},
-            {"quantity": "total kgCO2e (5th pct)", "value": result.total_kg_p5},
-            {"quantity": "total kgCO2e (median)", "value": result.total_kg_p50},
-            {"quantity": "total kgCO2e (95th pct)", "value": result.total_kg_p95},
-            {"quantity": "active kgCO2e (mean)", "value": result.active_kg_mean},
-            {"quantity": "embodied kgCO2e (mean)", "value": result.embodied_kg_mean},
-            {"quantity": "embodied share (mean)", "value": result.embodied_fraction_mean},
-            {"quantity": "P(embodied > active)", "value": result.probability_embodied_exceeds_active},
-        ],
-        title=f"IRIS 24-hour snapshot, {SAMPLES:,} Monte-Carlo samples",
-        float_format=",.3f",
-    ))
+    # The paper's input envelope is the default distribution set: triangular
+    # intensity and PUE over the Low/Medium/High corners, uniform per-server
+    # embodied carbon, discrete 3-7-year lifetimes.
+    runner = EnsembleRunner(default_spec(node_scale=SCALE),
+                            substrates=substrates)
+    result = runner.run(n_samples=SAMPLES, seed=SEED)
+    print(f"{SAMPLES:,} joint scenarios over {', '.join(result.fields)} "
+          f"({result.method}; substrate simulated "
+          f"{substrates.snapshot_runs} time)")
     print()
-    print(ascii_histogram(draws["total_kg"], bins=12, width=48,
-                          title="Distribution of the snapshot total (kgCO2e)"))
+    print(ensemble_quantile_table(result))
+    print()
+    print(f"P(embodied > active) = "
+          f"{result.probability_embodied_exceeds_active:.3f}")
+    print()
+    print(ensemble_histogram(result, bins=12, width=48))
     print()
 
-    # How the embodied/active balance shifts as the grid decarbonises.
+    # Which input uncertainty matters? One-at-a-time variance ranking.
+    print(sensitivity_table(runner.sensitivity(n_samples=8192, seed=SEED)))
+    print()
+
+    # How the embodied/active balance shifts as the grid decarbonises: the
+    # same spec, the intensity distribution swapped per scenario.  Every
+    # ensemble reuses the one cached simulation.
     rows = []
     for label, (low, mode, high) in {
         "2022 grid (paper)": (50.0, 175.0, 300.0),
         "2030-ish grid": (15.0, 80.0, 160.0),
         "2035-ish grid": (5.0, 40.0, 90.0),
-        "near-zero grid": (0.0, 10.0, 25.0),
+        "near-zero grid": (0.1, 10.0, 25.0),
     }.items():
-        scenario = MonteCarloCarbonModel(
-            it_energy_kwh=PAPER_TABLE2_TOTAL_KWH,
-            server_count=IRIS_IMPLIED_SERVER_COUNT,
-            inputs=UncertainInput(intensity_low=low, intensity_mode=mode,
-                                  intensity_high=high),
+        scenario = EnsembleRunner(
+            default_spec(node_scale=SCALE),
+            {**runner.spec.distributions,
+             "carbon_intensity_g_per_kwh": Triangular(low, mode, high)},
+            substrates=substrates,
         ).run(n_samples=20_000, seed=7)
         rows.append({
             "grid scenario": label,
-            "mean total kg": scenario.total_kg_mean,
-            "embodied share": scenario.embodied_fraction_mean,
-            "P(embodied > active)": scenario.probability_embodied_exceeds_active,
+            "mean total kg": scenario.mean("total_kg"),
+            "embodied share": scenario.mean("embodied_fraction"),
+            "P(embodied > active)":
+                scenario.probability_embodied_exceeds_active,
         })
     print(format_table(rows, title="The crossover the paper anticipates",
                        float_format=",.3f"))
+    print()
+    print(f"(Total simulations across all ensembles: "
+          f"{substrates.snapshot_runs}.)")
     print()
     print("As generation decarbonises, the embodied share grows until it dominates —")
     print("the paper's argument for shifting attention to manufacturing emissions.")

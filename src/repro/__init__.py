@@ -35,6 +35,16 @@ Parameter grids go through :class:`~repro.api.batch.BatchAssessmentRunner`:
 >>> len(batch)
 6
 
+Probabilistic sweeps go through :mod:`repro.uncertainty` — any samplable
+numeric spec field may carry a distribution, and a seeded ensemble runs
+vectorised against one cached simulation:
+
+>>> from repro.uncertainty import EnsembleRunner
+>>> ensemble = EnsembleRunner(default_spec(node_scale=0.05)).run(
+...     n_samples=2000, seed=0)
+>>> sorted(ensemble.quantiles("total_kg")) == ["p05", "p25", "p50", "p75", "p95"]
+True
+
 New backends (grid providers, embodied estimators, inventory sources, ...)
 register by name via :mod:`repro.api` and become addressable from any spec.
 The subpackages remain importable directly (``repro.core``, ``repro.power``,

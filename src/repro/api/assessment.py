@@ -176,6 +176,15 @@ class Assessment:
 
     # -- embodied asset assembly ------------------------------------------------------
 
+    def embodied_assets(self) -> List[EmbodiedAsset]:
+        """The resolved embodied-asset list for this spec.
+
+        Resolves the spec's estimator / uniform override against the
+        (cached) snapshot exactly as :meth:`run` does — the public seam the
+        uncertainty engine contracts its embodied columns against.
+        """
+        return self._assets(self._substrates.snapshot(self._spec), self._spec)
+
     def _assets(self, snapshot, spec: AssessmentSpec) -> List[EmbodiedAsset]:
         if spec.per_server_kgco2 is not None or spec.embodied_estimator == CATALOG_ESTIMATOR:
             # The engine's native path (catalog datasheet figures, or the

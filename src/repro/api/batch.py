@@ -306,6 +306,32 @@ class BatchAssessmentRunner:
         """
         return self.run_temporal_specs(self.grid_specs(**axes))
 
+    # -- sampled (ensemble) scenarios ----------------------------------------------
+
+    def ensemble(
+        self,
+        distributions: Optional[Dict[str, object]] = None,
+        *,
+        n_samples: int = 1000,
+        seed: int = 0,
+        method: str = "auto",
+    ):
+        """Run a sampled ensemble instead of a cartesian grid.
+
+        Where :meth:`sweep` enumerates scenario corners, ``ensemble``
+        draws ``n_samples`` joint scenarios from the given field
+        distributions (:mod:`repro.uncertainty.distributions`; the paper's
+        input envelope when omitted) and pushes them through the analysis
+        stage in one vectorized pass over this runner's shared substrates
+        — the simulation still happens exactly once.  Returns the
+        quantile-native :class:`~repro.uncertainty.result.EnsembleResult`.
+        """
+        from repro.uncertainty.ensemble import EnsembleRunner
+
+        runner = EnsembleRunner(self._base_spec, distributions,
+                                substrates=self._substrates)
+        return runner.run(n_samples=n_samples, seed=seed, method=method)
+
     def _prepare_snapshots(self, specs: Sequence[AssessmentSpec]) -> None:
         """Simulate each distinct physical configuration exactly once.
 

@@ -30,6 +30,27 @@ from repro.io.jsonio import PathLike, read_json, write_json
 #: engine's native behaviour and the paper's.
 CATALOG_ESTIMATOR = "catalog"
 
+#: Numeric spec fields the uncertainty engine may replace with sampled
+#: distributions, partitioned by the pipeline stage they act through.
+#: ANALYSIS fields only enter the cheap carbon-model evaluation, so an
+#: ensemble over them vectorises against one simulated substrate; PHYSICAL
+#: fields change the simulation substrate itself (each distinct sampled
+#: value costs a simulation, deduplicated by the substrate cache); TEMPORAL
+#: fields only act through the time-resolved engine.
+ANALYSIS_SAMPLE_FIELDS = (
+    "carbon_intensity_g_per_kwh",
+    "pue",
+    "per_server_kgco2",
+    "lifetime_years",
+)
+PHYSICAL_SAMPLE_FIELDS = ("node_scale", "duration_hours", "trace_step_s")
+TEMPORAL_SAMPLE_FIELDS = ("shift_hours", "defer_fraction")
+
+#: Every spec field an UncertainSpec may attach a distribution to.
+SAMPLABLE_FIELDS = (
+    ANALYSIS_SAMPLE_FIELDS + PHYSICAL_SAMPLE_FIELDS + TEMPORAL_SAMPLE_FIELDS
+)
+
 
 @dataclass(frozen=True)
 class AssessmentSpec:
@@ -200,4 +221,12 @@ def default_spec(node_scale: float = 1.0, **overrides: Any) -> AssessmentSpec:
     return AssessmentSpec(node_scale=node_scale, **overrides)
 
 
-__all__ = ["AssessmentSpec", "default_spec", "CATALOG_ESTIMATOR"]
+__all__ = [
+    "AssessmentSpec",
+    "default_spec",
+    "CATALOG_ESTIMATOR",
+    "ANALYSIS_SAMPLE_FIELDS",
+    "PHYSICAL_SAMPLE_FIELDS",
+    "TEMPORAL_SAMPLE_FIELDS",
+    "SAMPLABLE_FIELDS",
+]

@@ -249,14 +249,16 @@ class TemporalAssessment:
         days = float(max(30, math.ceil(spec.duration_hours / 24.0)))
         return self._substrates.intensity_series(spec.grid, days=days)
 
-    def run(self) -> TemporalAssessmentResult:
-        """Run the time-resolved pipeline and return the unified result."""
+    def aligned_traces(self) -> "tuple[TimeSeries, TimeSeries]":
+        """The (power, intensity) traces on the shared integration grid.
+
+        This is the deterministic front half of :meth:`run` — provider
+        resolution, simulation (cached), alignment — exposed separately so
+        the uncertainty engine's temporal ensembles can reuse one aligned
+        pair across thousands of sampled scenarios.
+        """
         spec = self._spec
-        # Resolve the trace provider before the expensive simulation so a
-        # typo'd name fails in milliseconds (the static assessment performs
-        # the same early check for its own components).
         trace_factory = TRACE_PROVIDERS.get(spec.trace_source)
-        static = Assessment(spec, substrates=self._substrates).run()
         snapshot = self._substrates.snapshot(spec)
         power = trace_factory(spec, snapshot)
         if not isinstance(power, TimeSeries):
@@ -265,12 +267,23 @@ class TemporalAssessment:
                 f"TimeSeries, got {type(power).__name__}"
             )
         intensity = self._intensity_series(power)
-        aligned_power, aligned_intensity = align_power_and_intensity(
+        return align_power_and_intensity(
             power,
             intensity.series,
             policy=spec.alignment,
             resolution_s=spec.temporal_resolution_s,
         )
+
+    def run(self) -> TemporalAssessmentResult:
+        """Run the time-resolved pipeline and return the unified result."""
+        spec = self._spec
+        # Resolve the trace provider before the expensive simulation so a
+        # typo'd name fails in milliseconds (the static assessment performs
+        # the same early check for its own components).
+        TRACE_PROVIDERS.get(spec.trace_source)
+        static = Assessment(spec, substrates=self._substrates).run()
+        snapshot = self._substrates.snapshot(spec)
+        aligned_power, aligned_intensity = self.aligned_traces()
         baseline_profile = integrate_power_intensity(
             aligned_power, aligned_intensity, pue=spec.pue
         )

@@ -26,7 +26,11 @@ any Python:
     Print the Table 3 (active) and Table 4 (embodied) scenario grids for a
     given energy total and fleet size.
 ``uncertainty``
-    Run the Monte-Carlo analysis over the paper's input ranges.
+    Run the vectorized uncertainty engine: a seeded ensemble over the
+    spec's distribution-aware fields (``--spec``/``--scale``), with
+    quantile tables, sensitivity ranking (``--sensitivity``) and
+    time-resolved emission bands (``--temporal``).  Without a spec it
+    runs the paper's closed-form input envelope, as it always did.
 
 Scenario arguments are validated at parse time (``--scale`` in (0, 1],
 ``--pue`` >= 1.0) so mistakes produce a one-line usage error instead of a
@@ -51,7 +55,6 @@ from repro.api import (
     default_spec,
     embodied_scenario_rows,
 )
-from repro.core.uncertainty import MonteCarloCarbonModel
 from repro.grid.synthetic import uk_november_2022_intensity
 from repro.inventory.iris import (
     IRIS_IMPLIED_SERVER_COUNT,
@@ -197,11 +200,51 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="evaluation period length in hours")
 
     uncertainty = subparsers.add_parser(
-        "uncertainty", help="Monte-Carlo analysis over the paper's input ranges")
-    uncertainty.add_argument("--energy-kwh", type=float, default=PAPER_TABLE2_TOTAL_KWH)
-    uncertainty.add_argument("--servers", type=int, default=IRIS_IMPLIED_SERVER_COUNT)
-    uncertainty.add_argument("--samples", type=int, default=20000)
-    uncertainty.add_argument("--seed", type=int, default=0)
+        "uncertainty",
+        help="seeded ensemble over distribution-aware spec fields")
+    uncertainty.add_argument("--spec", type=Path, default=None,
+                             help="JSON spec; samplable numeric fields may "
+                                  "hold distribution objects "
+                                  '(e.g. {"dist": "triangular", ...})')
+    uncertainty.add_argument("--scale", type=_scale_argument, default=None,
+                             help="node-count scale factor in (0, 1]; with "
+                                  "no --spec, runs the paper's default "
+                                  "envelope on the simulated snapshot")
+    uncertainty.add_argument("--samples", type=int, default=20000,
+                             help="ensemble size (default: 20000)")
+    uncertainty.add_argument("--seed", type=int, default=0,
+                             help="ensemble seed (runs are bit-reproducible)")
+    uncertainty.add_argument("--method", choices=("auto", "vectorized", "oracle"),
+                             default="auto",
+                             help="force the columnar pass or the per-sample "
+                                  "oracle loop (default: auto)")
+    uncertainty.add_argument("--sensitivity", action="store_true",
+                             help="also print the one-at-a-time sensitivity "
+                                  "ranking of the sampled fields")
+    uncertainty.add_argument("--histogram", action="store_true",
+                             help="also print the ASCII total-kg histogram "
+                                  "(table format only)")
+    uncertainty.add_argument("--temporal", action="store_true",
+                             help="time-resolved ensemble: emission bands "
+                                  "over the window instead of period totals")
+    uncertainty.add_argument("--format", choices=("table", "json", "csv"),
+                             default="table",
+                             help="output format (default: table)")
+    uncertainty.add_argument("--output", type=Path, default=None,
+                             help="write the json/csv output to this file "
+                                  "instead of stdout")
+    uncertainty.add_argument("--substrate-cache-dir", type=Path, default=None,
+                             help="persist simulated snapshots here so "
+                                  "full-scale runs are paid once per machine")
+    uncertainty.add_argument("--jobs", type=int, default=None,
+                             help="simulate this many sites concurrently "
+                                  "(default: 1; 0 = one thread per site)")
+    uncertainty.add_argument("--energy-kwh", type=float, default=None,
+                             help="paper mode: closed-form ensemble for this "
+                                  "measured energy (no simulation)")
+    uncertainty.add_argument("--servers", type=int, default=None,
+                             help="paper mode: server count for the "
+                                  "closed-form embodied term")
 
     return parser
 
@@ -271,6 +314,18 @@ def _emit(text: str, output: Optional[Path]) -> None:
         print(f"Wrote {output}")
 
 
+def _emit_rows_csv(rows, output: Optional[Path]) -> None:
+    """Write summary rows as CSV to ``output``, or to stdout."""
+    if output is not None:
+        write_rows_csv(output, rows)
+        print(f"Wrote {output}")
+    else:
+        writer = csv.writer(sys.stdout)
+        writer.writerow(list(rows[0]))
+        for row in rows:
+            writer.writerow(list(row.values()))
+
+
 # --------------------------------------------------------------------------
 # subcommand implementations
 # --------------------------------------------------------------------------
@@ -336,14 +391,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         _emit(json.dumps(result.as_dict(), indent=2, default=_json_default,
                          sort_keys=True), args.output)
     else:  # csv
-        rows = [result.summary()]
-        if args.output is not None:
-            write_rows_csv(args.output, rows)
-            print(f"Wrote {args.output}")
-        else:
-            writer = csv.writer(sys.stdout)
-            writer.writerow(list(rows[0]))
-            writer.writerow(list(rows[0].values()))
+        _emit_rows_csv([result.summary()], args.output)
     if args.output_dir is not None:
         _write_assessment_tables(result, args.output_dir)
     return 0
@@ -411,14 +459,7 @@ def _cmd_temporal(args: argparse.Namespace) -> int:
         _emit(json.dumps(result.as_dict(), indent=2, default=_json_default,
                          sort_keys=True), args.output)
     else:  # csv
-        rows = [result.summary()]
-        if args.output is not None:
-            write_rows_csv(args.output, rows)
-            print(f"Wrote {args.output}")
-        else:
-            writer = csv.writer(sys.stdout)
-            writer.writerow(list(rows[0]))
-            writer.writerow(list(rows[0].values()))
+        _emit_rows_csv([result.summary()], args.output)
     return 0
 
 
@@ -493,16 +534,195 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_uncertain_spec(args: argparse.Namespace):
+    """The UncertainSpec for the ensemble modes.
+
+    A spec file whose fields carry distribution objects is taken as is; a
+    plain spec file (or bare ``--scale``) gets a default envelope attached
+    — the paper's input envelope, or a trace scale/shift envelope for
+    ``--temporal`` — so ``repro uncertainty --scale 0.05`` works out of
+    the box.  The bare ``--temporal`` default derives its intensity from
+    the spec's grid *trace* (not the fixed reference intensity), so the
+    timing-error axis actually moves the answer; a plain spec file that
+    pins a constant intensity only gets the scale axis, since shifting a
+    constant trace is a no-op.
+    """
+    from repro.api.spec import AssessmentSpec
+    from repro.io.jsonio import read_json
+    from repro.uncertainty import (
+        Normal, UncertainSpec, paper_default_distributions)
+    from repro.uncertainty.distributions import DIST_KEY
+
+    def default_envelope(base: AssessmentSpec):
+        if args.temporal:
+            # Is the intensity feed biased, and is its timing off?
+            envelope = {
+                "intensity_scale": Normal(1.0, 0.1, low=0.5, high=1.5)}
+            if base.carbon_intensity_g_per_kwh is None:
+                envelope["intensity_shift_hours"] = Normal(
+                    0.0, 1.0, low=-6.0, high=6.0)
+            return envelope
+        return paper_default_distributions()
+
+    if args.spec is not None:
+        data = read_json(args.spec)
+        if not isinstance(data, dict):
+            raise ValueError(f"{args.spec}: a spec must be a JSON object")
+        has_distributions = any(
+            isinstance(value, dict) and DIST_KEY in value
+            for value in data.values())
+        if has_distributions:
+            spec = UncertainSpec.from_dict(data)
+        else:
+            base = AssessmentSpec.from_dict(data)
+            spec = UncertainSpec(base=base,
+                                 distributions=default_envelope(base))
+    else:
+        base = (default_spec(carbon_intensity_g_per_kwh=None)
+                if args.temporal else default_spec())
+        spec = UncertainSpec(base=base,
+                             distributions=default_envelope(base))
+    if args.scale is not None:
+        spec = spec.replace(node_scale=args.scale)
+    return spec
+
+
+def _cmd_uncertainty_paper(args: argparse.Namespace) -> int:
+    """The closed-form paper mode: no simulation, equation 1 arithmetic."""
+    from repro.core.uncertainty import (
+        UncertainInput, closed_form_draws, summarise_closed_form)
+
+    energy_kwh = (args.energy_kwh if args.energy_kwh is not None
+                  else PAPER_TABLE2_TOTAL_KWH)
+    servers = args.servers if args.servers is not None else IRIS_IMPLIED_SERVER_COUNT
+    if energy_kwh < 0 or servers <= 0:
+        print("error: --energy-kwh must be >= 0 and --servers positive",
+              file=sys.stderr)
+        return 2
+    draws = closed_form_draws(UncertainInput(), energy_kwh, servers,
+                              period_days=1.0, n_samples=args.samples,
+                              seed=args.seed)
+    result = summarise_closed_form(draws)
+    if args.format == "json":
+        _emit(json.dumps(result.as_dict(), indent=2, sort_keys=True),
+              args.output)
+    elif args.format == "csv":
+        _emit_rows_csv([result.as_dict()], args.output)
+    else:
+        _emit(format_kv_table(
+            result.as_dict(),
+            title="Monte-Carlo uncertainty over the paper's input ranges",
+            float_format=",.3f"), args.output)
+    return 0
+
+
 def _cmd_uncertainty(args: argparse.Namespace) -> int:
     if args.samples <= 0:
         print("error: --samples must be positive", file=sys.stderr)
         return 2
-    model = MonteCarloCarbonModel(it_energy_kwh=args.energy_kwh,
-                                  server_count=args.servers)
-    result = model.run(n_samples=args.samples, seed=args.seed)
-    print(format_kv_table(result.as_dict(),
-                          title="Monte-Carlo uncertainty over the paper's input ranges",
-                          float_format=",.3f"))
+    if args.temporal:
+        # Static-ensemble-only flags must not be silently dropped.
+        static_only = [
+            label for label, given in (
+                ("--sensitivity", args.sensitivity),
+                ("--histogram", args.histogram),
+                ("--method", args.method != "auto"),
+            ) if given
+        ]
+        if static_only:
+            print(f"error: {', '.join(static_only)} only valid for the "
+                  "static ensemble, not --temporal", file=sys.stderr)
+            return 2
+    # Paper mode: explicit closed-form inputs, or no spec/scale at all
+    # (the subcommand's historical default behaviour).
+    spec_mode = args.spec is not None or args.scale is not None or args.temporal
+    if args.energy_kwh is not None or args.servers is not None:
+        if spec_mode:
+            print("error: --energy-kwh/--servers (closed-form paper mode) "
+                  "conflict with --spec/--scale/--temporal (simulated "
+                  "ensemble); pass one or the other", file=sys.stderr)
+            return 2
+    if not spec_mode:
+        # Ensemble-only flags must not be silently dropped in paper mode.
+        ensemble_only = [
+            label for label, given in (
+                ("--sensitivity", args.sensitivity),
+                ("--histogram", args.histogram),
+                ("--method", args.method != "auto"),
+                ("--substrate-cache-dir", args.substrate_cache_dir is not None),
+                ("--jobs", args.jobs is not None),
+            ) if given
+        ]
+        if ensemble_only:
+            print(f"error: {', '.join(ensemble_only)} only valid for the "
+                  "simulated ensemble; pass --spec or --scale",
+                  file=sys.stderr)
+            return 2
+        return _cmd_uncertainty_paper(args)
+
+    from repro.reporting.uncertainty import (
+        ensemble_histogram,
+        ensemble_quantile_table,
+        ensemble_summary_table,
+        sensitivity_table,
+        temporal_band_table,
+    )
+    from repro.uncertainty import EnsembleRunner, TemporalEnsembleRunner
+
+    try:
+        substrates = _build_substrates(args)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = _load_uncertain_spec(args)
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        print(f"error: cannot load spec: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.temporal:
+            runner = TemporalEnsembleRunner(spec, substrates=substrates)
+            result = runner.run(n_samples=args.samples, seed=args.seed)
+        else:
+            runner = EnsembleRunner(spec, substrates=substrates)
+            result = runner.run(n_samples=args.samples, seed=args.seed,
+                                method=args.method)
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    sensitivity_rows = None
+    if args.sensitivity:
+        sensitivity_rows = runner.sensitivity(n_samples=args.samples,
+                                              seed=args.seed)
+
+    if args.format == "json":
+        payload = result.as_dict()
+        if sensitivity_rows is not None:
+            payload["sensitivity"] = sensitivity_rows
+        _emit(json.dumps(payload, indent=2, default=_json_default,
+                         sort_keys=True), args.output)
+    elif args.format == "csv":
+        rows = (result.band_rows() if args.temporal
+                else result.quantile_rows())
+        _emit_rows_csv(rows, args.output)
+    else:
+        parts = []
+        if args.temporal:
+            parts.append(format_kv_table(
+                result.summary(),
+                title=f"Temporal ensemble over {', '.join(result.samples.fields)}",
+                float_format=",.3f"))
+            parts.append("\n" + temporal_band_table(result))
+        else:
+            parts.append(ensemble_summary_table(result))
+            parts.append("\n" + ensemble_quantile_table(result))
+            if args.histogram:
+                parts.append("\n" + ensemble_histogram(result))
+        if sensitivity_rows is not None:
+            parts.append("\n" + sensitivity_table(sensitivity_rows))
+        _emit("\n".join(parts), args.output)
     return 0
 
 

@@ -1,23 +1,27 @@
-"""Monte-Carlo propagation of input uncertainty into the total carbon.
+"""Deprecated closed-form Monte-Carlo shim over :mod:`repro.uncertainty`.
 
-The paper handles uncertainty by reporting a handful of scenario corners
-(Tables 3 and 4).  A natural extension — listed in its future work as
-needing "more accurate carbon estimates" — is to treat the uncertain inputs
-as distributions and propagate them through equation 1, which is what
-:class:`MonteCarloCarbonModel` does:
+Historically this module owned a standalone Monte-Carlo loop over four
+hard-coded scalars.  Uncertainty is now a first-class subsystem —
+distribution-aware specs (:class:`~repro.uncertainty.spec.UncertainSpec`),
+a vectorized :class:`~repro.uncertainty.ensemble.EnsembleRunner` on the
+columnar substrate, and quantile-native results — and
+:class:`MonteCarloCarbonModel` remains only as a thin compatibility shim:
+its distributions come from the registry
+(:mod:`repro.uncertainty.distributions`), its samples from the shared
+ensemble sampler (same generator discipline, same draw order), and its
+outputs are pinned bit-equivalent to the historical implementation at the
+paper's default inputs.
 
-* grid carbon intensity — triangular between the Low/Medium/High values;
-* PUE — triangular between the Low/Medium/High values;
-* per-server embodied carbon — uniform between the 400/1100 bounds;
-* server lifetime — discrete uniform over the 3-7-year sweep.
+New code should use::
 
-The output quantifies, for example, the probability that embodied carbon
-exceeds active carbon in a given scenario — the crossover the paper's
-summary discusses qualitatively.
+    from repro.uncertainty import EnsembleRunner
+
+    result = EnsembleRunner(default_spec(node_scale=0.05)).run(10_000, seed=0)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -55,6 +59,20 @@ class UncertainInput:
             raise ValueError("lifetimes_years must be non-empty and positive")
         object.__setattr__(self, "lifetimes_years", tuple(self.lifetimes_years))
 
+    def distributions(self) -> Dict[str, object]:
+        """The envelope as registry distributions, in historical draw order
+        (intensity, PUE, per-server embodied, lifetime)."""
+        from repro.uncertainty.distributions import Discrete, Triangular, Uniform
+
+        return {
+            "carbon_intensity_g_per_kwh": Triangular(
+                self.intensity_low, self.intensity_mode, self.intensity_high),
+            "pue": Triangular(self.pue_low, self.pue_mode, self.pue_high),
+            "per_server_kgco2": Uniform(self.embodied_low_kg,
+                                        self.embodied_high_kg),
+            "lifetime_years": Discrete(self.lifetimes_years),
+        }
+
 
 @dataclass(frozen=True)
 class UncertaintyResult:
@@ -84,8 +102,72 @@ class UncertaintyResult:
         }
 
 
+def closed_form_draws(
+    inputs: UncertainInput,
+    it_energy_kwh: float,
+    server_count: int,
+    period_days: float,
+    n_samples: int,
+    seed,
+) -> Dict[str, np.ndarray]:
+    """Sample the paper's closed-form carbon arithmetic (equation 1).
+
+    The distributions come from the registry and are drawn from one seeded
+    generator in the historical order (intensity, PUE, embodied, lifetime)
+    — the generator discipline of :mod:`repro.uncertainty.sampling`, but
+    the legacy stream — so the output is bit-identical to the
+    pre-subsystem Monte Carlo for the same seed.  Used by the shim below
+    and by the CLI's paper mode.
+    """
+    from repro.seeding import as_generator
+
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    rng = as_generator(seed)
+    distributions = inputs.distributions()
+    intensity = distributions["carbon_intensity_g_per_kwh"].sample(n_samples, rng)
+    pue = distributions["pue"].sample(n_samples, rng)
+    embodied_per_server = distributions["per_server_kgco2"].sample(n_samples, rng)
+    lifetimes = distributions["lifetime_years"].sample(n_samples, rng)
+    active_kg = it_energy_kwh * pue * intensity / 1000.0
+    embodied_kg = (
+        embodied_per_server / (lifetimes * 365.0)
+        * server_count
+        * period_days
+    )
+    return {
+        "active_kg": active_kg,
+        "embodied_kg": embodied_kg,
+        "total_kg": active_kg + embodied_kg,
+        "intensity": intensity,
+        "pue": pue,
+    }
+
+
+def summarise_closed_form(draws: Dict[str, np.ndarray]) -> UncertaintyResult:
+    """The historical percentile summary of closed-form draws."""
+    total = draws["total_kg"]
+    active = draws["active_kg"]
+    embodied = draws["embodied_kg"]
+    return UncertaintyResult(
+        samples=int(len(total)),
+        total_kg_mean=float(total.mean()),
+        total_kg_p5=float(np.percentile(total, 5)),
+        total_kg_p50=float(np.percentile(total, 50)),
+        total_kg_p95=float(np.percentile(total, 95)),
+        active_kg_mean=float(active.mean()),
+        embodied_kg_mean=float(embodied.mean()),
+        embodied_fraction_mean=float((embodied / total).mean()),
+        probability_embodied_exceeds_active=float((embodied > active).mean()),
+    )
+
+
 class MonteCarloCarbonModel:
-    """Monte-Carlo wrapper around the closed-form snapshot arithmetic.
+    """Deprecated: use :class:`repro.uncertainty.EnsembleRunner`.
+
+    Kept as a compatibility shim over the new engine's distributions and
+    sampler; quantiles for a given seed are bit-equivalent to the
+    historical implementation (pinned by the deprecation test).
 
     Parameters
     ----------
@@ -106,6 +188,11 @@ class MonteCarloCarbonModel:
         period_days: float = 1.0,
         inputs: Optional[UncertainInput] = None,
     ):
+        warnings.warn(
+            "MonteCarloCarbonModel is deprecated; use "
+            "repro.uncertainty.EnsembleRunner with an UncertainSpec "
+            "(distribution-aware spec fields, vectorized on the simulated "
+            "substrate)", DeprecationWarning, stacklevel=2)
         if it_energy_kwh < 0:
             raise ValueError("it_energy_kwh must be non-negative")
         if server_count <= 0:
@@ -127,46 +214,19 @@ class MonteCarloCarbonModel:
         """Draw ``n_samples`` joint samples of (active, embodied, total) in kg."""
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
-        rng = np.random.default_rng(seed)
-        p = self._inputs
-        intensity = rng.triangular(p.intensity_low, p.intensity_mode, p.intensity_high,
-                                   size=n_samples)
-        pue = rng.triangular(p.pue_low, p.pue_mode, p.pue_high, size=n_samples)
-        embodied_per_server = rng.uniform(p.embodied_low_kg, p.embodied_high_kg,
-                                          size=n_samples)
-        lifetimes = rng.choice(np.asarray(p.lifetimes_years, dtype=np.float64),
-                               size=n_samples)
-        active_kg = self._it_energy_kwh * pue * intensity / 1000.0
-        embodied_kg = (
-            embodied_per_server / (lifetimes * 365.0)
-            * self._server_count
-            * self._period_days
-        )
-        return {
-            "active_kg": active_kg,
-            "embodied_kg": embodied_kg,
-            "total_kg": active_kg + embodied_kg,
-            "intensity": intensity,
-            "pue": pue,
-        }
+        return closed_form_draws(
+            self._inputs, self._it_energy_kwh, self._server_count,
+            self._period_days, n_samples, seed)
 
     def run(self, n_samples: int = 10_000, seed: int = 0) -> UncertaintyResult:
         """Run the Monte-Carlo analysis and summarise the distribution."""
-        draws = self.sample(n_samples=n_samples, seed=seed)
-        total = draws["total_kg"]
-        active = draws["active_kg"]
-        embodied = draws["embodied_kg"]
-        return UncertaintyResult(
-            samples=n_samples,
-            total_kg_mean=float(total.mean()),
-            total_kg_p5=float(np.percentile(total, 5)),
-            total_kg_p50=float(np.percentile(total, 50)),
-            total_kg_p95=float(np.percentile(total, 95)),
-            active_kg_mean=float(active.mean()),
-            embodied_kg_mean=float(embodied.mean()),
-            embodied_fraction_mean=float((embodied / total).mean()),
-            probability_embodied_exceeds_active=float((embodied > active).mean()),
-        )
+        return summarise_closed_form(self.sample(n_samples=n_samples, seed=seed))
 
 
-__all__ = ["UncertainInput", "UncertaintyResult", "MonteCarloCarbonModel"]
+__all__ = [
+    "UncertainInput",
+    "UncertaintyResult",
+    "MonteCarloCarbonModel",
+    "closed_form_draws",
+    "summarise_closed_form",
+]

@@ -30,6 +30,7 @@ import numpy as np
 from repro.grid.fuels import FUEL_INTENSITY_G_PER_KWH, Fuel
 from repro.grid.intensity import CarbonIntensitySeries
 from repro.grid.mix import GenerationMix
+from repro.seeding import SeedLike, as_generator
 from repro.timeseries.series import TimeSeries
 
 SECONDS_PER_DAY = 86400.0
@@ -213,7 +214,7 @@ class SyntheticGridModel:
         return np.where(np.abs(total - 1.0) > 1e-6, weighted / total, weighted)
 
     def _window_conditions(
-        self, days: float, step_s: float, seed: int, start_s: float
+        self, days: float, step_s: float, seed: SeedLike, start_s: float
     ) -> tuple:
         """The (wind, solar, demand) condition arrays for one window."""
         if days <= 0:
@@ -223,7 +224,7 @@ class SyntheticGridModel:
         n = int(round(days * SECONDS_PER_DAY / step_s))
         if n < 1:
             raise ValueError("the requested window contains no intervals")
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         times = start_s + step_s * np.arange(n)
         demand = self.demand_factor(times)
         solar = self.solar_share(times)
@@ -234,7 +235,7 @@ class SyntheticGridModel:
         self,
         days: float,
         step_s: float = 1800.0,
-        seed: int = NOVEMBER_2022_SEED,
+        seed: SeedLike = NOVEMBER_2022_SEED,
         start_s: float = 0.0,
     ) -> List[GenerationMix]:
         """Generate the per-interval mixes for ``days`` days.
@@ -253,7 +254,7 @@ class SyntheticGridModel:
         self,
         days: float,
         step_s: float = 1800.0,
-        seed: int = NOVEMBER_2022_SEED,
+        seed: SeedLike = NOVEMBER_2022_SEED,
         start_s: float = 0.0,
         region: str = "GB",
     ) -> CarbonIntensitySeries:
@@ -261,6 +262,8 @@ class SyntheticGridModel:
 
         Uses the bulk-array path (:meth:`intensity_for_conditions`); the
         per-interval mix loop is only taken by :meth:`generate_mixes`.
+        ``seed`` is an integer (bit-reproducible) or a caller-owned
+        :class:`numpy.random.Generator`; global numpy state is untouched.
         """
         wind, solar, demand = self._window_conditions(days, step_s, seed, start_s)
         values = self.intensity_for_conditions(wind, solar, demand)
@@ -272,7 +275,7 @@ class SyntheticGridModel:
 def uk_november_2022_intensity(
     days: float = 30.0,
     step_s: float = 1800.0,
-    seed: int = NOVEMBER_2022_SEED,
+    seed: SeedLike = NOVEMBER_2022_SEED,
 ) -> CarbonIntensitySeries:
     """The synthetic GB November-2022 intensity series behind Figure 1."""
     return SyntheticGridModel().generate_intensity(days=days, step_s=step_s, seed=seed)

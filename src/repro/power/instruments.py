@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.power.traces import PowerBreakdownTrace
+from repro.seeding import SeedLike, as_generator
 from repro.timeseries.gapfill import fill_forward
 from repro.timeseries.integrate import energy_kwh_from_power_w
 from repro.timeseries.resample import resample_mean
@@ -119,11 +120,11 @@ class MeasurementInstrument:
     def measure(
         self,
         trace: PowerBreakdownTrace,
-        seed: int = 0,
+        seed: SeedLike = 0,
         network_power_w: float = 0.0,
     ) -> InstrumentReading:
         """Measure the site described by ``trace`` over its full window."""
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         covered_rows = self._covered_rows(trace, rng)
         site_series = self._site_power_series(trace, covered_rows, network_power_w)
         # Sample at the instrument's cadence, rounded to a whole number of

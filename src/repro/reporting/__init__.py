@@ -23,6 +23,13 @@ from repro.reporting.temporal import (
     intensity_band_rows,
     intensity_weighted_summary,
 )
+from repro.reporting.uncertainty import (
+    ensemble_histogram,
+    ensemble_quantile_table,
+    ensemble_summary_table,
+    sensitivity_table,
+    temporal_band_table,
+)
 
 __all__ = [
     "GHGScopeStatement",
@@ -40,4 +47,9 @@ __all__ = [
     "daily_emission_rows",
     "intensity_band_rows",
     "intensity_weighted_summary",
+    "ensemble_histogram",
+    "ensemble_quantile_table",
+    "ensemble_summary_table",
+    "sensitivity_table",
+    "temporal_band_table",
 ]

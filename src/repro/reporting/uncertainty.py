@@ -1,0 +1,80 @@
+"""Rendering ensemble results: quantile tables, sensitivity, histograms.
+
+The uncertainty engine's results are quantile-native; this module turns
+them into the same text-first artefacts the rest of the reporting package
+produces (fixed-width tables, flat rows for CSV/JSON, ASCII figures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.reporting.figures import ascii_histogram
+from repro.reporting.tables import format_kv_table, format_table
+
+
+def ensemble_summary_table(result) -> str:
+    """The headline key/value table of an ensemble result."""
+    return format_kv_table(result.summary(),
+                           title=f"Ensemble over {', '.join(result.fields)}",
+                           float_format=",.3f")
+
+
+def ensemble_quantile_table(result, probs: Sequence[float] = None) -> str:
+    """The per-quantile metric table of an ensemble result."""
+    rows = (result.quantile_rows(probs) if probs is not None
+            else result.quantile_rows())
+    return format_table(
+        rows,
+        columns=["quantile", "probability", "active_kg", "embodied_kg",
+                 "total_kg", "embodied_fraction"],
+        title="Outcome quantiles (kgCO2e)",
+        float_format=",.3f",
+    )
+
+
+def sensitivity_table(rows: List[Dict[str, object]]) -> str:
+    """The one-at-a-time sensitivity ranking as a table."""
+    return format_table(
+        rows,
+        columns=["field", "variance_share", "std_kg", "p05_kg", "p95_kg",
+                 "swing_kg"],
+        title="Sensitivity (one-at-a-time, ranked by induced variance)",
+        float_format=",.3f",
+    )
+
+
+def ensemble_histogram(result, metric: str = "total_kg",
+                       bins: int = 12, width: int = 48) -> str:
+    """An ASCII histogram of one ensemble metric."""
+    return ascii_histogram(result.metric(metric), bins=bins, width=width,
+                           title=f"Distribution of {metric}")
+
+
+def temporal_band_table(result, probs: Sequence[float] = (0.05, 0.50, 0.95),
+                        max_rows: int = 24) -> str:
+    """The per-interval emission band table (downsampled to ``max_rows``).
+
+    Long windows are thinned by stride so the table stays readable; the
+    CSV renderer (``result.to_csv``) keeps every interval.
+    """
+    rows = result.band_rows(probs)
+    stride = max(1, len(rows) // max_rows)
+    thinned = rows[::stride]
+    columns = ["t_hours", "mean_kg"] + [
+        key for key in thinned[0] if key.endswith("_kg") and key != "mean_kg"]
+    return format_table(
+        thinned,
+        columns=columns,
+        title=f"Emission bands over time (kg per {result.step:.0f}s interval)",
+        float_format=",.3f",
+    )
+
+
+__all__ = [
+    "ensemble_histogram",
+    "ensemble_quantile_table",
+    "ensemble_summary_table",
+    "sensitivity_table",
+    "temporal_band_table",
+]

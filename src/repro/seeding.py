@@ -1,0 +1,44 @@
+"""Seed discipline for every stochastic entry point.
+
+All randomness in the library flows through explicitly seeded
+:class:`numpy.random.Generator` instances — nothing ever touches numpy's
+global state, so importing or running any part of the pipeline can never
+perturb another component's stream (or a user's own ``np.random`` usage).
+
+:func:`as_generator` is the one conversion point: stochastic entry points
+accept either an integer seed (the reproducible default) or an
+already-constructed ``Generator`` (for callers that manage their own
+streams, e.g. drawing several dependent ensembles from one source), and
+normalise it here.  Passing the same integer seed twice yields bit-identical
+output; passing the same ``Generator`` twice continues its stream.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: What stochastic entry points accept: an integer seed or a ready Generator.
+SeedLike = Union[int, np.integer, np.random.Generator]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` for ``seed``.
+
+    An integer (or numpy integer) seeds a fresh ``default_rng``; a
+    ``Generator`` is returned unchanged so its stream continues.  Anything
+    else — notably ``None``, which would silently give irreproducible
+    OS-entropy seeding — is rejected loudly.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be an int or numpy.random.Generator, got {type(seed).__name__}; "
+        "explicit seeds keep every run reproducible"
+    )
+
+
+__all__ = ["SeedLike", "as_generator"]

@@ -1,0 +1,240 @@
+"""Distribution-aware assessment specs.
+
+An :class:`UncertainSpec` is an :class:`~repro.api.spec.AssessmentSpec`
+plus a mapping of field names to :class:`~repro.uncertainty.distributions.
+Distribution` objects.  Its JSON form is *the same flat document* as a
+plain spec — any samplable numeric field may simply hold a tagged
+distribution object instead of a number::
+
+    {
+      "node_scale": 0.05,
+      "carbon_intensity_g_per_kwh": {"dist": "triangular",
+                                     "low": 50, "mode": 175, "high": 300},
+      "pue": {"dist": "triangular", "low": 1.1, "mode": 1.3, "high": 1.5},
+      "lifetime_years": {"dist": "discrete", "values": [3, 4, 5, 6, 7]}
+    }
+
+Which fields may carry a distribution is declared by the spec layer itself
+(:data:`repro.api.spec.SAMPLABLE_FIELDS`), plus the two trace-uncertainty
+fields that only exist probabilistically (:data:`INTENSITY_TRACE_FIELDS`):
+``intensity_scale`` (multiplicative error on the whole intensity trace) and
+``intensity_shift_hours`` (timing error, circularly shifting the trace).
+
+The distributed field's *point* value in the base spec (the spec default,
+or an explicit scalar given alongside) remains meaningful: it is the
+baseline the sensitivity ranking holds fields at, and what a deterministic
+run of the same document would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.api.spec import (
+    AssessmentSpec,
+    SAMPLABLE_FIELDS,
+    TEMPORAL_SAMPLE_FIELDS,
+    default_spec,
+)
+from repro.io.jsonio import PathLike, read_json, write_json
+
+from repro.uncertainty.distributions import (
+    DIST_KEY,
+    Distribution,
+    distribution_from_dict,
+)
+
+#: Uncertainty-only fields describing errors on the grid-intensity *trace*
+#: (time-resolved engine only); they have no deterministic spec column.
+INTENSITY_TRACE_FIELDS = ("intensity_scale", "intensity_shift_hours")
+
+#: Baseline values of the trace-uncertainty fields (the "no error" point).
+INTENSITY_TRACE_BASELINES = {"intensity_scale": 1.0, "intensity_shift_hours": 0.0}
+
+#: Everything a distribution may be attached to.
+UNCERTAIN_FIELDS = SAMPLABLE_FIELDS + INTENSITY_TRACE_FIELDS
+
+#: Fields the *time-resolved* ensemble accepts: everything that shapes
+#: emission over time.  The embodied knobs (per-server kg, lifetime) are
+#: deliberately absent — embodied carbon is time-invariant, so sampling
+#: them belongs to the static :class:`~repro.uncertainty.ensemble.
+#: EnsembleRunner`.
+TEMPORAL_UNCERTAIN_FIELDS = (
+    ("carbon_intensity_g_per_kwh", "pue")
+    + TEMPORAL_SAMPLE_FIELDS + INTENSITY_TRACE_FIELDS
+)
+
+
+def _looks_like_distribution(value: Any) -> bool:
+    return isinstance(value, Mapping) and DIST_KEY in value
+
+
+@dataclass(frozen=True)
+class UncertainSpec:
+    """A base spec plus the distributions replacing some of its fields.
+
+    Attributes
+    ----------
+    base:
+        The deterministic spec every sample starts from (distributed
+        fields keep their point value here as the sensitivity baseline).
+    distributions:
+        Mapping of field name to distribution; normalised to sorted
+        field-name order — the canonical sampling order, so a spec built
+        in code and the same spec reloaded from JSON draw identical
+        streams.
+    """
+
+    base: AssessmentSpec = field(default_factory=default_spec)
+    distributions: Mapping[str, Distribution] = field(default_factory=dict)
+
+    def __post_init__(self):
+        items = []
+        for name, dist in sorted(dict(self.distributions).items()):
+            if name not in UNCERTAIN_FIELDS:
+                raise ValueError(
+                    f"field {name!r} cannot carry a distribution; "
+                    f"samplable fields: {', '.join(UNCERTAIN_FIELDS)}")
+            if not isinstance(dist, Distribution):
+                raise TypeError(
+                    f"distribution for {name!r} must be a Distribution, "
+                    f"got {type(dist).__name__}")
+            items.append((name, dist))
+        if not items:
+            raise ValueError(
+                "an UncertainSpec needs at least one distribution; "
+                "use a plain AssessmentSpec for deterministic runs")
+        object.__setattr__(self, "distributions", dict(items))
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        """The distributed field names, in canonical (= sampling) order."""
+        return tuple(self.distributions)
+
+    def baseline_value(self, name: str) -> float:
+        """The point value the sensitivity ranking holds ``name`` at."""
+        if name in INTENSITY_TRACE_BASELINES:
+            return INTENSITY_TRACE_BASELINES[name]
+        value = getattr(self.base, name)
+        if value is None:  # e.g. per_server_kgco2 with no override
+            raise ValueError(
+                f"field {name!r} has no baseline value in the base spec; "
+                "give it a scalar alongside its distribution")
+        return float(value)
+
+    def replace(self, **changes: Any) -> "UncertainSpec":
+        """A copy with base-spec fields replaced (validated)."""
+        return UncertainSpec(base=self.base.replace(**changes),
+                             distributions=self.distributions)
+
+    @classmethod
+    def coerce(
+        cls,
+        spec: Any = None,
+        distributions: Any = None,
+        *,
+        default_distributions: Any = None,
+    ) -> "UncertainSpec":
+        """Normalise the runner constructors' ``(spec, distributions)``.
+
+        Accepts an :class:`UncertainSpec` (``distributions`` must then be
+        omitted) or a base :class:`AssessmentSpec`/``None`` plus a
+        distribution mapping; ``default_distributions`` is a zero-argument
+        factory used when the mapping is omitted (runners without a
+        sensible default pass ``None`` and get a loud error instead).
+        """
+        if isinstance(spec, cls):
+            if distributions is not None:
+                raise ValueError(
+                    "pass distributions inside the UncertainSpec, not both")
+            return spec
+        if distributions is None:
+            if default_distributions is None:
+                raise ValueError(
+                    "this runner needs explicit distributions: pass a "
+                    "field -> Distribution mapping or an UncertainSpec")
+            distributions = default_distributions()
+        return cls(base=spec if spec is not None else AssessmentSpec(),
+                   distributions=distributions)
+
+    # -- dict / JSON round-trip -----------------------------------------------------
+
+    #: Reserved key inside a serialised distribution object carrying the
+    #: base spec's point value for that field (so the flat document stays
+    #: lossless: the distribution replaces the scalar column, the baseline
+    #: preserves it).
+    BASELINE_KEY = "baseline"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The flat document form: base spec with distribution objects
+        overlaid on the distributed fields.
+
+        Lossless: each overlaid distribution object carries the field's
+        base point value under :data:`BASELINE_KEY` (when one exists), so
+        :meth:`from_dict` restores the exact base spec — including the
+        baselines the sensitivity ranking holds fields at.
+        """
+        data = self.base.to_dict()
+        for name, dist in self.distributions.items():
+            tagged = dist.to_dict()
+            if name not in INTENSITY_TRACE_FIELDS:
+                point = getattr(self.base, name)
+                if point is not None:
+                    tagged[self.BASELINE_KEY] = point
+            data[name] = tagged
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "UncertainSpec":
+        """Parse the flat document form (see the module docstring).
+
+        Scalar fields go to the base :class:`AssessmentSpec` (unknown keys
+        rejected loudly, as ever); tagged distribution objects are split
+        out and resolved through the distribution registry, their
+        :data:`BASELINE_KEY` restoring the base point value.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"an uncertain spec must be a JSON object, got {data!r}")
+        scalars: Dict[str, Any] = {}
+        distributions: Dict[str, Distribution] = {}
+        for key, value in data.items():
+            if _looks_like_distribution(value):
+                if key not in UNCERTAIN_FIELDS:
+                    raise ValueError(
+                        f"field {key!r} cannot carry a distribution; "
+                        f"samplable fields: {', '.join(UNCERTAIN_FIELDS)}")
+                tagged = dict(value)
+                baseline = tagged.pop(cls.BASELINE_KEY, None)
+                if baseline is not None and key not in INTENSITY_TRACE_FIELDS:
+                    scalars[key] = baseline
+                distributions[key] = distribution_from_dict(tagged)
+            elif key in INTENSITY_TRACE_FIELDS:
+                raise ValueError(
+                    f"field {key!r} is uncertainty-only: give it a "
+                    f"distribution object, not a scalar")
+            else:
+                scalars[key] = value
+        return cls(base=AssessmentSpec.from_dict(scalars),
+                   distributions=distributions)
+
+    def to_json(self, path: PathLike) -> None:
+        """Write the flat document form to ``path`` as JSON."""
+        write_json(path, self.to_dict())
+
+    @classmethod
+    def from_json(cls, path: PathLike) -> "UncertainSpec":
+        """Load an uncertain spec from a JSON file."""
+        data = read_json(path)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: an uncertain spec must be a JSON object")
+        return cls.from_dict(data)
+
+
+__all__ = [
+    "INTENSITY_TRACE_BASELINES",
+    "INTENSITY_TRACE_FIELDS",
+    "TEMPORAL_UNCERTAIN_FIELDS",
+    "UNCERTAIN_FIELDS",
+    "UncertainSpec",
+]

@@ -1,0 +1,289 @@
+"""Time-resolved ensembles: emission *bands* over the window.
+
+Where the static :class:`~repro.uncertainty.ensemble.EnsembleRunner`
+distributes period totals, :class:`TemporalEnsembleRunner` distributes the
+whole emission *trace*: the substrate is simulated once, the power and
+intensity traces are aligned once (through
+:meth:`~repro.api.temporal.TemporalAssessment.aligned_traces`), and every
+sampled scenario becomes one row of an ``n_samples x n_intervals`` carbon
+matrix built in a handful of broadcast operations.  Per-interval quantiles
+of that matrix are the uncertainty bands a capacity planner actually wants
+("with 90% confidence, tonight's batch window emits between X and Y").
+
+Sampled fields and how they enter the matrix:
+
+* ``intensity_scale`` — multiplicative error on the whole intensity trace
+  (is the feed biased high/low?): one outer product.
+* ``intensity_shift_hours`` — timing error, circularly shifting the
+  intensity trace (snapped to whole grid steps): one gather.
+* ``carbon_intensity_g_per_kwh`` — a flat per-sample intensity replacing
+  the trace entirely.
+* ``pue`` — scales each sample's power row.
+* ``shift_hours`` / ``defer_fraction`` — carbon-aware workload transforms;
+  these reshape the power trace per sample (cheap
+  :func:`~repro.temporal.scenarios.time_shift` /
+  :func:`~repro.temporal.scenarios.defer_load` calls over the one aligned
+  trace — still no re-simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.spec import AssessmentSpec
+from repro.api.substrates import SubstrateCache, shared_substrates
+from repro.api.temporal import TemporalAssessment
+from repro.io.csvio import write_rows_csv
+from repro.io.jsonio import PathLike, write_json
+from repro.temporal.scenarios import defer_load, time_shift
+from repro.timeseries.series import TimeSeries
+from repro.units.constants import JOULES_PER_KWH
+
+from repro.uncertainty.distributions import Distribution
+from repro.uncertainty.result import DEFAULT_PROBS, quantile_label
+from repro.uncertainty.sampling import SampleMatrix, draw_samples
+from repro.uncertainty.spec import TEMPORAL_UNCERTAIN_FIELDS, UncertainSpec
+
+
+@dataclass(frozen=True)
+class TemporalEnsembleResult:
+    """The distribution of the emission trace across sampled scenarios.
+
+    ``carbon_kg`` is the full ``n_samples x n_intervals`` matrix (kg per
+    interval); everything else is a view over it.
+    """
+
+    spec: UncertainSpec
+    samples: SampleMatrix
+    start: float
+    step: float
+    carbon_kg: np.ndarray
+    seed: int
+
+    def __post_init__(self):
+        matrix = np.asarray(self.carbon_kg, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self.samples.n_samples:
+            raise ValueError(
+                f"carbon_kg must have shape (n_samples, n_intervals), got "
+                f"{matrix.shape} for {self.samples.n_samples} samples")
+        object.__setattr__(self, "carbon_kg", matrix)
+
+    # -- basic views ---------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples.n_samples
+
+    @property
+    def n_intervals(self) -> int:
+        return self.carbon_kg.shape[1]
+
+    @property
+    def times_s(self) -> np.ndarray:
+        return self.start + self.step * np.arange(self.n_intervals)
+
+    @property
+    def total_kg(self) -> np.ndarray:
+        """Per-sample window totals (active term only)."""
+        return self.carbon_kg.sum(axis=1)
+
+    # -- bands ---------------------------------------------------------------------
+
+    def band(self, prob: float) -> np.ndarray:
+        """The per-interval ``prob`` quantile of the emission rate (kg)."""
+        return np.quantile(self.carbon_kg, prob, axis=0)
+
+    def cumulative_band(self, prob: float) -> np.ndarray:
+        """The per-interval quantile of *cumulative* emissions (kg)."""
+        return np.quantile(np.cumsum(self.carbon_kg, axis=1), prob, axis=0)
+
+    def band_rows(
+        self, probs: Sequence[float] = (0.05, 0.50, 0.95),
+    ) -> List[Dict[str, Any]]:
+        """One row per interval with the requested quantile band columns."""
+        bands = {quantile_label(p): self.band(p) for p in probs}
+        mean = self.carbon_kg.mean(axis=0)
+        rows = []
+        for index, t in enumerate(self.times_s):
+            row: Dict[str, Any] = {
+                "t_hours": float(t) / 3600.0,
+                "mean_kg": float(mean[index]),
+            }
+            for label, values in bands.items():
+                row[f"{label}_kg"] = float(values[index])
+            rows.append(row)
+        return rows
+
+    # -- totals --------------------------------------------------------------------
+
+    def quantiles(
+        self, probs: Sequence[float] = DEFAULT_PROBS,
+    ) -> Dict[str, float]:
+        """Labelled quantiles of the per-sample window totals."""
+        values = np.quantile(self.total_kg, list(probs))
+        return {quantile_label(p): float(v) for p, v in zip(probs, values)}
+
+    def summary(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "samples": self.n_samples,
+            "seed": self.seed,
+            "fields": ",".join(self.samples.fields),
+            "intervals": self.n_intervals,
+            "resolution_s": self.step,
+            "active_kg_mean": float(self.total_kg.mean()),
+            "active_kg_std": float(self.total_kg.std()),
+        }
+        for label, value in self.quantiles().items():
+            row[f"active_kg_{label}"] = value
+        return row
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary(),
+            "bands": self.band_rows(),
+        }
+
+    def to_json(self, path: PathLike) -> None:
+        write_json(path, self.as_dict())
+
+    def to_csv(self, path: PathLike) -> None:
+        write_rows_csv(path, self.band_rows())
+
+
+class TemporalEnsembleRunner:
+    """Run sampled time-resolved scenarios against one aligned trace pair.
+
+    Accepts an :class:`UncertainSpec` (or a base spec plus distributions)
+    whose distributed fields all shape emission over time
+    (:data:`~repro.uncertainty.spec.TEMPORAL_UNCERTAIN_FIELDS`).
+    """
+
+    def __init__(
+        self,
+        spec: Union[UncertainSpec, AssessmentSpec, None] = None,
+        distributions: Optional[Mapping[str, Distribution]] = None,
+        *,
+        substrates: Optional[SubstrateCache] = None,
+    ):
+        self._spec = UncertainSpec.coerce(spec, distributions)
+        bad = [name for name in self._spec.fields
+               if name not in TEMPORAL_UNCERTAIN_FIELDS]
+        if bad:
+            raise ValueError(
+                f"fields {', '.join(bad)} do not shape emission over time; "
+                f"temporal ensembles accept "
+                f"{', '.join(TEMPORAL_UNCERTAIN_FIELDS)} — use "
+                "repro.uncertainty.EnsembleRunner for the rest")
+        self._substrates = (substrates if substrates is not None
+                            else shared_substrates())
+
+    @property
+    def spec(self) -> UncertainSpec:
+        return self._spec
+
+    @property
+    def substrates(self) -> SubstrateCache:
+        return self._substrates
+
+    def draw(self, n_samples: int, seed) -> SampleMatrix:
+        return draw_samples(self._spec.distributions, n_samples, seed)
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, n_samples: int = 256, seed: int = 0) -> TemporalEnsembleResult:
+        """Build the emission-band matrix for ``n_samples`` scenarios.
+
+        The substrate is simulated (or served from cache) exactly once and
+        the traces aligned exactly once; memory is ``n_samples x
+        n_intervals`` float64, so size the ensemble accordingly.
+        """
+        samples = self.draw(n_samples, seed)
+        spec = self._spec.base
+        power, intensity = TemporalAssessment(
+            spec, substrates=self._substrates).aligned_traces()
+        step = power.step
+        n = samples.n_samples
+
+        power_matrix = self._power_matrix(samples, power, intensity)
+        intensity_matrix = self._intensity_matrix(
+            samples, intensity.values, n, step)
+        if "pue" in samples:
+            pue = samples.column("pue")[:, None]
+        else:
+            pue = spec.pue
+        energy_kwh = power_matrix * pue * (step / JOULES_PER_KWH)
+        carbon_kg = energy_kwh * intensity_matrix / 1000.0
+        return TemporalEnsembleResult(
+            spec=self._spec,
+            samples=samples,
+            start=power.start,
+            step=step,
+            carbon_kg=carbon_kg,
+            seed=int(seed) if not isinstance(seed, np.random.Generator) else -1,
+        )
+
+    # -- matrix assembly -----------------------------------------------------------
+
+    def _power_matrix(self, samples: SampleMatrix, power: TimeSeries,
+                      intensity: TimeSeries) -> np.ndarray:
+        """Per-sample power rows (watts); a single broadcast row when no
+        workload transform is sampled."""
+        spec = self._spec.base
+        workload_sampled = ("shift_hours" in samples
+                           or "defer_fraction" in samples)
+        if not workload_sampled:
+            base = power
+            if spec.shift_hours:
+                base = time_shift(base, self._snap_shift(
+                    spec.shift_hours * 3600.0, power.step))
+            if spec.defer_fraction:
+                base = defer_load(base, intensity, spec.defer_fraction)
+            return base.values[None, :]
+        rows = np.empty((samples.n_samples, len(power)), dtype=np.float64)
+        for index in range(samples.n_samples):
+            row = samples.row(index)
+            series = power
+            shift_h = row.get("shift_hours", spec.shift_hours)
+            defer = row.get("defer_fraction", spec.defer_fraction)
+            if shift_h:
+                series = time_shift(
+                    series, self._snap_shift(shift_h * 3600.0, power.step))
+            if defer:
+                series = defer_load(series, intensity, defer)
+            rows[index] = series.values
+        return rows
+
+    def _intensity_matrix(self, samples: SampleMatrix,
+                          base_values: np.ndarray, n: int,
+                          step: float) -> np.ndarray:
+        """Per-sample intensity rows (g/kWh) from the sampled trace errors."""
+        if "carbon_intensity_g_per_kwh" in samples:
+            matrix = np.broadcast_to(
+                samples.column("carbon_intensity_g_per_kwh")[:, None],
+                (n, len(base_values))).copy()
+        else:
+            matrix = np.broadcast_to(
+                base_values[None, :], (n, len(base_values))).copy()
+        if "intensity_shift_hours" in samples:
+            steps = np.rint(
+                samples.column("intensity_shift_hours") * 3600.0 / step
+            ).astype(np.int64)
+            index = (np.arange(matrix.shape[1])[None, :] - steps[:, None]) \
+                % matrix.shape[1]
+            matrix = np.take_along_axis(matrix, index, axis=1)
+        if "intensity_scale" in samples:
+            matrix = matrix * samples.column("intensity_scale")[:, None]
+        return matrix
+
+    @staticmethod
+    def _snap_shift(shift_s: float, step: float) -> float:
+        """Snap a sampled shift to a whole number of grid steps (the
+        circular-shift transform requires integer steps)."""
+        return round(shift_s / step) * step
+
+
+__all__ = ["TemporalEnsembleResult", "TemporalEnsembleRunner"]

@@ -20,6 +20,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.seeding import as_generator
+
 
 @dataclass(frozen=True)
 class Job:
@@ -114,8 +116,9 @@ class JobGenerator:
         Core count of the target cluster, used to size the arrival rate so
         the requested ``target_utilization`` is achievable.
     seed:
-        Seed for the underlying PRNG; identical seeds give identical
-        workloads.
+        Integer seed (identical seeds give identical workloads) or a
+        ready :class:`numpy.random.Generator` for callers that manage
+        their own streams; global numpy state is never touched.
     max_cores_per_job:
         Upper bound on a single job's width.  Pass the cluster's per-node
         core count when jobs must fit on one node (the default placement
@@ -135,7 +138,7 @@ class JobGenerator:
             raise ValueError("max_cores_per_job must be positive when given")
         self._profile = profile
         self._total_cores = int(total_cores)
-        self._seed = int(seed)
+        self._seed = seed
         self._max_cores = int(min(total_cores, max_cores_per_job or total_cores))
 
     @property
@@ -168,7 +171,7 @@ class JobGenerator:
         if warmup_s < 0:
             raise ValueError("warmup_s must be non-negative")
         p = self._profile
-        rng = np.random.default_rng(self._seed)
+        rng = as_generator(self._seed)
         rate = self._arrival_rate_per_second()
         window = duration_s + warmup_s
         # Thinning a Poisson stream (for the diurnal cycle) reduces its mean

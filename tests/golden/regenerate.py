@@ -1,11 +1,11 @@
-"""Regenerate the golden assessment fixture.
+"""Regenerate the golden assessment and ensemble fixtures.
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python tests/golden/regenerate.py
 
 Only regenerate after an *intended* modelling change, and commit the new
-fixture together with that change.
+fixtures together with that change.
 """
 
 import json
@@ -15,16 +15,28 @@ from pathlib import Path
 TESTS_DIR = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(TESTS_DIR))
 
-from test_golden_regression import GOLDEN_PATH, build_golden_payload  # noqa: E402
+from test_golden_regression import (  # noqa: E402
+    ENSEMBLE_GOLDEN_PATH,
+    GOLDEN_PATH,
+    build_ensemble_golden_payload,
+    build_golden_payload,
+)
+
+
+def _write(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
 
 
 def main() -> None:
     payload = build_golden_payload()
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-    print(f"wrote {GOLDEN_PATH}")
+    _write(GOLDEN_PATH, payload)
     print(f"  total_kg = {payload['summary']['total_kg']}")
+    ensemble = build_ensemble_golden_payload()
+    _write(ENSEMBLE_GOLDEN_PATH, ensemble)
+    print(f"  total_kg_p50 = {ensemble['quantiles']['total_kg']['p50']}")
 
 
 if __name__ == "__main__":

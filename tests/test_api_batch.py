@@ -141,3 +141,59 @@ class TestSharedWithFacade:
         Assessment.from_spec(spec, substrates=cache).run()
         BatchAssessmentRunner(spec, substrates=cache).sweep(intensity=[50.0, 300.0])
         assert cache.snapshot_runs == 1
+
+
+class TestBatchResultSerialization:
+    """The satellite round trip: as_rows/to_json/to_csv -> reload."""
+
+    def test_json_round_trip(self, swept, tmp_path):
+        import json
+
+        _, batch = swept
+        path = tmp_path / "batch.json"
+        batch.to_json(path)
+        reloaded = json.loads(path.read_text(encoding="utf-8"))
+        rows = batch.as_rows()
+        assert len(reloaded) == len(rows) == 12
+        for loaded, row in zip(reloaded, rows):
+            assert set(loaded) == set(row)
+            for key, value in row.items():
+                if isinstance(value, float):
+                    assert loaded[key] == pytest.approx(value, rel=1e-12)
+                else:
+                    assert loaded[key] == value
+
+    def test_csv_round_trip(self, swept, tmp_path):
+        import csv
+
+        _, batch = swept
+        path = tmp_path / "batch.csv"
+        batch.to_csv(path)
+        with path.open(newline="", encoding="utf-8") as handle:
+            reloaded = list(csv.DictReader(handle))
+        rows = batch.as_rows()
+        assert len(reloaded) == len(rows)
+        for loaded, row in zip(reloaded, rows):
+            assert list(loaded) == list(row)
+            assert float(loaded["total_kg"]) == pytest.approx(
+                row["total_kg"], rel=1e-12)
+            assert int(loaded["nodes"]) == row["nodes"]
+
+    def test_temporal_batch_json_round_trip(self, tmp_path):
+        import json
+
+        cache = SubstrateCache()
+        runner = BatchAssessmentRunner(
+            default_spec(node_scale=0.02, grid="uk-november-2022",
+                         carbon_intensity_g_per_kwh=None),
+            substrates=cache)
+        batch = runner.sweep_temporal(shift_hours=[0.0, 6.0])
+        path = tmp_path / "temporal.json"
+        batch.to_json(path)
+        reloaded = json.loads(path.read_text(encoding="utf-8"))
+        rows = batch.as_rows()
+        assert len(reloaded) == len(rows) == 2
+        for loaded, row in zip(reloaded, rows):
+            assert loaded["shift_hours"] == row["shift_hours"]
+            assert loaded["active_kg"] == pytest.approx(row["active_kg"],
+                                                        rel=1e-12)

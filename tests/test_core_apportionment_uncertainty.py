@@ -1,9 +1,14 @@
-"""Tests for shared-resource apportionment and the Monte-Carlo uncertainty model."""
+"""Tests for shared-resource apportionment and the Monte-Carlo uncertainty shim."""
 
+import numpy as np
 import pytest
 
 from repro.core.apportionment import ApportionmentBasis, ShareApportionment
 from repro.core.uncertainty import MonteCarloCarbonModel, UncertainInput
+
+#: The shim is deprecated by design; these tests exercise it on purpose.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:MonteCarloCarbonModel is deprecated:DeprecationWarning")
 
 
 class TestShareApportionment:
@@ -109,3 +114,55 @@ class TestMonteCarloCarbonModel:
             MonteCarloCarbonModel(100.0, 0)
         with pytest.raises(ValueError):
             MonteCarloCarbonModel(100.0, 10).run(n_samples=0)
+
+
+class TestDeprecationShim:
+    """The model is now a thin shim over repro.uncertainty; pin both the
+    warning and bit-equivalence with the historical implementation."""
+
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="EnsembleRunner"):
+            MonteCarloCarbonModel(18760.0, 2398)
+
+    @staticmethod
+    def _historical_draws(inputs: UncertainInput, it_energy_kwh: float,
+                          server_count: int, period_days: float,
+                          n_samples: int, seed: int) -> dict:
+        """The pre-subsystem implementation, inlined verbatim."""
+        rng = np.random.default_rng(seed)
+        p = inputs
+        intensity = rng.triangular(p.intensity_low, p.intensity_mode,
+                                   p.intensity_high, size=n_samples)
+        pue = rng.triangular(p.pue_low, p.pue_mode, p.pue_high, size=n_samples)
+        embodied_per_server = rng.uniform(p.embodied_low_kg, p.embodied_high_kg,
+                                          size=n_samples)
+        lifetimes = rng.choice(np.asarray(p.lifetimes_years, dtype=np.float64),
+                               size=n_samples)
+        active_kg = it_energy_kwh * pue * intensity / 1000.0
+        embodied_kg = (embodied_per_server / (lifetimes * 365.0)
+                       * server_count * period_days)
+        return {"active_kg": active_kg, "embodied_kg": embodied_kg,
+                "total_kg": active_kg + embodied_kg}
+
+    def test_bit_equivalent_quantiles_at_paper_defaults(self):
+        """Same seed, same stream, same arithmetic: the shim's quantiles
+        equal the historical implementation's bit for bit."""
+        model = MonteCarloCarbonModel(18760.0, 2398)
+        result = model.run(n_samples=10_000, seed=0)
+        expected = self._historical_draws(
+            UncertainInput(), 18760.0, 2398, 1.0, 10_000, 0)
+        total = expected["total_kg"]
+        assert result.total_kg_p5 == float(np.percentile(total, 5))
+        assert result.total_kg_p50 == float(np.percentile(total, 50))
+        assert result.total_kg_p95 == float(np.percentile(total, 95))
+        assert result.total_kg_mean == float(total.mean())
+        assert result.active_kg_mean == float(expected["active_kg"].mean())
+        assert result.embodied_kg_mean == float(expected["embodied_kg"].mean())
+
+    def test_sample_columns_bit_equivalent(self):
+        model = MonteCarloCarbonModel(18760.0, 2398)
+        draws = model.sample(n_samples=2048, seed=31)
+        expected = self._historical_draws(
+            UncertainInput(), 18760.0, 2398, 1.0, 2048, 31)
+        for key in ("active_kg", "embodied_kg", "total_kg"):
+            assert (draws[key] == expected[key]).all()

@@ -1,16 +1,22 @@
-"""Golden regression: pin the full Assessment output against a committed fixture.
+"""Golden regression: pin pipeline outputs against committed fixtures.
 
-Runs ``Assessment.from_spec`` for a fixed small-scale Iris spec and compares
-everything the pipeline produced — Table 2 energies per site and method,
-the active/embodied split, the component breakdown — against
-``tests/golden/assessment_iris_scale005_seed7.json`` with tight tolerances.
+Two fixtures, same pinned small-scale Iris substrate:
+
+* ``assessment_iris_scale005_seed7.json`` — everything one
+  ``Assessment.from_spec`` run produced (Table 2 energies per site and
+  method, the active/embodied split, the component breakdown);
+* ``ensemble_iris_scale005_seed11.json`` — the quantiles of a seeded
+  256-sample ensemble over the paper's input envelope, pinning the whole
+  uncertainty engine (sampling stream, vectorized analysis pass, quantile
+  arithmetic) to 1e-9 relative.
+
 A refactor that silently drifts any number fails here first.
 
 To regenerate after an *intended* physics change::
 
     PYTHONPATH=src python tests/golden/regenerate.py
 
-and commit the updated fixture together with the change that justified it.
+and commit the updated fixtures together with the change that justified it.
 """
 
 import json
@@ -19,8 +25,16 @@ from pathlib import Path
 import pytest
 
 from repro.api import Assessment, SubstrateCache, default_spec
+from repro.uncertainty import EnsembleRunner
+from repro.uncertainty.result import METRICS
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "assessment_iris_scale005_seed7.json"
+ENSEMBLE_GOLDEN_PATH = (Path(__file__).parent / "golden"
+                        / "ensemble_iris_scale005_seed11.json")
+
+#: The pinned ensemble: the paper's default envelope, 256 samples, seed 11.
+ENSEMBLE_SAMPLES = 256
+ENSEMBLE_SEED = 11
 
 #: Relative tolerance for pinned floats: tight enough that any modelling
 #: change trips it, loose enough to absorb cross-platform libm jitter.
@@ -40,6 +54,18 @@ def build_golden_payload() -> dict:
         "summary": result.summary(),
         "table2": result.table2_rows(),
         "breakdown_kg": result.total.breakdown_kg(),
+    }
+
+
+def build_ensemble_golden_payload() -> dict:
+    """Run the pinned 256-sample ensemble and collect its quantiles."""
+    spec = default_spec(**GOLDEN_SPEC_KWARGS)
+    runner = EnsembleRunner(spec, substrates=SubstrateCache())
+    result = runner.run(n_samples=ENSEMBLE_SAMPLES, seed=ENSEMBLE_SEED)
+    return {
+        "spec": result.spec.to_dict(),
+        "summary": result.summary(),
+        "quantiles": {metric: result.quantiles(metric) for metric in METRICS},
     }
 
 
@@ -80,3 +106,27 @@ class TestGoldenRegression:
         table2_total = sum(
             row["facility"] for row in data["table2"] if row["facility"] is not None)
         assert summary["energy_kwh"] == pytest.approx(table2_total, rel=1e-6)
+
+
+class TestEnsembleGoldenRegression:
+    def test_ensemble_quantiles_match_committed_fixture(self):
+        assert ENSEMBLE_GOLDEN_PATH.exists(), (
+            f"golden fixture missing: {ENSEMBLE_GOLDEN_PATH}; "
+            "run PYTHONPATH=src python tests/golden/regenerate.py")
+        expected = json.loads(ENSEMBLE_GOLDEN_PATH.read_text(encoding="utf-8"))
+        actual = build_ensemble_golden_payload()
+        _assert_matches(actual, expected)
+
+    def test_fixture_is_self_consistent(self):
+        """Quantiles must be monotone and the summary coherent."""
+        data = json.loads(ENSEMBLE_GOLDEN_PATH.read_text(encoding="utf-8"))
+        for metric, quantiles in data["quantiles"].items():
+            values = [quantiles[label]
+                      for label in ("p05", "p25", "p50", "p75", "p95")]
+            assert values == sorted(values), f"{metric} quantiles not monotone"
+        summary = data["summary"]
+        assert summary["samples"] == ENSEMBLE_SAMPLES
+        assert summary["seed"] == ENSEMBLE_SEED
+        assert summary["method"] == "vectorized"
+        assert summary["total_kg_p50"] == pytest.approx(
+            data["quantiles"]["total_kg"]["p50"], rel=1e-12)

@@ -1,0 +1,185 @@
+"""Tests for the distribution registry and its JSON-tagged forms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty.distributions import (
+    DISTRIBUTIONS,
+    Discrete,
+    Distribution,
+    Empirical,
+    LogNormal,
+    Normal,
+    Triangular,
+    Uniform,
+    distribution_from_dict,
+    paper_default_distributions,
+    register_distribution,
+)
+
+STOCK = {
+    "triangular": Triangular(50.0, 175.0, 300.0),
+    "uniform": Uniform(400.0, 1100.0),
+    "normal": Normal(1.3, 0.1, low=1.0, high=2.0),
+    "lognormal": LogNormal(math.log(700.0), 0.3),
+    "discrete": Discrete((3.0, 4.0, 5.0), weights=(1.0, 2.0, 1.0)),
+    "empirical": Empirical((50.0, 60.0, 80.0, 175.0, 300.0)),
+}
+
+
+class TestRegistry:
+    def test_stock_distributions_registered(self):
+        for name in STOCK:
+            assert name in DISTRIBUTIONS
+
+    def test_round_trip_through_tagged_dict(self):
+        for name, dist in STOCK.items():
+            data = dist.to_dict()
+            assert data["dist"] == name
+            rebuilt = distribution_from_dict(data)
+            assert rebuilt == dist
+
+    def test_round_trip_survives_json_lists(self):
+        # json round-trips tuples as lists; from_dict must accept them.
+        data = Discrete((3.0, 5.0)).to_dict()
+        assert data["values"] == [3.0, 5.0]
+        assert distribution_from_dict(data) == Discrete((3.0, 5.0))
+
+    def test_unknown_type_rejected_with_known_names(self):
+        with pytest.raises(KeyError, match="triangular"):
+            distribution_from_dict({"dist": "zipf"})
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ValueError, match="dist"):
+            distribution_from_dict({"low": 1.0})
+
+    def test_bad_parameters_reported(self):
+        with pytest.raises(ValueError, match="bad parameters"):
+            distribution_from_dict({"dist": "uniform", "low": 1.0})
+
+    def test_third_party_registration(self):
+        class PointMass(Distribution):
+            name = "point-mass-test"
+
+            def __init__(self, value):
+                self.value = float(value)
+
+            def _draw(self, rng, n):
+                return np.full(n, self.value)
+
+            def support(self):
+                return (self.value, self.value)
+
+        register_distribution("point-mass-test", PointMass)
+        try:
+            dist = distribution_from_dict(
+                {"dist": "point-mass-test", "value": 7.0})
+            assert (dist.sample(5, seed=0) == 7.0).all()
+        finally:
+            DISTRIBUTIONS.unregister("point-mass-test")
+
+
+class TestValidation:
+    def test_triangular(self):
+        with pytest.raises(ValueError):
+            Triangular(10.0, 5.0, 20.0)
+        with pytest.raises(ValueError):
+            Triangular(5.0, 5.0, 5.0)
+
+    def test_uniform(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+    def test_normal(self):
+        with pytest.raises(ValueError):
+            Normal(0.0, 0.0)
+        with pytest.raises(ValueError):
+            Normal(0.0, 1.0, low=2.0, high=1.0)
+
+    def test_lognormal(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, -1.0)
+        with pytest.raises(ValueError):
+            LogNormal.from_median_spread(700.0, 0.9)
+
+    def test_discrete(self):
+        with pytest.raises(ValueError):
+            Discrete(())
+        with pytest.raises(ValueError):
+            Discrete((1.0, 2.0), weights=(1.0,))
+        with pytest.raises(ValueError):
+            Discrete((1.0, 2.0), weights=(-1.0, 2.0))
+
+    def test_empirical(self):
+        with pytest.raises(ValueError):
+            Empirical((1.0,))
+
+    def test_sample_size_positive(self):
+        with pytest.raises(ValueError):
+            Uniform(0.0, 1.0).sample(0, seed=0)
+
+
+class TestSampling:
+    def test_seeded_sampling_is_bit_identical(self):
+        for dist in STOCK.values():
+            a = dist.sample(512, seed=42)
+            b = dist.sample(512, seed=42)
+            assert (a == b).all()
+
+    def test_generator_continues_its_stream(self):
+        rng = np.random.default_rng(0)
+        first = Uniform(0.0, 1.0).sample(16, seed=rng)
+        second = Uniform(0.0, 1.0).sample(16, seed=rng)
+        assert not np.array_equal(first, second)
+
+    def test_normal_clipping_respects_bounds(self):
+        samples = Normal(1.0, 5.0, low=0.5, high=1.5).sample(2048, seed=1)
+        assert samples.min() >= 0.5 and samples.max() <= 1.5
+
+    def test_discrete_weights_bias_the_draw(self):
+        samples = Discrete((0.0, 1.0), weights=(0.1, 0.9)).sample(4096, seed=2)
+        assert samples.mean() > 0.8
+
+    def test_paper_defaults_cover_the_four_inputs(self):
+        defaults = paper_default_distributions()
+        assert list(defaults) == [
+            "carbon_intensity_g_per_kwh", "pue", "per_server_kgco2",
+            "lifetime_years"]
+        assert defaults["pue"].support() == (1.1, 1.5)
+
+
+# -- hypothesis properties ----------------------------------------------------------
+
+bounded_distributions = st.one_of(
+    st.tuples(st.floats(-1e6, 1e6), st.floats(1e-3, 1e6)).map(
+        lambda t: Uniform(t[0], t[0] + t[1])),
+    st.tuples(st.floats(-1e6, 1e6), st.floats(1e-3, 1e5),
+              st.floats(1e-3, 1e5)).map(
+        lambda t: Triangular(t[0], t[0] + t[1], t[0] + t[1] + t[2])),
+    st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8).map(
+        lambda values: Discrete(tuple(values))),
+    st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=16).map(
+        lambda values: Empirical(tuple(values))),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=bounded_distributions, seed=st.integers(0, 2**31 - 1))
+def test_samples_lie_within_support(dist, seed):
+    low, high = dist.support()
+    samples = dist.sample(128, seed=seed)
+    assert samples.min() >= low - 1e-9 * max(1.0, abs(low))
+    assert samples.max() <= high + 1e-9 * max(1.0, abs(high))
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=bounded_distributions, seed=st.integers(0, 2**31 - 1))
+def test_quantiles_monotone_in_probability(dist, seed):
+    samples = dist.sample(256, seed=seed)
+    probs = np.linspace(0.0, 1.0, 21)
+    quantiles = np.quantile(samples, probs)
+    assert (np.diff(quantiles) >= 0.0).all()
