@@ -26,6 +26,27 @@ from repro.snapshot.experiment import SnapshotExperiment
 #: Where the benches drop their regenerated tables.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: This directory, for marking everything collected under it.
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark test ``slow``.
+
+    The benches assert wall-clock ratios and regenerate full-scale tables;
+    CI runs them serially (timing under ``pytest-xdist`` workers is
+    unreliable) while the functional suite runs in parallel with
+    ``-m "not slow"``.
+    """
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).resolve().is_relative_to(
+                BENCH_DIR)
+        except (OSError, ValueError):
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:

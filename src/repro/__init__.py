@@ -45,6 +45,16 @@ vectorised against one cached simulation:
 >>> sorted(ensemble.quantiles("total_kg")) == ["p05", "p25", "p50", "p75", "p95"]
 True
 
+Multi-site portfolios go through :mod:`repro.portfolio` — K member sites,
+each a full spec with a region binding and a load share, run concurrently
+over one shared substrate with marginal-placement ranking:
+
+>>> from repro.portfolio import PortfolioRunner, PortfolioSpec
+>>> folio = PortfolioRunner(PortfolioSpec.from_regions(
+...     ["GB", "FR", "PL"], base_spec=default_spec(node_scale=0.05))).run()
+>>> folio.best_site_for(1000.0).region
+'FR'
+
 New backends (grid providers, embodied estimators, inventory sources, ...)
 register by name via :mod:`repro.api` and become addressable from any spec.
 The subpackages remain importable directly (``repro.core``, ``repro.power``,
@@ -111,7 +121,14 @@ from repro.api import (
     register_embodied_estimator,
     register_grid_provider,
     register_inventory_source,
+    register_iris_variant,
     register_trace_provider,
+)
+from repro.portfolio import (
+    PortfolioMember,
+    PortfolioResult,
+    PortfolioRunner,
+    PortfolioSpec,
 )
 
 __version__ = "1.1.0"
@@ -178,7 +195,13 @@ __all__ = [
     "register_embodied_estimator",
     "register_grid_provider",
     "register_inventory_source",
+    "register_iris_variant",
     "register_trace_provider",
+    # portfolio
+    "PortfolioMember",
+    "PortfolioResult",
+    "PortfolioRunner",
+    "PortfolioSpec",
     # reporting
     "AuditReport",
     "EquivalenceReport",

@@ -61,6 +61,7 @@ from repro.api.scenarios import active_scenario_rows, embodied_scenario_rows
 # Register the stock components under their well-known names (import for
 # side effect; must come after the registries exist).
 from repro.api import defaults as _defaults  # noqa: E402,F401
+from repro.api.defaults import register_iris_variant
 
 __all__ = [
     # spec
@@ -98,4 +99,5 @@ __all__ = [
     "register_amortization_policy",
     "register_baseline_estimator",
     "register_trace_provider",
+    "register_iris_variant",
 ]

@@ -31,7 +31,12 @@ from repro.core.embodied import EmbodiedAsset
 from repro.core.model import CarbonModel, SnapshotInputs
 from repro.units.quantities import CarbonIntensity
 
-from repro.api.registry import AMORTIZATION_POLICIES, EMBODIED_ESTIMATORS
+from repro.api.registry import (
+    AMORTIZATION_POLICIES,
+    EMBODIED_ESTIMATORS,
+    GRID_PROVIDERS,
+    INVENTORY_SOURCES,
+)
 from repro.api.result import AssessmentResult
 from repro.api.spec import CATALOG_ESTIMATOR, AssessmentSpec, default_spec
 from repro.api.substrates import SubstrateCache, shared_substrates
@@ -40,6 +45,25 @@ IntensityLike = Union[str, float, int, CarbonIntensity]
 
 #: Sentinel distinguishing "not passed" from an explicit ``None`` (= clear).
 _UNSET = object()
+
+
+def resolve_spec_components(spec: AssessmentSpec):
+    """Resolve every registry name a spec will need, loudly and early.
+
+    A typo'd component must fail in milliseconds, not after a full
+    simulation.  Shared by :meth:`Assessment.run` and the portfolio
+    runner's pre-pass, so the resolution rules (including the
+    ``per_server_kgco2`` / catalog-estimator special case and the
+    grid-only-when-unpinned rule) live in one place.  Returns the
+    amortisation-policy factory — the one resolution callers reuse.
+    """
+    policy_factory = AMORTIZATION_POLICIES.get(spec.amortization)
+    if spec.per_server_kgco2 is None and spec.embodied_estimator != CATALOG_ESTIMATOR:
+        EMBODIED_ESTIMATORS.get(spec.embodied_estimator)
+    INVENTORY_SOURCES.get(spec.inventory)
+    if spec.carbon_intensity_g_per_kwh is None:
+        GRID_PROVIDERS.get(spec.grid)
+    return policy_factory
 
 
 class Assessment:
@@ -151,11 +175,7 @@ class Assessment:
     def run(self) -> AssessmentResult:
         """Run the full pipeline and return the unified result."""
         spec = self._spec
-        # Resolve every registry name before the expensive simulation so a
-        # typo'd component fails in milliseconds, not after a full run.
-        policy_factory = AMORTIZATION_POLICIES.get(spec.amortization)
-        if spec.per_server_kgco2 is None and spec.embodied_estimator != CATALOG_ESTIMATOR:
-            EMBODIED_ESTIMATORS.get(spec.embodied_estimator)
+        policy_factory = resolve_spec_components(spec)
         intensity = self.resolved_intensity_g_per_kwh()
         snapshot = self._substrates.snapshot(spec)
         assets = self._assets(snapshot, spec)
@@ -206,4 +226,4 @@ class Assessment:
             lifetime_years=spec.lifetime_years, node_kgco2_resolver=node_kgco2)
 
 
-__all__ = ["Assessment"]
+__all__ = ["Assessment", "resolve_spec_components"]

@@ -35,7 +35,7 @@ from repro.io.jsonio import PathLike, write_json
 from repro.api.assessment import Assessment
 from repro.api.result import AssessmentResult
 from repro.api.spec import AssessmentSpec, default_spec
-from repro.api.substrates import SubstrateCache, shared_substrates
+from repro.api.substrates import SubstrateCache, resolve_substrates
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.temporal import TemporalAssessmentResult
@@ -180,20 +180,9 @@ class BatchAssessmentRunner:
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        if substrates is not None and (substrate_cache_dir is not None
-                                       or jobs is not None):
-            raise ValueError(
-                "pass either substrates or substrate_cache_dir/jobs, not "
-                "both; use SubstrateCache(persist_dir=..., jobs=...) to "
-                "combine them")
         self._base_spec = base_spec or default_spec()
-        if substrates is not None:
-            self._substrates = substrates
-        elif substrate_cache_dir is not None or jobs is not None:
-            self._substrates = SubstrateCache(persist_dir=substrate_cache_dir,
-                                              jobs=jobs if jobs is not None else 1)
-        else:
-            self._substrates = shared_substrates()
+        self._substrates = resolve_substrates(substrates, substrate_cache_dir,
+                                              jobs)
         self._max_workers = max_workers
 
     @property
@@ -305,6 +294,54 @@ class BatchAssessmentRunner:
                                   shift_hours=[0, 6, 12])
         """
         return self.run_temporal_specs(self.grid_specs(**axes))
+
+    # -- portfolio (multi-site placement) scenarios ----------------------------------
+
+    def sweep_portfolio(
+        self,
+        region: Iterable[str],
+        load_split: Optional[Iterable[Sequence[float]]] = None,
+        *,
+        name: str = "portfolio-sweep",
+    ):
+        """Sweep region × load-placement scenarios over one shared substrate.
+
+        Builds one portfolio per load split: every scenario has one member
+        per ``region`` code (this runner's base spec bound to the
+        registered ``region-<CODE>`` grid provider) and one row of
+        ``load_split`` as its shares — each row as long as ``region`` and
+        summing to one.  ``load_split`` defaults to a single uniform
+        split.
+
+        Because every member shares the base spec's physical
+        configuration, the whole region × placement grid costs **one**
+        simulation: K regions × L splits = K·L member assessments against
+        one cached snapshot.  Returns the ordered
+        :class:`~repro.portfolio.result.PortfolioBatchResult`; its
+        :meth:`~repro.portfolio.result.PortfolioBatchResult.best` scenario
+        is the split whose placed carbon is lowest.
+        """
+        from repro.portfolio import (
+            PortfolioBatchResult,
+            PortfolioRunner,
+            PortfolioSpec,
+        )
+
+        regions = list(region)
+        if not regions:
+            raise ValueError("sweep_portfolio needs at least one region")
+        splits = ([list(split) for split in load_split]
+                  if load_split is not None else [None])
+        if not splits:
+            raise ValueError("load_split, when given, needs at least one split")
+        results = []
+        for index, shares in enumerate(splits):
+            spec = PortfolioSpec.from_regions(
+                regions, base_spec=self._base_spec, load_shares=shares,
+                name=f"{name}-{index}" if len(splits) > 1 else name)
+            runner = PortfolioRunner(spec, substrates=self._substrates)
+            results.append(runner.run())
+        return PortfolioBatchResult(results=tuple(results))
 
     # -- sampled (ensemble) scenarios ----------------------------------------------
 

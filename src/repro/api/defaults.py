@@ -78,6 +78,54 @@ def _iris_source(spec):
 register_inventory_source("iris", _iris_source)
 
 
+def register_iris_variant(
+    name: str,
+    *,
+    sites=None,
+    node_scale_factor: float = 1.0,
+    overwrite: bool = False,
+):
+    """Register an inventory source that is a scaled IRIS site subset.
+
+    The portfolio engine composes member facilities from such variants: a
+    member bound to ``register_iris_variant("iris-durham", sites=("DUR",))``
+    simulates only Durham's fleet, and ``node_scale_factor`` shrinks the
+    variant *relative to the member spec's own* ``node_scale`` (the two
+    multiply), so one portfolio can mix a full-size primary site with
+    half-size satellites while every member still sweeps cleanly over the
+    spec's scale axis.
+
+    Returns the registered factory, so the call composes with the usual
+    registry idioms (``unregister`` in test teardown, ``overwrite=True``
+    to replace).
+    """
+    if not 0.0 < node_scale_factor <= 1.0:
+        raise ValueError("node_scale_factor must be in (0, 1]")
+    site_subset = tuple(sites) if sites is not None else None
+
+    def _variant_source(spec):
+        from repro.snapshot.config import build_iris_snapshot_config
+
+        return build_iris_snapshot_config(
+            duration_hours=spec.duration_hours,
+            trace_step_s=spec.trace_step_s,
+            campaign_seed=spec.campaign_seed,
+            node_scale=spec.node_scale * node_scale_factor,
+            sites=site_subset,
+        )
+
+    # The persistent snapshot cache keys on the factory's qualified name;
+    # encode the variant's parameters there so two variants (or one
+    # re-registered with overwrite=True under the same name) never share
+    # a cache entry, while equal configurations still do across processes.
+    _variant_source.__qualname__ = (
+        "register_iris_variant"
+        f"[sites={','.join(site_subset) if site_subset else '*'}"
+        f";factor={node_scale_factor!r}]")
+
+    return register_inventory_source(name, _variant_source, overwrite=overwrite)
+
+
 # -- grid providers ----------------------------------------------------------------
 
 register_grid_provider("uk-november-2022", uk_november_2022_intensity)
@@ -190,4 +238,8 @@ register_trace_provider("flat", _flat_trace)
 register_trace_provider("synthetic-diurnal", _synthetic_diurnal_trace)
 
 
-__all__ = ["CatalogEmbodiedEstimator", "ComponentModelEstimator"]
+__all__ = [
+    "CatalogEmbodiedEstimator",
+    "ComponentModelEstimator",
+    "register_iris_variant",
+]

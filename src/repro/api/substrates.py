@@ -192,4 +192,29 @@ def shared_substrates() -> SubstrateCache:
     return _GLOBAL_CACHE
 
 
-__all__ = ["SubstrateCache", "shared_substrates"]
+def resolve_substrates(
+    substrates: Optional[SubstrateCache],
+    substrate_cache_dir: Optional[Union[str, Path]],
+    jobs: Optional[int],
+) -> SubstrateCache:
+    """Resolve a runner's ``(substrates, substrate_cache_dir, jobs)`` trio.
+
+    The shared constructor convention of every runner: an explicit cache
+    wins (the convenience knobs are then rejected — configure the cache
+    directly instead), the knobs build a private cache, and with nothing
+    given the process-wide shared cache is used.
+    """
+    if substrates is not None:
+        if substrate_cache_dir is not None or jobs is not None:
+            raise ValueError(
+                "pass either substrates or substrate_cache_dir/jobs, not "
+                "both; use SubstrateCache(persist_dir=..., jobs=...) to "
+                "combine them")
+        return substrates
+    if substrate_cache_dir is not None or jobs is not None:
+        return SubstrateCache(persist_dir=substrate_cache_dir,
+                              jobs=jobs if jobs is not None else 1)
+    return shared_substrates()
+
+
+__all__ = ["SubstrateCache", "resolve_substrates", "shared_substrates"]

@@ -31,6 +31,12 @@ any Python:
     quantile tables, sensitivity ranking (``--sensitivity``) and
     time-resolved emission bands (``--temporal``).  Without a spec it
     runs the paper's closed-form input envelope, as it always did.
+``portfolio``
+    Run a federated multi-site portfolio from a JSON
+    :class:`~repro.portfolio.spec.PortfolioSpec` (``--spec``): per-site
+    and rolled-up totals over one shared substrate cache, plus the
+    marginal-placement ranking (``--rank-placement``, snapshot or
+    ``--carbon-aware`` intensities).
 
 Scenario arguments are validated at parse time (``--scale`` in (0, 1],
 ``--pue`` >= 1.0) so mistakes produce a one-line usage error instead of a
@@ -245,6 +251,36 @@ def _build_parser() -> argparse.ArgumentParser:
     uncertainty.add_argument("--servers", type=int, default=None,
                              help="paper mode: server count for the "
                                   "closed-form embodied term")
+
+    portfolio = subparsers.add_parser(
+        "portfolio",
+        help="run a federated multi-site portfolio assessment")
+    portfolio.add_argument("--spec", type=Path, required=True,
+                           help="JSON PortfolioSpec file: named members, "
+                                "each a full assessment spec plus a region "
+                                "binding and a load share")
+    portfolio.add_argument("--rank-placement", action="store_true",
+                           help="also print/emit the marginal-placement "
+                                "ranking (which site takes extra load "
+                                "cheapest)")
+    portfolio.add_argument("--load-kwh", type=_positive_argument, default=None,
+                           help="marginal load for --rank-placement in kWh "
+                                "(default: 1000)")
+    portfolio.add_argument("--carbon-aware", action="store_true",
+                           help="rank placement at each site's clean-hour "
+                                "intensity instead of the snapshot average")
+    portfolio.add_argument("--format", choices=("table", "json", "csv"),
+                           default="table",
+                           help="output format (default: table)")
+    portfolio.add_argument("--output", type=Path, default=None,
+                           help="write the json/csv output to this file "
+                                "instead of stdout")
+    portfolio.add_argument("--substrate-cache-dir", type=Path, default=None,
+                           help="persist simulated snapshots here so "
+                                "full-scale runs are paid once per machine")
+    portfolio.add_argument("--jobs", type=int, default=None,
+                           help="simulate this many sites concurrently "
+                                "(default: 1; 0 = one thread per site)")
 
     return parser
 
@@ -726,6 +762,58 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.portfolio import DEFAULT_PLACEMENT_LOAD_KWH, PortfolioRunner, PortfolioSpec
+    from repro.reporting.portfolio import (
+        placement_table,
+        portfolio_site_table,
+        portfolio_summary_table,
+    )
+
+    placement_flags = [
+        label for label, given in (
+            ("--load-kwh", args.load_kwh is not None),
+            ("--carbon-aware", args.carbon_aware),
+        ) if given
+    ]
+    if placement_flags and not args.rank_placement:
+        print(f"error: {', '.join(placement_flags)} only valid with "
+              "--rank-placement", file=sys.stderr)
+        return 2
+    try:
+        substrates = _build_substrates(args)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = PortfolioSpec.from_json(args.spec)
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        print(f"error: cannot load spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = PortfolioRunner(spec, substrates=substrates).run()
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    load_kwh = (args.load_kwh if args.load_kwh is not None
+                else DEFAULT_PLACEMENT_LOAD_KWH)
+    if args.format == "table":
+        parts = [portfolio_site_table(result), "\n" + portfolio_summary_table(result)]
+        if args.rank_placement:
+            parts.append("\n" + placement_table(
+                result, load_kwh, carbon_aware=args.carbon_aware))
+        _emit("\n".join(parts), args.output)
+    elif args.format == "json":
+        _emit(json.dumps(result.as_dict(load_kwh), indent=2,
+                         default=_json_default, sort_keys=True), args.output)
+    else:  # csv
+        rows = (result.placement_rows(load_kwh, carbon_aware=args.carbon_aware)
+                if args.rank_placement else result.site_rows())
+        _emit_rows_csv(rows, args.output)
+    return 0
+
+
 _COMMANDS = {
     "assess": _cmd_assess,
     "temporal": _cmd_temporal,
@@ -734,6 +822,7 @@ _COMMANDS = {
     "snapshot": _cmd_snapshot,
     "scenarios": _cmd_scenarios,
     "uncertainty": _cmd_uncertainty,
+    "portfolio": _cmd_portfolio,
 }
 
 

@@ -1,0 +1,64 @@
+"""Federated multi-site portfolio assessments.
+
+The paper assesses one facility in one grid region; an operator of a
+*portfolio* of sites needs the same method — measured active energy plus
+amortised embodied carbon — federated across regions: which site should
+grow, where should workload live, what does the whole estate emit?
+
+This package answers those questions on the existing cached columnar
+substrate:
+
+* :class:`~repro.portfolio.spec.PortfolioSpec` — K named member sites,
+  each a full :class:`~repro.api.spec.AssessmentSpec` plus a region
+  binding and a load share (JSON round-trip, registry idioms throughout);
+* :class:`~repro.portfolio.runner.PortfolioRunner` — executes all members
+  concurrently over one shared
+  :class:`~repro.api.substrates.SubstrateCache`, so members sharing a
+  physical configuration simulate exactly once;
+* :class:`~repro.portfolio.result.PortfolioResult` — per-site and
+  rolled-up totals, embodied fractions, and marginal-placement analysis
+  (:meth:`~repro.portfolio.result.PortfolioResult.best_site_for`, both
+  snapshot and carbon-aware).
+
+Quick start::
+
+    from repro.api import default_spec
+    from repro.portfolio import PortfolioRunner, PortfolioSpec
+
+    spec = PortfolioSpec.from_regions(
+        ["GB", "FR", "PL"], base_spec=default_spec(node_scale=0.05),
+        load_shares=[0.5, 0.3, 0.2])
+    result = PortfolioRunner(spec).run()
+    print(result.total_kg, result.best_site_for(1000.0).name)
+
+Region × load-split grids go through
+:meth:`repro.api.batch.BatchAssessmentRunner.sweep_portfolio`; the CLI
+front end is ``python -m repro portfolio --spec portfolio.json``.
+"""
+
+from repro.portfolio.spec import (
+    LOAD_SHARE_TOL,
+    PortfolioMember,
+    PortfolioSpec,
+    region_grid_name,
+)
+from repro.portfolio.result import (
+    DEFAULT_PLACEMENT_LOAD_KWH,
+    PortfolioBatchResult,
+    PortfolioMemberResult,
+    PortfolioResult,
+)
+from repro.portfolio.runner import CLEAN_QUANTILE, PortfolioRunner
+
+__all__ = [
+    "CLEAN_QUANTILE",
+    "DEFAULT_PLACEMENT_LOAD_KWH",
+    "LOAD_SHARE_TOL",
+    "PortfolioBatchResult",
+    "PortfolioMember",
+    "PortfolioMemberResult",
+    "PortfolioResult",
+    "PortfolioRunner",
+    "PortfolioSpec",
+    "region_grid_name",
+]

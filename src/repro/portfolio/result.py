@@ -1,0 +1,346 @@
+"""Results of a portfolio run: per-site detail, rollups, placement analysis.
+
+A :class:`PortfolioResult` holds one
+:class:`~repro.api.result.AssessmentResult` per member — each bit-identical
+to running that member's spec alone — plus two portfolio-level views:
+
+* the **rollup view**: site totals summed.  Conservation holds by
+  construction (portfolio total == sum of site totals), which the
+  differential test suite pins as a property.
+* the **placement view**: the share-weighted active carbon of the
+  portfolio's reference workload running where the load shares say it
+  runs, plus the (sunk, placement-independent) embodied carbon of every
+  site.  This is the number a load-split sweep minimises.
+
+Marginal placement — *where should the next unit of workload live?* — is
+answered by :meth:`PortfolioResult.best_site_for`: per site, the added
+carbon of one extra unit of IT energy is ``energy x PUE x marginal
+intensity``.  Two marginal intensities are carried per member: the
+**snapshot** one (the intensity the static model priced the window at) and
+the **carbon-aware** one (a low quantile of the member's grid-intensity
+trace, aligned across sites — the price a scheduler free to pick the
+cleanest hours would pay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.api.result import AssessmentResult
+from repro.io.csvio import write_rows_csv
+from repro.io.jsonio import PathLike, write_json
+
+from repro.portfolio.spec import PortfolioMember, PortfolioSpec
+
+#: Default marginal load used by placement tables (one MWh of IT energy).
+DEFAULT_PLACEMENT_LOAD_KWH = 1000.0
+
+
+@dataclass(frozen=True)
+class PortfolioMemberResult:
+    """One member's assessment plus its placement-analysis inputs.
+
+    Attributes
+    ----------
+    member:
+        The member as specified (name, load share, region binding).
+    result:
+        The member's full assessment result — identical to running
+        ``Assessment.from_spec(member.effective_spec()).run()`` alone.
+    marginal_intensity_g_per_kwh:
+        The intensity an extra unit of workload is priced at under
+        snapshot (period-average) accounting — the member's resolved grid
+        intensity.
+    clean_marginal_intensity_g_per_kwh:
+        The carbon-aware marginal intensity: a low quantile of the
+        member's intensity trace over the portfolio's shared window
+        (equals the snapshot intensity when the member pins a constant).
+    """
+
+    member: PortfolioMember
+    result: AssessmentResult
+    marginal_intensity_g_per_kwh: float
+    clean_marginal_intensity_g_per_kwh: float
+
+    # -- convenience views --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.member.name
+
+    @property
+    def region(self) -> str | None:
+        return self.member.region
+
+    @property
+    def load_share(self) -> float:
+        return self.member.load_share
+
+    @property
+    def grid(self) -> str:
+        return self.result.spec.grid
+
+    @property
+    def pue(self) -> float:
+        return self.result.spec.pue
+
+    @property
+    def total_kg(self) -> float:
+        return self.result.total_kg
+
+    @property
+    def active_kg(self) -> float:
+        return self.result.active_kg
+
+    @property
+    def embodied_kg(self) -> float:
+        return self.result.embodied_kg
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.result.energy_kwh
+
+    @property
+    def nodes(self) -> int:
+        return self.result.snapshot.total_nodes
+
+    def marginal_intensity(self, carbon_aware: bool = False) -> float:
+        return (self.clean_marginal_intensity_g_per_kwh if carbon_aware
+                else self.marginal_intensity_g_per_kwh)
+
+    def added_kg_for(self, load_kwh: float, carbon_aware: bool = False) -> float:
+        """Carbon added by placing ``load_kwh`` of IT energy at this site."""
+        if load_kwh < 0:
+            raise ValueError("load_kwh must be non-negative")
+        return load_kwh * self.pue * self.marginal_intensity(carbon_aware) / 1000.0
+
+    def site_row(self) -> Dict[str, object]:
+        """One flat summary row for the portfolio's per-site table."""
+        return {
+            "member": self.name,
+            "region": self.region,
+            "grid": self.grid,
+            "load_share": self.load_share,
+            "nodes": self.nodes,
+            "energy_kwh": self.energy_kwh,
+            "intensity_g_per_kwh": self.marginal_intensity_g_per_kwh,
+            "pue": self.pue,
+            "active_kg": self.active_kg,
+            "embodied_kg": self.embodied_kg,
+            "total_kg": self.total_kg,
+            "embodied_fraction": self.result.embodied_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """Everything one portfolio run produced."""
+
+    spec: PortfolioSpec
+    members: Tuple[PortfolioMemberResult, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "members", tuple(self.members))
+        if len(self.members) != len(self.spec.members):
+            raise ValueError(
+                f"result has {len(self.members)} member results for "
+                f"{len(self.spec.members)} spec members")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def member(self, name: str) -> PortfolioMemberResult:
+        """Look up one member's result by name."""
+        for member in self.members:
+            if member.name == name:
+                return member
+        raise KeyError(f"no member {name!r} in portfolio result "
+                       f"(members: {', '.join(m.name for m in self.members)})")
+
+    # -- rollup view (conserved: portfolio == sum of sites) -----------------------
+
+    @property
+    def total_kg(self) -> float:
+        return sum(member.total_kg for member in self.members)
+
+    @property
+    def active_kg(self) -> float:
+        return sum(member.active_kg for member in self.members)
+
+    @property
+    def embodied_kg(self) -> float:
+        return sum(member.embodied_kg for member in self.members)
+
+    @property
+    def energy_kwh(self) -> float:
+        return sum(member.energy_kwh for member in self.members)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(member.nodes for member in self.members)
+
+    @property
+    def embodied_fraction(self) -> float:
+        total = self.total_kg
+        return self.embodied_kg / total if total > 0 else 0.0
+
+    # -- placement view (load-share weighted) -------------------------------------
+
+    @property
+    def placed_active_kg(self) -> float:
+        """Active carbon of the reference workload placed per the shares."""
+        return sum(member.load_share * member.active_kg for member in self.members)
+
+    @property
+    def placed_total_kg(self) -> float:
+        """Placed active carbon plus the (sunk) embodied carbon of all sites."""
+        return self.placed_active_kg + self.embodied_kg
+
+    @property
+    def weighted_marginal_intensity_g_per_kwh(self) -> float:
+        """The share-weighted intensity the portfolio's load experiences."""
+        return sum(member.load_share * member.marginal_intensity_g_per_kwh
+                   for member in self.members)
+
+    # -- marginal placement --------------------------------------------------------
+
+    def best_site_for(
+        self, load_kwh: float = DEFAULT_PLACEMENT_LOAD_KWH,
+        carbon_aware: bool = False,
+    ) -> PortfolioMemberResult:
+        """The member minimising the carbon added by an extra load.
+
+        ``carbon_aware=False`` prices the load at each site's snapshot
+        (period-average) intensity; ``carbon_aware=True`` at the clean
+        marginal intensity a time-shifting scheduler could reach.  Ties
+        break towards the earlier member, so rankings are deterministic.
+        """
+        return min(self.members,
+                   key=lambda member: member.added_kg_for(load_kwh, carbon_aware))
+
+    def placement_rows(
+        self, load_kwh: float = DEFAULT_PLACEMENT_LOAD_KWH,
+        carbon_aware: bool = False,
+    ) -> List[Dict[str, object]]:
+        """Members ranked by the carbon added by an extra load, best first."""
+        ranked = sorted(self.members,
+                        key=lambda member: member.added_kg_for(load_kwh,
+                                                               carbon_aware))
+        return [
+            {
+                "rank": rank,
+                "member": member.name,
+                "region": member.region,
+                "grid": member.grid,
+                "pue": member.pue,
+                "marginal_intensity_g_per_kwh":
+                    member.marginal_intensity(carbon_aware),
+                "added_kg": member.added_kg_for(load_kwh, carbon_aware),
+            }
+            for rank, member in enumerate(ranked, start=1)
+        ]
+
+    # -- tables / serialisation ----------------------------------------------------
+
+    def site_rows(self) -> List[Dict[str, object]]:
+        """One summary row per member, in spec order."""
+        return [member.site_row() for member in self.members]
+
+    def summary(self) -> Dict[str, object]:
+        """One flat row of the portfolio-level rollups."""
+        best = self.best_site_for()
+        best_clean = self.best_site_for(carbon_aware=True)
+        return {
+            "portfolio": self.spec.name,
+            "sites": len(self.members),
+            "nodes": self.total_nodes,
+            "energy_kwh": self.energy_kwh,
+            "active_kg": self.active_kg,
+            "embodied_kg": self.embodied_kg,
+            "total_kg": self.total_kg,
+            "embodied_fraction": self.embodied_fraction,
+            "placed_active_kg": self.placed_active_kg,
+            "placed_total_kg": self.placed_total_kg,
+            "weighted_marginal_intensity_g_per_kwh":
+                self.weighted_marginal_intensity_g_per_kwh,
+            "best_site": best.name,
+            "best_site_carbon_aware": best_clean.name,
+        }
+
+    def as_dict(self, load_kwh: float = DEFAULT_PLACEMENT_LOAD_KWH) -> Dict[str, Any]:
+        """The result as a JSON-serialisable dictionary."""
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary(),
+            "sites": self.site_rows(),
+            "placement": {
+                "load_kwh": load_kwh,
+                "snapshot": self.placement_rows(load_kwh),
+                "carbon_aware": self.placement_rows(load_kwh, carbon_aware=True),
+            },
+        }
+
+    def to_json(self, path: PathLike) -> None:
+        """Write :meth:`as_dict` to ``path`` as JSON."""
+        write_json(path, self.as_dict())
+
+    def to_csv(self, path: PathLike) -> None:
+        """Write the per-site summary rows to ``path`` as CSV."""
+        write_rows_csv(path, self.site_rows())
+
+
+@dataclass(frozen=True)
+class PortfolioBatchResult:
+    """The ordered outcome of a portfolio scenario sweep."""
+
+    results: Tuple[PortfolioResult, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "results", tuple(self.results))
+        if not self.results:
+            raise ValueError("a portfolio batch needs at least one result")
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> PortfolioResult:
+        return self.results[index]
+
+    @property
+    def placed_totals_kg(self) -> List[float]:
+        return [result.placed_total_kg for result in self.results]
+
+    def best(self) -> PortfolioResult:
+        """The scenario whose placement emits the least total carbon."""
+        return min(self.results, key=lambda result: result.placed_total_kg)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One summary row per scenario, in sweep order, with its split."""
+        rows = []
+        for result in self.results:
+            row = dict(result.summary())
+            row["load_split"] = "/".join(
+                f"{member.load_share:g}" for member in result.members)
+            rows.append(row)
+        return rows
+
+    def to_json(self, path: PathLike) -> None:
+        write_json(path, self.as_rows())
+
+    def to_csv(self, path: PathLike) -> None:
+        write_rows_csv(path, self.as_rows())
+
+
+__all__ = [
+    "DEFAULT_PLACEMENT_LOAD_KWH",
+    "PortfolioBatchResult",
+    "PortfolioMemberResult",
+    "PortfolioResult",
+]

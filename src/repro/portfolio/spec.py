@@ -1,0 +1,261 @@
+"""The declarative description of a multi-site portfolio.
+
+A :class:`PortfolioSpec` composes K named member sites, each a full
+:class:`~repro.api.spec.AssessmentSpec` plus a region binding and a load
+share, and round-trips losslessly through plain dictionaries and JSON
+files — the same idioms as the single-site spec layer.  Its JSON form::
+
+    {
+      "name": "eu-portfolio",
+      "members": [
+        {"name": "gb-core", "region": "GB", "load_share": 0.5,
+         "spec": {"node_scale": 0.05}},
+        {"name": "fr-burst", "region": "FR", "load_share": 0.3,
+         "spec": {"node_scale": 0.05}},
+        {"name": "pl-legacy", "region": "PL", "load_share": 0.2,
+         "spec": {"node_scale": 0.05}}
+      ]
+    }
+
+The **region binding** is sugar over the grid registry: a member with
+``region: "FR"`` runs its spec against the registered ``region-FR`` grid
+provider (clearing any fixed intensity), so siting studies name regions
+while the pipeline keeps resolving everything through
+:mod:`repro.api.registry`.  A member may instead bind a grid directly
+through its spec (``region`` omitted).
+
+The **load share** describes how the portfolio's reference workload is
+placed across sites.  Shares must sum to one: the portfolio carries one
+workload, fully placed.  Shares never change what each member's assessment
+measures (a member result is bit-identical to running its spec alone);
+they drive the portfolio-level *placement view* — the share-weighted
+active carbon of running the workload where the spec says it runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.spec import AssessmentSpec, default_spec
+from repro.io.jsonio import PathLike, read_json, write_json
+
+#: Absolute tolerance on ``sum(load_share) == 1`` (float accumulation only;
+#: a genuinely unplaced or overplaced portfolio is a spec error).
+LOAD_SHARE_TOL = 1e-9
+
+
+def region_grid_name(region: str) -> str:
+    """The registered grid-provider name a region code binds to."""
+    return f"region-{region}"
+
+
+@dataclass(frozen=True)
+class PortfolioMember:
+    """One named site of a portfolio.
+
+    Attributes
+    ----------
+    name:
+        Member name, unique within the portfolio (used in every table and
+        as the placement-ranking key).
+    spec:
+        The member's full assessment spec; members sharing a physical
+        configuration share one simulated substrate.
+    load_share:
+        Fraction of the portfolio's workload placed at this site, in
+        [0, 1]; all members' shares sum to one.
+    region:
+        Optional region code binding the member to the registered
+        ``region-<CODE>`` grid provider (overriding the spec's grid and
+        any fixed intensity).  ``None`` keeps the spec's own grid binding.
+    """
+
+    name: str
+    spec: AssessmentSpec = field(default_factory=default_spec)
+    load_share: float = 1.0
+    region: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("member name must be non-empty")
+        if not isinstance(self.spec, AssessmentSpec):
+            raise TypeError(
+                f"member {self.name!r}: spec must be an AssessmentSpec, "
+                f"got {type(self.spec).__name__}")
+        if not 0.0 <= self.load_share <= 1.0:
+            raise ValueError(
+                f"member {self.name!r}: load_share must be in [0, 1], "
+                f"got {self.load_share}")
+        if self.region is not None and not self.region:
+            raise ValueError(f"member {self.name!r}: region must be non-empty "
+                             "when given")
+
+    def effective_spec(self) -> AssessmentSpec:
+        """The spec the member actually runs: region binding applied."""
+        if self.region is None:
+            return self.spec
+        return self.spec.replace(grid=region_grid_name(self.region),
+                                 carbon_intensity_g_per_kwh=None)
+
+    # -- dict round-trip ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "load_share": self.load_share,
+            "spec": self.spec.to_dict(),
+        }
+        if self.region is not None:
+            data["region"] = self.region
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PortfolioMember":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"a portfolio member must be a JSON object, got {data!r}")
+        known = {"name", "spec", "load_share", "region"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown portfolio member fields: {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}")
+        spec_data = data.get("spec")
+        spec = (AssessmentSpec.from_dict(spec_data) if spec_data is not None
+                else default_spec())
+        return cls(
+            name=data.get("name", ""),
+            spec=spec,
+            load_share=data.get("load_share", 1.0),
+            region=data.get("region"),
+        )
+
+
+@dataclass(frozen=True)
+class PortfolioSpec:
+    """Declarative configuration of a multi-site portfolio assessment."""
+
+    members: Tuple[PortfolioMember, ...]
+    name: str = "portfolio"
+
+    def __post_init__(self):
+        members = tuple(self.members)
+        if not members:
+            raise ValueError("a portfolio needs at least one member")
+        names = [member.name for member in members]
+        if len(names) != len(set(names)):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise ValueError(
+                f"member names must be unique; duplicated: {', '.join(duplicates)}")
+        total_share = sum(member.load_share for member in members)
+        if abs(total_share - 1.0) > LOAD_SHARE_TOL:
+            raise ValueError(
+                f"load shares must sum to 1 (the portfolio's workload is "
+                f"fully placed); got {total_share!r}")
+        if not self.name:
+            raise ValueError("portfolio name must be non-empty")
+        object.__setattr__(self, "members", members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def member_names(self) -> List[str]:
+        return [member.name for member in self.members]
+
+    def member(self, name: str) -> PortfolioMember:
+        """Look up one member by name."""
+        for member in self.members:
+            if member.name == name:
+                return member
+        raise KeyError(f"no member {name!r} in portfolio "
+                       f"(members: {', '.join(self.member_names)})")
+
+    def replace(self, **changes: Any) -> "PortfolioSpec":
+        """A copy of the spec with the given fields replaced (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_regions(
+        cls,
+        regions: Sequence[str],
+        base_spec: Optional[AssessmentSpec] = None,
+        load_shares: Optional[Sequence[float]] = None,
+        name: str = "portfolio",
+    ) -> "PortfolioSpec":
+        """A portfolio with one member per region code, from one base spec.
+
+        The canonical siting-study shape: K candidate regions hosting the
+        same physical deployment (so the whole portfolio shares **one**
+        simulated substrate).  ``load_shares`` defaults to a uniform
+        split; members are named after their region codes.
+        """
+        regions = list(regions)
+        if not regions:
+            raise ValueError("from_regions needs at least one region")
+        if len(set(regions)) != len(regions):
+            raise ValueError("region codes must be unique")
+        base = base_spec if base_spec is not None else default_spec()
+        if load_shares is None:
+            load_shares = [1.0 / len(regions)] * len(regions)
+        shares = [float(share) for share in load_shares]
+        if len(shares) != len(regions):
+            raise ValueError(
+                f"load_shares has {len(shares)} entries for "
+                f"{len(regions)} regions")
+        return cls(
+            members=tuple(
+                PortfolioMember(name=region, spec=base, load_share=share,
+                                region=region)
+                for region, share in zip(regions, shares)),
+            name=name,
+        )
+
+    # -- dict / JSON round-trip ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a plain, JSON-serialisable dictionary."""
+        return {
+            "name": self.name,
+            "members": [member.to_dict() for member in self.members],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PortfolioSpec":
+        """Build a portfolio spec from a dictionary, rejecting unknown keys."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"a portfolio spec must be a JSON object, got {data!r}")
+        known = {"name", "members"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown PortfolioSpec fields: {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}")
+        members_data = data.get("members")
+        if not isinstance(members_data, Sequence) or isinstance(members_data, str):
+            raise ValueError("PortfolioSpec needs a 'members' array")
+        members = tuple(PortfolioMember.from_dict(item) for item in members_data)
+        return cls(members=members, name=data.get("name", "portfolio"))
+
+    def to_json(self, path: PathLike) -> None:
+        """Write the spec to ``path`` as JSON."""
+        write_json(path, self.to_dict())
+
+    @classmethod
+    def from_json(cls, path: PathLike) -> "PortfolioSpec":
+        """Load a portfolio spec from a JSON file."""
+        data = read_json(path)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: a portfolio spec must be a JSON object")
+        return cls.from_dict(data)
+
+
+__all__ = [
+    "LOAD_SHARE_TOL",
+    "PortfolioMember",
+    "PortfolioSpec",
+    "region_grid_name",
+]

@@ -30,6 +30,11 @@ from repro.reporting.uncertainty import (
     sensitivity_table,
     temporal_band_table,
 )
+from repro.reporting.portfolio import (
+    placement_table,
+    portfolio_site_table,
+    portfolio_summary_table,
+)
 
 __all__ = [
     "GHGScopeStatement",
@@ -52,4 +57,7 @@ __all__ = [
     "ensemble_summary_table",
     "sensitivity_table",
     "temporal_band_table",
+    "placement_table",
+    "portfolio_site_table",
+    "portfolio_summary_table",
 ]

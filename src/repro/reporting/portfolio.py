@@ -1,0 +1,69 @@
+"""Rendering portfolio assessment results.
+
+Three text views of a :class:`~repro.portfolio.result.PortfolioResult`,
+matching the rest of :mod:`repro.reporting`: the per-site table (one row
+per member, rollup footer rendered separately), the portfolio summary
+key/value table, and the marginal-placement ranking.
+"""
+
+from __future__ import annotations
+
+from repro.portfolio.result import DEFAULT_PLACEMENT_LOAD_KWH, PortfolioResult
+from repro.reporting.tables import format_kv_table, format_table
+
+#: Column order of the per-site table.
+SITE_COLUMNS = (
+    "member", "region", "grid", "load_share", "nodes", "energy_kwh",
+    "intensity_g_per_kwh", "pue", "active_kg", "embodied_kg", "total_kg",
+    "embodied_fraction",
+)
+
+#: Column order of the placement-ranking table.
+PLACEMENT_COLUMNS = (
+    "rank", "member", "region", "grid", "pue",
+    "marginal_intensity_g_per_kwh", "added_kg",
+)
+
+
+def portfolio_site_table(result: PortfolioResult) -> str:
+    """The per-site table: one row per member, in spec order."""
+    return format_table(
+        result.site_rows(),
+        columns=SITE_COLUMNS,
+        title=f"Portfolio '{result.spec.name}' - per-site assessment",
+        float_format=",.3f",
+    )
+
+
+def portfolio_summary_table(result: PortfolioResult) -> str:
+    """The portfolio rollups and placement view as a key/value table."""
+    return format_kv_table(
+        result.summary(),
+        title="Portfolio rollup",
+        float_format=",.3f",
+    )
+
+
+def placement_table(
+    result: PortfolioResult,
+    load_kwh: float = DEFAULT_PLACEMENT_LOAD_KWH,
+    carbon_aware: bool = False,
+) -> str:
+    """The marginal-placement ranking for an extra ``load_kwh`` of load."""
+    mode = "carbon-aware (clean-hour)" if carbon_aware else "snapshot"
+    return format_table(
+        result.placement_rows(load_kwh, carbon_aware=carbon_aware),
+        columns=PLACEMENT_COLUMNS,
+        title=(f"Marginal placement of {load_kwh:,.0f} kWh - {mode} "
+               "intensity, best site first"),
+        float_format=",.3f",
+    )
+
+
+__all__ = [
+    "PLACEMENT_COLUMNS",
+    "SITE_COLUMNS",
+    "placement_table",
+    "portfolio_site_table",
+    "portfolio_summary_table",
+]

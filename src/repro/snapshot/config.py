@@ -185,6 +185,7 @@ def build_iris_snapshot_config(
     campaign_seed: int = 1234,
     lifetime_years: float = 5.0,
     node_scale: float = 1.0,
+    sites: Optional[Tuple[str, ...]] = None,
 ) -> SnapshotConfig:
     """The snapshot configuration reproducing the paper's Table 2 campaign.
 
@@ -192,15 +193,35 @@ def build_iris_snapshot_config(
     two nodes per site); the scaled configuration keeps the same per-node
     calibration targets, so per-node power still matches the paper while the
     simulation runs much faster — used by the test suite and the examples.
+
+    ``sites`` restricts the campaign to a subset of the six IRIS sites (in
+    the canonical Table 2 order, whatever order is given); the multi-site
+    portfolio engine composes member facilities from such subsets.  Each
+    retained site keeps its own calibration target, measurement methods and
+    workload seed, so a subset site simulates bit-identically to the same
+    site inside the full campaign.
     """
     if node_scale <= 0 or node_scale > 1.0:
         raise ValueError("node_scale must be in (0, 1]")
-    sites = []
+    if sites is not None:
+        selected = set(sites)
+        if not selected:
+            raise ValueError("sites must name at least one IRIS site")
+        unknown = sorted(selected - set(PAPER_TABLE2_ENERGY_KWH))
+        if unknown:
+            raise ValueError(
+                f"unknown IRIS sites: {', '.join(unknown)}; known sites: "
+                f"{', '.join(PAPER_TABLE2_ENERGY_KWH)}")
+    else:
+        selected = None
+    sites_out = []
     for index, site_name in enumerate(PAPER_TABLE2_ENERGY_KWH):
+        if selected is not None and site_name not in selected:
+            continue
         node_count = IRIS_SNAPSHOT_MEASURED_NODES[site_name]
         if node_scale < 1.0:
             node_count = max(2, int(round(node_count * node_scale)))
-        sites.append(
+        sites_out.append(
             SiteSnapshotConfig(
                 site=site_name,
                 node_count=node_count,
@@ -213,7 +234,7 @@ def build_iris_snapshot_config(
             )
         )
     return SnapshotConfig(
-        sites=tuple(sites),
+        sites=tuple(sites_out),
         duration_hours=duration_hours,
         trace_step_s=trace_step_s,
         campaign_seed=campaign_seed,

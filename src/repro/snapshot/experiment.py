@@ -194,13 +194,20 @@ class SnapshotResult:
         """
         lifetime = lifetime_years or self.config.lifetime_years
         assets: List[EmbodiedAsset] = []
+        # The catalog figure depends only on the model name: resolve each
+        # distinct model once per call, not once per node (building the
+        # catalog per node dominated the warm-substrate evaluation cost).
+        catalog_kg: Dict[str, float] = {}
         for result in self.site_results:
             for node_id, model_name in result.node_specs.items():
                 embodied = per_server_kgco2
                 if embodied is None and node_kgco2_resolver is not None:
                     embodied = node_kgco2_resolver(model_name)
                 if embodied is None:
-                    embodied = self._catalog_embodied_kg(model_name)
+                    embodied = catalog_kg.get(model_name)
+                    if embodied is None:
+                        embodied = self._catalog_embodied_kg(model_name)
+                        catalog_kg[model_name] = embodied
                 assets.append(
                     EmbodiedAsset(
                         asset_id=node_id,

@@ -25,9 +25,9 @@ make explicitly.  Three policies are offered:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.timeseries.align import align_pair
+from repro.timeseries.align import align_many, align_pair
 from repro.timeseries.resample import resample_mean, upsample_repeat
 from repro.timeseries.series import TimeSeries, TimeSeriesError, steps_equal
 
@@ -107,4 +107,33 @@ def align_power_and_intensity(
     return align_pair(power_resampled, intensity_resampled)
 
 
-__all__ = ["ALIGNMENT_POLICIES", "align_power_and_intensity"]
+def align_many_resampled(
+    traces: Sequence[TimeSeries],
+    resolution_s: Optional[float] = None,
+) -> List[TimeSeries]:
+    """Bring N traces onto one shared grid (the ``resample`` policy, N-way).
+
+    The multi-site generalisation of :func:`align_power_and_intensity`:
+    every trace is resampled onto a common cadence — the coarsest input
+    step, or an explicit ``resolution_s`` — averaging rate-like samples
+    down and repeating them up, then all are trimmed to the overlapping
+    window.  Used by the portfolio engine to compare per-region intensity
+    traces interval-for-interval across sites.
+
+    Returns the aligned traces in input order; every output shares the
+    same start, step and length.
+    """
+    if not traces:
+        raise TimeSeriesError("align_many_resampled requires at least one trace")
+    step = (float(resolution_s) if resolution_s is not None
+            else max(trace.step for trace in traces))
+    if step <= 0:
+        raise ValueError("resolution_s must be positive")
+    return align_many([_to_step(trace, step) for trace in traces])
+
+
+__all__ = [
+    "ALIGNMENT_POLICIES",
+    "align_many_resampled",
+    "align_power_and_intensity",
+]

@@ -18,8 +18,10 @@ sys.path.insert(0, str(TESTS_DIR))
 from test_golden_regression import (  # noqa: E402
     ENSEMBLE_GOLDEN_PATH,
     GOLDEN_PATH,
+    PORTFOLIO_GOLDEN_PATH,
     build_ensemble_golden_payload,
     build_golden_payload,
+    build_portfolio_golden_payload,
 )
 
 
@@ -37,6 +39,9 @@ def main() -> None:
     ensemble = build_ensemble_golden_payload()
     _write(ENSEMBLE_GOLDEN_PATH, ensemble)
     print(f"  total_kg_p50 = {ensemble['quantiles']['total_kg']['p50']}")
+    portfolio = build_portfolio_golden_payload()
+    _write(PORTFOLIO_GOLDEN_PATH, portfolio)
+    print(f"  portfolio total_kg = {portfolio['summary']['total_kg']}")
 
 
 if __name__ == "__main__":

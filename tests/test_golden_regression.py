@@ -1,6 +1,6 @@
 """Golden regression: pin pipeline outputs against committed fixtures.
 
-Two fixtures, same pinned small-scale Iris substrate:
+Three fixtures, same pinned small-scale Iris substrate:
 
 * ``assessment_iris_scale005_seed7.json`` — everything one
   ``Assessment.from_spec`` run produced (Table 2 energies per site and
@@ -8,7 +8,10 @@ Two fixtures, same pinned small-scale Iris substrate:
 * ``ensemble_iris_scale005_seed11.json`` — the quantiles of a seeded
   256-sample ensemble over the paper's input envelope, pinning the whole
   uncertainty engine (sampling stream, vectorized analysis pass, quantile
-  arithmetic) to 1e-9 relative.
+  arithmetic) to 1e-9 relative;
+* ``portfolio_3site.json`` — a pinned GB/FR/PL portfolio over the same
+  substrate: per-site rows, rollups and both marginal-placement rankings,
+  pinning the federated engine and the region grid models.
 
 A refactor that silently drifts any number fails here first.
 
@@ -25,12 +28,18 @@ from pathlib import Path
 import pytest
 
 from repro.api import Assessment, SubstrateCache, default_spec
+from repro.portfolio import PortfolioRunner, PortfolioSpec
 from repro.uncertainty import EnsembleRunner
 from repro.uncertainty.result import METRICS
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "assessment_iris_scale005_seed7.json"
 ENSEMBLE_GOLDEN_PATH = (Path(__file__).parent / "golden"
                         / "ensemble_iris_scale005_seed11.json")
+PORTFOLIO_GOLDEN_PATH = Path(__file__).parent / "golden" / "portfolio_3site.json"
+
+#: The pinned portfolio: three regions over one shared physical config.
+PORTFOLIO_REGIONS = ("GB", "FR", "PL")
+PORTFOLIO_SHARES = (0.5, 0.3, 0.2)
 
 #: The pinned ensemble: the paper's default envelope, 256 samples, seed 11.
 ENSEMBLE_SAMPLES = 256
@@ -67,6 +76,25 @@ def build_ensemble_golden_payload() -> dict:
         "summary": result.summary(),
         "quantiles": {metric: result.quantiles(metric) for metric in METRICS},
     }
+
+
+def build_portfolio_golden_payload() -> dict:
+    """Run the pinned 3-site portfolio and collect everything worth pinning.
+
+    Also asserts the engine's core economy while it is at it: three member
+    sites sharing one physical configuration simulate exactly once.
+    """
+    spec = PortfolioSpec.from_regions(
+        list(PORTFOLIO_REGIONS),
+        base_spec=default_spec(**GOLDEN_SPEC_KWARGS),
+        load_shares=list(PORTFOLIO_SHARES),
+        name="golden-3site")
+    cache = SubstrateCache()
+    result = PortfolioRunner(spec, substrates=cache).run()
+    assert cache.snapshot_runs == 1, (
+        f"3 sites sharing one physical config must simulate once, "
+        f"ran {cache.snapshot_runs}")
+    return result.as_dict()
 
 
 def _assert_matches(actual, expected, path="$"):
@@ -106,6 +134,35 @@ class TestGoldenRegression:
         table2_total = sum(
             row["facility"] for row in data["table2"] if row["facility"] is not None)
         assert summary["energy_kwh"] == pytest.approx(table2_total, rel=1e-6)
+
+
+class TestPortfolioGoldenRegression:
+    def test_portfolio_output_matches_committed_fixture(self):
+        assert PORTFOLIO_GOLDEN_PATH.exists(), (
+            f"golden fixture missing: {PORTFOLIO_GOLDEN_PATH}; "
+            "run PYTHONPATH=src python tests/golden/regenerate.py")
+        expected = json.loads(PORTFOLIO_GOLDEN_PATH.read_text(encoding="utf-8"))
+        actual = build_portfolio_golden_payload()
+        _assert_matches(actual, expected)
+
+    def test_fixture_is_self_consistent(self):
+        """Guard the fixture itself against hand-editing mistakes."""
+        data = json.loads(PORTFOLIO_GOLDEN_PATH.read_text(encoding="utf-8"))
+        summary = data["summary"]
+        sites = data["sites"]
+        assert len(sites) == len(PORTFOLIO_REGIONS)
+        # Conservation: the rollup is the sum of the pinned site rows.
+        assert summary["total_kg"] == pytest.approx(
+            sum(row["total_kg"] for row in sites), rel=1e-9)
+        assert summary["active_kg"] == pytest.approx(
+            sum(row["active_kg"] for row in sites), rel=1e-9)
+        assert summary["placed_active_kg"] == pytest.approx(
+            sum(row["load_share"] * row["active_kg"] for row in sites),
+            rel=1e-9)
+        # Placement rankings are monotone, best first.
+        for mode in ("snapshot", "carbon_aware"):
+            added = [row["added_kg"] for row in data["placement"][mode]]
+            assert added == sorted(added), f"{mode} ranking not monotone"
 
 
 class TestEnsembleGoldenRegression:

@@ -1,0 +1,112 @@
+"""Differential tests: the portfolio engine vs. independent assessments.
+
+The federation must be free of side effects: a K-site portfolio result has
+to equal K independent ``Assessment.from_spec(...).run()`` results
+site-by-site (each run against its own fresh cache), and the portfolio
+rollup must conserve totals.  Conservation is additionally pinned as a
+hypothesis property over random load splits and scenario fields, all
+sharing one physical configuration so the whole property run costs one
+simulation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from strategies import assessment_specs, load_shares
+
+from repro.api import Assessment, SubstrateCache, default_spec
+from repro.portfolio import PortfolioMember, PortfolioRunner, PortfolioSpec
+
+#: Site-by-site agreement bar between federated and independent runs.
+DIFF_RTOL = 1e-12
+
+#: The pinned physical configuration every property example shares.
+PHYSICAL = dict(node_scale=0.02, campaign_seed=3)
+
+
+@pytest.fixture(scope="module")
+def substrates():
+    return SubstrateCache()
+
+
+class TestDifferential:
+    def test_portfolio_equals_independent_runs_site_by_site(self, substrates):
+        spec = PortfolioSpec(members=(
+            PortfolioMember(name="gb", region="GB", load_share=0.4,
+                            spec=default_spec(**PHYSICAL)),
+            PortfolioMember(name="fr", region="FR", load_share=0.35,
+                            spec=default_spec(**PHYSICAL, pue=1.15,
+                                              lifetime_years=4.0)),
+            PortfolioMember(name="pinned", load_share=0.25,
+                            spec=default_spec(**PHYSICAL,
+                                              carbon_intensity_g_per_kwh=80.0,
+                                              per_server_kgco2=900.0)),
+        ))
+        portfolio = PortfolioRunner(spec, substrates=substrates).run()
+        for member in spec.members:
+            independent = Assessment.from_spec(
+                member.effective_spec(), substrates=SubstrateCache()).run()
+            federated = portfolio.member(member.name)
+            assert federated.total_kg == pytest.approx(
+                independent.total_kg, rel=DIFF_RTOL)
+            assert federated.active_kg == pytest.approx(
+                independent.active_kg, rel=DIFF_RTOL)
+            assert federated.embodied_kg == pytest.approx(
+                independent.embodied_kg, rel=DIFF_RTOL)
+            assert federated.energy_kwh == pytest.approx(
+                independent.energy_kwh, rel=DIFF_RTOL)
+            assert (federated.result.spec.carbon_intensity_g_per_kwh
+                    == pytest.approx(
+                        independent.spec.carbon_intensity_g_per_kwh,
+                        rel=DIFF_RTOL))
+
+    def test_member_results_independent_of_load_shares(self, substrates):
+        base = default_spec(**PHYSICAL)
+        skewed = PortfolioRunner(
+            PortfolioSpec.from_regions(["GB", "FR"], base_spec=base,
+                                       load_shares=[0.9, 0.1]),
+            substrates=substrates).run()
+        uniform = PortfolioRunner(
+            PortfolioSpec.from_regions(["GB", "FR"], base_spec=base),
+            substrates=substrates).run()
+        for left, right in zip(skewed.members, uniform.members):
+            assert left.total_kg == right.total_kg  # bit-identical
+        assert skewed.total_kg == uniform.total_kg
+        assert skewed.placed_active_kg != uniform.placed_active_kg
+
+
+class TestConservationProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_rollup_conserves_totals(self, substrates, data):
+        """sum(site totals) == portfolio total, whatever the members."""
+        size = data.draw(st.integers(min_value=2, max_value=4), label="sites")
+        shares = data.draw(load_shares(size), label="shares")
+        members = tuple(
+            PortfolioMember(
+                name=f"site-{index}",
+                spec=data.draw(assessment_specs(**PHYSICAL),
+                               label=f"spec-{index}"),
+                load_share=shares[index])
+            for index in range(size))
+        result = PortfolioRunner(PortfolioSpec(members=members),
+                                 substrates=substrates).run()
+        assert result.total_kg == pytest.approx(
+            sum(m.total_kg for m in result.members), rel=1e-12)
+        assert result.active_kg == pytest.approx(
+            sum(m.active_kg for m in result.members), rel=1e-12)
+        assert result.embodied_kg == pytest.approx(
+            sum(m.embodied_kg for m in result.members), rel=1e-12)
+        assert result.placed_active_kg == pytest.approx(
+            sum(m.load_share * m.active_kg for m in result.members),
+            rel=1e-12)
+        # Active + embodied recompose the total at both levels.
+        assert result.active_kg + result.embodied_kg == pytest.approx(
+            result.total_kg, rel=1e-12)
+        # Every example draws from one pinned physical configuration, so
+        # however many have run against this module's cache by now, they
+        # all shared one simulation (order-independent: asserted here,
+        # after at least one portfolio has certainly run).
+        assert substrates.snapshot_runs == 1

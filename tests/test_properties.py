@@ -3,12 +3,15 @@
 Each property pins an invariant the carbon model's correctness rests on:
 unit round-trips, the linearity of equation 3, monotonicity of the power
 model, conservation through resampling and measurement, and amortisation
-summing back to the installed embodied carbon.
+summing back to the installed embodied carbon.  Strategies come from the
+shared :mod:`strategies` module.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from strategies import positive_floats, small_positive, utilization
 
 from repro.core.embodied import EmbodiedAsset, EmbodiedCarbonCalculator, LinearAmortization
 from repro.core.active import ActiveCarbonCalculator, ActiveEnergyInput
@@ -19,11 +22,9 @@ from repro.timeseries.resample import resample_mean, resample_sum, upsample_repe
 from repro.timeseries.series import TimeSeries
 from repro.units.quantities import Carbon, CarbonIntensity, Duration, Energy, Power
 
-finite_positive = st.floats(min_value=1e-6, max_value=1e9, allow_nan=False,
-                            allow_infinity=False)
-small_positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False,
-                           allow_infinity=False)
-utilization = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+#: This file's historical range (kept: the unit layer is exercised at the
+#: wider canonical range by test_properties_timeseries).
+finite_positive = positive_floats(min_value=1e-6, max_value=1e9)
 
 
 class TestUnitProperties:

@@ -13,6 +13,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from strategies import (
+    factors,
+    finite_positive,
+    intensity_values,
+    series_values,
+    steps,
+)
+
 from repro.temporal.integrate import integrate_power_intensity
 from repro.temporal.scenarios import defer_load, time_shift
 from repro.timeseries.align import align_many, common_window
@@ -21,9 +29,6 @@ from repro.timeseries.resample import resample_mean, resample_sum, upsample_repe
 from repro.timeseries.series import TimeSeries
 from repro.units import conversions
 from repro.units.quantities import CarbonIntensity, Duration, Energy, Power
-
-finite_positive = st.floats(min_value=1e-9, max_value=1e12,
-                            allow_nan=False, allow_infinity=False)
 
 #: (forward, inverse) pairs covering every conversion helper.
 _CONVERSION_PAIRS = [
@@ -70,13 +75,6 @@ class TestConversionRoundTrips:
         energy = Power.from_watts(watts) * Duration.from_hours(hours)
         assert energy.kwh == pytest.approx(
             conversions.j_to_kwh(watts * hours * 3600.0), rel=1e-9)
-
-
-series_values = st.lists(
-    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
-    min_size=1, max_size=200)
-steps = st.sampled_from([1.0, 30.0, 60.0, 900.0, 1800.0])
-factors = st.integers(min_value=1, max_value=12)
 
 
 class TestTimeSeriesInvariants:
@@ -135,11 +133,6 @@ class TestTimeSeriesInvariants:
             assert series.start == pytest.approx(start)
             assert len(series) == len(aligned[0])
             assert series.end <= end + 1e-9
-
-
-intensity_values = st.lists(
-    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
-    min_size=2, max_size=96)
 
 
 class TestTemporalScenarioProperties:

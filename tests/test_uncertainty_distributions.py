@@ -1,4 +1,7 @@
-"""Tests for the distribution registry and its JSON-tagged forms."""
+"""Tests for the distribution registry and its JSON-tagged forms.
+
+The hypothesis properties draw from the shared :mod:`strategies` module.
+"""
 
 import math
 
@@ -6,6 +9,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from strategies import bounded_distributions
 
 from repro.uncertainty.distributions import (
     DISTRIBUTIONS,
@@ -153,18 +158,6 @@ class TestSampling:
 
 
 # -- hypothesis properties ----------------------------------------------------------
-
-bounded_distributions = st.one_of(
-    st.tuples(st.floats(-1e6, 1e6), st.floats(1e-3, 1e6)).map(
-        lambda t: Uniform(t[0], t[0] + t[1])),
-    st.tuples(st.floats(-1e6, 1e6), st.floats(1e-3, 1e5),
-              st.floats(1e-3, 1e5)).map(
-        lambda t: Triangular(t[0], t[0] + t[1], t[0] + t[1] + t[2])),
-    st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8).map(
-        lambda values: Discrete(tuple(values))),
-    st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=16).map(
-        lambda values: Empirical(tuple(values))),
-)
 
 
 @settings(max_examples=60, deadline=None)
