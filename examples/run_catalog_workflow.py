@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""The run catalog as a lab notebook: record, query, replay, diff.
+
+A realistic small workflow on top of ``repro.catalog``:
+
+1. record a tagged PUE sweep of the 2%-scale fleet into a catalog —
+   every run content-addressed, re-records of identical runs are no-ops;
+2. query it back (by tag, by spec field) like a notebook index;
+3. replay one spec and watch it get *served* — zero simulation,
+   bit-identical to the recorded answer;
+4. diff two scenarios to see exactly which tables moved and by how much,
+   plus the conservation audit that runs on every diff;
+5. export one run as a portable JSON document — the golden-baseline form
+   that can be committed to git and re-imported anywhere.
+
+Run with::
+
+    python examples/run_catalog_workflow.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import Assessment, BatchAssessmentRunner, default_spec
+from repro.catalog import CatalogRecorder, RunCatalog, diff_runs
+from repro.reporting import format_table
+from repro.reporting.runs import drift_table, runs_table
+
+SCALE = 0.02
+PUES = (1.1, 1.3, 1.6)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        catalog_path = Path(tmp) / "runs.db"
+        with RunCatalog(catalog_path) as catalog:
+            record_sweep(catalog)
+            query(catalog)
+            replay(catalog)
+            drift(catalog)
+            export(catalog)
+
+
+def record_sweep(catalog: RunCatalog) -> None:
+    print("=== 1. record a tagged PUE sweep " + "=" * 30)
+    recorder = CatalogRecorder(catalog, tags=("pue-sweep",))
+    runner = BatchAssessmentRunner(default_spec(node_scale=SCALE),
+                                   catalog=recorder)
+    batch = runner.sweep(pue=list(PUES))
+    print(format_table(
+        [{"pue": pue, "total_kg": round(result.total_kg, 3)}
+         for pue, result in zip(PUES, batch)],
+        title=f"PUE sweep at {SCALE:.0%} fleet scale"))
+    print(f"catalogued runs: {catalog.count()}")
+
+    # Identical sweep again: every run is already catalogued, nothing new
+    # is recorded (content addressing makes re-records no-ops).
+    runner.sweep(pue=list(PUES))
+    print(f"after an identical sweep: still {catalog.count()} runs\n")
+
+
+def query(catalog: RunCatalog) -> None:
+    print("=== 2. query the catalog " + "=" * 38)
+    print(runs_table(catalog.find(tag="pue-sweep"),
+                     title="runs tagged pue-sweep"))
+    worst = catalog.find(where={"pue": max(PUES)})
+    print(f"\nruns with pue={max(PUES)}: "
+          f"{[record.short_id for record in worst]}\n")
+
+
+def replay(catalog: RunCatalog) -> None:
+    print("=== 3. replay a catalogued spec " + "=" * 31)
+    spec = default_spec(node_scale=SCALE, pue=PUES[0])
+    start = time.perf_counter()
+    served = Assessment.from_spec(spec, catalog=catalog).run()
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    assert served.served_from_catalog
+    print(f"served from catalog in {elapsed_ms:.1f} ms "
+          f"(recorded run took "
+          f"{catalog.get(served.run_id).duration_s * 1e3:.0f} ms): "
+          f"total = {served.total_kg:.3f} kgCO2e\n")
+
+
+def drift(catalog: RunCatalog) -> None:
+    print("=== 4. diff two scenarios " + "=" * 37)
+    best, worst = (catalog.latest(
+        kind="assess",
+        spec_digest=catalog.find(where={"pue": pue})[0].spec_digest)
+        for pue in (min(PUES), max(PUES)))
+    diff = diff_runs(best.run_id, worst.run_id, catalog=catalog)
+    print(drift_table(diff))
+    print(f"\n{len(diff.findings)} findings across "
+          f"{sorted(diff.by_table())}; conservation audits clean: "
+          f"{not any(f.category == 'conservation' for f in diff.findings)}\n")
+
+
+def export(catalog: RunCatalog) -> None:
+    print("=== 5. export a portable run document " + "=" * 25)
+    record = catalog.runs()[0]
+    document = catalog.export_run(record.run_id)
+    print(f"run {record.short_id}: {len(json.dumps(document)):,} bytes of "
+          f"portable JSON (kind={document['kind']}, "
+          f"{sorted(document['payload'])})")
+    # Round trip into a second catalog; a tampered document would refuse.
+    with tempfile.TemporaryDirectory() as tmp:
+        with RunCatalog(Path(tmp) / "imported.db") as other:
+            assert other.import_run(document) == record.run_id
+            print(f"re-imported into a fresh catalog as "
+                  f"{other.runs()[0].short_id} — identity verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,21 @@ over one shared substrate with marginal-placement ranking:
 >>> folio.best_site_for(1000.0).region
 'FR'
 
+Every front door accepts an opt-in ``catalog=`` argument recording the run
+into a content-addressed :mod:`repro.catalog` — the system of record the
+``repro runs`` CLI queries, diffs and garbage-collects.  A repeat of a
+catalogued spec is *served* from the catalog, bit-identical, with zero
+simulation:
+
+>>> import tempfile, os
+>>> catalog_path = os.path.join(tempfile.mkdtemp(), "runs.db")
+>>> first = Assessment.from_spec(default_spec(node_scale=0.05),
+...                              catalog=catalog_path).run()
+>>> again = Assessment.from_spec(default_spec(node_scale=0.05),
+...                              catalog=catalog_path).run()
+>>> again.served_from_catalog and again.total_kg == first.total_kg
+True
+
 New backends (grid providers, embodied estimators, inventory sources, ...)
 register by name via :mod:`repro.api` and become addressable from any spec.
 The subpackages remain importable directly (``repro.core``, ``repro.power``,
@@ -130,8 +145,16 @@ from repro.portfolio import (
     PortfolioRunner,
     PortfolioSpec,
 )
+from repro.catalog import (
+    CatalogRecorder,
+    RunCatalog,
+    RunDiff,
+    RunRecord,
+    ServedRun,
+    diff_runs,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -202,6 +225,13 @@ __all__ = [
     "PortfolioResult",
     "PortfolioRunner",
     "PortfolioSpec",
+    # run catalog
+    "CatalogRecorder",
+    "RunCatalog",
+    "RunDiff",
+    "RunRecord",
+    "ServedRun",
+    "diff_runs",
     # reporting
     "AuditReport",
     "EquivalenceReport",

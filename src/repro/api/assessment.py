@@ -47,6 +47,20 @@ IntensityLike = Union[str, float, int, CarbonIntensity]
 _UNSET = object()
 
 
+def _coerce_catalog(catalog):
+    """Normalise a ``catalog=`` argument to a CatalogRecorder (or None).
+
+    The import is deferred: :mod:`repro.catalog` imports the API layer,
+    so a module-level import here would be circular — and the common
+    no-catalog path should not pay for loading the catalog machinery.
+    """
+    if catalog is None:
+        return None
+    from repro.catalog.record import CatalogRecorder
+
+    return CatalogRecorder.coerce(catalog)
+
+
 def resolve_spec_components(spec: AssessmentSpec):
     """Resolve every registry name a spec will need, loudly and early.
 
@@ -78,6 +92,13 @@ class Assessment:
         The substrate cache to run against; defaults to the process-wide
         shared cache, so independent assessments of the same physical
         configuration reuse one simulation.
+    catalog:
+        Opt-in run cataloguing: a :class:`~repro.catalog.RunCatalog`, a
+        :class:`~repro.catalog.CatalogRecorder` (to control tags and
+        serve/record policy), or just a database path.  :meth:`run` then
+        records its result — and a repeat of an already-catalogued spec
+        is *served* from the catalog with zero simulation, bit-identical
+        to the recorded run.
     """
 
     def __init__(
@@ -85,9 +106,11 @@ class Assessment:
         spec: Optional[AssessmentSpec] = None,
         *,
         substrates: Optional[SubstrateCache] = None,
+        catalog=None,
     ):
         self._spec = spec or default_spec()
         self._substrates = substrates if substrates is not None else shared_substrates()
+        self._recorder = _coerce_catalog(catalog)
 
     @classmethod
     def from_spec(
@@ -95,9 +118,10 @@ class Assessment:
         spec: AssessmentSpec,
         *,
         substrates: Optional[SubstrateCache] = None,
+        catalog=None,
     ) -> "Assessment":
         """An assessment for the given spec."""
-        return cls(spec, substrates=substrates)
+        return cls(spec, substrates=substrates, catalog=catalog)
 
     @property
     def spec(self) -> AssessmentSpec:
@@ -110,7 +134,8 @@ class Assessment:
     # -- fluent builders (each returns a new Assessment) ---------------------------
 
     def _replace(self, **changes) -> "Assessment":
-        return Assessment(self._spec.replace(**changes), substrates=self._substrates)
+        return Assessment(self._spec.replace(**changes),
+                          substrates=self._substrates, catalog=self._recorder)
 
     def with_grid(self, grid: IntensityLike) -> "Assessment":
         """Set the grid intensity: a registered provider name or a fixed value.
@@ -173,7 +198,19 @@ class Assessment:
         return series.reference_values()["medium"].g_per_kwh
 
     def run(self) -> AssessmentResult:
-        """Run the full pipeline and return the unified result."""
+        """Run the full pipeline and return the unified result.
+
+        With ``catalog=`` configured, a previously catalogued run of this
+        exact spec is served straight from the catalog (zero simulation,
+        as a :class:`~repro.catalog.ServedAssessmentResult`); otherwise
+        the live pipeline runs and its result is recorded.
+        """
+        if self._recorder is not None:
+            return self._recorder.run_assessment(self)
+        return self.run_live()
+
+    def run_live(self) -> AssessmentResult:
+        """Run the live pipeline unconditionally (never catalog-served)."""
         spec = self._spec
         policy_factory = resolve_spec_components(spec)
         intensity = self.resolved_intensity_g_per_kwh()

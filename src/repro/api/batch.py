@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.io.csvio import write_rows_csv
 from repro.io.jsonio import PathLike, write_json
 
-from repro.api.assessment import Assessment
+from repro.api.assessment import Assessment, _coerce_catalog
 from repro.api.result import AssessmentResult
 from repro.api.spec import AssessmentSpec, default_spec
 from repro.api.substrates import SubstrateCache, resolve_substrates
@@ -167,6 +167,12 @@ class BatchAssessmentRunner:
         Per-simulation site concurrency.  Giving ``jobs`` (with or without
         ``substrate_cache_dir``) builds a private cache configured with it;
         mutually exclusive with ``substrates`` for the same reason.
+    catalog:
+        Opt-in run cataloguing (a catalog, recorder, or path — see
+        :class:`~repro.api.assessment.Assessment`), threaded through to
+        every scenario this runner executes: already-catalogued scenarios
+        are served without simulating (their physical configurations are
+        not even prepared), fresh ones are recorded.
     """
 
     def __init__(
@@ -177,6 +183,7 @@ class BatchAssessmentRunner:
         max_workers: int = 1,
         substrate_cache_dir=None,
         jobs: Optional[int] = None,
+        catalog=None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -184,6 +191,7 @@ class BatchAssessmentRunner:
         self._substrates = resolve_substrates(substrates, substrate_cache_dir,
                                               jobs)
         self._max_workers = max_workers
+        self._recorder = _coerce_catalog(catalog)
 
     @property
     def base_spec(self) -> AssessmentSpec:
@@ -239,9 +247,11 @@ class BatchAssessmentRunner:
         specs = list(specs)
         if not specs:
             raise ValueError("run_specs needs at least one spec")
-        self._prepare_snapshots(specs)
+        self._prepare_snapshots(specs, kind="assess")
         results = [
-            Assessment(spec, substrates=self._substrates).run() for spec in specs
+            Assessment(spec, substrates=self._substrates,
+                       catalog=self._recorder).run()
+            for spec in specs
         ]
         return BatchResult(results=tuple(results))
 
@@ -275,9 +285,10 @@ class BatchAssessmentRunner:
         specs = list(specs)
         if not specs:
             raise ValueError("run_temporal_specs needs at least one spec")
-        self._prepare_snapshots(specs)
+        self._prepare_snapshots(specs, kind="temporal")
         results = [
-            TemporalAssessment(spec, substrates=self._substrates).run()
+            TemporalAssessment(spec, substrates=self._substrates,
+                               catalog=self._recorder).run()
             for spec in specs
         ]
         return TemporalBatchResult(results=tuple(results))
@@ -339,7 +350,8 @@ class BatchAssessmentRunner:
             spec = PortfolioSpec.from_regions(
                 regions, base_spec=self._base_spec, load_shares=shares,
                 name=f"{name}-{index}" if len(splits) > 1 else name)
-            runner = PortfolioRunner(spec, substrates=self._substrates)
+            runner = PortfolioRunner(spec, substrates=self._substrates,
+                                     catalog=self._recorder)
             results.append(runner.run())
         return PortfolioBatchResult(results=tuple(results))
 
@@ -366,16 +378,22 @@ class BatchAssessmentRunner:
         from repro.uncertainty.ensemble import EnsembleRunner
 
         runner = EnsembleRunner(self._base_spec, distributions,
-                                substrates=self._substrates)
+                                substrates=self._substrates,
+                                catalog=self._recorder)
         return runner.run(n_samples=n_samples, seed=seed, method=method)
 
-    def _prepare_snapshots(self, specs: Sequence[AssessmentSpec]) -> None:
+    def _prepare_snapshots(self, specs: Sequence[AssessmentSpec],
+                           kind: str = "assess") -> None:
         """Simulate each distinct physical configuration exactly once.
 
         With ``max_workers`` > 1 the distinct simulations run concurrently;
         the substrate cache guarantees no configuration is simulated twice
-        even under concurrency.
+        even under concurrency.  Scenarios the configured catalog can serve
+        are excluded first — a fully catalogued sweep prepares nothing.
         """
+        if self._recorder is not None:
+            specs = [spec for spec in specs
+                     if not self._recorder.can_serve(kind, spec.to_dict())]
         unique: Dict[tuple, AssessmentSpec] = {}
         for spec in specs:
             unique.setdefault(spec.physical_key(), spec)

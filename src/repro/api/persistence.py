@@ -21,7 +21,6 @@ version-mismatched cache entries are treated as misses, never as errors.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
@@ -31,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.hashing import digest_document
 from repro.power.campaign import SiteEnergyReport
 from repro.power.instruments import InstrumentReading
 from repro.snapshot.config import SiteSnapshotConfig, SnapshotConfig
@@ -63,8 +63,10 @@ def snapshot_digest(physical_key: Tuple[Any, ...], factory: Any) -> str:
         "physical_key": list(physical_key),
         "factory": f"{module}.{qualname}",
     }
-    blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()
+    # The shared hashing discipline (repro.hashing) serialises exactly as
+    # this module historically did, so existing on-disk entries stay valid
+    # (pinned by tests/test_hashing.py).
+    return digest_document(payload)
 
 
 def _site_config_dict(config: SiteSnapshotConfig) -> Dict[str, Any]:

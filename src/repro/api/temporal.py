@@ -39,7 +39,7 @@ from repro.io.jsonio import PathLike, write_json
 from repro.snapshot.experiment import SnapshotResult
 from repro.timeseries.series import TimeSeries
 
-from repro.api.assessment import Assessment, IntensityLike
+from repro.api.assessment import Assessment, IntensityLike, _coerce_catalog
 from repro.api.registry import TRACE_PROVIDERS
 from repro.api.result import AssessmentResult
 from repro.api.spec import AssessmentSpec, default_spec
@@ -158,7 +158,10 @@ class TemporalAssessment:
 
     Mirrors :class:`~repro.api.assessment.Assessment`: configured from a
     spec or fluently (each ``with_*`` returns a new instance), running
-    against a shared substrate cache.
+    against a shared substrate cache.  The optional ``catalog=`` argument
+    works exactly as on :class:`Assessment`: :meth:`run` records its
+    result, and a repeat of a catalogued spec is served without
+    simulating or re-integrating.
     """
 
     def __init__(
@@ -166,9 +169,11 @@ class TemporalAssessment:
         spec: Optional[AssessmentSpec] = None,
         *,
         substrates: Optional[SubstrateCache] = None,
+        catalog=None,
     ):
         self._spec = spec or default_spec()
         self._substrates = substrates if substrates is not None else shared_substrates()
+        self._recorder = _coerce_catalog(catalog)
 
     @classmethod
     def from_spec(
@@ -176,8 +181,9 @@ class TemporalAssessment:
         spec: AssessmentSpec,
         *,
         substrates: Optional[SubstrateCache] = None,
+        catalog=None,
     ) -> "TemporalAssessment":
-        return cls(spec, substrates=substrates)
+        return cls(spec, substrates=substrates, catalog=catalog)
 
     @property
     def spec(self) -> AssessmentSpec:
@@ -191,7 +197,8 @@ class TemporalAssessment:
 
     def _replace(self, **changes) -> "TemporalAssessment":
         return TemporalAssessment(
-            self._spec.replace(**changes), substrates=self._substrates
+            self._spec.replace(**changes), substrates=self._substrates,
+            catalog=self._recorder,
         )
 
     def with_grid(self, grid: IntensityLike) -> "TemporalAssessment":
@@ -275,7 +282,19 @@ class TemporalAssessment:
         )
 
     def run(self) -> TemporalAssessmentResult:
-        """Run the time-resolved pipeline and return the unified result."""
+        """Run the time-resolved pipeline and return the unified result.
+
+        With ``catalog=`` configured, a previously catalogued run of this
+        exact spec is served from the catalog (zero simulation) as a
+        :class:`~repro.catalog.ServedRun`; otherwise the live pipeline
+        runs and its result is recorded.
+        """
+        if self._recorder is not None:
+            return self._recorder.run_temporal(self)
+        return self.run_live()
+
+    def run_live(self) -> TemporalAssessmentResult:
+        """Run the live time-resolved pipeline unconditionally."""
         spec = self._spec
         # Resolve the trace provider before the expensive simulation so a
         # typo'd name fails in milliseconds (the static assessment performs

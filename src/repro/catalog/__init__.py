@@ -1,0 +1,85 @@
+"""The run catalog: a content-addressed system of record for every assessment.
+
+Where the substrate cache (:mod:`repro.api.persistence`) stores *physics*,
+this package stores *answers*: every ``assess`` / ``temporal`` /
+``uncertainty`` / ``portfolio`` run recorded into one SQLite file keyed by
+the SHA-256 of its kind, canonical spec and canonical payload.  Three
+capabilities fall out:
+
+* **serving cache** — a repeat of a catalogued spec is answered in O(1)
+  with zero simulation, bit-identical to the recorded run (every façade
+  takes an opt-in ``catalog=`` argument);
+* **drift detection** — :func:`diff_runs` compares two runs table by
+  table under configurable tolerances and audits each run's conservation
+  laws (``repro runs diff`` exits non-zero on drift, for CI);
+* **system of record** — ``repro runs list/find/show/gc`` queries and
+  prunes the catalog from the shell.
+
+Quick start::
+
+    from repro.api import Assessment, default_spec
+    from repro.catalog import RunCatalog, diff_runs
+
+    spec = default_spec(node_scale=0.05)
+    first = Assessment.from_spec(spec, catalog="runs.db").run()   # simulates
+    again = Assessment.from_spec(spec, catalog="runs.db").run()   # served
+    assert again.served_from_catalog and again.as_dict() == first.as_dict()
+
+    with RunCatalog("runs.db") as cat:
+        a, b = [r.run_id for r in cat.find(kind="assess", limit=2)]
+        print(diff_runs(a, b, catalog=cat).summary())
+"""
+
+from repro.catalog.diff import (
+    CONSERVATION_ATOL,
+    CONSERVATION_RTOL,
+    DEFAULT_ATOL,
+    DEFAULT_RTOL,
+    DriftFinding,
+    RunDiff,
+    conservation_findings,
+    diff_runs,
+)
+from repro.catalog.record import (
+    CatalogRecorder,
+    ServedAssessmentResult,
+    ServedRun,
+)
+from repro.catalog.schema import (
+    RUN_KINDS,
+    SCHEMA_VERSION,
+    CatalogCorruptError,
+    CatalogError,
+    CatalogMigrationError,
+)
+from repro.catalog.store import (
+    GcResult,
+    RunCatalog,
+    RunRecord,
+    run_identity,
+    spec_digest,
+)
+
+__all__ = [
+    "CONSERVATION_ATOL",
+    "CONSERVATION_RTOL",
+    "CatalogCorruptError",
+    "CatalogError",
+    "CatalogMigrationError",
+    "CatalogRecorder",
+    "DEFAULT_ATOL",
+    "DEFAULT_RTOL",
+    "DriftFinding",
+    "GcResult",
+    "RUN_KINDS",
+    "RunCatalog",
+    "RunDiff",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "ServedAssessmentResult",
+    "ServedRun",
+    "conservation_findings",
+    "diff_runs",
+    "run_identity",
+    "spec_digest",
+]

@@ -1,0 +1,242 @@
+"""The ``repro runs`` subcommand family: list / find / show / diff / gc.
+
+Wired into the main parser by :func:`add_runs_parser` and dispatched by
+:func:`cmd_runs` (the main CLI's ``_COMMANDS`` entry).  All subcommands
+operate on an *existing* catalog — a missing file is an error, never
+silently created — selected by ``--catalog`` or the ``REPRO_CATALOG``
+environment variable (default ``runs.db``).
+
+``diff`` is CI's tripwire: exit 0 when the two runs agree within
+tolerance, exit 1 on drift (with the per-table findings on stdout),
+exit 2 on usage errors — so a pipeline can record a fresh run and fail
+the build the moment it stops matching the catalogued baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.catalog.diff import DEFAULT_ATOL, DEFAULT_RTOL, diff_runs
+from repro.catalog.schema import RUN_KINDS, CatalogError
+from repro.catalog.store import RunCatalog
+
+#: Environment variable naming the default catalog path.
+CATALOG_ENV = "REPRO_CATALOG"
+
+#: Fallback catalog path when neither --catalog nor the env var is set.
+DEFAULT_CATALOG = "runs.db"
+
+
+def default_catalog_path() -> Path:
+    return Path(os.environ.get(CATALOG_ENV, DEFAULT_CATALOG))
+
+
+def add_runs_parser(subparsers) -> None:
+    """Attach the ``runs`` subcommand tree to the main CLI's subparsers."""
+    runs = subparsers.add_parser(
+        "runs", help="query, diff and garbage-collect the run catalog")
+    _add_catalog_argument(runs, default=None)
+    commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    listing = commands.add_parser("list", help="list catalogued runs, newest first")
+    _add_filter_arguments(listing, where=False)
+    _add_format_argument(listing)
+
+    find = commands.add_parser(
+        "find", help="find runs by kind, tag and spec-field predicates")
+    _add_filter_arguments(find, where=True)
+    _add_format_argument(find)
+
+    show = commands.add_parser("show", help="show one run's metadata and spec")
+    show.add_argument("run_id", help="run id or unique prefix (>= 6 chars)")
+    show.add_argument("--payload", action="store_true",
+                      help="also print the recorded result payload (JSON)")
+    _add_format_argument(show, choices=("table", "json"))
+
+    diff = commands.add_parser(
+        "diff", help="diff two runs; exits 1 on drift beyond tolerance")
+    diff.add_argument("run_a", help="first run id or unique prefix")
+    diff.add_argument("run_b", help="second run id or unique prefix")
+    diff.add_argument("--rtol", type=float, default=DEFAULT_RTOL,
+                      help=f"relative tolerance (default: {DEFAULT_RTOL:g})")
+    diff.add_argument("--atol", type=float, default=DEFAULT_ATOL,
+                      help=f"absolute tolerance (default: {DEFAULT_ATOL:g})")
+    _add_format_argument(diff, choices=("table", "json"))
+
+    gc = commands.add_parser(
+        "gc", help="delete runs by age and/or total-size policy, oldest first")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="delete runs recorded longer ago than this")
+    gc.add_argument("--max-total-bytes", type=int, default=None,
+                    help="delete oldest runs until the catalog fits")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be deleted without deleting")
+
+    # Accept --catalog on either side of the subcommand (``repro runs
+    # --catalog X list`` and ``repro runs list --catalog X`` both work).
+    # SUPPRESS keeps an omitted child flag from clobbering the parent's.
+    for subcommand in (listing, find, show, diff, gc):
+        _add_catalog_argument(subcommand, default=argparse.SUPPRESS)
+
+
+def _add_catalog_argument(parser: argparse.ArgumentParser, *,
+                          default) -> None:
+    parser.add_argument("--catalog", type=Path, default=default,
+                        help=f"catalog database path (default: "
+                             f"${CATALOG_ENV} or {DEFAULT_CATALOG})")
+
+
+def _add_filter_arguments(parser: argparse.ArgumentParser, *,
+                          where: bool) -> None:
+    parser.add_argument("--kind", choices=RUN_KINDS, default=None,
+                        help="only runs of this kind")
+    parser.add_argument("--tag", type=str, default=None,
+                        help="only runs carrying this tag")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="at most this many runs (newest first)")
+    if where:
+        parser.add_argument(
+            "--where", action="append", default=[], metavar="FIELD=VALUE",
+            help="spec-field predicate, repeatable (dotted paths allowed: "
+                 "--where node_scale=0.05 --where spec.seed=3)")
+
+
+def _add_format_argument(parser: argparse.ArgumentParser,
+                         choices=("table", "json", "csv")) -> None:
+    parser.add_argument("--format", choices=choices, default="table",
+                        help="output format (default: table)")
+
+
+def _parse_where(clauses: List[str]) -> Dict[str, Any]:
+    """``FIELD=VALUE`` predicates; values parse as JSON, else as strings."""
+    where: Dict[str, Any] = {}
+    for clause in clauses:
+        field, separator, raw = clause.partition("=")
+        if not separator or not field:
+            raise CatalogError(
+                f"--where expects FIELD=VALUE, got {clause!r}")
+        try:
+            where[field] = json.loads(raw)
+        except ValueError:
+            where[field] = raw
+    return where
+
+
+def _open_catalog(args: argparse.Namespace) -> RunCatalog:
+    path = args.catalog if args.catalog is not None else default_catalog_path()
+    return RunCatalog(path, create=False)
+
+
+def _emit_records(records, fmt: str, title: str) -> None:
+    from repro.reporting.runs import runs_table
+
+    if fmt == "json":
+        print(json.dumps([record.as_dict() for record in records],
+                         indent=2, sort_keys=True))
+    elif fmt == "csv":
+        import csv
+
+        rows = [record.row() for record in records]
+        if rows:
+            writer = csv.writer(sys.stdout)
+            writer.writerow(list(rows[0]))
+            for row in rows:
+                writer.writerow(list(row.values()))
+    else:
+        print(runs_table(records, title=title))
+
+
+def _cmd_list(catalog: RunCatalog, args: argparse.Namespace) -> int:
+    records = catalog.find(kind=args.kind, tag=args.tag, limit=args.limit)
+    _emit_records(records, args.format, f"Catalogued runs ({catalog.path})")
+    return 0
+
+
+def _cmd_find(catalog: RunCatalog, args: argparse.Namespace) -> int:
+    where = _parse_where(args.where)
+    records = catalog.find(kind=args.kind, tag=args.tag,
+                           where=where or None, limit=args.limit)
+    _emit_records(records, args.format, f"Matching runs ({catalog.path})")
+    return 0
+
+
+def _cmd_show(catalog: RunCatalog, args: argparse.Namespace) -> int:
+    from repro.reporting.runs import run_details
+
+    record = catalog.get(args.run_id)
+    if args.format == "json":
+        document = (catalog.run_document(record.run_id) if args.payload
+                    else record.as_dict())
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(run_details(record))
+    if args.payload:
+        print()
+        print(json.dumps(catalog.payload(record.run_id), indent=2,
+                         sort_keys=True))
+    return 0
+
+
+def _cmd_diff(catalog: RunCatalog, args: argparse.Namespace) -> int:
+    from repro.reporting.runs import drift_table
+
+    diff = diff_runs(args.run_a, args.run_b, catalog=catalog,
+                     rtol=args.rtol, atol=args.atol)
+    if args.format == "json":
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(drift_table(diff))
+    return 1 if diff.has_drift else 0
+
+
+def _cmd_gc(catalog: RunCatalog, args: argparse.Namespace) -> int:
+    result = catalog.gc(max_age_days=args.max_age_days,
+                        max_total_bytes=args.max_total_bytes,
+                        dry_run=args.dry_run)
+    verb = "would delete" if result.dry_run else "deleted"
+    print(f"gc {verb} {len(result.deleted)} run(s), "
+          f"{result.freed_bytes:,} bytes; "
+          f"{result.remaining_runs} run(s), "
+          f"{result.remaining_bytes:,} bytes remain")
+    for record in result.deleted:
+        print(f"  {record.short_id}  {record.kind}")
+    return 0
+
+
+_RUNS_COMMANDS = {
+    "list": _cmd_list,
+    "find": _cmd_find,
+    "show": _cmd_show,
+    "diff": _cmd_diff,
+    "gc": _cmd_gc,
+}
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Dispatch one ``repro runs ...`` invocation (the main CLI's entry)."""
+    try:
+        catalog: Optional[RunCatalog] = _open_catalog(args)
+    except CatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return _RUNS_COMMANDS[args.runs_command](catalog, args)
+    except CatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        catalog.close()
+
+
+__all__ = [
+    "CATALOG_ENV",
+    "DEFAULT_CATALOG",
+    "add_runs_parser",
+    "cmd_runs",
+    "default_catalog_path",
+]

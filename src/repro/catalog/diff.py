@@ -1,0 +1,454 @@
+"""Drift detection between catalogued runs.
+
+:func:`diff_runs` compares two recorded runs table by table — the summary
+row, Table 2, the temporal interval profile, ensemble quantiles, portfolio
+site rollups and placement rankings, whatever the recorded kind carries —
+under configurable absolute/relative tolerances, and additionally audits
+each run's *internal* conservation laws:
+
+* ``assess``/``temporal``/``portfolio``: total = active + embodied;
+* ``temporal``: the interval profile must integrate back to the summary's
+  active carbon and facility energy (energy conservation under shift /
+  defer scenarios);
+* ``portfolio``: site rows must sum to the portfolio rollup, and
+  placement rankings must be monotone in added carbon;
+* ``uncertainty``: quantile curves must be monotone and agree with the
+  summary's headline quantiles.
+
+A conservation violation is a first-class drift finding: two runs can
+match each other perfectly and still both be wrong in a way the invariants
+catch.
+
+::
+
+    from repro.catalog import RunCatalog, diff_runs
+
+    with RunCatalog("runs.db") as cat:
+        drift = diff_runs(id_a, id_b, catalog=cat, rtol=1e-9)
+        if drift.has_drift:
+            for row in drift.rows():
+                print(row["table"], row["path"], row["message"])
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.catalog.schema import CatalogError
+from repro.catalog.store import RunCatalog
+
+#: Default comparison tolerances: drift means "not bit-reproducible"
+#: unless the caller loosens them.
+DEFAULT_RTOL = 1e-9
+DEFAULT_ATOL = 0.0
+
+#: Internal-consistency tolerance for the conservation audits — looser
+#: than the diff tolerances because rollups legitimately accumulate float
+#: summation error across many rows.
+CONSERVATION_RTOL = 1e-9
+CONSERVATION_ATOL = 1e-12
+
+#: Finding categories, in severity order.
+CATEGORIES = ("structure", "conservation", "value")
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One detected difference (or invariant violation).
+
+    Attributes
+    ----------
+    category:
+        ``"structure"`` (shape mismatch: missing keys, different lengths,
+        different types), ``"conservation"`` (an internal invariant of one
+        run is violated) or ``"value"`` (a number or string differs beyond
+        tolerance).
+    table:
+        The top-level payload section the finding lives in (``summary``,
+        ``table2``, ``intervals``, ``quantiles``, ``sites``,
+        ``placement``, ``spec``, ...).
+    path:
+        Dotted/indexed path to the differing leaf within the payload.
+    a / b:
+        The two observed values (``b`` is ``None`` for single-run
+        conservation findings).
+    abs_delta / rel_delta:
+        Numeric deltas when both sides are numbers.
+    message:
+        One human-readable sentence.
+    """
+
+    category: str
+    table: str
+    path: str
+    a: Any
+    b: Any
+    abs_delta: Optional[float]
+    rel_delta: Optional[float]
+    message: str
+
+    def row(self) -> Dict[str, Any]:
+        """One flat row for tables and CSV."""
+        return {
+            "category": self.category,
+            "table": self.table,
+            "path": self.path,
+            "a": self.a,
+            "b": self.b,
+            "abs_delta": self.abs_delta,
+            "rel_delta": self.rel_delta,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """The full comparison of two runs."""
+
+    kind: str
+    run_a: str
+    run_b: str
+    rtol: float
+    atol: float
+    compared_values: int
+    findings: Tuple[DriftFinding, ...]
+
+    @property
+    def has_drift(self) -> bool:
+        return bool(self.findings)
+
+    @property
+    def max_abs_delta(self) -> float:
+        deltas = [f.abs_delta for f in self.findings if f.abs_delta is not None]
+        return max(deltas) if deltas else 0.0
+
+    @property
+    def max_rel_delta(self) -> float:
+        deltas = [f.rel_delta for f in self.findings if f.rel_delta is not None]
+        return max(deltas) if deltas else 0.0
+
+    def by_table(self) -> Dict[str, List[DriftFinding]]:
+        """Findings grouped by payload table, preserving order."""
+        grouped: Dict[str, List[DriftFinding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.table, []).append(finding)
+        return grouped
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One flat row per finding, severest categories first."""
+        order = {category: index for index, category in enumerate(CATEGORIES)}
+        ranked = sorted(self.findings,
+                        key=lambda f: (order.get(f.category, len(order)),
+                                       f.table, f.path))
+        return [finding.row() for finding in ranked]
+
+    def summary(self) -> Dict[str, Any]:
+        """One flat headline row (the CLI's and CI's verdict line)."""
+        per_category = {category: 0 for category in CATEGORIES}
+        for finding in self.findings:
+            per_category[finding.category] = (
+                per_category.get(finding.category, 0) + 1)
+        return {
+            "kind": self.kind,
+            "run_a": self.run_a[:12],
+            "run_b": self.run_b[:12],
+            "drift": self.has_drift,
+            "findings": len(self.findings),
+            "structure": per_category.get("structure", 0),
+            "conservation": per_category.get("conservation", 0),
+            "value": per_category.get("value", 0),
+            "compared_values": self.compared_values,
+            "max_abs_delta": self.max_abs_delta,
+            "max_rel_delta": self.max_rel_delta,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "summary": self.summary(),
+            "rtol": self.rtol,
+            "atol": self.atol,
+            "findings": self.rows(),
+        }
+
+
+# -- the recursive payload walker -----------------------------------------------------
+
+
+class _Walk:
+    """Accumulates findings while walking two payload trees in lockstep."""
+
+    def __init__(self, rtol: float, atol: float):
+        self.rtol = rtol
+        self.atol = atol
+        self.findings: List[DriftFinding] = []
+        self.compared = 0
+
+    def _table_of(self, path: str) -> str:
+        return path.split(".", 1)[0].split("[", 1)[0] or "payload"
+
+    def add(self, category: str, path: str, a: Any, b: Any, message: str,
+            abs_delta: Optional[float] = None,
+            rel_delta: Optional[float] = None) -> None:
+        self.findings.append(DriftFinding(
+            category=category, table=self._table_of(path), path=path,
+            a=a, b=b, abs_delta=abs_delta, rel_delta=rel_delta,
+            message=message))
+
+    def walk(self, path: str, a: Any, b: Any) -> None:
+        if isinstance(a, bool) or isinstance(b, bool):
+            # bool before number: True == 1 would otherwise compare clean.
+            self.compared += 1
+            if a is not b:
+                self.add("value", path, a, b, f"{path}: {a!r} != {b!r}")
+        elif isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            self.compared += 1
+            fa, fb = float(a), float(b)
+            if math.isnan(fa) and math.isnan(fb):
+                return
+            if not math.isclose(fa, fb, rel_tol=self.rtol, abs_tol=self.atol):
+                abs_delta = abs(fa - fb)
+                scale = max(abs(fa), abs(fb))
+                rel_delta = abs_delta / scale if scale > 0 else math.inf
+                self.add("value", path, a, b,
+                         f"{path}: {a!r} != {b!r} "
+                         f"(abs {abs_delta:.3e}, rel {rel_delta:.3e})",
+                         abs_delta=abs_delta, rel_delta=rel_delta)
+        elif isinstance(a, Mapping) and isinstance(b, Mapping):
+            only_a = sorted(set(a) - set(b))
+            only_b = sorted(set(b) - set(a))
+            for key in only_a:
+                self.add("structure", f"{path}.{key}" if path else str(key),
+                         a[key], None, f"key {key!r} only in run a")
+            for key in only_b:
+                self.add("structure", f"{path}.{key}" if path else str(key),
+                         None, b[key], f"key {key!r} only in run b")
+            for key in sorted(set(a) & set(b)):
+                self.walk(f"{path}.{key}" if path else str(key),
+                          a[key], b[key])
+        elif (isinstance(a, Sequence) and isinstance(b, Sequence)
+                and not isinstance(a, str) and not isinstance(b, str)):
+            if len(a) != len(b):
+                self.add("structure", path, len(a), len(b),
+                         f"{path}: {len(a)} rows in run a, {len(b)} in run b")
+            for index, (item_a, item_b) in enumerate(zip(a, b)):
+                self.walk(f"{path}[{index}]", item_a, item_b)
+        elif type(a) is not type(b) and not (a is None and b is None):
+            self.add("structure", path, a, b,
+                     f"{path}: {type(a).__name__} in run a, "
+                     f"{type(b).__name__} in run b")
+        else:
+            self.compared += 1
+            if a != b:
+                self.add("value", path, a, b, f"{path}: {a!r} != {b!r}")
+
+
+# -- conservation audits --------------------------------------------------------------
+
+
+def _consistent(x: float, y: float) -> bool:
+    return math.isclose(x, y, rel_tol=CONSERVATION_RTOL,
+                        abs_tol=CONSERVATION_ATOL)
+
+
+def _num(value: Any) -> bool:
+    """True for real numbers; bools and corrupted non-numerics audit as
+    absent (the structural walk already reports type mismatches)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def conservation_findings(kind: str, payload: Mapping[str, Any],
+                          label: str) -> List[DriftFinding]:
+    """Violations of ``kind``'s internal invariants in one payload.
+
+    ``label`` names the run in messages (``"a"`` / ``"b"`` from
+    :func:`diff_runs`, or anything the caller likes).
+    """
+    findings: List[DriftFinding] = []
+    summary = payload.get("summary", {})
+
+    def violated(table: str, path: str, got: float, expected: float,
+                 law: str) -> None:
+        findings.append(DriftFinding(
+            category="conservation", table=table, path=path,
+            a=got, b=expected,
+            abs_delta=abs(got - expected),
+            rel_delta=(abs(got - expected) / max(abs(got), abs(expected))
+                       if max(abs(got), abs(expected)) > 0 else 0.0),
+            message=f"run {label}: {law} ({got!r} vs {expected!r})"))
+
+    def check_total(table: str = "summary",
+                    summary_row: Mapping[str, Any] = summary) -> None:
+        keys = ("total_kg", "active_kg", "embodied_kg")
+        if all(_num(summary_row.get(key)) for key in keys):
+            expected = summary_row["active_kg"] + summary_row["embodied_kg"]
+            if not _consistent(summary_row["total_kg"], expected):
+                violated(table, f"{table}.total_kg",
+                         summary_row["total_kg"], expected,
+                         "total_kg != active_kg + embodied_kg")
+
+    if kind in ("assess", "portfolio"):
+        check_total()
+    if kind == "temporal":
+        check_total()
+        if all(_num(summary.get(key)) for key in
+               ("active_kg", "window_average_active_kg",
+                "temporal_correction_kg")):
+            expected = (summary["window_average_active_kg"]
+                        + summary["temporal_correction_kg"])
+            if not _consistent(summary["active_kg"], expected):
+                violated("summary", "summary.active_kg",
+                         summary["active_kg"], expected,
+                         "active_kg != window_average + correction")
+        intervals = payload.get("intervals", [])
+        if intervals and all(
+                _num(row.get("carbon_kg", 0.0))
+                and _num(row.get("energy_kwh", 0.0)) for row in intervals):
+            carbon = sum(row.get("carbon_kg", 0.0) for row in intervals)
+            energy = sum(row.get("energy_kwh", 0.0) for row in intervals)
+            if _num(summary.get("active_kg")) and not _consistent(
+                    carbon, summary["active_kg"]):
+                violated("intervals", "sum(intervals.carbon_kg)",
+                         carbon, summary["active_kg"],
+                         "interval carbon does not integrate to active_kg")
+            if _num(summary.get("energy_kwh")) and not _consistent(
+                    energy, summary["energy_kwh"]):
+                violated("intervals", "sum(intervals.energy_kwh)",
+                         energy, summary["energy_kwh"],
+                         "interval energy does not integrate to energy_kwh "
+                         "(energy non-conservation under shift/defer)")
+    if kind == "portfolio":
+        sites = payload.get("sites", [])
+        if sites:
+            for metric in ("active_kg", "embodied_kg", "total_kg",
+                           "energy_kwh"):
+                if not _num(summary.get(metric)) or not all(
+                        _num(row.get(metric, 0.0)) for row in sites):
+                    continue
+                rolled = sum(row.get(metric, 0.0) for row in sites)
+                if not _consistent(rolled, summary[metric]):
+                    violated("sites", f"sum(sites.{metric})",
+                             rolled, summary[metric],
+                             f"site rollup != portfolio {metric}")
+        placement = payload.get("placement", {})
+        for view in ("snapshot", "carbon_aware"):
+            rows = placement.get(view, []) if isinstance(placement, Mapping) \
+                else []
+            added = [row.get("added_kg") for row in rows
+                     if _num(row.get("added_kg"))]
+            if any(later < earlier for earlier, later in zip(added, added[1:])):
+                findings.append(DriftFinding(
+                    category="conservation", table="placement",
+                    path=f"placement.{view}", a=added, b=None,
+                    abs_delta=None, rel_delta=None,
+                    message=f"run {label}: placement ranking {view!r} is "
+                            f"not monotone in added_kg"))
+    if kind == "uncertainty":
+        quantiles = payload.get("quantiles", {})
+        if isinstance(quantiles, Mapping):
+            for metric, curve in sorted(quantiles.items()):
+                if not isinstance(curve, Mapping):
+                    continue
+                labels = sorted(curve, key=lambda l: float(l[1:]))
+                values = [curve[l] for l in labels]
+                if all(_num(v) for v in values) and any(
+                        later < earlier
+                        for earlier, later in zip(values, values[1:])):
+                    findings.append(DriftFinding(
+                        category="conservation", table="quantiles",
+                        path=f"quantiles.{metric}", a=values, b=None,
+                        abs_delta=None, rel_delta=None,
+                        message=f"run {label}: quantile curve for {metric} "
+                                f"is not monotone"))
+                for label_q, value in curve.items():
+                    headline = summary.get(f"{metric}_{label_q}")
+                    if _num(value) and _num(headline) and not _consistent(
+                            value, headline):
+                        violated("quantiles",
+                                 f"quantiles.{metric}.{label_q}",
+                                 value, headline,
+                                 f"quantile table disagrees with summary "
+                                 f"{metric}_{label_q}")
+    return findings
+
+
+# -- the public entry points ----------------------------------------------------------
+
+RunLike = Union[str, Mapping[str, Any]]
+
+
+def _resolve(run: RunLike, catalog: Optional[RunCatalog],
+             side: str) -> Dict[str, Any]:
+    """Normalise a run reference to its exported document form."""
+    if isinstance(run, str):
+        if catalog is None:
+            raise CatalogError(
+                f"run {side} is an id ({run!r}) but no catalog was given; "
+                f"pass catalog= or pass exported run documents")
+        return catalog.run_document(run)
+    if isinstance(run, Mapping):
+        missing = [key for key in ("kind", "payload") if key not in run]
+        if missing:
+            raise CatalogError(
+                f"run {side} document is missing {', '.join(missing)}; "
+                f"expected the RunCatalog.run_document form")
+        return dict(run)
+    raise CatalogError(
+        f"run {side} must be a run id or an exported run document, got "
+        f"{type(run).__name__}")
+
+
+def diff_runs(
+    a: RunLike,
+    b: RunLike,
+    *,
+    catalog: Optional[RunCatalog] = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> RunDiff:
+    """Compare two catalogued runs and audit their conservation laws.
+
+    ``a`` and ``b`` are run ids (resolved against ``catalog``, prefixes
+    accepted) or exported run documents (:meth:`RunCatalog.run_document`
+    — the golden-baseline form).  Runs of different kinds refuse to
+    compare: that is a usage error, not drift.
+    """
+    if rtol < 0 or atol < 0:
+        raise CatalogError("tolerances must be non-negative")
+    doc_a = _resolve(a, catalog, "a")
+    doc_b = _resolve(b, catalog, "b")
+    if doc_a["kind"] != doc_b["kind"]:
+        raise CatalogError(
+            f"cannot diff a {doc_a['kind']!r} run against a "
+            f"{doc_b['kind']!r} run; drift is defined within one kind")
+    kind = doc_a["kind"]
+    walk = _Walk(rtol, atol)
+    # The payload's own "spec" section covers spec drift (every recorded
+    # kind embeds the spec it ran), so only the payload is walked.
+    walk.walk("", doc_a["payload"], doc_b["payload"])
+    findings = list(walk.findings)
+    findings.extend(conservation_findings(kind, doc_a["payload"], "a"))
+    findings.extend(conservation_findings(kind, doc_b["payload"], "b"))
+    return RunDiff(
+        kind=kind,
+        run_a=str(doc_a.get("run_id", "a")),
+        run_b=str(doc_b.get("run_id", "b")),
+        rtol=rtol,
+        atol=atol,
+        compared_values=walk.compared,
+        findings=tuple(findings),
+    )
+
+
+__all__ = [
+    "CATEGORIES",
+    "CONSERVATION_ATOL",
+    "CONSERVATION_RTOL",
+    "DEFAULT_ATOL",
+    "DEFAULT_RTOL",
+    "DriftFinding",
+    "RunDiff",
+    "conservation_findings",
+    "diff_runs",
+]

@@ -1,0 +1,121 @@
+"""The run catalog's SQLite schema, versioning and error taxonomy.
+
+The catalog is a small relational schema over one SQLite file:
+
+``catalog_meta``
+    One row per metadata key; carries ``schema_version`` so a catalog
+    written by a newer layout is refused loudly (:class:`CatalogMigrationError`)
+    instead of being misread.
+``runs``
+    One row per recorded run: the content-addressed ``run_id``, the run
+    kind (``assess`` / ``temporal`` / ``uncertainty`` / ``portfolio``),
+    the canonical spec JSON and its digest, the package version that
+    produced it, timestamps, duration and size bookkeeping.
+``payloads``
+    The run's result document (the run's ``as_dict()`` serialisation),
+    compressed; one row per run, deleted with it.
+``tags``
+    Free-form labels attached at record time; the ``find`` index.
+
+Everything is content-addressed: ``run_id`` is the SHA-256 of
+``(kind, canonical spec JSON, canonical payload JSON)``, so recording the
+identical run twice is a no-op and two catalogs recording the same run
+agree on its identity.
+"""
+
+from __future__ import annotations
+
+#: Bump when the table layout changes.  There is deliberately no automatic
+#: migration: a version-skewed catalog raises :class:`CatalogMigrationError`
+#: naming both versions, so stale catalogs are never silently misread.
+SCHEMA_VERSION = 1
+
+#: The run kinds the catalog records, one per front-door entry point.
+RUN_KINDS = ("assess", "temporal", "uncertainty", "portfolio")
+
+#: How payload blobs are encoded on disk.
+PAYLOAD_FORMAT = "json+zlib"
+
+#: The DDL, executed idempotently on open (``IF NOT EXISTS`` throughout,
+#: so two processes racing to create a catalog both succeed).
+SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS catalog_meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        run_id          TEXT PRIMARY KEY,
+        kind            TEXT NOT NULL,
+        spec_json       TEXT NOT NULL,
+        spec_digest     TEXT NOT NULL,
+        package_version TEXT NOT NULL,
+        created_at      REAL NOT NULL,
+        duration_s      REAL,
+        payload_bytes   INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_runs_kind_digest
+        ON runs (kind, spec_digest, created_at)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS payloads (
+        run_id  TEXT PRIMARY KEY REFERENCES runs (run_id) ON DELETE CASCADE,
+        format  TEXT NOT NULL,
+        payload BLOB NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS tags (
+        run_id TEXT NOT NULL REFERENCES runs (run_id) ON DELETE CASCADE,
+        tag    TEXT NOT NULL,
+        PRIMARY KEY (run_id, tag)
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_tags_tag ON tags (tag)
+    """,
+)
+
+
+class CatalogError(Exception):
+    """Base class for every run-catalog failure."""
+
+
+class CatalogCorruptError(CatalogError):
+    """The catalog file exists but is not a readable SQLite catalog.
+
+    Raised instead of silently recomputing: a corrupt system of record is
+    an operational incident, not a cache miss.
+    """
+
+
+class CatalogMigrationError(CatalogError):
+    """The catalog's schema version does not match this package's.
+
+    The message names both versions; no automatic migration is attempted.
+    """
+
+    def __init__(self, path, found, expected=SCHEMA_VERSION):
+        self.path = path
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"run catalog {path} has schema version {found!r}; this "
+            f"version of repro expects {expected} — migration required "
+            f"(export the runs with a matching package version, or point "
+            f"at a new catalog path)")
+
+
+__all__ = [
+    "CatalogCorruptError",
+    "CatalogError",
+    "CatalogMigrationError",
+    "PAYLOAD_FORMAT",
+    "RUN_KINDS",
+    "SCHEMA_STATEMENTS",
+    "SCHEMA_VERSION",
+]

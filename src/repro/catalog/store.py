@@ -1,0 +1,548 @@
+"""The content-addressed run catalog: SQLite-backed system of record.
+
+A :class:`RunCatalog` records every assessment the pipeline produces —
+spec, result payload, provenance — and finds, serves and garbage-collects
+them later.  Where the substrate cache (:mod:`repro.api.persistence`)
+stores *physics* keyed by physical configuration, the catalog stores
+*answers* keyed by the full spec:
+
+* **content-addressed**: ``run_id`` is the SHA-256 of
+  ``(kind, canonical spec JSON, canonical payload JSON)``; recording the
+  identical run twice is a no-op, and a changed answer for the same spec
+  gets a new identity (the drift-detection primitive);
+* **thread-safe**: one connection guarded by a re-entrant lock, in WAL
+  mode — the same discipline as
+  :class:`~repro.api.substrates.SubstrateCache`;
+* **loud on damage**: a corrupt or truncated file raises
+  :class:`~repro.catalog.schema.CatalogCorruptError`; a schema-version
+  mismatch raises :class:`~repro.catalog.schema.CatalogMigrationError`.
+  Neither is ever treated as an empty catalog.
+
+::
+
+    from repro.catalog import RunCatalog
+
+    with RunCatalog("runs.db") as cat:
+        run_id = cat.record(kind="assess", spec=spec.to_dict(),
+                            payload=result.as_dict(), tags=("nightly",))
+        for rec in cat.find(kind="assess", tag="nightly"):
+            print(rec.short_id, rec.created_at)
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.hashing import canonical_json, digest_document, digest_parts
+from repro.io.jsonio import json_default
+
+from repro.catalog.schema import (
+    PAYLOAD_FORMAT,
+    RUN_KINDS,
+    SCHEMA_STATEMENTS,
+    SCHEMA_VERSION,
+    CatalogCorruptError,
+    CatalogError,
+    CatalogMigrationError,
+)
+
+#: Shortest run-id prefix :meth:`RunCatalog.get` resolves.
+MIN_PREFIX = 6
+
+#: Length of the abbreviated run id shown in tables and logs.
+SHORT_ID = 12
+
+
+def spec_digest(kind: str, spec: Dict[str, Any]) -> str:
+    """The content digest addressing one (kind, spec) configuration.
+
+    This is the serving-cache key: a repeat run of the same kind and the
+    same canonical spec document finds its recorded answer here.
+    """
+    return digest_document({"kind": kind, "spec": spec})
+
+
+def _canonical_payload_json(payload: Any) -> str:
+    """Canonical JSON for a result payload.
+
+    Unlike spec documents (plain scalars by construction), payloads can
+    carry numpy scalars and library quantities; ``json_default`` converts
+    them faithfully instead of falling back to ``str``.
+    """
+    return json.dumps(payload, sort_keys=True, default=json_default)
+
+
+def run_identity(kind: str, spec_json: str, payload_json: str) -> str:
+    """The content-addressed run id for one recorded answer."""
+    return digest_parts(kind, spec_json, payload_json)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One catalogued run's metadata (payload loaded separately)."""
+
+    run_id: str
+    kind: str
+    spec: Dict[str, Any]
+    spec_digest: str
+    package_version: str
+    created_at: float
+    duration_s: Optional[float]
+    payload_bytes: int
+    tags: Tuple[str, ...]
+
+    @property
+    def short_id(self) -> str:
+        return self.run_id[:SHORT_ID]
+
+    def row(self) -> Dict[str, Any]:
+        """One flat summary row for tables and CSV."""
+        return {
+            "run_id": self.short_id,
+            "kind": self.kind,
+            "created": time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.gmtime(self.created_at)),
+            "duration_s": self.duration_s,
+            "size_bytes": self.payload_bytes,
+            "version": self.package_version,
+            "tags": ",".join(self.tags),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The full metadata as a JSON-serialisable dictionary."""
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "spec_digest": self.spec_digest,
+            "package_version": self.package_version,
+            "created_at": self.created_at,
+            "duration_s": self.duration_s,
+            "payload_bytes": self.payload_bytes,
+            "tags": list(self.tags),
+        }
+
+
+@dataclass(frozen=True)
+class GcResult:
+    """What one garbage-collection pass removed (or would remove)."""
+
+    deleted: Tuple[RunRecord, ...]
+    freed_bytes: int
+    remaining_runs: int
+    remaining_bytes: int
+    dry_run: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "deleted": [record.as_dict() for record in self.deleted],
+            "freed_bytes": self.freed_bytes,
+            "remaining_runs": self.remaining_runs,
+            "remaining_bytes": self.remaining_bytes,
+            "dry_run": self.dry_run,
+        }
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports this package, so a module-
+    # level import would be circular.
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+
+class RunCatalog:
+    """A content-addressed catalog of assessment runs in one SQLite file.
+
+    Parameters
+    ----------
+    path:
+        The catalog file.  Created (with parent directories) unless
+        ``create=False``.
+    create:
+        With ``False``, a missing file raises :class:`CatalogError`
+        instead of silently materialising an empty catalog — the right
+        behaviour for read-side commands (``runs list/show/diff``).
+    timeout_s:
+        How long SQLite waits on a locked database before failing —
+        cross-*process* writers serialise on this (in-process writers
+        serialise on the catalog's own lock).
+    """
+
+    def __init__(self, path: Union[str, Path], *, create: bool = True,
+                 timeout_s: float = 30.0):
+        self._path = Path(path).expanduser()
+        if not create and not self._path.exists():
+            raise CatalogError(f"no run catalog at {self._path}")
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        try:
+            self._conn = sqlite3.connect(
+                str(self._path), timeout=timeout_s, check_same_thread=False)
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._initialise()
+        except sqlite3.DatabaseError as exc:
+            raise CatalogCorruptError(
+                f"{self._path} is not a readable run catalog ({exc}); "
+                f"restore it from backup or point at a new path — a "
+                f"damaged system of record is never silently recreated"
+            ) from exc
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def _initialise(self) -> None:
+        with self._lock, self._conn:
+            for statement in SCHEMA_STATEMENTS:
+                self._conn.execute(statement)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO catalog_meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)))
+            row = self._conn.execute(
+                "SELECT value FROM catalog_meta WHERE key = ?",
+                ("schema_version",)).fetchone()
+        found = row["value"] if row is not None else None
+        if found != str(SCHEMA_VERSION):
+            self._conn.close()
+            raise CatalogMigrationError(self._path, found)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunCatalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recording -------------------------------------------------------------------
+
+    def record(
+        self,
+        *,
+        kind: str,
+        spec: Dict[str, Any],
+        payload: Any,
+        duration_s: Optional[float] = None,
+        tags: Sequence[str] = (),
+        created_at: Optional[float] = None,
+        package_version: Optional[str] = None,
+    ) -> str:
+        """Record one run and return its content-addressed id.
+
+        Recording a run whose ``(kind, spec, payload)`` is already
+        catalogued is a no-op (the existing row keeps its original
+        timestamp and provenance); new ``tags`` are still attached.
+        """
+        if kind not in RUN_KINDS:
+            raise CatalogError(
+                f"unknown run kind {kind!r}; expected one of "
+                f"{', '.join(RUN_KINDS)}")
+        spec_json = canonical_json(spec)
+        payload_json = _canonical_payload_json(payload)
+        run_id = run_identity(kind, spec_json, payload_json)
+        blob = zlib.compress(payload_json.encode("utf-8"))
+        row = (
+            run_id,
+            kind,
+            spec_json,
+            spec_digest(kind, spec),
+            package_version if package_version is not None
+            else _package_version(),
+            float(created_at) if created_at is not None else time.time(),
+            float(duration_s) if duration_s is not None else None,
+            len(blob),
+        )
+        with self._lock, self._conn:
+            inserted = self._conn.execute(
+                "INSERT OR IGNORE INTO runs (run_id, kind, spec_json, "
+                "spec_digest, package_version, created_at, duration_s, "
+                "payload_bytes) VALUES (?, ?, ?, ?, ?, ?, ?, ?)", row).rowcount
+            if inserted:
+                self._conn.execute(
+                    "INSERT INTO payloads (run_id, format, payload) "
+                    "VALUES (?, ?, ?)", (run_id, PAYLOAD_FORMAT, blob))
+            for tag in tags:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO tags (run_id, tag) VALUES (?, ?)",
+                    (run_id, str(tag)))
+        return run_id
+
+    # -- reading ---------------------------------------------------------------------
+
+    def _record_from_row(self, row: sqlite3.Row) -> RunRecord:
+        with self._lock:
+            tags = tuple(sorted(
+                tag_row["tag"] for tag_row in self._conn.execute(
+                    "SELECT tag FROM tags WHERE run_id = ?",
+                    (row["run_id"],))))
+        return RunRecord(
+            run_id=row["run_id"],
+            kind=row["kind"],
+            spec=json.loads(row["spec_json"]),
+            spec_digest=row["spec_digest"],
+            package_version=row["package_version"],
+            created_at=row["created_at"],
+            duration_s=row["duration_s"],
+            payload_bytes=row["payload_bytes"],
+            tags=tags,
+        )
+
+    def resolve(self, run_id: str) -> str:
+        """Resolve a full run id or a unique prefix (>= 6 hex chars)."""
+        if len(run_id) < MIN_PREFIX:
+            raise CatalogError(
+                f"run id prefix {run_id!r} is too short; give at least "
+                f"{MIN_PREFIX} characters")
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT run_id FROM runs WHERE run_id LIKE ? LIMIT 3",
+                (run_id + "%",)).fetchall()
+        matches = [row["run_id"] for row in rows]
+        if not matches:
+            raise CatalogError(f"no run {run_id!r} in catalog {self._path}")
+        if len(matches) > 1:
+            shorts = ", ".join(match[:SHORT_ID] for match in matches)
+            raise CatalogError(
+                f"run id prefix {run_id!r} is ambiguous ({shorts}, ...)")
+        return matches[0]
+
+    def get(self, run_id: str) -> RunRecord:
+        """One run's metadata by full id or unique prefix."""
+        full = self.resolve(run_id)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (full,)).fetchone()
+        return self._record_from_row(row)
+
+    def payload(self, run_id: str) -> Any:
+        """One run's recorded result payload (decompressed and parsed)."""
+        full = self.resolve(run_id)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT format, payload FROM payloads WHERE run_id = ?",
+                (full,)).fetchone()
+        if row is None:
+            raise CatalogError(f"run {full[:SHORT_ID]} has no payload row")
+        if row["format"] != PAYLOAD_FORMAT:
+            raise CatalogError(
+                f"run {full[:SHORT_ID]} payload format {row['format']!r} is "
+                f"not supported (expected {PAYLOAD_FORMAT!r})")
+        try:
+            return json.loads(zlib.decompress(row["payload"]))
+        except (zlib.error, ValueError) as exc:
+            raise CatalogCorruptError(
+                f"run {full[:SHORT_ID]} payload is unreadable: {exc}") from exc
+
+    def run_document(self, run_id: str) -> Dict[str, Any]:
+        """Metadata plus payload as one portable JSON document.
+
+        The export format: :meth:`import_run` in any catalog accepts it,
+        and :func:`repro.catalog.diff.diff_documents` compares two of
+        them (this is how golden baseline runs are committed to git).
+        """
+        record = self.get(run_id)
+        document = record.as_dict()
+        document["payload"] = self.payload(record.run_id)
+        return document
+
+    export_run = run_document
+
+    def import_run(self, document: Dict[str, Any]) -> str:
+        """Record a run exported from another catalog, verifying identity.
+
+        The document's ``run_id`` must match the recomputed content
+        address — a tampered or hand-edited document is refused.
+        """
+        for key in ("run_id", "kind", "spec", "payload"):
+            if key not in document:
+                raise CatalogError(f"run document is missing {key!r}")
+        expected = run_identity(
+            document["kind"],
+            canonical_json(document["spec"]),
+            _canonical_payload_json(document["payload"]))
+        if document["run_id"] != expected:
+            raise CatalogError(
+                f"run document identity mismatch: claims "
+                f"{document['run_id'][:SHORT_ID]}, content hashes to "
+                f"{expected[:SHORT_ID]} — refusing to import")
+        return self.record(
+            kind=document["kind"],
+            spec=document["spec"],
+            payload=document["payload"],
+            duration_s=document.get("duration_s"),
+            tags=tuple(document.get("tags", ())),
+            created_at=document.get("created_at"),
+            package_version=document.get("package_version"),
+        )
+
+    # -- finding ---------------------------------------------------------------------
+
+    def find(
+        self,
+        *,
+        kind: Optional[str] = None,
+        tag: Optional[str] = None,
+        spec_digest: Optional[str] = None,
+        where: Optional[Dict[str, Any]] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Runs matching every given filter, newest first.
+
+        ``where`` maps dotted spec paths to required values
+        (``{"node_scale": 0.05}``, ``{"spec.seed": 3}``); numeric values
+        compare as numbers, everything else by equality.
+        """
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if spec_digest is not None:
+            clauses.append("spec_digest = ?")
+            params.append(spec_digest)
+        if tag is not None:
+            clauses.append(
+                "run_id IN (SELECT run_id FROM tags WHERE tag = ?)")
+            params.append(tag)
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_at DESC, run_id"
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        records = [self._record_from_row(row) for row in rows]
+        if where:
+            records = [record for record in records
+                       if _spec_matches(record.spec, where)]
+        if limit is not None:
+            records = records[:limit]
+        return records
+
+    def runs(self, limit: Optional[int] = None) -> List[RunRecord]:
+        """Every catalogued run, newest first."""
+        return self.find(limit=limit)
+
+    def latest(self, *, kind: str, spec_digest: str) -> Optional[RunRecord]:
+        """The newest run for one (kind, spec) address, or ``None``."""
+        matches = self.find(kind=kind, spec_digest=spec_digest, limit=1)
+        return matches[0] if matches else None
+
+    def has(self, *, kind: str, spec_digest: str) -> bool:
+        return self.latest(kind=kind, spec_digest=spec_digest) is not None
+
+    def count(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) AS n FROM runs").fetchone()["n"]
+
+    def total_size(self) -> int:
+        """Total payload bytes catalogued (the ``gc`` size policy's meter)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COALESCE(SUM(payload_bytes), 0) AS total "
+                "FROM runs").fetchone()
+        return int(row["total"])
+
+    # -- deleting --------------------------------------------------------------------
+
+    def delete(self, run_id: str) -> RunRecord:
+        """Delete one run (payload and tags cascade); returns its record."""
+        record = self.get(run_id)
+        with self._lock, self._conn:
+            self._conn.execute(
+                "DELETE FROM runs WHERE run_id = ?", (record.run_id,))
+        return record
+
+    def gc(
+        self,
+        *,
+        max_age_days: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> GcResult:
+        """Garbage-collect by age and/or total size, oldest runs first.
+
+        ``max_age_days`` deletes every run recorded longer ago than that;
+        ``max_total_bytes`` then deletes oldest-first until the catalog's
+        :meth:`total_size` fits.  ``dry_run`` reports without deleting.
+        """
+        if max_age_days is None and max_total_bytes is None:
+            raise CatalogError(
+                "gc needs a policy: max_age_days and/or max_total_bytes")
+        if max_age_days is not None and max_age_days < 0:
+            raise CatalogError("max_age_days must be non-negative")
+        if max_total_bytes is not None and max_total_bytes < 0:
+            raise CatalogError("max_total_bytes must be non-negative")
+        now = time.time() if now is None else now
+        survivors = sorted(self.find(), key=lambda r: r.created_at)
+        doomed: List[RunRecord] = []
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            doomed.extend(r for r in survivors if r.created_at < cutoff)
+            survivors = [r for r in survivors if r.created_at >= cutoff]
+        if max_total_bytes is not None:
+            remaining = sum(r.payload_bytes for r in survivors)
+            index = 0
+            while remaining > max_total_bytes and index < len(survivors):
+                doomed.append(survivors[index])
+                remaining -= survivors[index].payload_bytes
+                index += 1
+            survivors = survivors[index:]
+        freed = sum(record.payload_bytes for record in doomed)
+        if doomed and not dry_run:
+            with self._lock, self._conn:
+                self._conn.executemany(
+                    "DELETE FROM runs WHERE run_id = ?",
+                    [(record.run_id,) for record in doomed])
+        return GcResult(
+            deleted=tuple(doomed),
+            freed_bytes=freed,
+            remaining_runs=len(survivors),
+            remaining_bytes=sum(r.payload_bytes for r in survivors),
+            dry_run=dry_run,
+        )
+
+
+def _spec_matches(spec: Dict[str, Any], where: Dict[str, Any]) -> bool:
+    """Whether a spec document satisfies every dotted-path predicate."""
+    for path, expected in where.items():
+        node: Any = spec
+        for part in str(path).split("."):
+            if isinstance(node, dict) and part in node:
+                node = node[part]
+            else:
+                return False
+        if isinstance(node, bool) or isinstance(expected, bool):
+            if node is not expected:
+                return False
+        elif (isinstance(node, (int, float))
+                and isinstance(expected, (int, float))):
+            if float(node) != float(expected):
+                return False
+        elif node != expected:
+            return False
+    return True
+
+
+__all__ = [
+    "GcResult",
+    "RunCatalog",
+    "RunRecord",
+    "run_identity",
+    "spec_digest",
+]

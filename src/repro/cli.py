@@ -37,6 +37,13 @@ any Python:
     and rolled-up totals over one shared substrate cache, plus the
     marginal-placement ranking (``--rank-placement``, snapshot or
     ``--carbon-aware`` intensities).
+``runs``
+    Query the run catalog (see :mod:`repro.catalog`): ``list``, ``find``,
+    ``show``, ``diff`` (CI's drift tripwire — exits 1 beyond tolerance)
+    and ``gc``.  The catalog itself is populated by passing ``--catalog
+    PATH`` (optionally with repeatable ``--tag``) to ``assess``,
+    ``temporal``, ``uncertainty`` or ``portfolio``; a repeated run of a
+    catalogued spec is then *served* from the catalog without simulating.
 
 Scenario arguments are validated at parse time (``--scale`` in (0, 1],
 ``--pue`` >= 1.0) so mistakes produce a one-line usage error instead of a
@@ -61,6 +68,7 @@ from repro.api import (
     default_spec,
     embodied_scenario_rows,
 )
+from repro.catalog.schema import CatalogError
 from repro.grid.synthetic import uk_november_2022_intensity
 from repro.inventory.iris import (
     IRIS_IMPLIED_SERVER_COUNT,
@@ -103,6 +111,17 @@ _positive_argument = _float_argument(lambda v: v > 0, "must be positive")
 _fraction_argument = _float_argument(lambda v: 0.0 <= v < 1.0, "must be in [0, 1)")
 
 
+def _add_catalog_arguments(parser: argparse.ArgumentParser) -> None:
+    """The run-catalog opt-in shared by the run-producing subcommands."""
+    parser.add_argument("--catalog", type=Path, default=None,
+                        help="record this run into the run catalog at this "
+                             "path (created if missing); a repeat of a "
+                             "catalogued spec is served without simulating")
+    parser.add_argument("--tag", action="append", default=None, metavar="TAG",
+                        help="tag the catalogued run (repeatable; "
+                             "requires --catalog)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -140,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     assess.add_argument("--jobs", type=int, default=None,
                         help="simulate this many sites concurrently "
                              "(default: 1; 0 = one thread per site)")
+    _add_catalog_arguments(assess)
 
     temporal = subparsers.add_parser(
         "temporal", help="run the time-resolved assessment engine")
@@ -175,6 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
     temporal.add_argument("--jobs", type=int, default=None,
                           help="simulate this many sites concurrently "
                                "(default: 1; 0 = one thread per site)")
+    _add_catalog_arguments(temporal)
 
     subparsers.add_parser("inventory", help="print the Table 1 hardware inventory")
 
@@ -251,6 +272,7 @@ def _build_parser() -> argparse.ArgumentParser:
     uncertainty.add_argument("--servers", type=int, default=None,
                              help="paper mode: server count for the "
                                   "closed-form embodied term")
+    _add_catalog_arguments(uncertainty)
 
     portfolio = subparsers.add_parser(
         "portfolio",
@@ -281,6 +303,11 @@ def _build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument("--jobs", type=int, default=None,
                            help="simulate this many sites concurrently "
                                 "(default: 1; 0 = one thread per site)")
+    _add_catalog_arguments(portfolio)
+
+    from repro.catalog.cli import add_runs_parser
+
+    add_runs_parser(subparsers)
 
     return parser
 
@@ -289,8 +316,29 @@ def _build_parser() -> argparse.ArgumentParser:
 # shared assessment helpers
 # --------------------------------------------------------------------------
 
-def _run_assessment(spec: AssessmentSpec, substrates=None) -> AssessmentResult:
-    return Assessment.from_spec(spec, substrates=substrates).run()
+def _run_assessment(spec: AssessmentSpec, substrates=None,
+                    catalog=None) -> AssessmentResult:
+    return Assessment.from_spec(spec, substrates=substrates,
+                                catalog=catalog).run()
+
+
+def _build_catalog_recorder(args: argparse.Namespace, *, serve: bool = True):
+    """A CatalogRecorder from --catalog/--tag, or None when not requested.
+
+    ``serve=False`` still records the run but never serves from the
+    catalog — used when the subcommand's output needs live result objects
+    (CSV/table renderers, the Table 3/4 CSV export) that a served payload
+    cannot reconstruct.
+    """
+    catalog = getattr(args, "catalog", None)
+    tags = getattr(args, "tag", None) or []
+    if catalog is None:
+        if tags:
+            raise _UsageError("--tag requires --catalog")
+        return None
+    from repro.catalog import CatalogRecorder
+
+    return CatalogRecorder(catalog, tags=tuple(tags), serve=serve)
 
 
 def _build_substrates(args: argparse.Namespace):
@@ -400,6 +448,10 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     try:
         overrides = _scenario_overrides(args)
         substrates = _build_substrates(args)
+        # The Table 3/4 CSV export needs the live snapshot, so --output-dir
+        # downgrades the catalog to record-only.
+        recorder = _build_catalog_recorder(
+            args, serve=args.output_dir is None)
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -416,8 +468,8 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         overrides["amortization"] = args.amortization
     try:
         spec = spec.replace(**overrides) if overrides else spec
-        result = _run_assessment(spec, substrates)
-    except (KeyError, ValueError) as exc:
+        result = _run_assessment(spec, substrates, recorder)
+    except (KeyError, ValueError, CatalogError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -437,6 +489,10 @@ def _cmd_temporal(args: argparse.Namespace) -> int:
     try:
         overrides = _scenario_overrides(args)
         substrates = _build_substrates(args)
+        # Table/CSV/chart renderers need the live profile object; only the
+        # JSON view is exactly the recorded payload, so only it serves.
+        recorder = _build_catalog_recorder(
+            args, serve=args.format == "json" and not args.chart)
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -457,8 +513,9 @@ def _cmd_temporal(args: argparse.Namespace) -> int:
         overrides["defer_fraction"] = args.defer_fraction
     try:
         spec = spec.replace(**overrides) if overrides else spec
-        result = TemporalAssessment.from_spec(spec, substrates=substrates).run()
-    except (KeyError, ValueError, TypeError) as exc:
+        result = TemporalAssessment.from_spec(
+            spec, substrates=substrates, catalog=recorder).run()
+    except (KeyError, ValueError, TypeError, CatalogError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -687,6 +744,8 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
                 ("--method", args.method != "auto"),
                 ("--substrate-cache-dir", args.substrate_cache_dir is not None),
                 ("--jobs", args.jobs is not None),
+                ("--catalog", args.catalog is not None),
+                ("--tag", bool(args.tag)),
             ) if given
         ]
         if ensemble_only:
@@ -707,6 +766,9 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
 
     try:
         substrates = _build_substrates(args)
+        # Quantile/band table and CSV renderers need the live result
+        # (sample matrices); only the JSON view serves from the catalog.
+        recorder = _build_catalog_recorder(args, serve=args.format == "json")
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -718,13 +780,15 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
 
     try:
         if args.temporal:
-            runner = TemporalEnsembleRunner(spec, substrates=substrates)
+            runner = TemporalEnsembleRunner(spec, substrates=substrates,
+                                            catalog=recorder)
             result = runner.run(n_samples=args.samples, seed=args.seed)
         else:
-            runner = EnsembleRunner(spec, substrates=substrates)
+            runner = EnsembleRunner(spec, substrates=substrates,
+                                    catalog=recorder)
             result = runner.run(n_samples=args.samples, seed=args.seed,
                                 method=args.method)
-    except (KeyError, ValueError, TypeError) as exc:
+    except (KeyError, ValueError, TypeError, CatalogError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -782,6 +846,11 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         return 2
     try:
         substrates = _build_substrates(args)
+        # The recorded payload prices placement at the default marginal
+        # load, and the table renderers need live member results — so only
+        # the default-load JSON view serves from the catalog.
+        recorder = _build_catalog_recorder(
+            args, serve=args.format == "json" and args.load_kwh is None)
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -791,8 +860,9 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         print(f"error: cannot load spec: {exc}", file=sys.stderr)
         return 2
     try:
-        result = PortfolioRunner(spec, substrates=substrates).run()
-    except (KeyError, ValueError, TypeError) as exc:
+        result = PortfolioRunner(spec, substrates=substrates,
+                                 catalog=recorder).run()
+    except (KeyError, ValueError, TypeError, CatalogError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -805,13 +875,22 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
                 result, load_kwh, carbon_aware=args.carbon_aware))
         _emit("\n".join(parts), args.output)
     elif args.format == "json":
-        _emit(json.dumps(result.as_dict(load_kwh), indent=2,
+        document = (result.as_dict()
+                    if getattr(result, "served_from_catalog", False)
+                    else result.as_dict(load_kwh))
+        _emit(json.dumps(document, indent=2,
                          default=_json_default, sort_keys=True), args.output)
     else:  # csv
         rows = (result.placement_rows(load_kwh, carbon_aware=args.carbon_aware)
                 if args.rank_placement else result.site_rows())
         _emit_rows_csv(rows, args.output)
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.catalog.cli import cmd_runs
+
+    return cmd_runs(args)
 
 
 _COMMANDS = {
@@ -823,6 +902,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "uncertainty": _cmd_uncertainty,
     "portfolio": _cmd_portfolio,
+    "runs": _cmd_runs,
 }
 
 

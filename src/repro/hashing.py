@@ -1,0 +1,56 @@
+"""Canonical JSON serialisation and content digests.
+
+One hashing discipline for every content-addressed store in the package:
+the on-disk substrate cache (:mod:`repro.api.persistence`) and the run
+catalog (:mod:`repro.catalog`) both key their entries by the SHA-256 of a
+canonically serialised JSON document.  Keeping the discipline in one place
+guarantees the two stores agree on what "the same configuration" means —
+and that refactors cannot silently re-key either store (a regression test
+pins the substrate digests).
+
+Canonical form: ``json.dumps`` with sorted keys and ``default=str`` for
+stray non-JSON values.  The serialisation is stable across processes and
+platforms for the plain-scalar documents the stores feed it (strings,
+ints, floats, bools, ``None``, lists, dicts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+#: Separator between document parts in :func:`digest_parts` — a character
+#: that cannot appear inside a ``json.dumps`` document, so part boundaries
+#: are unambiguous.
+_PART_SEPARATOR = "\n"
+
+
+def canonical_json(document: Any) -> str:
+    """The canonical JSON serialisation of ``document``.
+
+    Keys are sorted, so two dicts with the same items serialise
+    identically regardless of insertion order.  Values ``json`` cannot
+    encode natively fall back to ``str`` — callers hashing documents with
+    floats or numpy scalars inside should convert them first if bit-level
+    fidelity matters (the stores in this package pass plain scalars).
+    """
+    return json.dumps(document, sort_keys=True, default=str)
+
+
+def digest_document(document: Any) -> str:
+    """The SHA-256 hex digest of the canonical serialisation of ``document``."""
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def digest_parts(*parts: str) -> str:
+    """The SHA-256 hex digest of several pre-serialised string parts.
+
+    Parts are joined with a newline (which ``json.dumps`` output never
+    contains), so ``digest_parts("ab", "c") != digest_parts("a", "bc")``.
+    """
+    return hashlib.sha256(
+        _PART_SEPARATOR.join(parts).encode("utf-8")).hexdigest()
+
+
+__all__ = ["canonical_json", "digest_document", "digest_parts"]

@@ -35,7 +35,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.api.assessment import Assessment, resolve_spec_components
+from repro.api.assessment import (
+    Assessment,
+    _coerce_catalog,
+    resolve_spec_components,
+)
 from repro.api.result import AssessmentResult
 from repro.api.spec import AssessmentSpec
 from repro.api.substrates import SubstrateCache, resolve_substrates
@@ -67,6 +71,11 @@ class PortfolioRunner:
         BatchAssessmentRunner`: build a private cache persisting under
         this directory and/or simulating ``jobs`` sites concurrently.
         Mutually exclusive with ``substrates``.
+    catalog:
+        Opt-in run cataloguing (a catalog, recorder, or path — see
+        :class:`~repro.api.assessment.Assessment`): :meth:`run` records
+        the portfolio result, and a repeat of a catalogued portfolio spec
+        is served with zero simulation.
     """
 
     def __init__(
@@ -77,6 +86,7 @@ class PortfolioRunner:
         max_workers: Optional[int] = None,
         substrate_cache_dir=None,
         jobs: Optional[int] = None,
+        catalog=None,
     ):
         if not isinstance(spec, PortfolioSpec):
             raise TypeError(
@@ -87,6 +97,7 @@ class PortfolioRunner:
         self._substrates = resolve_substrates(substrates, substrate_cache_dir,
                                               jobs)
         self._max_workers = max_workers
+        self._recorder = _coerce_catalog(catalog)
 
     @property
     def spec(self) -> PortfolioSpec:
@@ -99,7 +110,19 @@ class PortfolioRunner:
     # -- running ---------------------------------------------------------------------
 
     def run(self) -> PortfolioResult:
-        """Run all members concurrently and assemble the portfolio result."""
+        """Run all members concurrently and assemble the portfolio result.
+
+        With ``catalog=`` configured, a previously catalogued run of this
+        exact portfolio spec is served from the catalog (zero simulation)
+        as a :class:`~repro.catalog.ServedRun`; otherwise the live run
+        happens and its result is recorded.
+        """
+        if self._recorder is not None:
+            return self._recorder.run_portfolio(self)
+        return self.run_live()
+
+    def run_live(self) -> PortfolioResult:
+        """Run the portfolio unconditionally (never catalog-served)."""
         specs = [member.effective_spec() for member in self._spec.members]
         # Fail on any typo'd component (including an unknown region
         # binding, surfacing as an unknown ``region-*`` grid provider)

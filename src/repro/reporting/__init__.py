@@ -35,6 +35,11 @@ from repro.reporting.portfolio import (
     portfolio_site_table,
     portfolio_summary_table,
 )
+from repro.reporting.runs import (
+    drift_table,
+    run_details,
+    runs_table,
+)
 
 __all__ = [
     "GHGScopeStatement",
@@ -60,4 +65,7 @@ __all__ = [
     "placement_table",
     "portfolio_site_table",
     "portfolio_summary_table",
+    "drift_table",
+    "run_details",
+    "runs_table",
 ]

@@ -1,0 +1,85 @@
+"""Text renderers for the run catalog: run listings and drift reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.reporting.tables import format_kv_table, format_table
+
+#: Columns of the run listing, in display order.
+RUN_COLUMNS = ("run_id", "kind", "created", "duration_s", "size_bytes",
+               "version", "tags")
+
+
+def runs_table(records: Sequence, title: str = "Catalogued runs") -> str:
+    """Render :class:`~repro.catalog.store.RunRecord` rows as a table."""
+    if not records:
+        return f"{title}: none"
+    return format_table(
+        [record.row() for record in records],
+        columns=list(RUN_COLUMNS),
+        title=title,
+        float_format=",.3f",
+    )
+
+
+def run_details(record, payload_bytes_note: str = "") -> str:
+    """Render one run's full metadata as a key/value table."""
+    data = record.as_dict()
+    spec = data.pop("spec")
+    data["tags"] = ",".join(data["tags"]) or "-"
+    details = format_kv_table(data, title=f"Run {record.short_id}",
+                              float_format=",.3f")
+    spec_table = format_kv_table(
+        {key: ("-" if value is None else value)
+         for key, value in sorted(_flatten(spec))},
+        title="Recorded spec", float_format=",.4f")
+    parts = [details, "", spec_table]
+    if payload_bytes_note:
+        parts.append(payload_bytes_note)
+    return "\n".join(parts)
+
+
+def drift_table(diff) -> str:
+    """Render a :class:`~repro.catalog.diff.RunDiff` as text.
+
+    The headline verdict first, then one row per finding (severest
+    categories first); a clean diff is a single reassuring line.
+    """
+    headline = format_kv_table(diff.summary(), title="Run diff",
+                               float_format=".3e")
+    if not diff.has_drift:
+        return (f"{headline}\n\nNo drift: {diff.compared_values} values "
+                f"compared within rtol={diff.rtol:g}, atol={diff.atol:g}.")
+    findings = format_table(
+        [_clip_row(row) for row in diff.rows()],
+        columns=["category", "table", "path", "a", "b", "rel_delta"],
+        title=f"Drift findings (rtol={diff.rtol:g}, atol={diff.atol:g})",
+        float_format=".6e",
+    )
+    return f"{headline}\n\n{findings}"
+
+
+def _clip_row(row: dict, width: int = 40) -> dict:
+    """Keep long paths/values from destroying the table layout."""
+    clipped = dict(row)
+    for key in ("path", "a", "b"):
+        text = str(clipped.get(key))
+        if len(text) > width:
+            clipped[key] = text[: width - 3] + "..."
+    return clipped
+
+
+def _flatten(document, prefix: str = ""):
+    """Yield dotted (path, value) leaves of a nested spec document."""
+    if isinstance(document, dict):
+        for key, value in document.items():
+            yield from _flatten(value, f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(document, (list, tuple)):
+        for index, value in enumerate(document):
+            yield from _flatten(value, f"{prefix}[{index}]")
+    else:
+        yield prefix, document
+
+
+__all__ = ["RUN_COLUMNS", "drift_table", "run_details", "runs_table"]

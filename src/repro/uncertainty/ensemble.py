@@ -69,6 +69,12 @@ class EnsembleRunner:
     substrates:
         Substrate cache shared with any other runner or assessment;
         defaults to the process-wide cache.
+    catalog:
+        Opt-in run cataloguing (a catalog, recorder, or path — see
+        :class:`~repro.api.assessment.Assessment`).  An ensemble is a
+        pure function of (spec, n_samples, seed, method), so a repeat
+        :meth:`run` with the same arguments is served from the catalog
+        with zero simulation; cataloguing requires an int seed.
     """
 
     def __init__(
@@ -77,7 +83,9 @@ class EnsembleRunner:
         distributions: Optional[Mapping[str, Distribution]] = None,
         *,
         substrates: Optional[SubstrateCache] = None,
+        catalog=None,
     ):
+        from repro.api.assessment import _coerce_catalog
         from repro.uncertainty.distributions import paper_default_distributions
 
         self._spec = UncertainSpec.coerce(
@@ -85,6 +93,7 @@ class EnsembleRunner:
             default_distributions=paper_default_distributions)
         self._substrates = (substrates if substrates is not None
                             else shared_substrates())
+        self._recorder = _coerce_catalog(catalog)
         self._check_static_fields()
 
     def _check_static_fields(self) -> None:
@@ -126,8 +135,18 @@ class EnsembleRunner:
 
         ``method="auto"`` takes the vectorized path whenever every sampled
         field is an analysis field under linear amortisation, and the
-        per-sample oracle otherwise.
+        per-sample oracle otherwise.  With ``catalog=`` configured, a
+        previously catalogued (spec, n, seed, method) draw is served from
+        the catalog with zero simulation.
         """
+        if self._recorder is not None and method in METHODS:
+            return self._recorder.run_ensemble(
+                self, n_samples=n_samples, seed=seed, method=method)
+        return self.run_live(n_samples=n_samples, seed=seed, method=method)
+
+    def run_live(self, n_samples: int = 1000, seed: int = 0,
+                 method: str = "auto") -> EnsembleResult:
+        """Run the ensemble unconditionally (never catalog-served)."""
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {', '.join(METHODS)}")

@@ -168,7 +168,11 @@ class TemporalEnsembleRunner:
         distributions: Optional[Mapping[str, Distribution]] = None,
         *,
         substrates: Optional[SubstrateCache] = None,
+        catalog=None,
     ):
+        from repro.api.assessment import _coerce_catalog
+
+        self._recorder = _coerce_catalog(catalog)
         self._spec = UncertainSpec.coerce(spec, distributions)
         bad = [name for name in self._spec.fields
                if name not in TEMPORAL_UNCERTAIN_FIELDS]
@@ -199,8 +203,18 @@ class TemporalEnsembleRunner:
 
         The substrate is simulated (or served from cache) exactly once and
         the traces aligned exactly once; memory is ``n_samples x
-        n_intervals`` float64, so size the ensemble accordingly.
+        n_intervals`` float64, so size the ensemble accordingly.  With
+        ``catalog=`` configured, a previously catalogued (spec, n, seed)
+        draw is served from the catalog with zero simulation.
         """
+        if self._recorder is not None:
+            return self._recorder.run_temporal_ensemble(
+                self, n_samples=n_samples, seed=seed)
+        return self.run_live(n_samples=n_samples, seed=seed)
+
+    def run_live(self, n_samples: int = 256,
+                 seed: int = 0) -> TemporalEnsembleResult:
+        """Build the emission-band matrix unconditionally (never served)."""
         samples = self.draw(n_samples, seed)
         spec = self._spec.base
         power, intensity = TemporalAssessment(

@@ -15,6 +15,10 @@ from pathlib import Path
 TESTS_DIR = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(TESTS_DIR))
 
+from test_catalog_golden import (  # noqa: E402
+    CATALOG_BASELINE_PATH,
+    build_catalog_baseline_document,
+)
 from test_golden_regression import (  # noqa: E402
     ENSEMBLE_GOLDEN_PATH,
     GOLDEN_PATH,
@@ -42,6 +46,9 @@ def main() -> None:
     portfolio = build_portfolio_golden_payload()
     _write(PORTFOLIO_GOLDEN_PATH, portfolio)
     print(f"  portfolio total_kg = {portfolio['summary']['total_kg']}")
+    document = build_catalog_baseline_document()
+    _write(CATALOG_BASELINE_PATH, document)
+    print(f"  catalog run_id = {document['run_id'][:12]}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,280 @@
+"""Drift detection: diff_runs, tolerances and the conservation audits.
+
+Real runs are recorded once per kind into a shared catalog; perturbed
+and doctored documents are then diffed against them.  The doctored
+payloads exercise the conservation laws directly: two runs can match
+each other perfectly and still both violate an invariant.
+"""
+
+import copy
+
+import pytest
+
+from repro.api import Assessment, TemporalAssessment, default_spec
+from repro.catalog import (
+    CatalogError,
+    CatalogRecorder,
+    DriftFinding,
+    RunCatalog,
+    RunDiff,
+    conservation_findings,
+    diff_runs,
+)
+from repro.portfolio import PortfolioRunner, PortfolioSpec
+from repro.uncertainty import EnsembleRunner
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """One recorded run per kind, plus a perturbed twin per kind."""
+    path = tmp_path_factory.mktemp("diff") / "runs.db"
+    with RunCatalog(path) as cat:
+        recorder = CatalogRecorder(cat)
+        spec = default_spec(node_scale=SCALE)
+        bumped = default_spec(node_scale=SCALE, pue=spec.pue * 1.05)
+        ids = {}
+        ids["assess"] = _last(cat, Assessment.from_spec(
+            spec, catalog=recorder).run)
+        ids["assess_b"] = _last(cat, Assessment.from_spec(
+            bumped, catalog=recorder).run)
+        ids["temporal"] = _last(cat, TemporalAssessment.from_spec(
+            spec, catalog=recorder).run)
+        ids["temporal_b"] = _last(cat, TemporalAssessment.from_spec(
+            bumped, catalog=recorder).run)
+        ids["uncertainty"] = _last(
+            cat, lambda: EnsembleRunner(spec, catalog=recorder).run(
+                n_samples=64, seed=3))
+        ids["uncertainty_b"] = _last(
+            cat, lambda: EnsembleRunner(spec, catalog=recorder).run(
+                n_samples=64, seed=4))
+        pspec = PortfolioSpec.from_regions(["GB", "FR"], base_spec=spec)
+        ids["portfolio"] = _last(cat, PortfolioRunner(
+            pspec, catalog=recorder).run)
+        yield cat, ids
+
+
+def _last(cat, compute):
+    before = {r.run_id for r in cat.runs()}
+    compute()
+    (new_id,) = {r.run_id for r in cat.runs()} - before
+    return new_id
+
+
+class TestZeroDrift:
+    @pytest.mark.parametrize("kind", ["assess", "temporal", "uncertainty",
+                                      "portfolio"])
+    def test_self_diff_is_clean(self, corpus, kind):
+        cat, ids = corpus
+        drift = diff_runs(ids[kind], ids[kind], catalog=cat)
+        assert isinstance(drift, RunDiff)
+        assert not drift.has_drift
+        assert drift.findings == ()
+        assert drift.compared_values > 10
+        assert drift.kind == kind
+        assert drift.max_abs_delta == 0.0
+        summary = drift.summary()
+        assert summary["drift"] is False
+        assert summary["findings"] == 0
+
+    def test_prefixes_resolve(self, corpus):
+        cat, ids = corpus
+        drift = diff_runs(ids["assess"][:8], ids["assess"][:8], catalog=cat)
+        assert not drift.has_drift
+
+
+class TestRealDrift:
+    def test_perturbed_assess_drifts_in_every_table(self, corpus):
+        cat, ids = corpus
+        drift = diff_runs(ids["assess"], ids["assess_b"], catalog=cat)
+        assert drift.has_drift
+        tables = set(drift.by_table())
+        # The PUE bump shows up in the spec echo, the summary and the
+        # breakdown — but not Table 2, which is embodied-only physics.
+        assert {"spec", "summary", "breakdown_kg"} <= tables
+        assert "table2" not in tables
+        assert drift.max_abs_delta > 0
+        assert all(f.category == "value" for f in drift.findings)
+        summary = drift.summary()
+        assert summary["value"] == summary["findings"] > 0
+        assert summary["conservation"] == summary["structure"] == 0
+
+    def test_perturbed_temporal_drifts_in_intervals(self, corpus):
+        cat, ids = corpus
+        drift = diff_runs(ids["temporal"], ids["temporal_b"], catalog=cat)
+        assert drift.has_drift
+        assert "intervals" in drift.by_table()
+
+    def test_seed_change_drifts_quantiles(self, corpus):
+        cat, ids = corpus
+        drift = diff_runs(ids["uncertainty"], ids["uncertainty_b"],
+                          catalog=cat)
+        assert drift.has_drift
+        assert "quantiles" in drift.by_table()
+
+    def test_loose_tolerance_suppresses_drift(self, corpus):
+        cat, ids = corpus
+        tight = diff_runs(ids["assess"], ids["assess_b"], catalog=cat)
+        value_findings = [f for f in tight.findings
+                          if f.rel_delta is not None]
+        slack = max(f.rel_delta for f in value_findings) * 1.01
+        loose = diff_runs(ids["assess"], ids["assess_b"], catalog=cat,
+                          rtol=slack)
+        # Every numeric delta is inside rtol now; only non-numeric spec
+        # echoes (if any) could remain, and pue is numeric — clean diff.
+        assert not loose.has_drift
+
+    def test_atol_only(self, corpus):
+        cat, ids = corpus
+        drift = diff_runs(ids["assess"], ids["assess_b"], catalog=cat,
+                          rtol=0.0, atol=1e12)
+        assert not drift.has_drift
+
+
+class TestUsageErrors:
+    def test_cross_kind_refused(self, corpus):
+        cat, ids = corpus
+        with pytest.raises(CatalogError, match="within one kind"):
+            diff_runs(ids["assess"], ids["temporal"], catalog=cat)
+
+    def test_negative_tolerance_refused(self, corpus):
+        cat, ids = corpus
+        with pytest.raises(CatalogError, match="non-negative"):
+            diff_runs(ids["assess"], ids["assess"], catalog=cat, rtol=-1.0)
+
+    def test_id_without_catalog_refused(self):
+        with pytest.raises(CatalogError, match="no catalog was given"):
+            diff_runs("abcdef123456", "abcdef123456")
+
+    def test_malformed_document_refused(self, corpus):
+        cat, ids = corpus
+        with pytest.raises(CatalogError, match="missing"):
+            diff_runs({"kind": "assess"}, ids["assess"], catalog=cat)
+        with pytest.raises(CatalogError, match="run id or an exported"):
+            diff_runs(42, ids["assess"], catalog=cat)
+
+
+class TestDocumentDiffing:
+    def test_exported_documents_diff_without_a_catalog(self, corpus):
+        cat, ids = corpus
+        doc = cat.export_run(ids["assess"])
+        assert not diff_runs(doc, doc).has_drift
+
+    def test_structure_findings(self, corpus):
+        cat, ids = corpus
+        doc = cat.run_document(ids["assess"])
+        mutated = copy.deepcopy(doc)
+        mutated["payload"]["summary"].pop("total_kg")
+        mutated["payload"]["extra_table"] = [1, 2]
+        mutated["payload"]["table2"] = mutated["payload"]["table2"][:-1]
+        drift = diff_runs(doc, mutated)
+        messages = [f.message for f in drift.findings
+                    if f.category == "structure"]
+        assert any("only in run a" in m for m in messages)
+        assert any("only in run b" in m for m in messages)
+        assert any("rows in run a" in m for m in messages)
+        # Structure findings sort before value findings in rows().
+        categories = [row["category"] for row in drift.rows()]
+        assert categories == sorted(
+            categories, key=["structure", "conservation", "value"].index)
+
+    def test_type_mismatch_is_structural(self, corpus):
+        cat, ids = corpus
+        doc = cat.run_document(ids["assess"])
+        mutated = copy.deepcopy(doc)
+        mutated["payload"]["summary"]["total_kg"] = "lots"
+        drift = diff_runs(doc, mutated)
+        finding = next(f for f in drift.findings
+                       if f.path == "summary.total_kg")
+        assert finding.category == "structure"
+        assert "float in run a" in finding.message
+
+
+class TestConservationAudits:
+    def test_real_payloads_satisfy_their_invariants(self, corpus):
+        cat, ids = corpus
+        for kind in ("assess", "temporal", "uncertainty", "portfolio"):
+            payload = cat.payload(ids[kind])
+            assert conservation_findings(kind, payload, "a") == []
+
+    def test_broken_total_is_flagged_per_run(self, corpus):
+        cat, ids = corpus
+        doc = cat.run_document(ids["assess"])
+        broken = copy.deepcopy(doc)
+        broken["payload"]["summary"]["total_kg"] *= 1.5
+        drift = diff_runs(doc, broken)
+        conservation = [f for f in drift.findings
+                        if f.category == "conservation"]
+        assert len(conservation) == 1
+        assert conservation[0].message.startswith("run b:")
+        assert "total_kg != active_kg + embodied_kg" in (
+            conservation[0].message)
+        # Both sides broken the same way: matches perfectly, still flagged.
+        both = diff_runs(broken, broken)
+        assert [f.category for f in both.findings] == [
+            "conservation", "conservation"]
+        assert both.summary()["conservation"] == 2
+
+    def test_temporal_interval_integration_audited(self, corpus):
+        cat, ids = corpus
+        payload = cat.payload(ids["temporal"])
+        doctored = copy.deepcopy(payload)
+        doctored["intervals"][0]["carbon_kg"] += 1.0
+        doctored["intervals"][0]["energy_kwh"] += 1.0
+        findings = conservation_findings("temporal", doctored, "x")
+        paths = {f.path for f in findings}
+        assert "sum(intervals.carbon_kg)" in paths
+        assert "sum(intervals.energy_kwh)" in paths
+        assert all("run x:" in f.message for f in findings)
+
+    def test_portfolio_rollup_and_ranking_audited(self, corpus):
+        cat, ids = corpus
+        payload = cat.payload(ids["portfolio"])
+        doctored = copy.deepcopy(payload)
+        doctored["sites"][0]["total_kg"] += 5.0
+        findings = conservation_findings("portfolio", doctored, "a")
+        assert any(f.path == "sum(sites.total_kg)" for f in findings)
+
+        ranked = copy.deepcopy(payload)
+        rows = ranked["placement"]["snapshot"]
+        if len(rows) >= 2:
+            rows[0]["added_kg"], rows[-1]["added_kg"] = (
+                rows[-1]["added_kg"] + 1.0, rows[0]["added_kg"])
+            findings = conservation_findings("portfolio", ranked, "a")
+            assert any("not monotone" in f.message for f in findings)
+
+    def test_quantile_invariants_audited(self, corpus):
+        cat, ids = corpus
+        payload = cat.payload(ids["uncertainty"])
+        metric, curve = next(iter(payload["quantiles"].items()))
+        low, high = min(curve), max(curve, key=lambda l: float(l[1:]))
+
+        unsorted = copy.deepcopy(payload)
+        unsorted["quantiles"][metric][low], \
+            unsorted["quantiles"][metric][high] = (
+            payload["quantiles"][metric][high] + 1.0,
+            payload["quantiles"][metric][low])
+        findings = conservation_findings("uncertainty", unsorted, "a")
+        assert any("not monotone" in f.message for f in findings)
+
+        skewed = copy.deepcopy(payload)
+        if f"{metric}_{low}" in payload["summary"]:
+            skewed["summary"][f"{metric}_{low}"] += 1.0
+            findings = conservation_findings("uncertainty", skewed, "a")
+            assert any("disagrees with summary" in f.message
+                       for f in findings)
+
+
+class TestViews:
+    def test_finding_row_and_diff_dict(self, corpus):
+        cat, ids = corpus
+        drift = diff_runs(ids["assess"], ids["assess_b"], catalog=cat)
+        row = drift.findings[0].row()
+        assert set(row) == {"category", "table", "path", "a", "b",
+                            "abs_delta", "rel_delta", "message"}
+        assert isinstance(drift.findings[0], DriftFinding)
+        document = drift.as_dict()
+        assert document["summary"]["drift"] is True
+        assert document["rtol"] == 1e-9
+        assert len(document["findings"]) == len(drift.findings)

@@ -1,0 +1,318 @@
+"""The run catalog store: recording, finding, robustness and gc.
+
+The catalog is a system of record, so these tests lean on the failure
+modes: concurrent writers must not corrupt it, a corrupt file must raise
+(never read as empty), a schema-version skew must demand migration by
+name, and a tampered export must be refused on import.
+"""
+
+import json
+import sqlite3
+import threading
+import zlib
+
+import pytest
+
+from repro.catalog import (
+    CatalogCorruptError,
+    CatalogError,
+    CatalogMigrationError,
+    GcResult,
+    RunCatalog,
+    run_identity,
+)
+from repro.catalog.schema import SCHEMA_VERSION
+from repro.catalog.store import _canonical_payload_json
+from repro.hashing import canonical_json
+
+
+@pytest.fixture()
+def run_catalog(tmp_path):
+    with RunCatalog(tmp_path / "runs.db") as cat:
+        yield cat
+
+
+def _spec(i=0, **extra):
+    doc = {"inventory": "iris", "node_scale": 0.01 + i * 0.01}
+    doc.update(extra)
+    return doc
+
+
+def _payload(i=0):
+    return {"spec": _spec(i), "summary": {"total_kg": 100.0 + i}}
+
+
+def _record(cat, i=0, *, kind="assess", **kwargs):
+    return cat.record(kind=kind, spec=_spec(i), payload=_payload(i), **kwargs)
+
+
+class TestRecord:
+    def test_round_trip(self, run_catalog):
+        run_id = _record(run_catalog, duration_s=1.5, tags=("a", "b"))
+        record = run_catalog.get(run_id)
+        assert record.kind == "assess"
+        assert record.spec == _spec()
+        assert record.duration_s == 1.5
+        assert record.tags == ("a", "b")
+        assert record.payload_bytes > 0
+        assert run_catalog.payload(run_id) == _payload()
+
+    def test_identity_is_content_addressed(self, run_catalog):
+        run_id = _record(run_catalog)
+        assert run_id == run_identity(
+            "assess", canonical_json(_spec()),
+            _canonical_payload_json(_payload()))
+
+    def test_identical_rerecord_is_noop(self, run_catalog):
+        a = _record(run_catalog, duration_s=1.0)
+        b = _record(run_catalog, duration_s=9.0)
+        assert a == b
+        assert run_catalog.count() == 1
+        # The original row's provenance wins; new tags still attach.
+        assert run_catalog.get(a).duration_s == 1.0
+        _record(run_catalog, tags=("later",))
+        assert "later" in run_catalog.get(a).tags
+
+    def test_changed_payload_changes_identity(self, run_catalog):
+        a = run_catalog.record(kind="assess", spec=_spec(),
+                               payload={"summary": {"total_kg": 1.0}})
+        b = run_catalog.record(kind="assess", spec=_spec(),
+                               payload={"summary": {"total_kg": 2.0}})
+        assert a != b
+        assert run_catalog.count() == 2
+
+    def test_unknown_kind_rejected(self, run_catalog):
+        with pytest.raises(CatalogError, match="unknown run kind"):
+            run_catalog.record(kind="nonsense", spec=_spec(), payload={})
+
+    def test_float_precision_survives(self, run_catalog):
+        value = 0.1 + 0.2  # 0.30000000000000004 — repr must round-trip
+        run_id = run_catalog.record(kind="assess", spec=_spec(),
+                                    payload={"v": value})
+        assert run_catalog.payload(run_id)["v"] == value
+
+
+class TestResolve:
+    def test_prefix_resolution(self, run_catalog):
+        run_id = _record(run_catalog)
+        assert run_catalog.resolve(run_id[:8]) == run_id
+        assert run_catalog.get(run_id[:8]).run_id == run_id
+
+    def test_short_prefix_rejected(self, run_catalog):
+        run_id = _record(run_catalog)
+        with pytest.raises(CatalogError, match="too short"):
+            run_catalog.resolve(run_id[:5])
+
+    def test_missing_run(self, run_catalog):
+        with pytest.raises(CatalogError, match="no run"):
+            run_catalog.resolve("deadbeef")
+
+    def test_ambiguous_prefix(self, run_catalog, monkeypatch):
+        # Force two run ids sharing a 6-char prefix via direct inserts.
+        _record(run_catalog, 0)
+        real = run_catalog.runs()[0].run_id
+        twin = real[:10] + ("0" if real[10] != "0" else "1") + real[11:]
+        with run_catalog._lock, run_catalog._conn:
+            run_catalog._conn.execute(
+                "INSERT INTO runs (run_id, kind, spec_json, spec_digest, "
+                "package_version, created_at, duration_s, payload_bytes) "
+                "VALUES (?, 'assess', '{}', 'd', 'x', 0, NULL, 0)", (twin,))
+        with pytest.raises(CatalogError, match="ambiguous"):
+            run_catalog.resolve(real[:6])
+
+
+class TestFind:
+    def test_filters_and_order(self, run_catalog):
+        ids = [_record(run_catalog, i, created_at=1000.0 + i,
+                       tags=("even",) if i % 2 == 0 else ())
+               for i in range(4)]
+        found = run_catalog.find(kind="assess")
+        assert [r.run_id for r in found] == list(reversed(ids))
+        assert [r.run_id for r in run_catalog.find(tag="even")] == [
+            ids[2], ids[0]]
+        assert len(run_catalog.find(limit=2)) == 2
+        assert run_catalog.find(kind="temporal") == []
+
+    def test_where_dotted_paths(self, run_catalog):
+        run_catalog.record(kind="uncertainty",
+                           spec={"spec": _spec(3), "n_samples": 64, "seed": 7},
+                           payload={"summary": {}})
+        assert run_catalog.find(where={"spec.node_scale": 0.04})
+        assert run_catalog.find(where={"n_samples": 64.0})  # numeric equality
+        assert not run_catalog.find(where={"n_samples": 65})
+        assert not run_catalog.find(where={"missing.path": 1})
+
+    def test_latest_and_has(self, run_catalog):
+        run_id = _record(run_catalog)
+        digest = run_catalog.get(run_id).spec_digest
+        assert run_catalog.has(kind="assess", spec_digest=digest)
+        assert not run_catalog.has(kind="temporal", spec_digest=digest)
+        assert run_catalog.latest(
+            kind="assess", spec_digest=digest).run_id == run_id
+
+
+class TestExportImport:
+    def test_export_import_round_trip(self, run_catalog, tmp_path):
+        run_id = _record(run_catalog, duration_s=2.0, tags=("golden",))
+        document = run_catalog.export_run(run_id)
+        with RunCatalog(tmp_path / "other.db") as other:
+            assert other.import_run(document) == run_id
+            assert other.payload(run_id) == _payload()
+            assert other.get(run_id).tags == ("golden",)
+
+    def test_tampered_document_refused(self, run_catalog):
+        run_id = _record(run_catalog)
+        document = run_catalog.export_run(run_id)
+        document["payload"]["summary"]["total_kg"] += 1.0
+        with pytest.raises(CatalogError, match="identity mismatch"):
+            run_catalog.import_run(document)
+
+    def test_incomplete_document_refused(self, run_catalog):
+        with pytest.raises(CatalogError, match="missing 'payload'"):
+            run_catalog.import_run({"run_id": "x", "kind": "assess",
+                                    "spec": {}})
+
+
+class TestRobustness:
+    def test_corrupt_file_raises_not_empty(self, tmp_path):
+        path = tmp_path / "runs.db"
+        path.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.raises(CatalogCorruptError, match="not a readable"):
+            RunCatalog(path)
+
+    def test_truncated_payload_raises_corrupt(self, run_catalog):
+        run_id = _record(run_catalog)
+        with run_catalog._lock, run_catalog._conn:
+            run_catalog._conn.execute(
+                "UPDATE payloads SET payload = ? WHERE run_id = ?",
+                (zlib.compress(b"payload")[:4], run_id))
+        with pytest.raises(CatalogCorruptError, match="unreadable"):
+            run_catalog.payload(run_id)
+
+    def test_schema_version_skew_demands_migration(self, tmp_path):
+        path = tmp_path / "runs.db"
+        RunCatalog(path).close()
+        conn = sqlite3.connect(str(path))
+        with conn:
+            conn.execute("UPDATE catalog_meta SET value = '999' "
+                         "WHERE key = 'schema_version'")
+        conn.close()
+        with pytest.raises(CatalogMigrationError) as info:
+            RunCatalog(path)
+        assert "999" in str(info.value)
+        assert str(SCHEMA_VERSION) in str(info.value)
+        assert "migration required" in str(info.value)
+
+    def test_missing_catalog_with_create_false(self, tmp_path):
+        with pytest.raises(CatalogError, match="no run catalog"):
+            RunCatalog(tmp_path / "absent.db", create=False)
+
+    def test_concurrent_writers(self, tmp_path):
+        path = tmp_path / "runs.db"
+        errors = []
+
+        def writer(offset):
+            try:
+                with RunCatalog(path) as cat:
+                    for i in range(10):
+                        _record(cat, offset * 10 + i, tags=(f"t{offset}",))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        with RunCatalog(path) as cat:
+            assert cat.count() == 40
+            assert len(cat.find(tag="t2")) == 10
+
+    def test_shared_handle_across_threads(self, run_catalog):
+        errors = []
+
+        def writer(offset):
+            try:
+                for i in range(10):
+                    _record(run_catalog, offset * 10 + i)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert run_catalog.count() == 40
+
+
+class TestDeleteAndGc:
+    def test_delete_cascades(self, run_catalog):
+        run_id = _record(run_catalog, tags=("doomed",))
+        run_catalog.delete(run_id)
+        assert run_catalog.count() == 0
+        with run_catalog._lock:
+            assert run_catalog._conn.execute(
+                "SELECT COUNT(*) AS n FROM payloads").fetchone()["n"] == 0
+            assert run_catalog._conn.execute(
+                "SELECT COUNT(*) AS n FROM tags").fetchone()["n"] == 0
+
+    def test_gc_needs_a_policy(self, run_catalog):
+        with pytest.raises(CatalogError, match="needs a policy"):
+            run_catalog.gc()
+        with pytest.raises(CatalogError, match="non-negative"):
+            run_catalog.gc(max_age_days=-1)
+
+    def test_gc_by_age(self, run_catalog):
+        old = _record(run_catalog, 0, created_at=0.0)
+        new = _record(run_catalog, 1, created_at=1000.0)
+        result = run_catalog.gc(max_age_days=0.001, now=1000.0)
+        assert isinstance(result, GcResult)
+        assert [r.run_id for r in result.deleted] == [old]
+        assert run_catalog.count() == 1
+        assert run_catalog.runs()[0].run_id == new
+
+    def test_gc_by_size_oldest_first(self, run_catalog):
+        ids = [_record(run_catalog, i, created_at=float(i))
+               for i in range(3)]
+        oldest_bytes = run_catalog.get(ids[0]).payload_bytes
+        budget = run_catalog.total_size() - oldest_bytes
+        result = run_catalog.gc(max_total_bytes=budget)
+        assert [r.run_id for r in result.deleted] == [ids[0]]
+        assert result.freed_bytes == oldest_bytes
+        assert run_catalog.total_size() == budget
+
+    def test_gc_dry_run_deletes_nothing(self, run_catalog):
+        _record(run_catalog, 0, created_at=0.0)
+        result = run_catalog.gc(max_age_days=0, now=1e9, dry_run=True)
+        assert result.dry_run and len(result.deleted) == 1
+        assert result.freed_bytes > 0
+        assert run_catalog.count() == 1
+
+    def test_total_size_tracks_payload_bytes(self, run_catalog):
+        assert run_catalog.total_size() == 0
+        run_id = _record(run_catalog)
+        assert run_catalog.total_size() == run_catalog.get(
+            run_id).payload_bytes
+
+
+class TestRunRecordViews:
+    def test_row_and_as_dict(self, run_catalog):
+        run_id = _record(run_catalog, duration_s=0.25, tags=("x",))
+        record = run_catalog.get(run_id)
+        row = record.row()
+        assert row["run_id"] == run_id[:12]
+        assert row["tags"] == "x"
+        as_dict = record.as_dict()
+        assert as_dict["run_id"] == run_id
+        json.dumps(as_dict)  # JSON-serialisable as-is
+
+    def test_run_document_embeds_payload(self, run_catalog):
+        run_id = _record(run_catalog)
+        document = run_catalog.run_document(run_id[:8])
+        assert document["run_id"] == run_id
+        assert document["payload"] == _payload()

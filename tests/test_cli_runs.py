@@ -1,0 +1,256 @@
+"""The ``repro runs`` CLI family and the façade ``--catalog`` flags.
+
+Everything goes through ``repro.cli.main`` exactly as a shell user or a
+CI pipeline would: record a run with ``repro assess --catalog``, then
+list / find / show / diff / gc it.  The exit-code contract matters most:
+``diff`` is CI's tripwire (0 clean, 1 drift, 2 usage), and a missing
+catalog is always a one-line error, never a traceback or a silently
+created empty database.
+"""
+
+import json
+
+import pytest
+
+from repro.api import default_spec
+from repro.catalog import RunCatalog
+from repro.cli import main
+from repro.portfolio import PortfolioSpec
+
+ASSESS = ["assess", "--scale", "0.02"]
+
+
+@pytest.fixture()
+def db(tmp_path):
+    return tmp_path / "runs.db"
+
+
+@pytest.fixture()
+def recorded(db, capsys):
+    """One catalogued assess run; returns (db, run_id)."""
+    assert main(ASSESS + ["--catalog", str(db), "--tag", "ci"]) == 0
+    capsys.readouterr()
+    with RunCatalog(db) as cat:
+        (record,) = cat.runs()
+    return db, record.run_id
+
+
+class TestRecordingFlags:
+    def test_assess_records_and_serves(self, db, capsys):
+        assert main(ASSESS + ["--catalog", str(db), "--format", "json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(ASSESS + ["--catalog", str(db), "--format", "json"]) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert again == first
+        with RunCatalog(db) as cat:
+            assert cat.count() == 1
+
+    def test_output_dir_forces_live_run_but_still_records(self, db, tmp_path,
+                                                          capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(ASSESS + ["--catalog", str(db),
+                              "--output-dir", str(out_dir)]) == 0
+        assert (out_dir / "table2_energy.csv").exists()
+        with RunCatalog(db) as cat:
+            assert cat.count() == 1
+
+    def test_tag_requires_catalog(self, db, capsys):
+        assert main(ASSESS + ["--tag", "ci"]) == 2
+        assert "--tag requires --catalog" in capsys.readouterr().err
+
+    def test_temporal_records_and_serves_json(self, db, capsys):
+        argv = ["temporal", "--scale", "0.02", "--catalog", str(db),
+                "--format", "json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == first
+        with RunCatalog(db) as cat:
+            assert cat.runs()[0].kind == "temporal"
+
+    def test_uncertainty_records(self, db, capsys):
+        argv = ["uncertainty", "--scale", "0.02", "--samples", "64",
+                "--catalog", str(db), "--format", "json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == first
+        with RunCatalog(db) as cat:
+            assert cat.runs()[0].kind == "uncertainty"
+
+    def test_paper_mode_uncertainty_rejects_catalog(self, db, capsys):
+        assert main(["uncertainty", "--catalog", str(db)]) == 2
+        assert "--catalog" in capsys.readouterr().err
+
+    def test_portfolio_records(self, db, tmp_path, capsys):
+        spec_path = tmp_path / "portfolio.json"
+        PortfolioSpec.from_regions(
+            ["GB", "FR"], base_spec=default_spec(node_scale=0.02),
+            name="cli-runs-test").to_json(spec_path)
+        argv = ["portfolio", "--spec", str(spec_path), "--catalog", str(db),
+                "--format", "json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == first
+        with RunCatalog(db) as cat:
+            assert cat.runs()[0].kind == "portfolio"
+
+
+class TestList:
+    def test_list_table(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "list", "--catalog", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert run_id[:12] in out
+        assert "assess" in out
+        assert "ci" in out
+
+    def test_catalog_flag_accepted_before_subcommand(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "--catalog", str(db), "list"]) == 0
+        assert run_id[:12] in capsys.readouterr().out
+
+    def test_env_var_selects_catalog(self, recorded, capsys, monkeypatch):
+        db, run_id = recorded
+        monkeypatch.setenv("REPRO_CATALOG", str(db))
+        assert main(["runs", "list"]) == 0
+        assert run_id[:12] in capsys.readouterr().out
+
+    def test_kind_filter_and_json(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "list", "--catalog", str(db),
+                     "--kind", "temporal"]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--catalog", str(db),
+                     "--format", "json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in records] == [run_id]
+
+    def test_missing_catalog_is_a_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "missing.db"
+        assert main(["runs", "list", "--catalog", str(missing)]) == 2
+        assert "no run catalog" in capsys.readouterr().err
+        assert not missing.exists()  # never silently created
+
+
+class TestFind:
+    def test_where_predicates(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "find", "--catalog", str(db),
+                     "--where", "node_scale=0.02"]) == 0
+        assert run_id[:12] in capsys.readouterr().out
+        assert main(["runs", "find", "--catalog", str(db),
+                     "--where", "node_scale=0.99"]) == 0
+        assert run_id[:12] not in capsys.readouterr().out
+
+    def test_tag_filter_csv(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "find", "--catalog", str(db), "--tag", "ci",
+                     "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("run_id")
+        assert run_id[:12] in out
+
+    def test_bad_where_clause(self, recorded, capsys):
+        db, _ = recorded
+        assert main(["runs", "find", "--catalog", str(db),
+                     "--where", "nonsense"]) == 2
+        assert "FIELD=VALUE" in capsys.readouterr().err
+
+
+class TestShow:
+    def test_show_by_prefix(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "show", run_id[:8], "--catalog", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "node_scale" in out
+
+    def test_show_payload_json(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "show", run_id[:8], "--catalog", str(db),
+                     "--payload", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["run_id"] == run_id
+        assert "summary" in document["payload"]
+
+    def test_show_unknown_run(self, recorded, capsys):
+        db, _ = recorded
+        assert main(["runs", "show", "deadbeefdead",
+                     "--catalog", str(db)]) == 2
+        assert "no run" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_self_diff_exits_zero(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "diff", run_id[:8], run_id[:8],
+                     "--catalog", str(db)]) == 0
+        assert "No drift" in capsys.readouterr().out
+
+    def test_drift_exits_one_with_findings(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["assess", "--scale", "0.02", "--pue", "1.6",
+                     "--catalog", str(db)]) == 0
+        capsys.readouterr()
+        with RunCatalog(db) as cat:
+            other = next(r.run_id for r in cat.runs()
+                         if r.run_id != run_id)
+        assert main(["runs", "diff", run_id[:8], other[:8],
+                     "--catalog", str(db)]) == 1
+        out = capsys.readouterr().out
+        assert "summary.total_kg" in out
+        assert "value" in out
+
+    def test_loose_tolerance_suppresses_exit_code(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["assess", "--scale", "0.02", "--pue", "1.6",
+                     "--catalog", str(db)]) == 0
+        capsys.readouterr()
+        with RunCatalog(db) as cat:
+            other = next(r.run_id for r in cat.runs()
+                         if r.run_id != run_id)
+        assert main(["runs", "diff", run_id[:8], other[:8], "--rtol", "10",
+                     "--atol", "1e6", "--catalog", str(db)]) == 0
+
+    def test_diff_json_document(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "diff", run_id, run_id, "--format", "json",
+                     "--catalog", str(db)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["drift"] is False
+        assert document["summary"]["compared_values"] > 10
+
+    def test_cross_kind_diff_is_usage_error(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["temporal", "--scale", "0.02", "--catalog",
+                     str(db)]) == 0
+        capsys.readouterr()
+        with RunCatalog(db) as cat:
+            temporal = cat.find(kind="temporal")[0].run_id
+        assert main(["runs", "diff", run_id[:8], temporal[:8],
+                     "--catalog", str(db)]) == 2
+        assert "within one kind" in capsys.readouterr().err
+
+
+class TestGc:
+    def test_dry_run_then_delete(self, recorded, capsys):
+        db, run_id = recorded
+        assert main(["runs", "gc", "--max-age-days", "0", "--dry-run",
+                     "--catalog", str(db)]) == 0
+        assert "would delete 1 run(s)" in capsys.readouterr().out
+        with RunCatalog(db) as cat:
+            assert cat.count() == 1
+        assert main(["runs", "gc", "--max-age-days", "0",
+                     "--catalog", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1 run(s)" in out
+        assert run_id[:12] in out
+        with RunCatalog(db) as cat:
+            assert cat.count() == 0
+
+    def test_gc_without_policy_is_usage_error(self, recorded, capsys):
+        db, _ = recorded
+        assert main(["runs", "gc", "--catalog", str(db)]) == 2
+        assert "needs a policy" in capsys.readouterr().err

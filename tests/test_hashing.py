@@ -1,0 +1,117 @@
+"""The shared hashing discipline: canonical JSON and content digests.
+
+:mod:`repro.hashing` is the single point every content-addressed store
+keys through — the on-disk substrate cache and the run catalog.  These
+tests pin the serialisation and the digests to hardcoded values: a
+refactor that changes either would silently re-key every existing cache
+directory and catalog on every user's machine, so the pins must only ever
+be updated together with an explicit cache-format version bump.
+"""
+
+import json
+
+from repro.api.persistence import SNAPSHOT_CACHE_VERSION, snapshot_digest
+from repro.catalog.store import spec_digest
+from repro.hashing import canonical_json, digest_document, digest_parts
+
+#: SHA-256 of the canonical serialisation of _PINNED_DOC, computed when the
+#: shared module was extracted.  Changing it re-keys every store.
+_PINNED_DOC = {"b": 2, "a": [1, 2.5, None, True], "c": {"nested": "x"}}
+_PINNED_DOC_DIGEST = (
+    "1e63830fb266de198d879c35fdbd2fa7704287395ca0155d49b368a75fe188be")
+
+_PINNED_PARTS_DIGEST = (
+    "bbfb79e82216bd2db1ad2c507d44ddf80aeb12f64f9562056afe93aad43154d9")
+
+#: The substrate-cache digest for a representative physical configuration,
+#: exactly as repro.api.persistence computed it before the hashing helpers
+#: moved to repro.hashing.  On-disk snapshot caches are keyed by this.
+_PINNED_SNAPSHOT_DIGEST = (
+    "4f51eb6150ce4288f8346bc92db18700fa6e85fae260f2b68f9dc7e974e8174b")
+
+
+class TestCanonicalJson:
+    def test_sorts_keys(self):
+        assert (canonical_json({"b": 1, "a": 2})
+                == canonical_json({"a": 2, "b": 1}))
+
+    def test_matches_json_dumps_formula(self):
+        # The historical substrate-cache serialisation, byte for byte.
+        doc = {"x": [1, 2.5, None, True], "y": "z"}
+        assert canonical_json(doc) == json.dumps(doc, sort_keys=True,
+                                                 default=str)
+
+    def test_non_json_values_fall_back_to_str(self):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        assert '"odd!"' in canonical_json({"k": Odd()})
+
+    def test_stable_across_calls(self):
+        assert canonical_json(_PINNED_DOC) == canonical_json(
+            json.loads(canonical_json(_PINNED_DOC)))
+
+
+class TestDigests:
+    def test_document_digest_pinned(self):
+        assert digest_document(_PINNED_DOC) == _PINNED_DOC_DIGEST
+
+    def test_parts_digest_pinned(self):
+        assert digest_parts("alpha", "beta") == _PINNED_PARTS_DIGEST
+
+    def test_parts_boundaries_are_unambiguous(self):
+        assert digest_parts("ab", "c") != digest_parts("a", "bc")
+
+    def test_document_digest_is_order_insensitive(self):
+        assert (digest_document({"a": 1, "b": 2})
+                == digest_document({"b": 2, "a": 1}))
+
+
+class TestSnapshotDigest:
+    """The substrate cache must keep its historical on-disk keys."""
+
+    @staticmethod
+    def _factory(module: str, qualname: str):
+        class Stub:
+            pass
+
+        stub = Stub()
+        stub.__module__ = module
+        stub.__qualname__ = qualname
+        return stub
+
+    def test_pinned_digest_unchanged(self):
+        assert SNAPSHOT_CACHE_VERSION == 1, (
+            "cache version bumped: recompute the pinned digest alongside")
+        factory = self._factory("repro.inventory.iris",
+                                "build_iris_infrastructure")
+        digest = snapshot_digest(("iris", 0.05, 24.0, 60.0, 1234), factory)
+        assert digest == _PINNED_SNAPSHOT_DIGEST
+
+    def test_distinct_factories_do_not_share_keys(self):
+        key = ("iris", 0.05, 24.0, 60.0, 1234)
+        a = snapshot_digest(key, self._factory("pkg.a", "build"))
+        b = snapshot_digest(key, self._factory("pkg.b", "build"))
+        assert a != b
+
+    def test_physical_key_changes_key(self):
+        factory = self._factory("pkg", "build")
+        assert (snapshot_digest(("iris", 0.05), factory)
+                != snapshot_digest(("iris", 0.06), factory))
+
+
+class TestSpecDigest:
+    def test_kind_is_part_of_the_address(self):
+        spec = {"inventory": "iris", "node_scale": 0.05}
+        assert spec_digest("assess", spec) != spec_digest("temporal", spec)
+
+    def test_pinned(self):
+        assert spec_digest(
+            "assess", {"inventory": "iris", "node_scale": 0.05}) == (
+            "34f319297775ca86dcf8145a7adde9febe3b7fb88b744f529b73f64719ca3030")
+
+    def test_digest_ignores_key_order_only(self):
+        a = spec_digest("assess", {"x": 1, "y": 2})
+        assert a == spec_digest("assess", {"y": 2, "x": 1})
+        assert a != spec_digest("assess", {"x": 1, "y": 3})
