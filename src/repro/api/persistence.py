@@ -24,9 +24,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 import zipfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -171,9 +172,61 @@ def save_snapshot_result(directory: Path, digest: str,
                 os.unlink(tmp)
 
 
-def load_snapshot_result(directory: Path, digest: str) -> Optional[SnapshotResult]:
-    """Read a persisted snapshot, or ``None`` on miss/corruption/version skew."""
+def sweep_stale_entries(directory: Path,
+                        max_age_s: float = 3600.0) -> List[Path]:
+    """Remove crash debris from a cache directory; returns what was removed.
+
+    The write protocol (:func:`save_snapshot_result`) cleans up after
+    ordinary exceptions, but a *hard* crash — power loss, SIGKILL — between
+    ``mkstemp`` and the final rename leaves permanent garbage no later run
+    ever reclaims:
+
+    * ``*.tmp`` scratch files that never reached their rename;
+    * an orphaned ``<digest>.npz`` whose JSON sidecar never landed (the
+      crash hit between the two renames).  The sidecar's presence is what
+      marks an entry complete, so such an npz is never valid and never
+      loaded — it just accumulates.
+
+    Only files older than ``max_age_s`` are touched: a *live* writer's
+    in-progress tmp files, or an npz renamed moments before its sidecar,
+    must be left alone.  The sweep is best-effort housekeeping — every
+    filesystem error is swallowed, and subdirectories (e.g. the sharded
+    engine's ``shards/`` stores) are never entered.
+    """
     directory = Path(directory)
+    removed: List[Path] = []
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        return removed
+    now = time.time()
+    for path in entries:
+        name = path.name
+        stale_tmp = name.endswith(".tmp")
+        orphan_npz = (name.endswith(".npz")
+                      and not path.with_suffix(".json").exists())
+        if not (stale_tmp or orphan_npz):
+            continue
+        try:
+            if not path.is_file() or now - path.stat().st_mtime <= max_age_s:
+                continue
+            path.unlink()
+        except OSError:
+            continue
+        removed.append(path)
+    return removed
+
+
+def load_snapshot_result(directory: Path, digest: str) -> Optional[SnapshotResult]:
+    """Read a persisted snapshot, or ``None`` on miss/corruption/version skew.
+
+    Each load also sweeps the directory for crash debris
+    (:func:`sweep_stale_entries`) — loads are rare (once per process per
+    physical configuration), which makes them the natural age-gated
+    housekeeping hook.
+    """
+    directory = Path(directory)
+    sweep_stale_entries(directory)
     json_path = directory / f"{digest}.json"
     npz_path = directory / f"{digest}.npz"
     if not json_path.exists() or not npz_path.exists():
@@ -238,4 +291,5 @@ __all__ = [
     "snapshot_digest",
     "save_snapshot_result",
     "load_snapshot_result",
+    "sweep_stale_entries",
 ]

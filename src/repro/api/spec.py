@@ -102,6 +102,16 @@ class AssessmentSpec:
     defer_fraction:
         Carbon-aware scenario: fraction of above-median-intensity energy
         deferred into below-median intervals, in [0, 1).
+    engine:
+        Simulation substrate engine: ``"columnar"`` (default, the
+        vectorised in-memory path), ``"oracle"`` (the per-placement
+        reference path) or ``"sharded"`` (the out-of-core path streaming
+        node-axis shards from disk, for fleets whose dense matrix does not
+        fit in RAM).
+    shard_nodes / shard_dtype:
+        Sharded-engine tuning: nodes per shard file, and the on-disk
+        storage dtype (``"float32"`` halves the footprint; reductions
+        still accumulate in float64).  Ignored by the dense engines.
     """
 
     inventory: str = "iris"
@@ -121,6 +131,9 @@ class AssessmentSpec:
     alignment: str = "resample"
     shift_hours: float = 0.0
     defer_fraction: float = 0.0
+    engine: str = "columnar"
+    shard_nodes: int = 4096
+    shard_dtype: str = "float64"
 
     def __post_init__(self):
         if not self.inventory:
@@ -159,6 +172,20 @@ class AssessmentSpec:
             )
         if not 0.0 <= self.defer_fraction < 1.0:
             raise ValueError("defer_fraction must be in [0, 1)")
+        from repro.snapshot.experiment import EXPERIMENT_ENGINES
+
+        if self.engine not in EXPERIMENT_ENGINES:
+            raise ValueError(
+                f"engine must be one of {', '.join(EXPERIMENT_ENGINES)}, "
+                f"got {self.engine!r}")
+        if self.shard_nodes < 1:
+            raise ValueError("shard_nodes must be at least 1")
+        from repro.workload.fleet import SHARD_DTYPES
+
+        if self.shard_dtype not in SHARD_DTYPES:
+            raise ValueError(
+                f"shard_dtype must be one of {', '.join(SHARD_DTYPES)}, "
+                f"got {self.shard_dtype!r}")
 
     # -- derived views -----------------------------------------------------------
 
@@ -167,14 +194,26 @@ class AssessmentSpec:
 
         Two specs with equal physical keys can share one simulated snapshot;
         everything else is a cheap re-evaluation of the carbon model.
+
+        The default (columnar) engine keeps the historical five-field key
+        byte-for-byte — the on-disk cache digests of every existing spec
+        are unchanged.  A non-default engine extends the key, because
+        engines differ in floating-point summation order (and the sharded
+        engine additionally in its shard geometry / storage dtype), so
+        their substrates must not be served interchangeably.
         """
-        return (
+        key: Tuple[Any, ...] = (
             self.inventory,
             self.node_scale,
             self.duration_hours,
             self.trace_step_s,
             self.campaign_seed,
         )
+        if self.engine != "columnar":
+            key += ("engine", self.engine)
+            if self.engine == "sharded":
+                key += (self.shard_nodes, self.shard_dtype)
+        return key
 
     def replace(self, **changes: Any) -> "AssessmentSpec":
         """A copy of the spec with the given fields replaced (validated)."""
@@ -183,8 +222,21 @@ class AssessmentSpec:
     # -- dict / JSON round-trip -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """The spec as a plain, JSON-serialisable dictionary."""
-        return dataclasses.asdict(self)
+        """The spec as a plain, JSON-serialisable dictionary.
+
+        Engine fields are omitted while they hold their defaults, so the
+        serialised form (and everything digested from it — catalog spec
+        hashes, golden fixtures, exported runs) is byte-identical to what
+        pre-engine releases produced; :meth:`from_dict` fills the defaults
+        back in.
+        """
+        data = dataclasses.asdict(self)
+        for field, default in (("engine", "columnar"),
+                               ("shard_nodes", 4096),
+                               ("shard_dtype", "float64")):
+            if data[field] == default:
+                del data[field]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AssessmentSpec":

@@ -46,6 +46,25 @@ class _Slot:
         self.error: BaseException | None = None
 
 
+def _waiter_error(error: BaseException) -> BaseException:
+    """A fresh exception object for one waiter thread.
+
+    Waiters must not re-raise the owner's exception *object*: raising
+    mutates ``__traceback__``, and N waiters raising the one shared
+    instance concurrently corrupt each other's tracebacks (and the
+    owner's).  Each waiter gets its own instance — same type and args
+    where the type allows reconstruction, a ``RuntimeError`` wrapper
+    otherwise — explicitly chained to the owner's original so the real
+    failure (with the owner's traceback) stays visible.
+    """
+    try:
+        clone = type(error)(*error.args)
+    except Exception:
+        clone = RuntimeError(f"shared substrate computation failed: {error!r}")
+    clone.__cause__ = error
+    return clone
+
+
 class SubstrateCache:
     """Caches the expensive substrates shared across assessment runs.
 
@@ -60,18 +79,30 @@ class SubstrateCache:
         How many sites each simulated snapshot runs concurrently
         (:meth:`SnapshotExperiment.run`'s ``max_workers``); ``None`` picks
         one thread per site capped at the CPU count.
+    max_entries:
+        Optional cap on retained cache entries.  A long-lived process
+        sweeping many distinct physical configurations otherwise retains
+        every substrate forever; with a cap, inserting past it evicts the
+        oldest *completed* entries (in-flight computations are never
+        evicted — a waiter blocked on one must always be woken by its
+        owner).  ``None`` (default) keeps the historical unbounded
+        behaviour.
     """
 
     def __init__(self, persist_dir: Optional[Union[str, Path]] = None,
-                 jobs: Optional[int] = 1):
+                 jobs: Optional[int] = 1,
+                 max_entries: Optional[int] = None):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be at least 1 (or None)")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
         self._lock = threading.Lock()
         self._slots: Dict[Tuple[str, Tuple[Any, ...]], _Slot] = {}
         self._catalog: HardwareCatalog | None = None
         self._persist_dir = (Path(persist_dir).expanduser()
                              if persist_dir is not None else None)
         self._jobs = jobs
+        self._max_entries = max_entries
         # Statistics, mainly so tests and benchmarks can assert reuse.
         self.snapshot_runs = 0
         self.snapshot_hits = 0
@@ -84,6 +115,38 @@ class SubstrateCache:
 
     # -- generic compute-once machinery ------------------------------------------
 
+    def _evict_overflow_locked(self) -> None:
+        """Drop the oldest completed entries while over ``max_entries``.
+
+        Caller holds the lock.  Dict insertion order makes "oldest" the
+        earliest-created surviving entry; entries still being computed
+        (event not set) are skipped unconditionally, so a waiter blocked
+        on a slot can always be woken by that slot's owner — even if that
+        means temporarily exceeding the cap.
+        """
+        if self._max_entries is None or len(self._slots) <= self._max_entries:
+            return
+        evictable = [key for key, slot in self._slots.items()
+                     if slot.event.is_set()]
+        excess = len(self._slots) - self._max_entries
+        for key in evictable[:excess]:
+            del self._slots[key]
+
+    def clear(self) -> int:
+        """Drop every completed cache entry; returns how many were dropped.
+
+        In-flight computations are kept (their waiters must be woken by
+        their owners); they complete normally and are retained until a
+        later :meth:`clear` or eviction.  The persistent on-disk snapshot
+        cache is untouched — ``clear`` frees process memory, not disk.
+        """
+        with self._lock:
+            completed = [key for key, slot in self._slots.items()
+                         if slot.event.is_set()]
+            for key in completed:
+                del self._slots[key]
+            return len(completed)
+
     def _compute_once(self, kind: str, key: Tuple[Any, ...],
                       compute: Callable[[], Any]) -> Any:
         with self._lock:
@@ -91,6 +154,7 @@ class SubstrateCache:
             owner = slot is None
             if owner:
                 slot = self._slots[(kind, key)] = _Slot()
+                self._evict_overflow_locked()
             elif kind == "snapshot":
                 self.snapshot_hits += 1
         if owner:
@@ -100,14 +164,15 @@ class SubstrateCache:
                 slot.error = exc
                 # A failed computation must not poison the key forever.
                 with self._lock:
-                    del self._slots[(kind, key)]
+                    self._slots.pop((kind, key), None)
                 slot.event.set()
                 raise
             slot.event.set()
             return slot.value
         slot.event.wait()
         if slot.error is not None:
-            raise slot.error
+            # Never re-raise the owner's exception object (see _waiter_error).
+            raise _waiter_error(slot.error)
         return slot.value
 
     # -- substrates -----------------------------------------------------------------
@@ -163,8 +228,22 @@ class SubstrateCache:
                         self.snapshot_loads += 1
                     return cached
             config = factory(spec)
+            engine_kwargs: Dict[str, Any] = {}
+            if spec.engine != "columnar":
+                engine_kwargs["engine"] = spec.engine
+            if spec.engine == "sharded":
+                engine_kwargs["shard_nodes"] = spec.shard_nodes
+                engine_kwargs["shard_dtype"] = spec.shard_dtype
+                if digest is not None:
+                    # Shard stores live next to the snapshot cache, keyed
+                    # by the same physical digest, so a re-simulation of
+                    # the same physical configuration reuses its shards.
+                    engine_kwargs["shard_dir"] = (
+                        self._persist_dir / "shards" / digest)
+                    engine_kwargs["shard_key"] = digest
             result = SnapshotExperiment(
-                config, catalog=self.catalog(), max_workers=self._jobs).run()
+                config, catalog=self.catalog(), max_workers=self._jobs,
+                **engine_kwargs).run()
             with self._lock:
                 self.snapshot_runs += 1
             if digest is not None:

@@ -159,6 +159,18 @@ def _build_parser() -> argparse.ArgumentParser:
     assess.add_argument("--jobs", type=int, default=None,
                         help="simulate this many sites concurrently "
                              "(default: 1; 0 = one thread per site)")
+    assess.add_argument("--engine", choices=("columnar", "oracle", "sharded"),
+                        default=None,
+                        help="simulation substrate engine (default: columnar; "
+                             "'sharded' streams node-axis shards from disk so "
+                             "fleets whose dense matrix exceeds RAM still run)")
+    assess.add_argument("--shard-nodes", type=int, default=None, metavar="N",
+                        help="nodes per shard file for --engine sharded "
+                             "(default: 4096)")
+    assess.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                        help="on-disk shard dtype for --engine sharded "
+                             "(float32 halves the footprint; reductions still "
+                             "accumulate in float64)")
     _add_catalog_arguments(assess)
 
     temporal = subparsers.add_parser(
@@ -444,6 +456,30 @@ def _scenario_overrides(args: argparse.Namespace) -> dict:
     return overrides
 
 
+def _engine_overrides(args: argparse.Namespace, spec: AssessmentSpec) -> dict:
+    """The --engine/--shard-nodes/--dtype overrides of the assess command.
+
+    The shard knobs only mean anything on the sharded engine, so passing
+    them while the *effective* engine (flag, else spec) is dense is a
+    usage error, not a silent no-op.
+    """
+    overrides = {}
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    engine = overrides.get("engine", spec.engine)
+    if args.shard_nodes is not None:
+        if engine != "sharded":
+            raise _UsageError("--shard-nodes only applies to --engine sharded")
+        if args.shard_nodes < 1:
+            raise _UsageError("--shard-nodes must be at least 1")
+        overrides["shard_nodes"] = args.shard_nodes
+    if args.dtype is not None:
+        if engine != "sharded":
+            raise _UsageError("--dtype only applies to --engine sharded")
+        overrides["shard_dtype"] = args.dtype
+    return overrides
+
+
 def _cmd_assess(args: argparse.Namespace) -> int:
     try:
         overrides = _scenario_overrides(args)
@@ -466,6 +502,11 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         overrides["per_server_kgco2"] = args.per_server_kg
     if args.amortization is not None:
         overrides["amortization"] = args.amortization
+    try:
+        overrides.update(_engine_overrides(args, spec))
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         spec = spec.replace(**overrides) if overrides else spec
         result = _run_assessment(spec, substrates, recorder)

@@ -38,11 +38,46 @@ re-validation the generic constructor performs.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.power.node_power import NodePowerModel
+from repro.timeseries.series import TimeSeries
+from repro.units.constants import JOULES_PER_KWH
+from repro.workload.fleet import ShardedFleetUtilization
+
+_SCOPES = ("rapl", "dc", "wall")
+
+
+def coverage_vector(covered_rows: Optional[np.ndarray],
+                    node_count: int) -> Optional[np.ndarray]:
+    """Per-node multiplicity of the covered rows, or ``None`` for all nodes.
+
+    Accepts an index array (duplicates count multiply, matching fancy row
+    indexing) or a boolean mask over the nodes.  Shared by the dense
+    :class:`~repro.power.traces.PowerBreakdownTrace` and the sharded trace
+    below, so both paths agree exactly on what an instrument's coverage
+    means.
+    """
+    if covered_rows is None:
+        return None
+    rows = np.asarray(covered_rows)
+    if rows.dtype == np.bool_:
+        if rows.shape != (node_count,):
+            raise ValueError(
+                f"boolean coverage mask must have shape "
+                f"({node_count},), got {rows.shape}")
+        rows = np.nonzero(rows)[0]
+    elif rows.size and (rows.min() < 0 or rows.max() >= node_count):
+        raise IndexError(
+            f"covered row indices must lie in [0, {node_count})")
+    if (rows.size == node_count
+            and np.array_equal(rows, np.arange(node_count))):
+        return None
+    coverage = np.zeros(node_count, dtype=np.float64)
+    np.add.at(coverage, rows, 1.0)
+    return coverage
 
 
 class FleetPowerModel:
@@ -154,4 +189,140 @@ class FleetPowerModel:
         return (self._wall_a + self._wall_b)[:, 0]
 
 
-__all__ = ["FleetPowerModel"]
+class ShardedPowerBreakdownTrace:
+    """Scope-resolved power over a sharded fleet, contracted shard by shard.
+
+    The out-of-core sibling of
+    :meth:`~repro.power.traces.PowerBreakdownTrace.from_utilization`: it
+    pairs a :class:`~repro.workload.fleet.ShardedFleetUtilization` with a
+    :class:`FleetPowerModel` and evaluates every reduction the instruments
+    consume — covered-site series, total series, per-node energies — as a
+    streaming contraction ``sum_i c_i (a_i + b_i u_i(t))`` over one shard's
+    memmap at a time.  No power matrix (and no dense utilisation matrix)
+    ever exists in memory; peak footprint is one shard.
+
+    Accumulation is always float64, whatever the shard storage dtype:
+    numpy's matmul promotes a float32 memmap block against the float64
+    coefficient vectors, so opt-in float32 *storage* halves the disk/page
+    footprint without compounding reduction error.
+    """
+
+    __slots__ = ("_store", "_model", "_series_cache")
+
+    def __init__(self, store: ShardedFleetUtilization,
+                 models: Sequence[NodePowerModel]):
+        if len(models) != store.node_count:
+            raise ValueError(
+                f"need one power model per node: {store.node_count} nodes, "
+                f"{len(models)} models")
+        self._store = store
+        self._model = FleetPowerModel(models)
+        self._series_cache: Dict[tuple, np.ndarray] = {}
+
+    # -- grid accessors (mirroring PowerBreakdownTrace) --------------------------------
+
+    @property
+    def store(self) -> ShardedFleetUtilization:
+        """The underlying shard store (read-only access for diagnostics)."""
+        return self._store
+
+    @property
+    def start(self) -> float:
+        return self._store.start
+
+    @property
+    def step(self) -> float:
+        return self._store.step
+
+    @property
+    def node_ids(self) -> List[str]:
+        return self._store.node_ids
+
+    @property
+    def node_count(self) -> int:
+        return self._store.node_count
+
+    @property
+    def sample_count(self) -> int:
+        return self._store.sample_count
+
+    @property
+    def duration_s(self) -> float:
+        return self._store.duration_s
+
+    def _check_scope(self, scope: str) -> None:
+        if scope not in _SCOPES:
+            raise ValueError(
+                f"unknown scope {scope!r}; expected rapl, dc or wall")
+
+    # -- streaming reductions ----------------------------------------------------------
+
+    def _covered_values(self, scope: str,
+                        covered_rows: Optional[np.ndarray]) -> np.ndarray:
+        """Summed power over the covered nodes, one value per sample."""
+        self._check_scope(scope)
+        coverage = coverage_vector(covered_rows, self.node_count)
+        key = (scope, None if coverage is None else coverage.tobytes())
+        cached = self._series_cache.get(key)
+        if cached is not None:
+            return cached
+        a, b = self._model.affine(scope)
+        slope = b[:, 0] if coverage is None else coverage * b[:, 0]
+        values = np.zeros(self.sample_count, dtype=np.float64)
+        for lo, hi, stored in self._store.iter_shards():
+            if self._store.layout == "interval-major":
+                values += stored @ slope[lo:hi]
+            else:
+                values += slope[lo:hi] @ stored
+        if coverage is None:
+            values += a.sum()
+        else:
+            values += coverage @ a[:, 0]
+        self._series_cache[key] = values
+        return values
+
+    def covered_series(self, scope: str = "wall",
+                       covered_rows: Optional[np.ndarray] = None) -> TimeSeries:
+        """Summed power of the covered nodes over time (all nodes by default)."""
+        return TimeSeries(self.start, self.step,
+                          self._covered_values(scope, covered_rows))
+
+    def total_series(self, scope: str = "wall") -> TimeSeries:
+        """Site-total power over time for the given scope."""
+        return self.covered_series(scope, None)
+
+    def node_series(self, node_id: str, scope: str = "wall") -> TimeSeries:
+        """One node's power over time (reads one shard row)."""
+        self._check_scope(scope)
+        row = self._store.row_of(node_id)
+        a, b = self._model.affine(scope)
+        util = self._store.node_series(node_id).values
+        return TimeSeries(self.start, self.step,
+                          a[row, 0] + b[row, 0] * util)
+
+    # -- aggregates ------------------------------------------------------------------
+
+    def total_energy_kwh(self, scope: str = "wall") -> float:
+        """True total energy in kWh for the given scope (no instrument effects)."""
+        values = self._covered_values(scope, None)
+        return float(values.sum() * self.step / JOULES_PER_KWH)
+
+    def per_node_energy_kwh(self, scope: str = "wall") -> Dict[str, float]:
+        """True per-node energy in kWh for the given scope (streamed)."""
+        self._check_scope(scope)
+        a, b = self._model.affine(scope)
+        row_sums = np.empty(self.node_count, dtype=np.float64)
+        for lo, hi, stored in self._store.iter_shards():
+            axis = 0 if self._store.layout == "interval-major" else 1
+            row_sums[lo:hi] = stored.sum(axis=axis, dtype=np.float64)
+        energies = a[:, 0] * self.sample_count + b[:, 0] * row_sums
+        energies *= self.step / JOULES_PER_KWH
+        return dict(zip(self._store.node_ids, energies.tolist()))
+
+    def mean_node_power_w(self, scope: str = "wall") -> float:
+        """Average per-node power across the whole trace."""
+        values = self._covered_values(scope, None)
+        return float(values.sum() / (self.node_count * self.sample_count))
+
+
+__all__ = ["FleetPowerModel", "ShardedPowerBreakdownTrace", "coverage_vector"]

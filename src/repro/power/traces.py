@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.power.fleet_power import FleetPowerModel
+from repro.power.fleet_power import FleetPowerModel, coverage_vector
 from repro.power.node_power import NodePowerModel
 from repro.timeseries.series import TimeSeries
 from repro.units.constants import JOULES_PER_KWH
@@ -206,26 +206,11 @@ class PowerBreakdownTrace:
         """Per-node multiplicity of the covered rows, or ``None`` for all.
 
         Accepts an index array (duplicates count multiply, matching fancy
-        row indexing) or a boolean mask over the nodes.
+        row indexing) or a boolean mask over the nodes.  Delegates to the
+        shared :func:`~repro.power.fleet_power.coverage_vector`, which the
+        sharded trace uses too.
         """
-        if covered_rows is None:
-            return None
-        rows = np.asarray(covered_rows)
-        if rows.dtype == np.bool_:
-            if rows.shape != (self.node_count,):
-                raise ValueError(
-                    f"boolean coverage mask must have shape "
-                    f"({self.node_count},), got {rows.shape}")
-            rows = np.nonzero(rows)[0]
-        elif rows.size and (rows.min() < 0 or rows.max() >= self.node_count):
-            raise IndexError(
-                f"covered row indices must lie in [0, {self.node_count})")
-        if (rows.size == self.node_count
-                and np.array_equal(rows, np.arange(self.node_count))):
-            return None
-        coverage = np.zeros(self.node_count, dtype=np.float64)
-        np.add.at(coverage, rows, 1.0)
-        return coverage
+        return coverage_vector(covered_rows, self.node_count)
 
     def _covered_values(self, scope: str,
                         covered_rows: Optional[np.ndarray]) -> np.ndarray:

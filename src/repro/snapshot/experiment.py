@@ -20,9 +20,12 @@ convenience evaluations of the scenario grids (Tables 3 and 4).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +38,7 @@ from repro.inventory.catalog import HardwareCatalog, default_catalog
 from repro.inventory.network import NetworkFabric
 from repro.inventory.node import NodeSpec
 from repro.power.campaign import MeasurementCampaign, SiteEnergyReport
+from repro.power.fleet_power import ShardedPowerBreakdownTrace
 from repro.power.instruments import FacilityMeter, IPMIMeter, PDUMeter, TurbostatMeter
 from repro.power.node_power import NodePowerModel
 from repro.power.traces import PowerBreakdownTrace
@@ -43,9 +47,19 @@ from repro.timeseries.series import TimeSeries
 from repro.units.constants import JOULES_PER_KWH
 from repro.units.quantities import CarbonIntensity, Duration
 from repro.workload.cluster import SimulatedCluster, SimulatedNode
-from repro.workload.fleet import FleetUtilization
+from repro.workload.fleet import (
+    SHARD_DTYPES,
+    SHARD_LAYOUTS,
+    FleetUtilization,
+    ShardedFleetUtilization,
+)
 from repro.workload.jobs import JobGenerator, WorkloadProfile
 from repro.workload.scheduler import ENGINES, BackfillScheduler, SchedulerStatistics
+
+#: Engines the experiment accepts: the scheduler-level engines plus the
+#: out-of-core ``sharded`` substrate (which never materialises the dense
+#: fleet matrix and runs sites on a process pool when ``max_workers > 1``).
+EXPERIMENT_ENGINES = ENGINES + ("sharded",)
 
 
 @dataclass(frozen=True)
@@ -284,11 +298,32 @@ class SnapshotExperiment:
         (:class:`~repro.workload.fleet.FleetUtilization` +
         :meth:`~repro.power.traces.PowerBreakdownTrace.from_utilization`);
         ``"oracle"`` runs the retained per-placement/per-node reference
-        path, kept for cross-validation and benchmarking.
+        path, kept for cross-validation and benchmarking; ``"sharded"``
+        runs the out-of-core substrate
+        (:class:`~repro.workload.fleet.ShardedFleetUtilization` +
+        :class:`~repro.power.fleet_power.ShardedPowerBreakdownTrace`),
+        which streams node-axis shards from disk and never holds the dense
+        fleet matrix, so full-scale fleets run in bounded memory.
     max_workers:
-        Number of sites simulated concurrently by :meth:`run` (threads; the
-        hot paths are numpy, so threads suffice).  1 runs sequentially,
-        ``None`` uses one thread per site capped at the CPU count.
+        Number of sites simulated concurrently by :meth:`run`.  1 runs
+        sequentially, ``None`` uses one worker per site capped at the CPU
+        count.  The dense engines use threads (the hot paths are numpy);
+        the sharded engine uses a process pool, because its per-site cost
+        is dominated by the pure-Python scheduler, which threads cannot
+        overlap.
+    shard_nodes / shard_dtype / shard_layout:
+        Sharded-engine tuning: nodes per shard file, on-disk storage dtype
+        (``float32`` halves the footprint; reductions still accumulate in
+        float64) and shard orientation (``interval-major`` stores the
+        transpose so the per-sample contraction reads contiguous memory).
+        Ignored by the dense engines.
+    shard_dir / shard_key:
+        Where the sharded engine keeps its per-site shard directories, and
+        the content key recorded in (and checked against) each directory's
+        manifest — pass the physical-spec digest so a directory built for
+        the same physical configuration is reused instead of rebuilt.
+        Without ``shard_dir`` each site uses a private temporary directory,
+        removed as soon as the site's reductions are done.
     """
 
     def __init__(
@@ -297,16 +332,37 @@ class SnapshotExperiment:
         catalog: Optional[HardwareCatalog] = None,
         engine: str = "columnar",
         max_workers: Optional[int] = 1,
+        shard_nodes: int = 4096,
+        shard_dtype: str = "float64",
+        shard_layout: str = "node-major",
+        shard_dir: Optional[Union[str, Path]] = None,
+        shard_key: Optional[str] = None,
     ):
-        if engine not in ENGINES:
+        if engine not in EXPERIMENT_ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}")
+                f"unknown engine {engine!r}; expected one of "
+                f"{', '.join(EXPERIMENT_ENGINES)}")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1 (or None)")
+        if shard_nodes < 1:
+            raise ValueError("shard_nodes must be at least 1")
+        if shard_dtype not in SHARD_DTYPES:
+            raise ValueError(
+                f"unknown shard dtype {shard_dtype!r}; expected one of "
+                f"{', '.join(SHARD_DTYPES)}")
+        if shard_layout not in SHARD_LAYOUTS:
+            raise ValueError(
+                f"unknown shard layout {shard_layout!r}; expected one of "
+                f"{', '.join(SHARD_LAYOUTS)}")
         self._config = config or build_iris_snapshot_config()
         self._catalog = catalog or default_catalog()
         self._engine = engine
         self._max_workers = max_workers
+        self._shard_nodes = shard_nodes
+        self._shard_dtype = shard_dtype
+        self._shard_layout = shard_layout
+        self._shard_dir = Path(shard_dir) if shard_dir is not None else None
+        self._shard_key = shard_key
 
     @property
     def config(self) -> SnapshotConfig:
@@ -381,6 +437,12 @@ class SnapshotExperiment:
             "facility": FacilityMeter(),
         }
 
+    def _site_shard_dir(self, site: SiteSnapshotConfig) -> Tuple[Path, bool]:
+        """This site's shard directory and whether it is ephemeral."""
+        if self._shard_dir is not None:
+            return self._shard_dir / f"site-{site.site}", False
+        return Path(tempfile.mkdtemp(prefix=f"repro-shards-{site.site}-")), True
+
     def run_site(self, site: SiteSnapshotConfig) -> SiteSnapshotResult:
         """Simulate and measure one site for the snapshot window."""
         config = self._config
@@ -389,6 +451,7 @@ class SnapshotExperiment:
         cluster = self._build_cluster(node_ids, specs)
         duration_s = config.duration_s
         warmup_s = config.warmup_hours * 3600.0
+        sharded = self._engine == "sharded"
 
         if target_utilization > 0.0:
             profile = WorkloadProfile(
@@ -404,43 +467,73 @@ class SnapshotExperiment:
             )
             jobs = generator.generate(duration_s, warmup_s=warmup_s)
             scheduler = BackfillScheduler(cluster)
-            trace, stats = scheduler.simulate(jobs, duration_s,
-                                              step_s=config.trace_step_s,
-                                              engine=self._engine)
+            if sharded:
+                placements, stats = scheduler.run(jobs, duration_s)
+            else:
+                trace, stats = scheduler.simulate(jobs, duration_s,
+                                                  step_s=config.trace_step_s,
+                                                  engine=self._engine)
         else:
             # A fully idle site: no jobs, flat zero utilisation.
-            n_samples = int(round(duration_s / config.trace_step_s))
-            trace = FleetUtilization.constant(0.0, config.trace_step_s, node_ids,
-                                              n_samples, 0.0)
+            placements = []
             stats = SchedulerStatistics(jobs_submitted=0)
+            if not sharded:
+                n_samples = int(round(duration_s / config.trace_step_s))
+                trace = FleetUtilization.constant(0.0, config.trace_step_s,
+                                                  node_ids, n_samples, 0.0)
 
         models = [NodePowerModel(spec) for spec in specs]
-        if self._engine == "columnar":
-            power = PowerBreakdownTrace.from_utilization(trace, models)
-        else:
-            power = PowerBreakdownTrace.from_utilization_loop(trace, models)
-        fabric = NetworkFabric.sized_for_nodes(site.node_count)
-        campaign = MeasurementCampaign(self._instruments(site), seed=config.campaign_seed)
-        report = campaign.measure_site(
-            site.site,
-            power,
-            network_power_w=fabric.total_power_w,
-            methods=site.measurement_methods,
-        )
-        per_node_util = dict(zip(trace.node_ids, trace.mean_per_node().tolist()))
-        node_spec_names = {node_ids[i]: specs[i].model for i in range(len(node_ids))}
-        result = SiteSnapshotResult(
-            site=site.site,
-            config=site,
-            energy_report=report,
-            scheduler_stats=stats,
-            mean_utilization=trace.mean_utilization(),
-            target_utilization=target_utilization,
-            network_power_w=fabric.total_power_w,
-            per_node_utilization=per_node_util,
-            node_specs=node_spec_names,
-            site_power_series=power.total_series("wall"),
-        )
+        shard_dir, ephemeral = (None, False)
+        try:
+            if sharded:
+                shard_dir, ephemeral = self._site_shard_dir(site)
+                trace = ShardedFleetUtilization.from_placements(
+                    placements,
+                    node_ids,
+                    [node.cores for node in cluster.nodes],
+                    duration_s,
+                    shard_dir,
+                    step_s=config.trace_step_s,
+                    shard_nodes=self._shard_nodes,
+                    dtype=self._shard_dtype,
+                    layout=self._shard_layout,
+                    key=self._shard_key,
+                )
+                power = ShardedPowerBreakdownTrace(trace, models)
+            elif self._engine == "columnar":
+                power = PowerBreakdownTrace.from_utilization(trace, models)
+            else:
+                power = PowerBreakdownTrace.from_utilization_loop(trace, models)
+            fabric = NetworkFabric.sized_for_nodes(site.node_count)
+            campaign = MeasurementCampaign(self._instruments(site),
+                                           seed=config.campaign_seed)
+            report = campaign.measure_site(
+                site.site,
+                power,
+                network_power_w=fabric.total_power_w,
+                methods=site.measurement_methods,
+            )
+            per_node_util = dict(zip(trace.node_ids,
+                                     trace.mean_per_node().tolist()))
+            node_spec_names = {node_ids[i]: specs[i].model
+                               for i in range(len(node_ids))}
+            result = SiteSnapshotResult(
+                site=site.site,
+                config=site,
+                energy_report=report,
+                scheduler_stats=stats,
+                mean_utilization=trace.mean_utilization(),
+                target_utilization=target_utilization,
+                network_power_w=fabric.total_power_w,
+                per_node_utilization=per_node_util,
+                node_specs=node_spec_names,
+                site_power_series=power.total_series("wall"),
+            )
+        finally:
+            # Every reduction the result needs has been materialised, so an
+            # ephemeral shard store is garbage the moment we leave.
+            if ephemeral and shard_dir is not None:
+                shutil.rmtree(shard_dir, ignore_errors=True)
         object.__setattr__(result, "_duration_hours", config.duration_hours)
         return result
 
@@ -451,9 +544,12 @@ class SnapshotExperiment:
 
         ``max_workers`` overrides the instance default for this run.  Sites
         are independent simulations, so with more than one worker they run
-        concurrently on a thread pool; result order always matches the
-        configuration order, and per-site determinism is unaffected (every
-        site derives its own seeds).
+        concurrently — on a thread pool for the dense engines (the hot
+        paths are numpy and release the GIL), on a *process* pool for the
+        sharded engine (its per-site cost is the pure-Python scheduler,
+        and each worker process streams its own shards).  Result order
+        always matches the configuration order, and per-site determinism
+        is unaffected (every site derives its own seeds).
         """
         if max_workers is None:
             max_workers = self._max_workers
@@ -464,11 +560,14 @@ class SnapshotExperiment:
             raise ValueError("max_workers must be at least 1 (or None)")
         workers = min(max_workers, len(sites))
         if workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
+            pool_cls = (ProcessPoolExecutor if self._engine == "sharded"
+                        else ThreadPoolExecutor)
+            with pool_cls(max_workers=workers) as pool:
                 results = list(pool.map(self.run_site, sites))
         else:
             results = [self.run_site(site) for site in sites]
         return SnapshotResult(config=self._config, site_results=tuple(results))
 
 
-__all__ = ["SnapshotExperiment", "SnapshotResult", "SiteSnapshotResult"]
+__all__ = ["EXPERIMENT_ENGINES", "SnapshotExperiment", "SnapshotResult",
+           "SiteSnapshotResult"]

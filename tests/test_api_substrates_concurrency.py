@@ -9,6 +9,7 @@ error must not poison the key, but must also not be recomputed per waiter).
 """
 
 import threading
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -143,3 +144,190 @@ class TestSimulateExactlyOnce:
             assert attempts["count"] == 2
         finally:
             INVENTORY_SOURCES.unregister("test-flaky-iris")
+
+
+class _DistinctiveError(Exception):
+    pass
+
+
+class TestWaiterExceptions:
+    """Waiters must not share (and mutate) the owner's exception object."""
+
+    def test_each_waiter_gets_its_own_exception_instance(self):
+        cache = SubstrateCache()
+        owner_started = threading.Event()
+        release_owner = threading.Event()
+        owner_error = {}
+
+        def owner():
+            def compute():
+                owner_started.set()
+                release_owner.wait(timeout=30)
+                raise _DistinctiveError("substrate build failed", 42)
+
+            try:
+                cache._compute_once("snapshot", ("k",), compute)
+            except _DistinctiveError as exc:
+                owner_error["exc"] = exc
+
+        def waiter():
+            try:
+                cache._compute_once("snapshot", ("k",),
+                                    lambda: pytest.fail("waiter computed"))
+            except BaseException as exc:
+                return exc, traceback.format_exc()
+            pytest.fail("waiter did not raise")
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert owner_started.wait(timeout=30)
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            futures = [pool.submit(waiter) for _ in range(N_THREADS)]
+            release_owner.set()
+            outcomes = [future.result() for future in futures]
+        owner_thread.join()
+
+        # The owner re-raised its original exception object, unwrapped.
+        original = owner_error["exc"]
+        assert isinstance(original, _DistinctiveError)
+        assert original.args == ("substrate build failed", 42)
+
+        seen = {id(original)}
+        for exc, formatted in outcomes:
+            # Same type and args, but a distinct object per waiter: nobody
+            # raised the owner's instance (or a sibling waiter's).
+            assert isinstance(exc, _DistinctiveError)
+            assert exc.args == original.args
+            assert id(exc) not in seen
+            seen.add(id(exc))
+            # Tracebacks are per-waiter too, not one shared mutated chain.
+            assert exc.__traceback__ is not original.__traceback__
+            assert exc.__cause__ is original
+            # The chained rendering keeps the real failure site visible.
+            assert "direct cause" in formatted
+
+    def test_unreconstructible_exception_is_wrapped(self):
+        class Picky(Exception):
+            def __init__(self, code):
+                if not isinstance(code, int):
+                    raise TypeError("code must be an int")
+                super().__init__(f"picky failure {code}")
+
+        cache = SubstrateCache()
+        started = threading.Event()
+        release = threading.Event()
+
+        def owner():
+            def compute():
+                started.set()
+                release.wait(timeout=30)
+                raise Picky(7)
+
+            with pytest.raises(Picky):
+                cache._compute_once("snapshot", ("k2",), compute)
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert started.wait(timeout=30)
+
+        def waiter():
+            with pytest.raises(RuntimeError,
+                               match="shared substrate computation failed"):
+                try:
+                    cache._compute_once("snapshot", ("k2",),
+                                        lambda: pytest.fail("computed"))
+                except RuntimeError as exc:
+                    assert isinstance(exc.__cause__, Picky)
+                    raise
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(waiter) for _ in range(2)]
+            release.set()
+            for future in futures:
+                future.result()
+        owner_thread.join()
+
+
+class TestBoundedCache:
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SubstrateCache(max_entries=0)
+
+    def test_oldest_completed_entries_evicted_past_the_cap(self):
+        cache = SubstrateCache(max_entries=2)
+        computed = []
+
+        def fetch(key):
+            return cache._compute_once(
+                "intensity", (key,), lambda: computed.append(key) or key)
+
+        for key in ("a", "b", "c", "d"):
+            fetch(key)
+        assert computed == ["a", "b", "c", "d"]
+        assert len(cache._slots) == 2
+        # The survivors are the newest two; refetching an evicted key
+        # recomputes, refetching a survivor does not.
+        fetch("d")
+        assert computed == ["a", "b", "c", "d"]
+        fetch("a")
+        assert computed == ["a", "b", "c", "d", "a"]
+
+    def test_in_flight_slot_is_never_evicted(self):
+        cache = SubstrateCache(max_entries=1)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_owner():
+            def compute():
+                started.set()
+                release.wait(timeout=30)
+                return "slow-value"
+
+            return cache._compute_once("snapshot", ("slow",), compute)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            owner = pool.submit(slow_owner)
+            assert started.wait(timeout=30)
+            # Flood the cache past its cap while "slow" is still computing.
+            for key in ("x", "y", "z"):
+                cache._compute_once("intensity", (key,), lambda k=key: k)
+            # The in-flight slot survived every eviction pass...
+            assert ("snapshot", ("slow",)) in cache._slots
+            # ...so a waiter arriving now blocks on it rather than
+            # becoming a duplicate owner.
+            waiter = pool.submit(slow_owner)
+            release.set()
+            assert owner.result() == "slow-value"
+            assert waiter.result() == "slow-value"
+
+    def test_clear_drops_completed_keeps_in_flight(self):
+        cache = SubstrateCache()
+        for key in ("a", "b", "c"):
+            cache._compute_once("intensity", (key,), lambda k=key: k)
+        started = threading.Event()
+        release = threading.Event()
+        compute_count = {"n": 0}
+
+        def slow_owner():
+            def compute():
+                compute_count["n"] += 1
+                started.set()
+                release.wait(timeout=30)
+                return "v"
+
+            return cache._compute_once("snapshot", ("inflight",), compute)
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(slow_owner)
+            assert started.wait(timeout=30)
+            assert cache.clear() == 3
+            assert list(cache._slots) == [("snapshot", ("inflight",))]
+            release.set()
+            assert future.result() == "v"
+        # The surviving computation completed exactly once and is served
+        # from cache afterwards.
+        assert cache._compute_once("snapshot", ("inflight",),
+                                   lambda: pytest.fail("recomputed")) == "v"
+        assert compute_count["n"] == 1
+        assert cache.clear() == 1
+        assert cache._slots == {}

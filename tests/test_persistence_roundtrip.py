@@ -1,0 +1,178 @@
+"""The on-disk snapshot cache: fidelity and crash hygiene.
+
+Two concerns share this file.  The differential round-trip tests assert
+that a persisted snapshot serves *bit-identical* physics — Table 2
+energies, the facility power series, the restored measurement duration —
+at more than one fleet scale.  The crash-injection tests pin the sweep
+behaviour of :func:`repro.api.persistence.sweep_stale_entries`: a hard
+crash (SIGKILL, power loss) mid-write strands ``*.tmp`` scratch files
+and, if it lands between the two renames, an orphaned ``<digest>.npz``
+with no JSON sidecar; loads must eventually reclaim both, and must never
+touch a live writer's young files.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import default_spec
+from repro.api.persistence import (
+    load_snapshot_result,
+    save_snapshot_result,
+    snapshot_digest,
+    sweep_stale_entries,
+)
+from repro.api.registry import INVENTORY_SOURCES
+from repro.api.substrates import SubstrateCache
+from repro.snapshot.config import build_iris_snapshot_config
+from repro.snapshot.experiment import SnapshotExperiment
+
+OLD = 7200.0  # twice the sweep's default age gate
+YOUNG = 60.0
+
+
+def _backdate(path, age_s):
+    stamp = path.stat().st_mtime - age_s
+    os.utime(path, (stamp, stamp))
+
+
+@pytest.mark.parametrize("node_scale", [0.02, 0.06])
+def test_round_trip_is_bit_identical(tmp_path, node_scale):
+    config = build_iris_snapshot_config(node_scale=node_scale)
+    result = SnapshotExperiment(config).run()
+    save_snapshot_result(tmp_path, "digest-rt", result)
+    restored = load_snapshot_result(tmp_path, "digest-rt")
+    assert restored is not None
+
+    for row, restored_row in zip(result.table2_rows(),
+                                 restored.table2_rows()):
+        assert restored_row.keys() == row.keys()
+        for method, value in row.items():
+            if isinstance(value, float):
+                assert restored_row[method] == pytest.approx(
+                    value, rel=1e-12, abs=1e-12), (row["site"], method)
+            else:
+                assert restored_row[method] == value
+
+    original_series = result.facility_power_series()
+    restored_series = restored.facility_power_series()
+    assert restored_series.start == original_series.start
+    assert restored_series.step == original_series.step
+    np.testing.assert_array_equal(restored_series.values,
+                                  original_series.values)
+
+    for site, restored_site in zip(result.site_results,
+                                   restored.site_results):
+        assert restored_site.duration_hours == pytest.approx(
+            site.duration_hours, rel=1e-12)
+        assert restored_site.mean_utilization == site.mean_utilization
+        assert restored_site.per_node_utilization == \
+            site.per_node_utilization
+
+
+def test_round_trip_through_the_substrate_cache(tmp_path):
+    spec = default_spec(node_scale=0.02)
+    first_cache = SubstrateCache(persist_dir=tmp_path)
+    simulated = first_cache.snapshot(spec)
+    assert first_cache.snapshot_runs == 1
+
+    second_cache = SubstrateCache(persist_dir=tmp_path)
+    loaded = second_cache.snapshot(spec)
+    assert second_cache.snapshot_loads == 1
+    assert second_cache.snapshot_runs == 0
+    assert loaded.total_best_estimate_kwh == simulated.total_best_estimate_kwh
+    np.testing.assert_array_equal(loaded.facility_power_series().values,
+                                  simulated.facility_power_series().values)
+
+
+class TestStaleEntrySweep:
+    def test_old_tmp_files_and_orphan_npz_are_swept(self, tmp_path):
+        stale_tmp = tmp_path / "abc123.npz.tmp"
+        stale_tmp.write_bytes(b"partial")
+        orphan = tmp_path / "deadbeef.npz"
+        orphan.write_bytes(b"no sidecar")
+        for path in (stale_tmp, orphan):
+            _backdate(path, OLD)
+        removed = sweep_stale_entries(tmp_path)
+        assert sorted(p.name for p in removed) == \
+            ["abc123.npz.tmp", "deadbeef.npz"]
+        assert not stale_tmp.exists() and not orphan.exists()
+
+    def test_young_files_survive_the_sweep(self, tmp_path):
+        live_tmp = tmp_path / "inflight.json.tmp"
+        live_tmp.write_bytes(b"being written right now")
+        fresh_npz = tmp_path / "cafe.npz"
+        fresh_npz.write_bytes(b"sidecar lands in a moment")
+        for path in (live_tmp, fresh_npz):
+            _backdate(path, YOUNG)
+        assert sweep_stale_entries(tmp_path) == []
+        assert live_tmp.exists() and fresh_npz.exists()
+
+    def test_complete_entries_and_subdirectories_untouched(self, tmp_path):
+        npz = tmp_path / "f00d.npz"
+        npz.write_bytes(b"bulk")
+        sidecar = tmp_path / "f00d.json"
+        sidecar.write_text("{}")
+        shards = tmp_path / "shards"
+        shards.mkdir()
+        shard_file = shards / "stale-looking.npy.tmp"
+        shard_file.write_bytes(b"not this sweep's business")
+        for path in (npz, sidecar, shard_file, shards):
+            _backdate(path, OLD)
+        assert sweep_stale_entries(tmp_path) == []
+        assert npz.exists() and sidecar.exists() and shard_file.exists()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert sweep_stale_entries(tmp_path / "never-created") == []
+
+    def test_load_reclaims_crash_debris(self, tmp_path):
+        """A hard crash between the two renames strands an orphan npz; the
+        next sufficiently-later load reclaims it along with tmp scratch."""
+        config = build_iris_snapshot_config(node_scale=0.02)
+        result = SnapshotExperiment(config).run()
+        factory = INVENTORY_SOURCES.get("iris")
+        digest = snapshot_digest(default_spec(0.02).physical_key(), factory)
+
+        real_replace = os.replace
+        calls = []
+
+        def crash_after_npz(src, dst):
+            calls.append(dst)
+            if str(dst).endswith(".json"):
+                raise OSError("simulated hard crash between renames")
+            real_replace(src, dst)
+
+        os.replace = crash_after_npz
+        try:
+            with pytest.raises(OSError, match="simulated hard crash"):
+                save_snapshot_result(tmp_path, digest, result)
+        finally:
+            os.replace = real_replace
+
+        # The npz rename landed, the sidecar never did — and the finally
+        # block only reclaims tmp paths, so the orphan npz persists.
+        orphan = tmp_path / f"{digest}.npz"
+        assert orphan.exists()
+        assert not (tmp_path / f"{digest}.json").exists()
+
+        # Young debris is protected: the load right after the crash is a
+        # miss but must not delete anything a live writer might still own.
+        assert load_snapshot_result(tmp_path, digest) is None
+        assert orphan.exists()
+
+        # Once old, the next load sweeps it.
+        _backdate(orphan, OLD)
+        assert load_snapshot_result(tmp_path, digest) is None
+        assert not orphan.exists()
+
+    def test_stranded_tmp_from_killed_writer_is_reclaimed_on_load(
+            self, tmp_path):
+        """SIGKILL before any rename leaves only tmp scratch (no finally
+        block runs); an age-gated load cleans it while serving a miss."""
+        for name in ("k1ll.npz.tmp", "k1ll.json.tmp"):
+            path = tmp_path / name
+            path.write_bytes(b"stranded")
+            _backdate(path, OLD)
+        assert load_snapshot_result(tmp_path, "whatever") is None
+        assert list(tmp_path.iterdir()) == []
