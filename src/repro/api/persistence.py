@@ -137,6 +137,9 @@ def save_snapshot_result(directory: Path, digest: str,
                 None if series is None
                 else {"start": series.start, "step": series.step}
             ),
+            # Diagnostic only: phase timings ride along so a cache-served
+            # snapshot can still report where its simulation time went.
+            "timings": None if site.timings is None else dict(site.timings),
         })
     payload = {
         "version": SNAPSHOT_CACHE_VERSION,
@@ -280,6 +283,8 @@ def _rebuild(payload: Dict[str, Any],
             per_node_utilization=dict(zip(node_ids, util.tolist())),
             node_specs=dict(zip(node_ids, data["node_models"])),
             site_power_series=series,
+            # .get: entries written before timings existed load as None.
+            timings=data.get("timings"),
         )
         object.__setattr__(result, "_duration_hours", data["duration_hours"])
         site_results.append(result)

@@ -112,6 +112,11 @@ class AssessmentSpec:
         Sharded-engine tuning: nodes per shard file, and the on-disk
         storage dtype (``"float32"`` halves the footprint; reductions
         still accumulate in float64).  Ignored by the dense engines.
+    scheduler_engine:
+        Placement-loop implementation: ``"indexed"`` (default, sublinear
+        index structures) or ``"reference"`` (the seed event loop kept as
+        the oracle).  The two produce bit-identical placements; the knob
+        exists for cross-validation and benchmarking.
     """
 
     inventory: str = "iris"
@@ -134,6 +139,7 @@ class AssessmentSpec:
     engine: str = "columnar"
     shard_nodes: int = 4096
     shard_dtype: str = "float64"
+    scheduler_engine: str = "indexed"
 
     def __post_init__(self):
         if not self.inventory:
@@ -186,6 +192,13 @@ class AssessmentSpec:
             raise ValueError(
                 f"shard_dtype must be one of {', '.join(SHARD_DTYPES)}, "
                 f"got {self.shard_dtype!r}")
+        from repro.workload.scheduler import SCHEDULER_ENGINES
+
+        if self.scheduler_engine not in SCHEDULER_ENGINES:
+            raise ValueError(
+                f"scheduler_engine must be one of "
+                f"{', '.join(SCHEDULER_ENGINES)}, "
+                f"got {self.scheduler_engine!r}")
 
     # -- derived views -----------------------------------------------------------
 
@@ -213,6 +226,14 @@ class AssessmentSpec:
             key += ("engine", self.engine)
             if self.engine == "sharded":
                 key += (self.shard_nodes, self.shard_dtype)
+        if self.scheduler_engine != "indexed":
+            # The scheduler engines are bit-identical by contract (pinned
+            # by the property suite and benchmarks), but a cached
+            # substrate still records which loop produced it: a
+            # reference-engine run must never silently serve an
+            # indexed-built snapshot, or the cross-validation the knob
+            # exists for would be vacuous.
+            key += ("scheduler_engine", self.scheduler_engine)
         return key
 
     def replace(self, **changes: Any) -> "AssessmentSpec":
@@ -233,7 +254,8 @@ class AssessmentSpec:
         data = dataclasses.asdict(self)
         for field, default in (("engine", "columnar"),
                                ("shard_nodes", 4096),
-                               ("shard_dtype", "float64")):
+                               ("shard_dtype", "float64"),
+                               ("scheduler_engine", "indexed")):
             if data[field] == default:
                 del data[field]
         return data

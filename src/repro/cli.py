@@ -171,6 +171,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="on-disk shard dtype for --engine sharded "
                              "(float32 halves the footprint; reductions still "
                              "accumulate in float64)")
+    assess.add_argument("--scheduler-engine", choices=("indexed", "reference"),
+                        default=None,
+                        help="placement-loop implementation (default: indexed; "
+                             "'reference' runs the seed event loop — "
+                             "bit-identical placements, wall-clock only)")
+    assess.add_argument("--timings", action="store_true",
+                        help="report per-site simulation phase timings "
+                             "(workload/schedule/trace/power wall seconds; "
+                             "table or json format only)")
     _add_catalog_arguments(assess)
 
     temporal = subparsers.add_parser(
@@ -477,17 +486,44 @@ def _engine_overrides(args: argparse.Namespace, spec: AssessmentSpec) -> dict:
         if engine != "sharded":
             raise _UsageError("--dtype only applies to --engine sharded")
         overrides["shard_dtype"] = args.dtype
+    if args.scheduler_engine is not None:
+        overrides["scheduler_engine"] = args.scheduler_engine
     return overrides
+
+
+def _timings_table_text(timings: dict) -> str:
+    """Render per-site phase timings as a table (plus a fleet total row)."""
+    if not timings:
+        return ("(no phase timings recorded: snapshot served from a cache "
+                "written before timings existed)")
+    phases = ["workload_s", "schedule_s", "trace_s", "power_s", "total_s"]
+    rows = []
+    for site, site_timings in timings.items():
+        row = {"site": site}
+        row.update({phase: site_timings.get(phase, 0.0) for phase in phases})
+        rows.append(row)
+    total = {"site": "TOTAL"}
+    for phase in phases:
+        total[phase] = sum(row[phase] for row in rows)
+    rows.append(total)
+    return format_table(rows, columns=["site"] + phases,
+                        title="Per-site simulation wall-clock (s)",
+                        float_format=",.3f")
 
 
 def _cmd_assess(args: argparse.Namespace) -> int:
     try:
+        if args.timings and args.format == "csv":
+            raise _UsageError(
+                "--timings is not available with --format csv "
+                "(use table or json)")
         overrides = _scenario_overrides(args)
         substrates = _build_substrates(args)
         # The Table 3/4 CSV export needs the live snapshot, so --output-dir
-        # downgrades the catalog to record-only.
+        # downgrades the catalog to record-only; --timings too (a served
+        # payload carries no snapshot to read timings from).
         recorder = _build_catalog_recorder(
-            args, serve=args.output_dir is None)
+            args, serve=args.output_dir is None and not args.timings)
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -515,9 +551,20 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         return 2
 
     if args.format == "table":
-        _emit(_assessment_tables_text(result), args.output)
+        text = _assessment_tables_text(result)
+        if args.timings:
+            text += "\n\n" + _timings_table_text(result.snapshot.timings)
+        _emit(text, args.output)
     elif args.format == "json":
-        _emit(json.dumps(result.as_dict(), indent=2, default=_json_default,
+        payload = result.as_dict()
+        if args.timings:
+            # Diagnostic wall-clock only: attached to the printed payload,
+            # never to as_dict() itself (which feeds digests and goldens).
+            payload["timings"] = {
+                site: dict(phases)
+                for site, phases in result.snapshot.timings.items()
+            }
+        _emit(json.dumps(payload, indent=2, default=_json_default,
                          sort_keys=True), args.output)
     else:  # csv
         _emit_rows_csv([result.summary()], args.output)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,7 +55,12 @@ from repro.workload.fleet import (
     ShardedFleetUtilization,
 )
 from repro.workload.jobs import JobGenerator, WorkloadProfile
-from repro.workload.scheduler import ENGINES, BackfillScheduler, SchedulerStatistics
+from repro.workload.scheduler import (
+    ENGINES,
+    SCHEDULER_ENGINES,
+    BackfillScheduler,
+    SchedulerStatistics,
+)
 
 #: Engines the experiment accepts: the scheduler-level engines plus the
 #: out-of-core ``sharded`` substrate (which never materialises the dense
@@ -79,6 +85,8 @@ class SiteSnapshotResult:
     def __post_init__(self):
         object.__setattr__(self, "per_node_utilization", dict(self.per_node_utilization))
         object.__setattr__(self, "node_specs", dict(self.node_specs))
+        if self.timings is not None:
+            object.__setattr__(self, "timings", dict(self.timings))
 
     #: Duration of the measurement window in hours; set by the experiment
     #: when it builds the result (defaults to the paper's 24-hour snapshot).
@@ -88,6 +96,12 @@ class SiteSnapshotResult:
     #: retained for the time-resolved engine; ``None`` for results built
     #: before traces were kept (a flat profile is substituted downstream).
     site_power_series: Optional["TimeSeries"] = None
+
+    #: Wall-clock seconds per simulation phase (``workload_s``,
+    #: ``schedule_s``, ``trace_s``, ``power_s``, ``total_s``), recorded by
+    #: the experiment; ``None`` for results built before timings were kept.
+    #: Diagnostic only — never part of any digest or golden payload.
+    timings: Optional[Mapping[str, float]] = None
 
     @property
     def best_estimate_kwh(self) -> float:
@@ -138,6 +152,21 @@ class SnapshotResult:
             if result.site == site:
                 return result
         raise KeyError(f"no site {site!r} in snapshot result")
+
+    @property
+    def timings(self) -> Dict[str, Dict[str, float]]:
+        """Per-site wall-clock phase seconds, for sites that recorded them.
+
+        Keys are site names; values map phase (``workload_s``,
+        ``schedule_s``, ``trace_s``, ``power_s``, ``total_s``) to seconds.
+        Diagnostic output for ``repro assess --timings`` and perf work —
+        deliberately excluded from result digests, goldens and catalogs.
+        """
+        return {
+            result.site: dict(result.timings)
+            for result in self.site_results
+            if result.timings is not None
+        }
 
     # -- carbon-model inputs -----------------------------------------------------------
 
@@ -304,13 +333,21 @@ class SnapshotExperiment:
         :class:`~repro.power.fleet_power.ShardedPowerBreakdownTrace`),
         which streams node-axis shards from disk and never holds the dense
         fleet matrix, so full-scale fleets run in bounded memory.
+    scheduler_engine:
+        Which placement loop :class:`~repro.workload.scheduler.BackfillScheduler`
+        runs: ``"indexed"`` (default, sublinear data structures) or
+        ``"reference"`` (the seed event loop).  Bit-identical outputs;
+        wall-clock only.
     max_workers:
         Number of sites simulated concurrently by :meth:`run`.  1 runs
         sequentially, ``None`` uses one worker per site capped at the CPU
         count.  The dense engines use threads (the hot paths are numpy);
-        the sharded engine uses a process pool, because its per-site cost
-        is dominated by the pure-Python scheduler, which threads cannot
-        overlap.
+        the sharded engine uses a process pool only when paired with the
+        ``reference`` scheduler loop, whose pure-Python cost dominates the
+        site and cannot be overlapped by threads — with the ``indexed``
+        scheduler the loop is no longer the bottleneck and threads overlap
+        the shard-streaming array work without process start-up or
+        pickling costs.
     shard_nodes / shard_dtype / shard_layout:
         Sharded-engine tuning: nodes per shard file, on-disk storage dtype
         (``float32`` halves the footprint; reductions still accumulate in
@@ -331,6 +368,7 @@ class SnapshotExperiment:
         config: Optional[SnapshotConfig] = None,
         catalog: Optional[HardwareCatalog] = None,
         engine: str = "columnar",
+        scheduler_engine: str = "indexed",
         max_workers: Optional[int] = 1,
         shard_nodes: int = 4096,
         shard_dtype: str = "float64",
@@ -342,6 +380,10 @@ class SnapshotExperiment:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of "
                 f"{', '.join(EXPERIMENT_ENGINES)}")
+        if scheduler_engine not in SCHEDULER_ENGINES:
+            raise ValueError(
+                f"unknown scheduler engine {scheduler_engine!r}; expected "
+                f"one of {', '.join(SCHEDULER_ENGINES)}")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1 (or None)")
         if shard_nodes < 1:
@@ -357,6 +399,7 @@ class SnapshotExperiment:
         self._config = config or build_iris_snapshot_config()
         self._catalog = catalog or default_catalog()
         self._engine = engine
+        self._scheduler_engine = scheduler_engine
         self._max_workers = max_workers
         self._shard_nodes = shard_nodes
         self._shard_dtype = shard_dtype
@@ -375,6 +418,10 @@ class SnapshotExperiment:
     @property
     def engine(self) -> str:
         return self._engine
+
+    @property
+    def scheduler_engine(self) -> str:
+        return self._scheduler_engine
 
     # -- per-site pieces -----------------------------------------------------------------
 
@@ -444,16 +491,25 @@ class SnapshotExperiment:
         return Path(tempfile.mkdtemp(prefix=f"repro-shards-{site.site}-")), True
 
     def run_site(self, site: SiteSnapshotConfig) -> SiteSnapshotResult:
-        """Simulate and measure one site for the snapshot window."""
+        """Simulate and measure one site for the snapshot window.
+
+        Records per-phase wall-clock seconds (workload generation,
+        scheduling, trace construction, power modelling + measurement) on
+        the returned result's ``timings`` — the measured baseline future
+        perf work starts from.
+        """
         config = self._config
+        t_site = time.perf_counter()
         node_ids, specs = self._site_specs(site)
         target_utilization = self._site_target_utilization(site, specs)
         cluster = self._build_cluster(node_ids, specs)
         duration_s = config.duration_s
         warmup_s = config.warmup_hours * 3600.0
         sharded = self._engine == "sharded"
+        timings: Dict[str, float] = {}
 
         if target_utilization > 0.0:
+            t_phase = time.perf_counter()
             profile = WorkloadProfile(
                 target_utilization=min(max(target_utilization, 0.01), 1.0),
                 cpu_intensity_low=1.0,
@@ -466,27 +522,37 @@ class SnapshotExperiment:
                 max_cores_per_job=min(node.cores for node in cluster.nodes),
             )
             jobs = generator.generate(duration_s, warmup_s=warmup_s)
+            timings["workload_s"] = time.perf_counter() - t_phase
             scheduler = BackfillScheduler(cluster)
-            if sharded:
-                placements, stats = scheduler.run(jobs, duration_s)
-            else:
-                trace, stats = scheduler.simulate(jobs, duration_s,
-                                                  step_s=config.trace_step_s,
-                                                  engine=self._engine)
+            t_phase = time.perf_counter()
+            placements, stats = scheduler.run(
+                jobs, duration_s, scheduler_engine=self._scheduler_engine)
+            timings["schedule_s"] = time.perf_counter() - t_phase
+            if not sharded:
+                t_phase = time.perf_counter()
+                trace = scheduler.build_trace(placements, duration_s,
+                                              step_s=config.trace_step_s,
+                                              engine=self._engine)
+                timings["trace_s"] = time.perf_counter() - t_phase
         else:
             # A fully idle site: no jobs, flat zero utilisation.
             placements = []
             stats = SchedulerStatistics(jobs_submitted=0)
+            timings["workload_s"] = 0.0
+            timings["schedule_s"] = 0.0
             if not sharded:
+                t_phase = time.perf_counter()
                 n_samples = int(round(duration_s / config.trace_step_s))
                 trace = FleetUtilization.constant(0.0, config.trace_step_s,
                                                   node_ids, n_samples, 0.0)
+                timings["trace_s"] = time.perf_counter() - t_phase
 
         models = [NodePowerModel(spec) for spec in specs]
         shard_dir, ephemeral = (None, False)
         try:
             if sharded:
                 shard_dir, ephemeral = self._site_shard_dir(site)
+                t_phase = time.perf_counter()
                 trace = ShardedFleetUtilization.from_placements(
                     placements,
                     node_ids,
@@ -499,10 +565,14 @@ class SnapshotExperiment:
                     layout=self._shard_layout,
                     key=self._shard_key,
                 )
+                timings["trace_s"] = time.perf_counter() - t_phase
+                t_phase = time.perf_counter()
                 power = ShardedPowerBreakdownTrace(trace, models)
             elif self._engine == "columnar":
+                t_phase = time.perf_counter()
                 power = PowerBreakdownTrace.from_utilization(trace, models)
             else:
+                t_phase = time.perf_counter()
                 power = PowerBreakdownTrace.from_utilization_loop(trace, models)
             fabric = NetworkFabric.sized_for_nodes(site.node_count)
             campaign = MeasurementCampaign(self._instruments(site),
@@ -513,10 +583,12 @@ class SnapshotExperiment:
                 network_power_w=fabric.total_power_w,
                 methods=site.measurement_methods,
             )
+            timings["power_s"] = time.perf_counter() - t_phase
             per_node_util = dict(zip(trace.node_ids,
                                      trace.mean_per_node().tolist()))
             node_spec_names = {node_ids[i]: specs[i].model
                                for i in range(len(node_ids))}
+            timings["total_s"] = time.perf_counter() - t_site
             result = SiteSnapshotResult(
                 site=site.site,
                 config=site,
@@ -528,6 +600,7 @@ class SnapshotExperiment:
                 per_node_utilization=per_node_util,
                 node_specs=node_spec_names,
                 site_power_series=power.total_series("wall"),
+                timings=timings,
             )
         finally:
             # Every reduction the result needs has been materialised, so an
@@ -545,11 +618,13 @@ class SnapshotExperiment:
         ``max_workers`` overrides the instance default for this run.  Sites
         are independent simulations, so with more than one worker they run
         concurrently — on a thread pool for the dense engines (the hot
-        paths are numpy and release the GIL), on a *process* pool for the
-        sharded engine (its per-site cost is the pure-Python scheduler,
-        and each worker process streams its own shards).  Result order
-        always matches the configuration order, and per-site determinism
-        is unaffected (every site derives its own seeds).
+        paths are numpy and release the GIL), and for the sharded engine
+        too now that the default ``indexed`` scheduler loop is no longer
+        the dominant per-site cost; only ``sharded`` paired with the
+        ``reference`` scheduler keeps the *process* pool (there the
+        pure-Python seed loop dominates and threads cannot overlap it).
+        Result order always matches the configuration order, and per-site
+        determinism is unaffected (every site derives its own seeds).
         """
         if max_workers is None:
             max_workers = self._max_workers
@@ -560,7 +635,9 @@ class SnapshotExperiment:
             raise ValueError("max_workers must be at least 1 (or None)")
         workers = min(max_workers, len(sites))
         if workers > 1:
-            pool_cls = (ProcessPoolExecutor if self._engine == "sharded"
+            pool_cls = (ProcessPoolExecutor
+                        if (self._engine == "sharded"
+                            and self._scheduler_engine == "reference")
                         else ThreadPoolExecutor)
             with pool_cls(max_workers=workers) as pool:
                 results = list(pool.map(self.run_site, sites))

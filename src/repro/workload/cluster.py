@@ -10,11 +10,14 @@ runtimes, not the mapping from utilisation to power).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from repro.inventory.node import NodeInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.workload.scheduling_index import FreeCoreIndex
 
 
 @dataclass
@@ -82,6 +85,9 @@ class SimulatedCluster:
             raise ValueError("node ids must be unique")
         self._nodes: List[SimulatedNode] = list(nodes)
         self._free = np.array([node.free_cores for node in nodes], dtype=np.int64)
+        # Core counts are immutable after construction; summing per query
+        # (utilization() asks on every call) costs O(N) for a constant.
+        self._total_cores = int(sum(node.cores for node in nodes))
 
     # -- constructors -------------------------------------------------------------
 
@@ -124,7 +130,7 @@ class SimulatedCluster:
 
     @property
     def total_cores(self) -> int:
-        return int(sum(node.cores for node in self._nodes))
+        return self._total_cores
 
     @property
     def free_cores(self) -> int:
@@ -151,6 +157,18 @@ class SimulatedCluster:
             return None
         return int(candidates[0])
 
+    def core_index(self) -> "FreeCoreIndex":
+        """A :class:`~repro.workload.scheduling_index.FreeCoreIndex` snapshot.
+
+        Answers the same leftmost-fit query as
+        :meth:`find_node_with_free_cores` in O(log N); the caller owns the
+        returned index and must mirror subsequent :meth:`allocate` /
+        :meth:`release` calls into it (the indexed scheduler engine does).
+        """
+        from repro.workload.scheduling_index import FreeCoreIndex
+
+        return FreeCoreIndex(int(value) for value in self._free)
+
     # -- state changes -------------------------------------------------------------
 
     def allocate(self, node_index: int, cores: int) -> None:
@@ -162,6 +180,26 @@ class SimulatedCluster:
         """Release ``cores`` on node ``node_index``."""
         self._nodes[node_index].release(cores)
         self._free[node_index] += cores
+
+    def sync_free_cores(self, free_counts: Sequence[int]) -> None:
+        """Overwrite every node's free-core count in one batch.
+
+        Used by the indexed scheduler engine, which tracks free cores in
+        its own structures during the event loop (paying two numpy scalar
+        updates per placement would dominate its runtime) and writes the
+        final state back here so the cluster ends bit-identical to an
+        incrementally updated run.
+        """
+        if len(free_counts) != len(self._nodes):
+            raise ValueError(
+                f"expected {len(self._nodes)} free-core counts, "
+                f"got {len(free_counts)}")
+        for node, free in zip(self._nodes, free_counts):
+            if not 0 <= free <= node.cores:
+                raise ValueError(
+                    f"free_cores must be within [0, cores] on {node.node_id}")
+            node.free_cores = int(free)
+        self._free[:] = np.asarray(free_counts, dtype=np.int64)
 
     def reset(self) -> None:
         """Free every core on every node."""

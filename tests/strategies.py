@@ -20,6 +20,8 @@ from repro.api.spec import AssessmentSpec
 from repro.portfolio.spec import PortfolioMember, PortfolioSpec
 from repro.snapshot.config import SiteSnapshotConfig
 from repro.uncertainty.distributions import Discrete, Empirical, Triangular, Uniform
+from repro.workload.cluster import SimulatedCluster, SimulatedNode
+from repro.workload.jobs import Job
 
 
 # -- scalar quantities ----------------------------------------------------------
@@ -146,6 +148,46 @@ def portfolio_specs(draw, max_members: int = 4, node_scale: float = 0.02):
                          name=draw(st.sampled_from(("portfolio", "estate"))))
 
 
+# -- scheduler workloads --------------------------------------------------------
+
+@st.composite
+def scheduler_clusters(draw, max_nodes: int = 8, max_cores: int = 8):
+    """Small heterogeneous clusters for scheduler differential properties."""
+    core_counts = draw(st.lists(st.integers(min_value=1, max_value=max_cores),
+                                min_size=1, max_size=max_nodes))
+    return SimulatedCluster([
+        SimulatedNode(index=index, node_id=f"node-{index}",
+                      cores=cores, free_cores=cores)
+        for index, cores in enumerate(core_counts)
+    ])
+
+
+@st.composite
+def job_streams(draw, max_jobs: int = 30, max_cores: int = 10,
+                horizon_s: float = 500.0):
+    """Adversarial job lists for the scheduler engines.
+
+    Fractional submit times (exercising the anti-stall clamp), duplicate
+    submit instants, runtimes from sub-second to the full horizon, and
+    widths that may exceed every node (exercising the unschedulable
+    filter).
+    """
+    count = draw(st.integers(min_value=0, max_value=max_jobs))
+    return [
+        Job(
+            job_id=job_id,
+            submit_time_s=draw(st.floats(min_value=0.0, max_value=horizon_s,
+                                         allow_nan=False)),
+            cores=draw(st.integers(min_value=1, max_value=max_cores)),
+            runtime_s=draw(st.floats(min_value=1e-3, max_value=horizon_s,
+                                     allow_nan=False)),
+            cpu_intensity=draw(st.floats(min_value=0.1, max_value=1.0,
+                                         allow_nan=False)),
+        )
+        for job_id in range(count)
+    ]
+
+
 # -- site snapshot configurations ----------------------------------------------
 
 @st.composite
@@ -176,11 +218,13 @@ __all__ = [
     "finite_positive",
     "intensities",
     "intensity_values",
+    "job_streams",
     "lifetimes",
     "load_shares",
     "portfolio_specs",
     "positive_floats",
     "pues",
+    "scheduler_clusters",
     "series_values",
     "site_snapshot_configs",
     "small_positive",

@@ -245,3 +245,45 @@ class TestSubstrateCacheFlags:
         assert main(["temporal", "--scale", "0.02", "--format", "csv",
                      "--substrate-cache-dir", str(cache_dir)]) == 0
         assert list(cache_dir.glob("*.npz"))
+
+
+class TestSchedulerEngineFlags:
+    def test_reference_engine_matches_default(self, capsys):
+        assert main(["assess", "--scale", "0.02", "--format", "csv"]) == 0
+        default = capsys.readouterr().out
+        assert main(["assess", "--scale", "0.02", "--format", "csv",
+                     "--scheduler-engine", "reference"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_invalid_engine_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["assess", "--scheduler-engine", "bogus"])
+        assert err.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestTimingsFlag:
+    def test_table_appends_timings(self, capsys):
+        assert main(["assess", "--scale", "0.02", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-site simulation wall-clock" in out
+        assert "schedule_s" in out
+        assert "TOTAL" in out
+
+    def test_json_gains_timings_key(self, capsys):
+        assert main(["assess", "--scale", "0.02", "--format", "json",
+                     "--timings"]) == 0
+        import json as jsonlib
+
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert set(payload["timings"]) == {
+            "QMUL", "CAM", "DUR", "STFC CLOUD", "STFC SCARF", "IMP"}
+        for phases in payload["timings"].values():
+            assert phases["total_s"] >= 0.0
+        # The recorded result body itself is unchanged by --timings.
+        assert "timings" not in payload["summary"]
+
+    def test_csv_rejected(self, capsys):
+        assert main(["assess", "--scale", "0.02", "--format", "csv",
+                     "--timings"]) == 2
+        assert "--timings" in capsys.readouterr().err
