@@ -45,11 +45,18 @@ from repro.api.registry import (
     register_inventory_source,
     register_trace_provider,
 )
-from repro.api.spec import CATALOG_ESTIMATOR, AssessmentSpec, default_spec
+from repro.api.spec import (
+    CATALOG_ESTIMATOR,
+    COLUMNAR_SWEEP_FIELDS,
+    AssessmentSpec,
+    default_spec,
+)
 from repro.api.substrates import SubstrateCache, shared_substrates
 from repro.api.result import AssessmentResult
 from repro.api.assessment import Assessment
+from repro.api.columnar import SweepPlan, columnar_eligible, compile_sweep
 from repro.api.batch import (
+    BATCH_ENGINES,
     BatchAssessmentRunner,
     BatchResult,
     SWEEP_AXES,
@@ -77,6 +84,12 @@ __all__ = [
     "TemporalAssessment",
     "TemporalAssessmentResult",
     "SWEEP_AXES",
+    "BATCH_ENGINES",
+    # sweep compiler
+    "COLUMNAR_SWEEP_FIELDS",
+    "SweepPlan",
+    "columnar_eligible",
+    "compile_sweep",
     # substrates
     "SubstrateCache",
     "shared_substrates",

@@ -1,17 +1,31 @@
-"""Batch scenario sweeps over shared substrates.
+"""Batch scenario sweeps over shared substrates, compiled before execution.
 
 The paper's Tables 3 and 4 are small hand-enumerated sweeps; a production
 service answers arbitrary "what if" grids — intensity × PUE × lifetime ×
 embodied estimate × fleet scale — over the same measured snapshot.
-:class:`BatchAssessmentRunner` runs such grids efficiently:
+:class:`BatchAssessmentRunner` runs such grids in two stages:
 
-* every scenario sharing a physical configuration (inventory, scale,
-  window, seeds) reuses **one** simulated snapshot from the shared
-  :class:`~repro.api.substrates.SubstrateCache`, so a 12-scenario sweep
-  costs one simulation plus 12 cheap model evaluations instead of 12
-  simulations;
-* distinct physical configurations (a scale axis, say) are simulated
-  concurrently with :mod:`concurrent.futures` when ``max_workers`` > 1.
+* **plan** — the expanded grid is deduplicated (each distinct full spec
+  evaluates once, results fanned back out in input order) and compiled by
+  :func:`~repro.api.columnar.compile_sweep` into catalog-served points,
+  *columnar groups* (specs sharing a physical substrate), and per-spec
+  fallback points (non-linear amortisation, registry-object embodied
+  estimators);
+* **execute** — each distinct physical configuration simulates exactly
+  once through the shared :class:`~repro.api.substrates.SubstrateCache`
+  (concurrently when ``max_workers`` > 1, failing fast on the first
+  simulation error), after which every columnar group is evaluated by
+  **one** vectorised pass of the shared kernel
+  (:func:`~repro.api.columnar.evaluate_assessment_group`) instead of one
+  Python ``Assessment`` per point.  A 1,000-point analysis-only grid costs
+  one simulation plus a handful of array operations.
+
+The kernel replays the reference pipeline's float operations exactly, so
+the compiled engine is **bit-identical** to the per-spec loop — same
+results, same ordering, byte-identical serialised payloads and catalog
+digests.  The loop itself is retained as the oracle: pass
+``batch_engine="reference"`` to run it (the differential test suite and
+the sweep benchmark pin the two engines against each other).
 
 ::
 
@@ -32,7 +46,14 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.io.csvio import write_rows_csv
 from repro.io.jsonio import PathLike, write_json
 
-from repro.api.assessment import Assessment, _coerce_catalog
+from repro.api.assessment import Assessment, _coerce_catalog, resolve_spec_components
+from repro.api.columnar import (
+    COLUMNAR,
+    compile_sweep,
+    evaluate_assessment_group,
+    evaluate_temporal_group,
+    temporal_group_key,
+)
 from repro.api.result import AssessmentResult
 from repro.api.spec import AssessmentSpec, default_spec
 from repro.api.substrates import SubstrateCache, resolve_substrates
@@ -64,6 +85,11 @@ SWEEP_AXES: Dict[str, str] = {
 TEMPORAL_ONLY_AXES = frozenset(
     {"shift_hours", "defer_fraction", "trace_source", "resolution", "alignment"}
 )
+
+#: Execution engines :class:`BatchAssessmentRunner` accepts. ``columnar``
+#: (the default) compiles grids into vectorised group passes; ``reference``
+#: is the per-spec loop retained as the bit-exact oracle.
+BATCH_ENGINES = ("columnar", "reference")
 
 
 @dataclass(frozen=True)
@@ -173,6 +199,11 @@ class BatchAssessmentRunner:
         every scenario this runner executes: already-catalogued scenarios
         are served without simulating (their physical configurations are
         not even prepared), fresh ones are recorded.
+    batch_engine:
+        ``"columnar"`` (default) compiles each sweep into vectorised
+        per-group kernel passes; ``"reference"`` runs today's per-spec
+        loop.  The two are bit-identical — the reference engine is the
+        oracle the compiled engine is pinned against.
     """
 
     def __init__(
@@ -184,14 +215,20 @@ class BatchAssessmentRunner:
         substrate_cache_dir=None,
         jobs: Optional[int] = None,
         catalog=None,
+        batch_engine: str = "columnar",
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if batch_engine not in BATCH_ENGINES:
+            raise ValueError(
+                f"unknown batch_engine {batch_engine!r}; expected one of "
+                f"{', '.join(BATCH_ENGINES)}")
         self._base_spec = base_spec or default_spec()
         self._substrates = resolve_substrates(substrates, substrate_cache_dir,
                                               jobs)
         self._max_workers = max_workers
         self._recorder = _coerce_catalog(catalog)
+        self._batch_engine = batch_engine
 
     @property
     def base_spec(self) -> AssessmentSpec:
@@ -200,6 +237,10 @@ class BatchAssessmentRunner:
     @property
     def substrates(self) -> SubstrateCache:
         return self._substrates
+
+    @property
+    def batch_engine(self) -> str:
+        return self._batch_engine
 
     # -- building the scenario list -----------------------------------------------
 
@@ -243,17 +284,17 @@ class BatchAssessmentRunner:
     # -- running ---------------------------------------------------------------------
 
     def run_specs(self, specs: Sequence[AssessmentSpec]) -> BatchResult:
-        """Run the given scenarios in order, sharing substrates."""
+        """Run the given scenarios in order, sharing substrates.
+
+        Fully identical specs (duplicate axis values, say) evaluate once;
+        the results fan back out in input order.
+        """
         specs = list(specs)
         if not specs:
             raise ValueError("run_specs needs at least one spec")
-        self._prepare_snapshots(specs, kind="assess")
-        results = [
-            Assessment(spec, substrates=self._substrates,
-                       catalog=self._recorder).run()
-            for spec in specs
-        ]
-        return BatchResult(results=tuple(results))
+        distinct, order = self._dedupe(specs)
+        evaluated = self._evaluate_assessments(distinct)
+        return BatchResult(results=tuple(evaluated[i] for i in order))
 
     def sweep(self, **axes: Iterable) -> BatchResult:
         """Run the cartesian product of the given axes (see :meth:`grid_specs`).
@@ -278,20 +319,16 @@ class BatchAssessmentRunner:
         Shares substrates exactly like :meth:`run_specs` — the expensive
         simulation happens once per distinct physical configuration, and
         every temporal scenario (shift, deferral, grid, resolution) is a
-        cheap re-integration over the cached traces.
+        cheap re-integration over the cached traces.  The columnar engine
+        additionally aligns traces once per group and integrates each
+        distinct (shift, defer, PUE) scenario once.
         """
-        from repro.api.temporal import TemporalAssessment
-
         specs = list(specs)
         if not specs:
             raise ValueError("run_temporal_specs needs at least one spec")
-        self._prepare_snapshots(specs, kind="temporal")
-        results = [
-            TemporalAssessment(spec, substrates=self._substrates,
-                               catalog=self._recorder).run()
-            for spec in specs
-        ]
-        return TemporalBatchResult(results=tuple(results))
+        distinct, order = self._dedupe(specs)
+        evaluated = self._evaluate_temporals(distinct)
+        return TemporalBatchResult(results=tuple(evaluated[i] for i in order))
 
     def sweep_temporal(self, **axes: Iterable) -> TemporalBatchResult:
         """Sweep carbon-aware scenario axes through the temporal engine.
@@ -305,6 +342,90 @@ class BatchAssessmentRunner:
                                   shift_hours=[0, 6, 12])
         """
         return self.run_temporal_specs(self.grid_specs(**axes))
+
+    # -- engine internals --------------------------------------------------------------
+
+    @staticmethod
+    def _dedupe(
+        specs: Sequence[AssessmentSpec],
+    ) -> Tuple[List[AssessmentSpec], List[int]]:
+        """Distinct specs in first-appearance order, plus the fan-out map.
+
+        ``order[i]`` is the index into the distinct list serving input
+        position ``i``; duplicate inputs share one evaluation (and one
+        result object).
+        """
+        distinct: List[AssessmentSpec] = []
+        positions: Dict[AssessmentSpec, int] = {}
+        order: List[int] = []
+        for spec in specs:
+            index = positions.get(spec)
+            if index is None:
+                index = len(distinct)
+                positions[spec] = index
+                distinct.append(spec)
+            order.append(index)
+        return distinct, order
+
+    def _evaluate_assessments(
+        self, specs: List[AssessmentSpec]
+    ) -> List[AssessmentResult]:
+        """Evaluate distinct specs in order under the configured engine."""
+        self._prepare_snapshots(specs, kind="assess")
+        if self._batch_engine == "reference":
+            return [
+                Assessment(spec, substrates=self._substrates,
+                           catalog=self._recorder).run()
+                for spec in specs
+            ]
+        plan = compile_sweep(specs, recorder=self._recorder, kind="assess")
+        results: List[Optional[AssessmentResult]] = [None] * len(specs)
+        for group in plan.groups:
+            evaluated = evaluate_assessment_group(
+                [specs[i] for i in group], self._substrates)
+            for i, result in zip(group, evaluated):
+                if self._recorder is not None:
+                    result = self._recorder.run(
+                        "assess", specs[i].to_dict(),
+                        lambda result=result: result)
+                results[i] = result
+        for i, disposition in enumerate(plan.dispositions):
+            if disposition != COLUMNAR:
+                # Served points come back from the catalog; fallback
+                # points run the reference loop (and record, if enabled).
+                results[i] = Assessment(specs[i], substrates=self._substrates,
+                                        catalog=self._recorder).run()
+        return results
+
+    def _evaluate_temporals(self, specs: List[AssessmentSpec]) -> List:
+        """Evaluate distinct temporal specs under the configured engine."""
+        from repro.api.temporal import TemporalAssessment
+
+        self._prepare_snapshots(specs, kind="temporal")
+        if self._batch_engine == "reference":
+            return [
+                TemporalAssessment(spec, substrates=self._substrates,
+                                   catalog=self._recorder).run()
+                for spec in specs
+            ]
+        plan = compile_sweep(specs, recorder=self._recorder, kind="temporal",
+                             group_key=temporal_group_key)
+        results: List[Optional[object]] = [None] * len(specs)
+        for group in plan.groups:
+            evaluated = evaluate_temporal_group(
+                [specs[i] for i in group], self._substrates)
+            for i, result in zip(group, evaluated):
+                if self._recorder is not None:
+                    result = self._recorder.run(
+                        "temporal", specs[i].to_dict(),
+                        lambda result=result: result)
+                results[i] = result
+        for i, disposition in enumerate(plan.dispositions):
+            if disposition != COLUMNAR:
+                results[i] = TemporalAssessment(
+                    specs[i], substrates=self._substrates,
+                    catalog=self._recorder).run()
+        return results
 
     # -- portfolio (multi-site placement) scenarios ----------------------------------
 
@@ -326,8 +447,10 @@ class BatchAssessmentRunner:
 
         Because every member shares the base spec's physical
         configuration, the whole region × placement grid costs **one**
-        simulation: K regions × L splits = K·L member assessments against
-        one cached snapshot.  Returns the ordered
+        simulation: the columnar engine additionally evaluates the K
+        member assessments once (load shares don't change a member's
+        carbon) and reuses them across all L splits, where the reference
+        engine pays K·L member assessments.  Returns the ordered
         :class:`~repro.portfolio.result.PortfolioBatchResult`; its
         :meth:`~repro.portfolio.result.PortfolioBatchResult.best` scenario
         is the split whose placed carbon is lowest.
@@ -345,15 +468,80 @@ class BatchAssessmentRunner:
                   if load_split is not None else [None])
         if not splits:
             raise ValueError("load_split, when given, needs at least one split")
-        results = []
-        for index, shares in enumerate(splits):
-            spec = PortfolioSpec.from_regions(
+        portfolio_specs = [
+            PortfolioSpec.from_regions(
                 regions, base_spec=self._base_spec, load_shares=shares,
                 name=f"{name}-{index}" if len(splits) > 1 else name)
-            runner = PortfolioRunner(spec, substrates=self._substrates,
-                                     catalog=self._recorder)
-            results.append(runner.run())
+            for index, shares in enumerate(splits)
+        ]
+        if self._batch_engine == "reference":
+            results = [
+                PortfolioRunner(spec, substrates=self._substrates,
+                                catalog=self._recorder).run()
+                for spec in portfolio_specs
+            ]
+            return PortfolioBatchResult(results=tuple(results))
+        # Member evaluations are shared by every split of this call (load
+        # shares don't change a member's carbon), memoised lazily so a
+        # fully catalog-served sweep still simulates nothing.
+        state: Dict[str, object] = {}
+        results = [
+            self._recorder.run(
+                "portfolio", spec.to_dict(),
+                lambda spec=spec: self._assemble_portfolio(spec, state))
+            if self._recorder is not None
+            else self._assemble_portfolio(spec, state)
+            for spec in portfolio_specs
+        ]
         return PortfolioBatchResult(results=tuple(results))
+
+    def _assemble_portfolio(self, portfolio_spec, state: Dict[str, object]):
+        """One portfolio result from the (memoised) member evaluations."""
+        from repro.portfolio.result import PortfolioMemberResult, PortfolioResult
+        from repro.portfolio.runner import clean_marginal_intensities
+
+        if "members" not in state:
+            member_specs = [member.effective_spec()
+                            for member in portfolio_spec.members]
+            # Fail on any typo'd component (including an unknown region
+            # binding) before any member simulates.
+            for spec in member_specs:
+                resolve_spec_components(spec)
+            member_results = self._evaluate_members(member_specs)
+            clean = clean_marginal_intensities(
+                self._substrates, member_specs, member_results)
+            state["members"] = (member_results, clean)
+        member_results, clean = state["members"]
+        members = tuple(
+            PortfolioMemberResult(
+                member=member,
+                result=result,
+                marginal_intensity_g_per_kwh=(
+                    result.spec.carbon_intensity_g_per_kwh),
+                clean_marginal_intensity_g_per_kwh=clean[index],
+            )
+            for index, (member, result) in enumerate(
+                zip(portfolio_spec.members, member_results))
+        )
+        return PortfolioResult(spec=portfolio_spec, members=members)
+
+    def _evaluate_members(
+        self, specs: List[AssessmentSpec]
+    ) -> List[AssessmentResult]:
+        """Columnar member evaluations (members are never catalogued
+        individually, mirroring PortfolioRunner._run_members)."""
+        plan = compile_sweep(specs)
+        results: List[Optional[AssessmentResult]] = [None] * len(specs)
+        for group in plan.groups:
+            evaluated = evaluate_assessment_group(
+                [specs[i] for i in group], self._substrates)
+            for i, result in zip(group, evaluated):
+                results[i] = result
+        for i, disposition in enumerate(plan.dispositions):
+            if disposition != COLUMNAR:
+                results[i] = Assessment(
+                    specs[i], substrates=self._substrates).run()
+        return results
 
     # -- sampled (ensemble) scenarios ----------------------------------------------
 
@@ -386,10 +574,14 @@ class BatchAssessmentRunner:
                            kind: str = "assess") -> None:
         """Simulate each distinct physical configuration exactly once.
 
-        With ``max_workers`` > 1 the distinct simulations run concurrently;
-        the substrate cache guarantees no configuration is simulated twice
-        even under concurrency.  Scenarios the configured catalog can serve
-        are excluded first — a fully catalogued sweep prepares nothing.
+        With ``max_workers`` > 1 the distinct simulations run
+        concurrently; the substrate cache guarantees no configuration is
+        simulated twice even under concurrency.  Scenarios the configured
+        catalog can serve are excluded first — a fully catalogued sweep
+        prepares nothing.  A simulation failure cancels the outstanding
+        sibling simulations and propagates immediately (the earliest
+        failure in submission order, so the surfaced error is
+        deterministic).
         """
         if self._recorder is not None:
             specs = [spec for spec in specs
@@ -400,9 +592,16 @@ class BatchAssessmentRunner:
         distinct = list(unique.values())
         if self._max_workers > 1 and len(distinct) > 1:
             workers = min(self._max_workers, len(distinct))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                # Materialise to surface any simulation error here, not later.
-                list(pool.map(self._substrates.snapshot, distinct))
+            pool = ThreadPoolExecutor(max_workers=workers)
+            futures = [pool.submit(self._substrates.snapshot, spec)
+                       for spec in distinct]
+            try:
+                for future in futures:
+                    future.result()
+            except BaseException:
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+            pool.shutdown(wait=True)
         else:
             for spec in distinct:
                 self._substrates.snapshot(spec)
@@ -412,6 +611,7 @@ __all__ = [
     "BatchAssessmentRunner",
     "BatchResult",
     "TemporalBatchResult",
+    "BATCH_ENGINES",
     "SWEEP_AXES",
     "TEMPORAL_ONLY_AXES",
 ]

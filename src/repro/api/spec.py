@@ -51,6 +51,15 @@ SAMPLABLE_FIELDS = (
     ANALYSIS_SAMPLE_FIELDS + PHYSICAL_SAMPLE_FIELDS + TEMPORAL_SAMPLE_FIELDS
 )
 
+#: Sweep axes the batch runner's columnar engine stacks into column
+#: vectors: the analysis fields, plus ``grid`` (each grid point resolves
+#: to one scalar reference intensity, which stacks into the intensity
+#: column).  Axes outside this set — registry-object axes like
+#: ``embodied_estimator``, or physical axes, which change the substrate —
+#: either form separate physical groups or fall back to the per-spec
+#: reference loop (see :mod:`repro.api.columnar`).
+COLUMNAR_SWEEP_FIELDS = ANALYSIS_SAMPLE_FIELDS + ("grid",)
+
 
 @dataclass(frozen=True)
 class AssessmentSpec:
@@ -303,4 +312,5 @@ __all__ = [
     "PHYSICAL_SAMPLE_FIELDS",
     "TEMPORAL_SAMPLE_FIELDS",
     "SAMPLABLE_FIELDS",
+    "COLUMNAR_SWEEP_FIELDS",
 ]

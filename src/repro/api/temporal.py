@@ -34,7 +34,7 @@ from repro.grid.intensity import CarbonIntensitySeries
 from repro.temporal.align import align_power_and_intensity
 from repro.temporal.integrate import integrate_power_intensity
 from repro.temporal.profile import TemporalEmissionsProfile
-from repro.temporal.scenarios import defer_load, time_shift
+from repro.temporal.scenarios import transformed_power
 from repro.io.jsonio import PathLike, write_json
 from repro.snapshot.experiment import SnapshotResult
 from repro.timeseries.series import TimeSeries
@@ -306,13 +306,12 @@ class TemporalAssessment:
         baseline_profile = integrate_power_intensity(
             aligned_power, aligned_intensity, pue=spec.pue
         )
-        scenario_power = aligned_power
-        if spec.shift_hours:
-            scenario_power = time_shift(scenario_power, spec.shift_hours * 3600.0)
-        if spec.defer_fraction:
-            scenario_power = defer_load(
-                scenario_power, aligned_intensity, spec.defer_fraction
-            )
+        scenario_power = transformed_power(
+            aligned_power,
+            aligned_intensity,
+            spec.shift_hours * 3600.0,
+            spec.defer_fraction,
+        )
         if scenario_power is aligned_power:
             profile = baseline_profile
         else:

@@ -180,6 +180,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="report per-site simulation phase timings "
                              "(workload/schedule/trace/power wall seconds; "
                              "table or json format only)")
+    assess.add_argument("--sweep", action="append", default=None,
+                        metavar="AXIS=V1,V2,...",
+                        help="sweep an axis over comma-separated values "
+                             "(repeatable; axes: intensity, pue, lifetime, "
+                             "per_server_kgco2, scale, amortization, grid, "
+                             "embodied_estimator); runs the whole cartesian "
+                             "grid through the batch runner and emits one "
+                             "summary row per scenario")
+    assess.add_argument("--batch-engine", choices=("columnar", "reference"),
+                        default=None,
+                        help="sweep execution engine (default: columnar — one "
+                             "vectorized pass per physical group; 'reference' "
+                             "runs the per-spec oracle loop, bit-identical; "
+                             "requires --sweep)")
     _add_catalog_arguments(assess)
 
     temporal = subparsers.add_parser(
@@ -491,6 +505,58 @@ def _engine_overrides(args: argparse.Namespace, spec: AssessmentSpec) -> dict:
     return overrides
 
 
+def _parse_sweep_axes(entries: Sequence[str]) -> dict:
+    """Parse repeatable ``--sweep AXIS=V1,V2,...`` flags into sweep axes.
+
+    Values parse as floats when they can (intensity, pue, ...) and stay
+    strings otherwise (grid / amortization / estimator names); axis-name
+    validation is the batch runner's job.
+    """
+    axes: dict = {}
+    for entry in entries:
+        name, sep, values_text = entry.partition("=")
+        name = name.strip()
+        if not sep or not name or not values_text.strip():
+            raise _UsageError(
+                f"--sweep expects AXIS=V1,V2,..., got {entry!r}")
+        if name in axes:
+            raise _UsageError(f"--sweep axis {name!r} given more than once")
+        values = []
+        for text in values_text.split(","):
+            text = text.strip()
+            if not text:
+                raise _UsageError(
+                    f"--sweep axis {name!r} has an empty value in {entry!r}")
+            try:
+                values.append(float(text))
+            except ValueError:
+                values.append(text)
+        axes[name] = values
+    return axes
+
+
+def _run_sweep(args: argparse.Namespace, spec: AssessmentSpec,
+               substrates, recorder, axes: dict) -> int:
+    """The ``assess --sweep`` mode: a whole grid, one summary row per point."""
+    from repro.api import BatchAssessmentRunner
+
+    runner = BatchAssessmentRunner(
+        spec, substrates=substrates, catalog=recorder,
+        batch_engine=args.batch_engine or "columnar")
+    batch = runner.sweep(**axes)
+    rows = batch.as_rows()
+    if args.format == "table":
+        _emit(format_table(
+            rows, title=f"Sweep ({len(rows)} scenarios)",
+            float_format=",.6g"), args.output)
+    elif args.format == "json":
+        _emit(json.dumps(rows, indent=2, default=_json_default,
+                         sort_keys=True), args.output)
+    else:  # csv
+        _emit_rows_csv(rows, args.output)
+    return 0
+
+
 def _timings_table_text(timings: dict) -> str:
     """Render per-site phase timings as a table (plus a fleet total row)."""
     if not timings:
@@ -517,6 +583,18 @@ def _cmd_assess(args: argparse.Namespace) -> int:
             raise _UsageError(
                 "--timings is not available with --format csv "
                 "(use table or json)")
+        if args.batch_engine is not None and not args.sweep:
+            raise _UsageError("--batch-engine only applies with --sweep")
+        if args.sweep:
+            if args.timings:
+                raise _UsageError(
+                    "--timings is not available with --sweep "
+                    "(it reads one run's snapshot)")
+            if args.output_dir is not None:
+                raise _UsageError(
+                    "--output-dir is not available with --sweep "
+                    "(it exports one run's tables)")
+        sweep_axes = _parse_sweep_axes(args.sweep) if args.sweep else None
         overrides = _scenario_overrides(args)
         substrates = _build_substrates(args)
         # The Table 3/4 CSV export needs the live snapshot, so --output-dir
@@ -545,6 +623,8 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         return 2
     try:
         spec = spec.replace(**overrides) if overrides else spec
+        if sweep_axes is not None:
+            return _run_sweep(args, spec, substrates, recorder, sweep_axes)
         result = _run_assessment(spec, substrates, recorder)
     except (KeyError, ValueError, CatalogError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -53,6 +53,42 @@ from repro.portfolio.spec import PortfolioSpec
 CLEAN_QUANTILE = 0.05
 
 
+def clean_marginal_intensities(
+    substrates: SubstrateCache,
+    specs: List[AssessmentSpec],
+    results: List[AssessmentResult],
+) -> List[float]:
+    """Per-member carbon-aware marginal intensity (g/kWh).
+
+    Members pinning a constant intensity keep it (shifting load in
+    time cannot beat a flat price); grid-bound members get the
+    :data:`CLEAN_QUANTILE` quantile of their intensity trace, with all
+    traces aligned onto one shared grid first so every site is judged
+    over the same window at the same cadence.  Each trace is the
+    provider's default reference series — the very one the member's
+    snapshot intensity was resolved from — so the two marginal views
+    the placement tables compare derive from one window.
+
+    A module function (not a runner method) so the batch runner's sweep
+    compiler can reuse the exact arithmetic when it assembles portfolio
+    results from columnar member evaluations.
+    """
+    traced: Dict[int, str] = {}
+    for index, spec in enumerate(specs):
+        if spec.carbon_intensity_g_per_kwh is None:
+            traced[index] = spec.grid
+    clean = [float(result.spec.carbon_intensity_g_per_kwh)
+             for result in results]
+    if not traced:
+        return clean
+    series = [substrates.intensity_series(grid).series
+              for grid in traced.values()]
+    aligned = align_many_resampled(series)
+    for (index, _), trace in zip(traced.items(), aligned):
+        clean[index] = float(np.quantile(trace.values, CLEAN_QUANTILE))
+    return clean
+
+
 class PortfolioRunner:
     """Run every member of a portfolio against shared cached substrates.
 
@@ -169,31 +205,8 @@ class PortfolioRunner:
         specs: List[AssessmentSpec],
         results: List[AssessmentResult],
     ) -> List[float]:
-        """Per-member carbon-aware marginal intensity (g/kWh).
-
-        Members pinning a constant intensity keep it (shifting load in
-        time cannot beat a flat price); grid-bound members get the
-        :data:`CLEAN_QUANTILE` quantile of their intensity trace, with all
-        traces aligned onto one shared grid first so every site is judged
-        over the same window at the same cadence.  Each trace is the
-        provider's default reference series — the very one the member's
-        snapshot intensity was resolved from — so the two marginal views
-        the placement tables compare derive from one window.
-        """
-        traced: Dict[int, str] = {}
-        for index, spec in enumerate(specs):
-            if spec.carbon_intensity_g_per_kwh is None:
-                traced[index] = spec.grid
-        clean = [float(result.spec.carbon_intensity_g_per_kwh)
-                 for result in results]
-        if not traced:
-            return clean
-        series = [self._substrates.intensity_series(grid).series
-                  for grid in traced.values()]
-        aligned = align_many_resampled(series)
-        for (index, _), trace in zip(traced.items(), aligned):
-            clean[index] = float(np.quantile(trace.values, CLEAN_QUANTILE))
-        return clean
+        """Delegate to the shared :func:`clean_marginal_intensities`."""
+        return clean_marginal_intensities(self._substrates, specs, results)
 
 
-__all__ = ["CLEAN_QUANTILE", "PortfolioRunner"]
+__all__ = ["CLEAN_QUANTILE", "PortfolioRunner", "clean_marginal_intensities"]

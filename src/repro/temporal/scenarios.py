@@ -95,4 +95,29 @@ def defer_load(
     return TimeSeries(power_w.start, power_w.step, values)
 
 
-__all__ = ["time_shift", "defer_load"]
+def transformed_power(
+    power_w: TimeSeries,
+    intensity_g_per_kwh: TimeSeries,
+    shift_s: float = 0.0,
+    defer_fraction: float = 0.0,
+) -> TimeSeries:
+    """Apply the scenario transforms (shift, then deferral) to a trace.
+
+    The shared composition every scenario consumer uses — the temporal
+    assessment, the temporal ensemble and the sweep kernel all route
+    through here so a spec's ``(shift_hours, defer_fraction)`` pair means
+    the same trace everywhere.  Callers decide whether to snap the shift
+    to the trace grid first (the ensemble does; the assessment treats a
+    fractional-step shift as an error).  When neither transform applies
+    the input series object is returned unchanged, so identity checks
+    against the baseline trace keep working.
+    """
+    series = power_w
+    if shift_s:
+        series = time_shift(series, shift_s)
+    if defer_fraction:
+        series = defer_load(series, intensity_g_per_kwh, defer_fraction)
+    return series
+
+
+__all__ = ["time_shift", "defer_load", "transformed_power"]

@@ -41,7 +41,6 @@ from repro.api.spec import (
     TEMPORAL_SAMPLE_FIELDS,
 )
 from repro.api.substrates import SubstrateCache, shared_substrates
-from repro.units.constants import SECONDS_PER_HOUR, SECONDS_PER_YEAR
 
 from repro.uncertainty.distributions import Distribution
 from repro.uncertainty.result import EnsembleResult
@@ -179,74 +178,23 @@ class EnsembleRunner:
     def _evaluate_vectorized(self, samples: SampleMatrix):
         """Contract the cached substrate against the sampled columns.
 
-        The substrate (snapshot) is computed exactly once per ensemble;
-        everything after is broadcast arithmetic mirroring the oracle's
-        float operations closely enough that quantiles agree to ~1e-15
-        relative (the benchmark pins <= 1e-9).
+        The arithmetic lives in the shared
+        :func:`~repro.api.columnar.evaluate_ensemble_columns` kernel
+        (also the basis of the batch runner's sweep compiler) so ensembles
+        and sweeps run the same audited columnar pass.
         """
-        spec = self._spec.base
-        n = samples.n_samples
-        self._validate_columns(samples)
-        assessment = Assessment(spec, substrates=self._substrates)
-        snapshot = self._substrates.snapshot(spec)
-        energy = snapshot.active_energy_input()
+        from repro.api.columnar import evaluate_ensemble_columns
 
-        def column_or(name: str, fallback: float) -> np.ndarray:
-            if name in samples:
-                return samples.column(name)
-            return np.full(n, float(fallback))
-
-        if "carbon_intensity_g_per_kwh" in samples:
-            intensity = samples.column("carbon_intensity_g_per_kwh")
-        else:
-            intensity = np.full(n, assessment.resolved_intensity_g_per_kwh())
-        pue = column_or("pue", spec.pue)
-
-        # Active term: facility energy is IT energy plus the PUE overhead,
-        # each kWh priced at the sampled intensity (grams -> kg).
-        it_kwh = energy.it_energy_kwh
-        active_kg = intensity * (it_kwh + it_kwh * (pue - 1.0)) / 1000.0
-
-        # Embodied term under linear amortisation: every node asset shares
-        # the sampled lifetime, so the per-asset min(share, 1) clamp
-        # distributes over the fleet sum; network fabrics amortise over
-        # their own fixed lifetime and contribute a constant.
-        period_s = spec.duration_hours * SECONDS_PER_HOUR
-        assets = assessment.embodied_assets()
-        node_kg = sum(a.embodied_kgco2 for a in assets if a.component == "nodes")
-        node_count = sum(1 for a in assets if a.component == "nodes")
-        network_kg = sum(
-            a.embodied_kgco2 * min(
-                period_s / (a.lifetime_years * SECONDS_PER_YEAR), 1.0)
-            for a in assets if a.component != "nodes")
-
-        lifetime = column_or("lifetime_years", spec.lifetime_years)
-        share = np.minimum(period_s / (lifetime * SECONDS_PER_YEAR), 1.0)
-        if "per_server_kgco2" in samples:
-            node_total = samples.column("per_server_kgco2") * node_count
-        else:
-            node_total = np.full(n, float(node_kg))
-        embodied_kg = node_total * share + network_kg
-        return active_kg, embodied_kg
+        return evaluate_ensemble_columns(
+            self._spec.base, self._substrates, samples)
 
     @staticmethod
     def _validate_columns(samples: SampleMatrix) -> None:
         """Enforce the spec fields' domains on whole sampled columns (the
         oracle gets this per sample from AssessmentSpec validation)."""
-        domains = {
-            "carbon_intensity_g_per_kwh": (
-                lambda c: (c >= 0.0).all(), "must be non-negative"),
-            "pue": (lambda c: (c >= 1.0).all(), "must be at least 1.0"),
-            "per_server_kgco2": (
-                lambda c: (c > 0.0).all(), "must be positive"),
-            "lifetime_years": (
-                lambda c: (c > 0.0).all(), "must be positive"),
-        }
-        for name, (ok, message) in domains.items():
-            if name in samples and not ok(samples.column(name)):
-                raise ValueError(
-                    f"sampled {name} {message}; truncate the distribution "
-                    "to the field's domain")
+        from repro.api.columnar import validate_sample_columns
+
+        validate_sample_columns(samples)
 
     # -- the per-sample reference loop -----------------------------------------------
 

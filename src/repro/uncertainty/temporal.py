@@ -38,7 +38,7 @@ from repro.api.substrates import SubstrateCache, shared_substrates
 from repro.api.temporal import TemporalAssessment
 from repro.io.csvio import write_rows_csv
 from repro.io.jsonio import PathLike, write_json
-from repro.temporal.scenarios import defer_load, time_shift
+from repro.temporal.scenarios import transformed_power
 from repro.timeseries.series import TimeSeries
 from repro.units.constants import JOULES_PER_KWH
 
@@ -250,24 +250,22 @@ class TemporalEnsembleRunner:
         workload_sampled = ("shift_hours" in samples
                            or "defer_fraction" in samples)
         if not workload_sampled:
-            base = power
-            if spec.shift_hours:
-                base = time_shift(base, self._snap_shift(
-                    spec.shift_hours * 3600.0, power.step))
-            if spec.defer_fraction:
-                base = defer_load(base, intensity, spec.defer_fraction)
+            base = transformed_power(
+                power, intensity,
+                self._snap_shift(spec.shift_hours * 3600.0, power.step)
+                if spec.shift_hours else 0.0,
+                spec.defer_fraction)
             return base.values[None, :]
         rows = np.empty((samples.n_samples, len(power)), dtype=np.float64)
         for index in range(samples.n_samples):
             row = samples.row(index)
-            series = power
             shift_h = row.get("shift_hours", spec.shift_hours)
             defer = row.get("defer_fraction", spec.defer_fraction)
-            if shift_h:
-                series = time_shift(
-                    series, self._snap_shift(shift_h * 3600.0, power.step))
-            if defer:
-                series = defer_load(series, intensity, defer)
+            series = transformed_power(
+                power, intensity,
+                self._snap_shift(shift_h * 3600.0, power.step)
+                if shift_h else 0.0,
+                defer)
             rows[index] = series.values
         return rows
 
