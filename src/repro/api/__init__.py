@@ -51,7 +51,11 @@ from repro.api.spec import (
     AssessmentSpec,
     default_spec,
 )
-from repro.api.substrates import SubstrateCache, shared_substrates
+from repro.api.substrates import (
+    DEFAULT_SHARED_MAX_ENTRIES,
+    SubstrateCache,
+    shared_substrates,
+)
 from repro.api.result import AssessmentResult
 from repro.api.assessment import Assessment
 from repro.api.columnar import SweepPlan, columnar_eligible, compile_sweep
@@ -91,6 +95,7 @@ __all__ = [
     "columnar_eligible",
     "compile_sweep",
     # substrates
+    "DEFAULT_SHARED_MAX_ENTRIES",
     "SubstrateCache",
     "shared_substrates",
     # scenario helpers

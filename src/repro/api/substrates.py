@@ -98,7 +98,6 @@ class SubstrateCache:
             raise ValueError("max_entries must be at least 1 (or None)")
         self._lock = threading.Lock()
         self._slots: Dict[Tuple[str, Tuple[Any, ...]], _Slot] = {}
-        self._catalog: HardwareCatalog | None = None
         self._persist_dir = (Path(persist_dir).expanduser()
                              if persist_dir is not None else None)
         self._jobs = jobs
@@ -122,12 +121,14 @@ class SubstrateCache:
         earliest-created surviving entry; entries still being computed
         (event not set) are skipped unconditionally, so a waiter blocked
         on a slot can always be woken by that slot's owner — even if that
-        means temporarily exceeding the cap.
+        means temporarily exceeding the cap.  The ``catalog`` slot is
+        never evicted: every snapshot consults it, so evicting it only
+        trades one dict entry for a rebuild on the next simulation.
         """
         if self._max_entries is None or len(self._slots) <= self._max_entries:
             return
         evictable = [key for key, slot in self._slots.items()
-                     if slot.event.is_set()]
+                     if slot.event.is_set() and key[0] != "catalog"]
         excess = len(self._slots) - self._max_entries
         for key in evictable[:excess]:
             del self._slots[key]
@@ -178,11 +179,17 @@ class SubstrateCache:
     # -- substrates -----------------------------------------------------------------
 
     def catalog(self) -> HardwareCatalog:
-        """The (immutable) default hardware catalog."""
-        with self._lock:
-            if self._catalog is None:
-                self._catalog = default_catalog()
-            return self._catalog
+        """The (immutable) default hardware catalog, built once.
+
+        Routed through the per-key compute-once machinery rather than
+        built under the cache-wide lock: a slow catalog build must never
+        stall concurrent :meth:`intensity_series`/:meth:`snapshot`
+        requests for unrelated keys (they only touch the lock for the
+        brief slot bookkeeping, never for the build itself).  The
+        ``catalog`` slot is exempt from ``max_entries`` eviction — it is
+        the one substrate every snapshot needs.
+        """
+        return self._compute_once("catalog", (), default_catalog)
 
     def intensity_series(self, grid: str, days: float = 30.0) -> CarbonIntensitySeries:
         """The named grid provider's intensity series, computed once.
@@ -264,12 +271,22 @@ class SubstrateCache:
         return self._compute_once("snapshot", spec.physical_key() + (factory,), _run)
 
 
+#: Entry cap of the process-wide shared cache.  A long-lived process (the
+#: serving layer above all) funnels every request that does not bring its
+#: own cache through :func:`shared_substrates`; unbounded, a sweep over
+#: distinct physical configurations would retain every substrate forever.
+#: Private caches built explicitly keep the historical unbounded default.
+DEFAULT_SHARED_MAX_ENTRIES = 64
+
 #: Process-wide default cache used when callers do not pass their own.
-_GLOBAL_CACHE = SubstrateCache()
+#: Bounded so a long-lived multi-client process cannot leak substrates
+#: (see DEFAULT_SHARED_MAX_ENTRIES); completed entries past the cap are
+#: evicted oldest-first and transparently recomputed on re-request.
+_GLOBAL_CACHE = SubstrateCache(max_entries=DEFAULT_SHARED_MAX_ENTRIES)
 
 
 def shared_substrates() -> SubstrateCache:
-    """The process-wide substrate cache."""
+    """The process-wide substrate cache (bounded, see DEFAULT_SHARED_MAX_ENTRIES)."""
     return _GLOBAL_CACHE
 
 
@@ -298,4 +315,9 @@ def resolve_substrates(
     return shared_substrates()
 
 
-__all__ = ["SubstrateCache", "resolve_substrates", "shared_substrates"]
+__all__ = [
+    "DEFAULT_SHARED_MAX_ENTRIES",
+    "SubstrateCache",
+    "resolve_substrates",
+    "shared_substrates",
+]

@@ -10,9 +10,11 @@ stores *physics* keyed by physical configuration, the catalog stores
   ``(kind, canonical spec JSON, canonical payload JSON)``; recording the
   identical run twice is a no-op, and a changed answer for the same spec
   gets a new identity (the drift-detection primitive);
-* **thread-safe**: one connection guarded by a re-entrant lock, in WAL
-  mode — the same discipline as
-  :class:`~repro.api.substrates.SubstrateCache`;
+* **thread-safe, reads in parallel**: writes serialise on one connection
+  guarded by a re-entrant lock, while every reading thread gets its own
+  lazily created read-only connection — WAL mode lets N servers read
+  through the catalog concurrently without queueing behind a recording
+  writer (or each other);
 * **loud on damage**: a corrupt or truncated file raises
   :class:`~repro.catalog.schema.CatalogCorruptError`; a schema-version
   mismatch raises :class:`~repro.catalog.schema.CatalogMigrationError`.
@@ -183,6 +185,15 @@ class RunCatalog:
             raise CatalogError(f"no run catalog at {self._path}")
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
+        self._timeout_s = timeout_s
+        # Per-thread read connections (created lazily on first read from
+        # each thread); tracked so close() can dispose of every one.
+        # Guarded by their own lock so opening a read connection never
+        # queues behind a long-running writer holding the write lock.
+        self._read_local = threading.local()
+        self._read_lock = threading.Lock()
+        self._read_conns: List[sqlite3.Connection] = []
+        self._closed = False
         try:
             self._conn = sqlite3.connect(
                 str(self._path), timeout=timeout_s, check_same_thread=False)
@@ -219,8 +230,36 @@ class RunCatalog:
     def path(self) -> Path:
         return self._path
 
+    def _read_conn(self) -> sqlite3.Connection:
+        """This thread's private read-only connection, created on first use.
+
+        Reads deliberately do **not** take the catalog lock: WAL mode
+        gives each reader a consistent snapshot concurrent with the
+        single-path writer, so read-through serving from N threads never
+        queues behind a recording writer (or behind other readers).
+        ``query_only`` makes accidental writes on a read connection a
+        loud sqlite error instead of a second competing writer.
+        """
+        conn = getattr(self._read_local, "conn", None)
+        if conn is None:
+            with self._read_lock:
+                if self._closed:
+                    raise CatalogError(f"run catalog {self._path} is closed")
+                conn = sqlite3.connect(
+                    str(self._path), timeout=self._timeout_s,
+                    check_same_thread=False)
+                conn.row_factory = sqlite3.Row
+                conn.execute("PRAGMA query_only=ON")
+                self._read_conns.append(conn)
+            self._read_local.conn = conn
+        return conn
+
     def close(self) -> None:
-        with self._lock:
+        with self._lock, self._read_lock:
+            self._closed = True
+            for conn in self._read_conns:
+                conn.close()
+            self._read_conns.clear()
             self._conn.close()
 
     def __enter__(self) -> "RunCatalog":
@@ -285,11 +324,10 @@ class RunCatalog:
     # -- reading ---------------------------------------------------------------------
 
     def _record_from_row(self, row: sqlite3.Row) -> RunRecord:
-        with self._lock:
-            tags = tuple(sorted(
-                tag_row["tag"] for tag_row in self._conn.execute(
-                    "SELECT tag FROM tags WHERE run_id = ?",
-                    (row["run_id"],))))
+        tags = tuple(sorted(
+            tag_row["tag"] for tag_row in self._read_conn().execute(
+                "SELECT tag FROM tags WHERE run_id = ?",
+                (row["run_id"],))))
         return RunRecord(
             run_id=row["run_id"],
             kind=row["kind"],
@@ -308,10 +346,9 @@ class RunCatalog:
             raise CatalogError(
                 f"run id prefix {run_id!r} is too short; give at least "
                 f"{MIN_PREFIX} characters")
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT run_id FROM runs WHERE run_id LIKE ? LIMIT 3",
-                (run_id + "%",)).fetchall()
+        rows = self._read_conn().execute(
+            "SELECT run_id FROM runs WHERE run_id LIKE ? LIMIT 3",
+            (run_id + "%",)).fetchall()
         matches = [row["run_id"] for row in rows]
         if not matches:
             raise CatalogError(f"no run {run_id!r} in catalog {self._path}")
@@ -324,18 +361,16 @@ class RunCatalog:
     def get(self, run_id: str) -> RunRecord:
         """One run's metadata by full id or unique prefix."""
         full = self.resolve(run_id)
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT * FROM runs WHERE run_id = ?", (full,)).fetchone()
+        row = self._read_conn().execute(
+            "SELECT * FROM runs WHERE run_id = ?", (full,)).fetchone()
         return self._record_from_row(row)
 
     def payload(self, run_id: str) -> Any:
         """One run's recorded result payload (decompressed and parsed)."""
         full = self.resolve(run_id)
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT format, payload FROM payloads WHERE run_id = ?",
-                (full,)).fetchone()
+        row = self._read_conn().execute(
+            "SELECT format, payload FROM payloads WHERE run_id = ?",
+            (full,)).fetchone()
         if row is None:
             raise CatalogError(f"run {full[:SHORT_ID]} has no payload row")
         if row["format"] != PAYLOAD_FORMAT:
@@ -422,8 +457,7 @@ class RunCatalog:
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY created_at DESC, run_id"
-        with self._lock:
-            rows = self._conn.execute(sql, params).fetchall()
+        rows = self._read_conn().execute(sql, params).fetchall()
         records = [self._record_from_row(row) for row in rows]
         if where:
             records = [record for record in records
@@ -445,16 +479,14 @@ class RunCatalog:
         return self.latest(kind=kind, spec_digest=spec_digest) is not None
 
     def count(self) -> int:
-        with self._lock:
-            return self._conn.execute(
-                "SELECT COUNT(*) AS n FROM runs").fetchone()["n"]
+        return self._read_conn().execute(
+            "SELECT COUNT(*) AS n FROM runs").fetchone()["n"]
 
     def total_size(self) -> int:
         """Total payload bytes catalogued (the ``gc`` size policy's meter)."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT COALESCE(SUM(payload_bytes), 0) AS total "
-                "FROM runs").fetchone()
+        row = self._read_conn().execute(
+            "SELECT COALESCE(SUM(payload_bytes), 0) AS total "
+            "FROM runs").fetchone()
         return int(row["total"])
 
     # -- deleting --------------------------------------------------------------------

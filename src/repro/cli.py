@@ -340,6 +340,41 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(default: 1; 0 = one thread per site)")
     _add_catalog_arguments(portfolio)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived assessment server (HTTP + JSON)")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8035,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8035)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker threads executing requests concurrently "
+                            "(default: 4)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="admitted requests allowed to wait beyond the "
+                            "workers before new arrivals get 429 "
+                            "(default: 16)")
+    serve.add_argument("--request-timeout", type=_positive_argument,
+                       default=None, metavar="SECONDS",
+                       help="per-request wall-clock budget before the "
+                            "server answers 504 (default: 300)")
+    serve.add_argument("--max-substrates", type=int, default=None,
+                       help="bound on cached substrates held in memory "
+                            "(default: the shared-cache bound)")
+    serve.add_argument("--substrate-cache-dir", type=Path, default=None,
+                       help="persist simulated snapshots here so restarts "
+                            "do not re-simulate")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="sites simulated concurrently inside one "
+                            "request (default: 1; 0 = one thread per site)")
+    serve.add_argument("--plugin", action="append", default=None,
+                       metavar="MODULE",
+                       help="import this module at startup to register "
+                            "components (repeatable; POST /reload "
+                            "re-imports them without a restart)")
+    _add_catalog_arguments(serve)
+
     from repro.catalog.cli import add_runs_parser
 
     add_runs_parser(subparsers)
@@ -1061,6 +1096,50 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return cmd_runs(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.reporting.serve import serve_banner, shutdown_report
+    from repro.serve import ServeConfig
+    from repro.serve.http import serve_forever
+
+    overrides = {
+        "workers": args.workers,
+        "queue_limit": args.queue_limit,
+        "request_timeout_s": args.request_timeout,
+        "max_substrates": args.max_substrates,
+    }
+    try:
+        if args.tag and args.catalog is None:
+            raise _UsageError("--tag requires --catalog")
+        if args.jobs is not None and args.jobs < 0:
+            raise _UsageError(
+                "--jobs must be non-negative (0 = one thread per site)")
+        try:
+            config = ServeConfig(
+                host=args.host,
+                port=args.port,
+                substrate_cache_dir=args.substrate_cache_dir,
+                jobs=None if args.jobs == 0 else (
+                    args.jobs if args.jobs is not None else 1),
+                catalog=args.catalog,
+                tags=tuple(args.tag or ()),
+                plugins=tuple(args.plugin or ()),
+                **{key: value for key, value in overrides.items()
+                   if value is not None},
+            )
+        except ValueError as exc:
+            raise _UsageError(str(exc)) from exc
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def banner(server) -> None:
+        print(serve_banner(server.address, config), flush=True)
+
+    outcome = serve_forever(config, banner=banner)
+    print(f"\n{shutdown_report(outcome)}")
+    return 0 if outcome["clean_drain"] else 1
+
+
 _COMMANDS = {
     "assess": _cmd_assess,
     "temporal": _cmd_temporal,
@@ -1070,6 +1149,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "uncertainty": _cmd_uncertainty,
     "portfolio": _cmd_portfolio,
+    "serve": _cmd_serve,
     "runs": _cmd_runs,
 }
 

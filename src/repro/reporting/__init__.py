@@ -40,6 +40,11 @@ from repro.reporting.runs import (
     run_details,
     runs_table,
 )
+from repro.reporting.serve import (
+    serve_banner,
+    serve_stats_table,
+    shutdown_report,
+)
 
 __all__ = [
     "GHGScopeStatement",
@@ -68,4 +73,7 @@ __all__ = [
     "drift_table",
     "run_details",
     "runs_table",
+    "serve_banner",
+    "serve_stats_table",
+    "shutdown_report",
 ]

@@ -1,0 +1,78 @@
+"""Text renderers for the serving layer: startup banner and shutdown stats."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.reporting.tables import format_kv_table, format_table
+
+#: The endpoint table printed at startup, in display order.
+ENDPOINT_ROWS = (
+    {"method": "GET", "path": "/healthz", "body": "-",
+     "purpose": "liveness probe"},
+    {"method": "GET", "path": "/stats", "body": "-",
+     "purpose": "cache / admission / catalog counters"},
+    {"method": "POST", "path": "/assess", "body": "AssessmentSpec JSON",
+     "purpose": "unified assessment"},
+    {"method": "POST", "path": "/temporal", "body": "AssessmentSpec JSON",
+     "purpose": "intensity-weighted temporal assessment"},
+    {"method": "POST", "path": "/uncertainty", "body": "ensemble request JSON",
+     "purpose": "Monte-Carlo / LHS uncertainty envelope"},
+    {"method": "POST", "path": "/portfolio", "body": "PortfolioSpec JSON",
+     "purpose": "multi-site portfolio assessment"},
+    {"method": "POST", "path": "/reload", "body": "-",
+     "purpose": "re-import the configured plugin modules"},
+)
+
+
+def serve_banner(address: str, config) -> str:
+    """The startup banner: where the server listens and what it serves."""
+    settings = {
+        "address": address,
+        "workers": config.workers,
+        "queue limit": config.queue_limit,
+        "capacity (429 past this)": config.capacity,
+        "request timeout s": config.request_timeout_s,
+        "substrate cache entries": config.max_substrates,
+        "catalog": str(config.catalog) if config.catalog else "-",
+        "plugins": ", ".join(config.plugins) or "-",
+    }
+    endpoints = format_table(
+        list(ENDPOINT_ROWS),
+        columns=["method", "path", "body", "purpose"],
+        title="Endpoints",
+    )
+    return (f"{format_kv_table(settings, title='repro serve')}\n"
+            f"\n{endpoints}\n"
+            f"\nServing on {address} - SIGTERM or Ctrl-C drains and exits.")
+
+
+def serve_stats_table(stats: Dict[str, Any]) -> str:
+    """Render a ``ServeApp.stats()`` document as key/value tables."""
+    requests = dict(stats["requests"])
+    by_kind = requests.pop("by_kind", {})
+    parts = [
+        format_kv_table(stats["server"], title="Server"),
+        "",
+        format_kv_table(requests, title="Requests"),
+    ]
+    if any(by_kind.values()):
+        parts.extend(["", format_kv_table(by_kind, title="Requests by kind")])
+    parts.extend(["", format_kv_table(stats["substrates"],
+                                      title="Substrate cache")])
+    if stats.get("catalog"):
+        parts.extend(["", format_kv_table(stats["catalog"],
+                                          title="Run catalog")])
+    return "\n".join(parts)
+
+
+def shutdown_report(outcome: Dict[str, Any]) -> str:
+    """The final report ``repro serve`` prints after a drain."""
+    verdict = ("clean drain: all in-flight requests completed"
+               if outcome["clean_drain"]
+               else "DIRTY drain: requests were still in flight at timeout")
+    return f"{serve_stats_table(outcome['stats'])}\n\n{verdict}"
+
+
+__all__ = ["ENDPOINT_ROWS", "serve_banner", "serve_stats_table",
+           "shutdown_report"]

@@ -1,0 +1,63 @@
+"""The assessment serving layer: ``repro serve``.
+
+This package turns the library into a long-running hosted application — the
+ROADMAP's "millions of users" front door — without forking the core.  The
+architecture is app-over-library: the HTTP layer (:mod:`repro.serve.http`)
+is a thin stdlib asyncio server, and every interesting property lives in
+the middle tier (:mod:`repro.serve.app`):
+
+* **cross-request coalescing** — all requests funnel through one
+  server-owned :class:`~repro.api.substrates.SubstrateCache`, so two
+  clients posting specs with the same physical configuration share a
+  single in-flight simulation;
+* **catalog read-through** — with ``catalog=`` configured, a repeat spec
+  is served from the run catalog with zero simulations, bit-identical to
+  the recorded run, exactly like the library path;
+* **bounded admission** — a fixed worker pool with an explicit admission
+  queue; past capacity the server answers ``429`` with ``Retry-After``
+  instead of growing threads without bound;
+* **graceful lifecycle** — SIGTERM stops accepting, drains in-flight
+  requests, and exits 0; per-request timeouts release their admission
+  slot when the work actually finishes;
+* **hot-reloadable components** — plugin modules register through the
+  existing string-keyed registries (``overwrite=True``), and because
+  substrate cache keys include the resolved factory, a reloaded component
+  takes effect on the next request without a restart.
+
+::
+
+    repro serve --port 8035 --workers 4 --catalog runs.db
+
+    curl -s localhost:8035/healthz
+    curl -s -X POST localhost:8035/assess -d '{"node_scale": 0.05}'
+    curl -s localhost:8035/stats
+"""
+
+from repro.serve.app import (
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_REQUEST_TIMEOUT_S,
+    DEFAULT_WORKERS,
+    BadRequest,
+    Overloaded,
+    RequestTimeout,
+    ServeApp,
+    ServeConfig,
+    ServeError,
+    ServerClosing,
+)
+from repro.serve.http import ReproServer, serve_forever
+
+__all__ = [
+    "BadRequest",
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_REQUEST_TIMEOUT_S",
+    "DEFAULT_WORKERS",
+    "Overloaded",
+    "ReproServer",
+    "RequestTimeout",
+    "ServeApp",
+    "ServeConfig",
+    "ServeError",
+    "ServerClosing",
+    "serve_forever",
+]

@@ -331,3 +331,105 @@ class TestBoundedCache:
         assert compute_count["n"] == 1
         assert cache.clear() == 1
         assert cache._slots == {}
+
+
+class TestCatalogBuildDoesNotStallTheCache:
+    """Regression: a slow hardware-catalog build must not hold the
+    cache-wide lock — concurrent lookups for unrelated keys (intensity
+    series, other snapshots) proceed while the catalog is being built."""
+
+    def test_concurrent_intensity_lookup_during_slow_catalog_build(
+            self, monkeypatch):
+        import repro.api.substrates as substrates_mod
+
+        cache = SubstrateCache()
+        build_started = threading.Event()
+        release_build = threading.Event()
+        builds = {"n": 0}
+        real_default_catalog = substrates_mod.default_catalog
+
+        def slow_default_catalog():
+            builds["n"] += 1
+            build_started.set()
+            assert release_build.wait(timeout=30)
+            return real_default_catalog()
+
+        monkeypatch.setattr(substrates_mod, "default_catalog",
+                            slow_default_catalog)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            building = pool.submit(cache.catalog)
+            assert build_started.wait(timeout=30)
+            # The catalog build is in flight and (pre-fix) held the
+            # cache-wide lock; an unrelated lookup must still complete.
+            lookup = pool.submit(
+                cache.intensity_series, "uk-november-2022", 2.0)
+            series = lookup.result(timeout=30)
+            assert series is not None
+            assert not building.done()  # the build really was still going
+            release_build.set()
+            catalog = building.result(timeout=30)
+
+        # Built exactly once; repeats are served from the slot.
+        assert cache.catalog() is catalog
+        assert builds["n"] == 1
+
+    def test_concurrent_catalog_requests_share_one_build(self, monkeypatch):
+        import repro.api.substrates as substrates_mod
+
+        cache = SubstrateCache()
+        builds = {"n": 0}
+        count_lock = threading.Lock()
+        barrier = threading.Barrier(N_THREADS)
+        real_default_catalog = substrates_mod.default_catalog
+
+        def counting_default_catalog():
+            with count_lock:
+                builds["n"] += 1
+            return real_default_catalog()
+
+        monkeypatch.setattr(substrates_mod, "default_catalog",
+                            counting_default_catalog)
+
+        def fetch():
+            barrier.wait()
+            return cache.catalog()
+
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            catalogs = list(pool.map(lambda _: fetch(), range(N_THREADS)))
+
+        assert builds["n"] == 1
+        assert all(found is catalogs[0] for found in catalogs[1:])
+
+    def test_catalog_slot_is_never_evicted(self):
+        cache = SubstrateCache(max_entries=1)
+        catalog = cache.catalog()
+        # Flood the cache far past its cap with completed entries.
+        for key in range(8):
+            cache._compute_once("intensity", (key,), lambda k=key: k)
+        assert ("catalog", ()) in cache._slots
+        assert cache.catalog() is catalog
+
+
+class TestBoundedSharedCache:
+    """Regression: the process-wide cache must be bounded — a long-lived
+    process sweeping distinct physical configs must not leak substrates."""
+
+    def test_shared_cache_has_the_bounded_default(self):
+        from repro.api.substrates import (
+            DEFAULT_SHARED_MAX_ENTRIES, shared_substrates)
+
+        assert shared_substrates()._max_entries == DEFAULT_SHARED_MAX_ENTRIES
+
+    def test_hundred_distinct_specs_hold_at_most_the_cap(self):
+        from repro.api.substrates import DEFAULT_SHARED_MAX_ENTRIES
+
+        cache = SubstrateCache(max_entries=DEFAULT_SHARED_MAX_ENTRIES)
+        for index in range(100):
+            # Stand-ins for 100 distinct physical-spec snapshot entries;
+            # the eviction policy only sees (kind, key) slots.
+            cache._compute_once("snapshot", (index,), lambda i=index: i)
+        assert len(cache._slots) <= DEFAULT_SHARED_MAX_ENTRIES
+        # The newest entries survived; the oldest were evicted.
+        assert ("snapshot", (99,)) in cache._slots
+        assert ("snapshot", (0,)) not in cache._slots
